@@ -1,0 +1,95 @@
+// Related-work and design ablations (Sections 2, 3.8):
+//   * the x86 `bound` instruction (7 cycles/ref) vs the 6-instruction
+//     software sequence vs Cash,
+//   * Electric-Fence guard pages (heap-only protection, no per-ref cost),
+//   * Cash security-only mode (skip read checks, Section 3.8).
+#include "bench_util.hpp"
+
+namespace {
+
+cash::bench::ModeResult run_with(const std::string& source,
+                                 cash::passes::CheckMode mode, int seg_regs,
+                                 bool check_reads, bool rce = false) {
+  cash::CompileOptions options;
+  options.lower.mode = mode;
+  options.lower.num_seg_regs = seg_regs;
+  options.lower.check_reads = check_reads;
+  options.lower.eliminate_redundant_checks = rce;
+  cash::CompileResult compiled = cash::compile(source, options);
+  if (!compiled.ok()) {
+    throw std::runtime_error("compile failed: " + compiled.error);
+  }
+  cash::bench::ModeResult out;
+  out.stats = compiled.program->lower_stats();
+  out.size = compiled.program->code_size();
+  out.run = compiled.program->run();
+  if (!out.run.ok) {
+    throw std::runtime_error(
+        "run failed: " +
+        (out.run.fault ? out.run.fault->detail : out.run.error));
+  }
+  return out;
+}
+
+} // namespace
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+  using passes::CheckMode;
+
+  print_title("Ablation: checking strategies on the micro suite");
+  std::printf("%-14s %10s %9s %9s %10s %9s %9s %9s %9s\n", "Program",
+              "GCC(Kcyc)", "Cash", "Cash-sec", "BCC", "BCC+RCE", "bound",
+              "EFence", "shadow*");
+
+  for (const workloads::Workload& w : workloads::micro_suite()) {
+    ModeResult gcc = run_with(w.source, CheckMode::kNoCheck, 3, true);
+    ModeResult cash_r = run_with(w.source, CheckMode::kCash, 3, true);
+    // Security-only Cash: writes checked, reads left alone (Section 3.8).
+    ModeResult cash_sec = run_with(w.source, CheckMode::kCash, 3, false);
+    ModeResult bcc = run_with(w.source, CheckMode::kBcc, 3, true);
+    // Gupta-style redundant check elimination (related work [15,16]).
+    ModeResult bcc_rce = run_with(w.source, CheckMode::kBcc, 3, true, true);
+    ModeResult bound = run_with(w.source, CheckMode::kBoundInsn, 3, true);
+    ModeResult efence = run_with(w.source, CheckMode::kEfence, 3, true);
+    // Concurrent checking (related work [6]): overhead measured on wall
+    // clock, i.e. whichever of the two processors is the bottleneck.
+    ModeResult shadow = run_with(w.source, CheckMode::kShadow, 3, true);
+
+    const double base = static_cast<double>(gcc.run.cycles);
+    std::printf(
+        "%-14s %10.0f %8.2f%% %8.2f%% %9.1f%% %8.1f%% %8.1f%% %8.2f%% "
+        "%8.1f%%\n",
+        w.name.c_str(), base / 1000.0,
+        overhead_pct(base, static_cast<double>(cash_r.run.cycles)),
+        overhead_pct(base, static_cast<double>(cash_sec.run.cycles)),
+        overhead_pct(base, static_cast<double>(bcc.run.cycles)),
+        overhead_pct(base, static_cast<double>(bcc_rce.run.cycles)),
+        overhead_pct(base, static_cast<double>(bound.run.cycles)),
+        overhead_pct(base, static_cast<double>(efence.run.cycles)),
+        overhead_pct(base,
+                     static_cast<double>(shadow.run.effective_cycles())));
+  }
+
+  print_note("\nFindings to reproduce:");
+  print_note(
+      " * the `bound` instruction is SLOWER than the 6-instruction software");
+  print_note(
+      "   sequence (7 vs 6 cycles) — why Section 2 says nobody uses it;");
+  print_note(
+      " * security-only Cash needs fewer segment registers / software checks");
+  print_note("   and never costs more than full Cash;");
+  print_note(
+      " * Electric Fence has no per-reference cost but only guards heap");
+  print_note("   objects (and burns a page per allocation);");
+  print_note(
+      " * shadow (concurrent checking, related work [6]) beats BCC on the");
+  print_note(
+      "   main CPU, but needs a whole second processor — and on check-dense");
+  print_note(
+      "   kernels that processor becomes the wall-clock bottleneck (the");
+  print_note("   column reports max(main, shadow) overhead). Cash beats it");
+  print_note("   without any extra hardware beyond the dormant MMU.");
+  return 0;
+}

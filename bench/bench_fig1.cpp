@@ -1,0 +1,67 @@
+// Figure 1: the x86 memory-translation pipeline — a worked, verifiable
+// walkthrough of one Cash-checked access through the simulated hardware:
+// selector -> descriptor-table lookup -> hidden-cache fill -> segment-limit
+// check -> linear address -> two-level page table -> physical address.
+#include "bench_util.hpp"
+#include "kernel/kernel_sim.hpp"
+#include "mmu/mmu.hpp"
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+  using x86seg::SegReg;
+
+  print_title("Figure 1: memory translation in the simulated X86 hardware");
+
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  paging::PhysicalMemory phys(1024);
+  paging::PageTable pages(phys);
+  x86seg::SegmentationUnit unit(kern.gdt(), kern.ldt(pid));
+  mmu::Mmu mmu(unit, pages, phys);
+
+  // An "array" of 100 bytes at linear 0x08049234 with its own segment.
+  const std::uint32_t array_base = 0x08049234;
+  (void)kern.set_ldt_callgate(pid);
+  (void)kern.cash_modify_ldt(
+      pid, 42, x86seg::SegmentDescriptor::for_array(array_base, 100));
+
+  const auto selector = x86seg::Selector::make(42, /*local=*/true, /*rpl=*/3);
+  std::printf("1. segment selector: raw=0x%04x  index=%u  TI=%s  RPL=%u\n",
+              selector.raw(), selector.index(),
+              selector.is_local() ? "LDT" : "GDT", selector.rpl());
+
+  (void)unit.load(SegReg::kGs, selector);
+  const auto& hidden = unit.reg(SegReg::kGs).cached;
+  std::printf("2. descriptor fetched into the hidden part of GS:\n");
+  std::printf("   base=0x%08x  raw_limit=0x%05x  G=%d  span=%llu bytes\n",
+              hidden.base(), hidden.raw_limit(), hidden.granularity(),
+              static_cast<unsigned long long>(hidden.span()));
+  std::printf("   raw wire format: 0x%016llx\n",
+              static_cast<unsigned long long>(hidden.encode()));
+
+  const std::uint32_t offset = 64;
+  const auto linear = unit.translate(SegReg::kGs, offset, 4,
+                                     x86seg::Access::kWrite);
+  std::printf("3. limit check: offset 0x%x + 4 <= limit 0x%x  -> PASS\n",
+              offset, hidden.effective_limit());
+  std::printf("4. linear address = base + offset = 0x%08x\n", linear.value());
+
+  pages.map_range(linear.value(), 4);
+  const auto physical = pages.translate(linear.value(), 4, true, true);
+  std::printf("5. page walk: dir=%u table=%u -> frame %u\n",
+              linear.value() >> 22, (linear.value() >> 12) & 0x3FF,
+              physical.value() >> 12);
+  std::printf("6. physical address = 0x%08x\n\n", physical.value());
+
+  // The same pipeline rejecting an out-of-bounds access.
+  const auto bad = unit.translate(SegReg::kGs, 100, 4, x86seg::Access::kWrite);
+  std::printf("Out-of-bounds probe (offset 100, size 4): %s\n",
+              bad.ok() ? "PASSED (unexpected!)"
+                       : bad.fault().detail.c_str());
+
+  print_note("\nThis is the check Cash gets for free on every array access:");
+  print_note("no instructions executed, the address-translation pipeline");
+  print_note("enforces the object's bounds as a side effect.");
+  return 0;
+}

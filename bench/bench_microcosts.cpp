@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the simulator's hot primitives: the
+// segmentation-unit translation (every simulated memory access), descriptor
+// encode/decode, segment register loads, the kernel entry paths, and
+// end-to-end compile + interpret of a small kernel. These measure the
+// *simulator's wall-clock* performance, not simulated cycles.
+#include <benchmark/benchmark.h>
+
+#include "core/cash.hpp"
+#include "kernel/kernel_sim.hpp"
+#include "runtime/segment_manager.hpp"
+#include "workloads/workloads.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace {
+
+using namespace cash;
+
+void BM_DescriptorEncodeDecode(benchmark::State& state) {
+  const auto d = x86seg::SegmentDescriptor::for_array(0x12345678, 4096);
+  for (auto _ : state) {
+    const std::uint64_t raw = d.encode();
+    auto decoded = x86seg::SegmentDescriptor::decode(raw);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DescriptorEncodeDecode);
+
+void BM_SegmentTranslate(benchmark::State& state) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  x86seg::SegmentationUnit unit(kern.gdt(), kern.ldt(pid));
+  (void)kern.set_ldt_callgate(pid);
+  (void)kern.cash_modify_ldt(
+      pid, 1, x86seg::SegmentDescriptor::for_array(0x1000, 65536));
+  (void)unit.load(x86seg::SegReg::kGs,
+                  x86seg::Selector::make(1, true, 3));
+  std::uint32_t offset = 0;
+  for (auto _ : state) {
+    auto linear = unit.translate(x86seg::SegReg::kGs, offset & 0xFFFF, 4,
+                                 x86seg::Access::kRead);
+    benchmark::DoNotOptimize(linear);
+    offset += 4;
+  }
+}
+BENCHMARK(BM_SegmentTranslate);
+
+void BM_SegmentRegisterLoad(benchmark::State& state) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  x86seg::SegmentationUnit unit(kern.gdt(), kern.ldt(pid));
+  (void)kern.set_ldt_callgate(pid);
+  (void)kern.cash_modify_ldt(
+      pid, 1, x86seg::SegmentDescriptor::for_array(0x1000, 4096));
+  const auto sel = x86seg::Selector::make(1, true, 3);
+  for (auto _ : state) {
+    auto status = unit.load(x86seg::SegReg::kEs, sel);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_SegmentRegisterLoad);
+
+void BM_CashModifyLdt(benchmark::State& state) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  (void)kern.set_ldt_callgate(pid);
+  const auto d = x86seg::SegmentDescriptor::for_array(0x1000, 4096);
+  std::uint16_t index = 1;
+  for (auto _ : state) {
+    auto status = kern.cash_modify_ldt(pid, index, d);
+    benchmark::DoNotOptimize(status);
+    index = static_cast<std::uint16_t>(index % 8000 + 1);
+  }
+}
+BENCHMARK(BM_CashModifyLdt);
+
+void BM_SegmentAllocCacheHit(benchmark::State& state) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  runtime::SegmentManager segments(kern, pid);
+  (void)segments.initialize();
+  for (auto _ : state) {
+    auto alloc = segments.allocate(0x2000, 512);
+    (void)segments.release(alloc.ldt_index, 0x2000, 512);
+  }
+}
+BENCHMARK(BM_SegmentAllocCacheHit);
+
+void BM_CompileMatmul(benchmark::State& state) {
+  const std::string source = workloads::matmul_source(16);
+  for (auto _ : state) {
+    CompileOptions options;
+    options.lower.mode = passes::CheckMode::kCash;
+    auto compiled = compile(source, options);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileMatmul);
+
+void BM_InterpretMatmul16(benchmark::State& state) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  auto compiled = compile(workloads::matmul_source(16), options);
+  for (auto _ : state) {
+    auto run = compiled.program->run();
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_InterpretMatmul16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Ablation of the Section 3.4 alternative the paper discusses but did not
+// build: multiple LDTs per process with on-demand LDTR switching, instead
+// of silently disabling checks past 8191 live segments. Two questions:
+//
+//   1. Coverage: does the multi-LDT scheme protect objects the prototype's
+//      global-segment fallback leaves unchecked?
+//   2. Cost: does LDTR switching "thrash", as the paper feared?
+#include "bench_util.hpp"
+
+namespace {
+
+cash::vm::RunResult run_with_ldts(const char* source, int max_ldts) {
+  cash::CompileOptions options;
+  options.lower.mode = cash::passes::CheckMode::kCash;
+  options.machine.max_ldts = max_ldts;
+  cash::CompileResult compiled = cash::compile(source, options);
+  if (!compiled.ok()) {
+    throw std::runtime_error(compiled.error);
+  }
+  return compiled.program->run();
+}
+
+} // namespace
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+
+  print_title("Section 3.4 ablation: multiple LDTs vs global-segment "
+              "fallback");
+
+  // --- 1. coverage ---
+  const char* kOverflowLate = R"(
+int main() {
+  int *p;
+  int i;
+  p = malloc(8);
+  for (i = 0; i < 8250; i++) {
+    p = malloc(8);
+  }
+  for (i = 0; i < 6; i++) {
+    p[i] = i;
+  }
+  return 0;
+}
+)";
+  std::printf("8,250 live buffers; the last one (past the 8191-entry LDT)\n"
+              "is overflowed:\n\n");
+  for (int ldts : {1, 2}) {
+    const vm::RunResult r = run_with_ldts(kOverflowLate, ldts);
+    std::printf("  max_ldts=%d: %-12s  fallbacks=%llu  extra LDTs=%llu  "
+                "LDTR switches=%llu\n",
+                ldts, r.ok ? "NOT caught" : "caught",
+                static_cast<unsigned long long>(
+                    r.segment_stats.global_fallbacks),
+                static_cast<unsigned long long>(
+                    r.segment_stats.extra_ldts_created),
+                static_cast<unsigned long long>(
+                    r.kernel_account.ldt_switches));
+  }
+
+  // --- 2. thrashing probe ---
+  // A hot loop alternating between two functions whose arrays live in
+  // different LDTs: the worst realistic switching pattern. Because the
+  // hidden descriptor caches survive LDTR switches, switches happen only
+  // at segment-register *loads*, not per access.
+  const char* kAlternating = R"(
+int tail_work(int *buf, int x) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    buf[i] = x + i;
+  }
+  return buf[0];
+}
+int main() {
+  int *early;
+  int *late;
+  int *p;
+  int i;
+  int s;
+  early = malloc(64);
+  for (i = 0; i < 8250; i++) {
+    p = malloc(8);
+  }
+  late = malloc(64);      // lands in the second LDT (if enabled)
+  s = 0;
+  for (i = 0; i < 2000; i++) {
+    s = s + tail_work(early, i);
+    s = s + tail_work(late, i);
+  }
+  print_int(s);
+  return 0;
+}
+)";
+  std::printf("\nHot loop alternating two buffers from different LDTs "
+              "(2000 iterations):\n\n");
+  std::uint64_t base_cycles = 0;
+  for (int ldts : {1, 2, 4}) {
+    const vm::RunResult r = run_with_ldts(kAlternating, ldts);
+    if (!r.ok) {
+      std::printf("  max_ldts=%d: failed: %s\n", ldts,
+                  r.fault ? r.fault->detail.c_str() : r.error.c_str());
+      continue;
+    }
+    if (ldts == 1) {
+      base_cycles = r.cycles;
+    }
+    std::printf("  max_ldts=%d: %11llu cycles (%+5.2f%%)  LDTR switches=%llu"
+                "  unchecked objects=%llu\n",
+                ldts, static_cast<unsigned long long>(r.cycles),
+                overhead_pct(static_cast<double>(base_cycles),
+                             static_cast<double>(r.cycles)),
+                static_cast<unsigned long long>(
+                    r.kernel_account.ldt_switches),
+                static_cast<unsigned long long>(
+                    r.segment_stats.global_fallbacks));
+  }
+
+  print_note(
+      "\nFindings: the multi-LDT scheme restores full protection coverage.");
+  print_note(
+      "Because segment-register hidden caches survive LLDT, switches occur");
+  print_note(
+      "only at hoisted segment loads — never per memory reference. The");
+  print_note(
+      "paper's feared thrashing is real but bounded: an adversarial loop");
+  print_note(
+      "calling into both LDTs every iteration pays one 282-cycle switch per");
+  print_note(
+      "call (tens of percent here); straight-line loops pay per loop entry.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Section 4.2's segment-register sensitivity study: the micro kernels under
+// Cash with 2, 3 and 4 segment registers. With fewer registers, loops that
+// touch more arrays must fall back to software checks and the overhead
+// rises (the paper reports SVDPACKC 35.7%, Matrix 1.5%, Edge 44.2% with
+// only 2 registers).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+  using passes::CheckMode;
+
+  print_title("Section 4.2: Cash overhead vs number of segment registers");
+  std::printf("%-14s", "Program");
+  for (int regs : {2, 3, 4}) {
+    std::printf("  %d regs: HW/SW  elim%%   ovhd", regs);
+  }
+  std::printf("\n");
+
+  for (const workloads::Workload& w : workloads::micro_suite()) {
+    ModeResult gcc = compile_and_run(w.source, CheckMode::kNoCheck);
+    std::printf("%-14s", w.name.c_str());
+    for (int regs : {2, 3, 4}) {
+      ModeResult cash_r = compile_and_run(w.source, CheckMode::kCash, regs);
+      const double total = static_cast<double>(cash_r.stats.hw_checks +
+                                               cash_r.stats.sw_checks);
+      const double eliminated =
+          total == 0 ? 100.0
+                     : 100.0 * static_cast<double>(cash_r.stats.hw_checks) /
+                           total;
+      std::printf("  %4llu/%-3llu %6.1f%% %6.2f%%",
+                  static_cast<unsigned long long>(cash_r.stats.hw_checks),
+                  static_cast<unsigned long long>(cash_r.stats.sw_checks),
+                  eliminated,
+                  overhead_pct(static_cast<double>(gcc.run.cycles),
+                               static_cast<double>(cash_r.run.cycles)));
+    }
+    std::printf("\n");
+  }
+  print_note(
+      "\nelim% = share of static checks served by hardware (paper Section");
+  print_note(
+      "4.2 reports 50.1% / 85.7% / 19.7% for SVD / Matrix / Edge at 2 regs).");
+
+  print_note(
+      "\nPaper finding to reproduce: 4 registers eliminate every software");
+  print_note(
+      "check; with only 2, kernels whose loops touch 3+ arrays (SVD, matrix");
+  print_note(
+      "multiply, edge detect) must software-check the spilled arrays and");
+  print_note("overhead rises accordingly.");
+  return 0;
+}

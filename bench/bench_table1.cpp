@@ -1,0 +1,45 @@
+// Table 1: GCC / Cash / BCC on six array-intensive numerical kernels.
+// Configuration per the paper's Table 1 experiment: Cash uses FOUR segment
+// registers (ES, FS, GS, SS), which eliminates every software bound check.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+  using passes::CheckMode;
+
+  print_title(
+      "Table 1: kernel performance, GCC vs Cash (4 seg regs) vs BCC");
+  std::printf("%-14s %11s %14s %9s %9s %16s %16s\n", "Program", "HW/SW",
+              "GCC (Kcycles)", "Cash", "BCC", "paper Cash", "paper BCC");
+
+  for (const workloads::Workload& w : workloads::micro_suite()) {
+    ModeResult gcc = compile_and_run(w.source, CheckMode::kNoCheck);
+    ModeResult cash_r = compile_and_run(w.source, CheckMode::kCash, 4);
+    ModeResult bcc = compile_and_run(w.source, CheckMode::kBcc);
+
+    const double gcc_k = static_cast<double>(gcc.run.cycles) / 1000.0;
+    const double cash_pct = overhead_pct(
+        static_cast<double>(gcc.run.cycles),
+        static_cast<double>(cash_r.run.cycles));
+    const double bcc_pct = overhead_pct(
+        static_cast<double>(gcc.run.cycles),
+        static_cast<double>(bcc.run.cycles));
+
+    std::printf("%-14s %6llu/%-4llu %14.0f %8.2f%% %8.1f%% %15.1f%% %15.1f%%\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(cash_r.stats.hw_checks),
+                static_cast<unsigned long long>(cash_r.stats.sw_checks),
+                gcc_k, cash_pct, bcc_pct, w.paper_cash_overhead_pct,
+                w.paper_bcc_overhead_pct);
+  }
+
+  print_note(
+      "\nHW/SW = static hardware/software checks inserted by the Cash pass.");
+  print_note(
+      "Paper finding to reproduce: with 4 segment registers ALL software");
+  print_note(
+      "checks are eliminated (SW = 0), Cash stays within a few percent of");
+  print_note("GCC, and BCC costs roughly 0.7x-2.4x extra.");
+  return 0;
+}

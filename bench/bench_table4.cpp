@@ -1,0 +1,44 @@
+// Table 4: static characteristics of the macro-benchmark applications —
+// lines of code, array-using loops, and loops touching > 3 distinct arrays.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+
+  print_title("Table 4: macro application characteristics");
+  std::printf("%-10s %8s %18s %14s %12s\n", "Program", "LoC",
+              "Array-Using Loops", "> 3 Arrays", "paper >3");
+
+  const double paper_over3_pct[] = {0.6, 1.5, 9.3, 0.2, 2.8, 1.3};
+  int i = 0;
+  for (const workloads::Workload& w : workloads::macro_suite()) {
+    CompileOptions options;
+    options.lower.mode = passes::CheckMode::kCash;
+    CompileResult compiled = compile(w.source, options);
+    if (!compiled.ok()) {
+      std::printf("%-10s compile error\n", w.name.c_str());
+      continue;
+    }
+    const passes::ProgramStats stats = compiled.program->program_stats(3);
+    std::printf("%-10s %8llu %18llu %8llu (%4.1f%%) %10.1f%%\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(stats.lines_of_code),
+                static_cast<unsigned long long>(stats.array_using_loops),
+                static_cast<unsigned long long>(stats.loops_over_budget),
+                stats.array_using_loops == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(stats.loops_over_budget) /
+                          static_cast<double>(stats.array_using_loops),
+                paper_over3_pct[i]);
+    ++i;
+  }
+
+  print_note(
+      "\nPaper finding to reproduce: the overwhelming majority of array-");
+  print_note(
+      "using loops touch <= 3 distinct arrays; Quat is the outlier (the");
+  print_note("paper reports 24.8% of loops over budget, and the highest");
+  print_note("Cash overhead in Table 5 as a result).");
+  return 0;
+}

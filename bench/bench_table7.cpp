@@ -1,0 +1,42 @@
+// Table 7: static characteristics of the network applications.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cash;
+  using namespace cash::bench;
+
+  print_title("Table 7: network application characteristics");
+  std::printf("%-10s %8s %18s %14s %12s\n", "Program", "LoC",
+              "Array-Using Loops", "> 3 Arrays", "paper >3");
+
+  const double paper_over3_pct[] = {0.9, 0.5, 1.4, 0.4, 0.5, 0.6};
+  int i = 0;
+  for (const workloads::Workload& w : workloads::network_suite()) {
+    CompileOptions options;
+    options.lower.mode = passes::CheckMode::kCash;
+    CompileResult compiled = compile(w.source, options);
+    if (!compiled.ok()) {
+      std::printf("%-10s compile error\n", w.name.c_str());
+      continue;
+    }
+    const passes::ProgramStats stats = compiled.program->program_stats(3);
+    std::printf("%-10s %8llu %18llu %8llu (%4.1f%%) %10.1f%%\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(stats.lines_of_code),
+                static_cast<unsigned long long>(stats.array_using_loops),
+                static_cast<unsigned long long>(stats.loops_over_budget),
+                stats.array_using_loops == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(stats.loops_over_budget) /
+                          static_cast<double>(stats.array_using_loops),
+                paper_over3_pct[i]);
+    ++i;
+  }
+
+  print_note(
+      "\nPaper finding to reproduce: network apps rarely use more than 3");
+  print_note(
+      "arrays per loop — Sendmail is the exception (11% of static loops),");
+  print_note("which predicts its worst-case Table 8 latency penalty.");
+  return 0;
+}

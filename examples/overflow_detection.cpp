@@ -1,0 +1,86 @@
+// Buffer-overflow detection demo: a vulnerable request parser (a classic
+// stack-smash pattern — unchecked copy loop into a fixed buffer) processed
+// under each checking mode. The unchecked build silently corrupts memory;
+// Cash stops the overflow at the exact first out-of-bounds write, via the
+// segment-limit check in the simulated MMU.
+//
+//   $ ./examples/overflow_detection
+#include <cstdio>
+#include <string>
+
+#include "core/cash.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+const char* vulnerable_server(int request_len) {
+  static std::string source;
+  source = cash::workloads::expand_template(R"(
+int request[512];
+int secret;
+
+int parse(int *req, int len) {
+  int header[16];       // fixed-size buffer...
+  int i;
+  for (i = 0; i < len; i++) {
+    header[i] = req[i]; // ...filled by an unchecked copy loop
+  }
+  return header[0];
+}
+
+int main() {
+  int i;
+  secret = 12345;
+  for (i = 0; i < ${LEN}; i++) {
+    request[i] = 65 + i % 26;
+  }
+  print_int(parse(request, ${LEN}));
+  print_int(secret);
+  return 0;
+}
+)",
+                                            {{"LEN", std::to_string(request_len)}});
+  return source.c_str();
+}
+
+} // namespace
+
+int main() {
+  std::printf("A vulnerable parser copies the request into a 16-entry\n"
+              "buffer. We send a benign 12-entry request, then a malicious\n"
+              "40-entry one, under each checking mode.\n\n");
+
+  for (int len : {12, 40}) {
+    std::printf("=== request length %d (%s) ===\n", len,
+                len <= 16 ? "benign" : "attack");
+    for (cash::passes::CheckMode mode : {cash::passes::CheckMode::kNoCheck,
+                                         cash::passes::CheckMode::kBcc,
+                                         cash::passes::CheckMode::kCash}) {
+      cash::CompileOptions options;
+      options.lower.mode = mode;
+      cash::CompileResult compiled =
+          cash::compile(vulnerable_server(len), options);
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "compile error:\n%s", compiled.error.c_str());
+        return 1;
+      }
+      cash::vm::RunResult run = compiled.program->run();
+      if (run.ok) {
+        std::printf("  %-6s completed normally\n", to_string(mode));
+      } else if (run.fault.has_value()) {
+        std::printf("  %-6s ABORTED: %s: %s\n", to_string(mode),
+                    to_string(run.fault->kind), run.fault->detail.c_str());
+      } else {
+        std::printf("  %-6s error: %s\n", to_string(mode), run.error.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Note how the unchecked build 'completed normally' even for the\n"
+      "attack — the overflow scribbled past the buffer undetected. Cash\n"
+      "raised a #GP from the segment-limit check at the first bad write,\n"
+      "with the faulting function and line in the diagnostic.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Profiling scenario: where do the cycles — and the checking overhead — go?
+// Runs the Cjpeg analog under GCC and Cash, prints a per-function profile
+// and the cycle breakdown, and shows that Cash's cost concentrates in the
+// functions that allocate local arrays, not in the hot loops.
+//
+//   $ ./examples/profile_hotspots
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/cash.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+cash::vm::RunResult run_mode(const std::string& source,
+                             cash::passes::CheckMode mode) {
+  cash::CompileOptions options;
+  options.lower.mode = mode;
+  cash::CompileResult compiled = cash::compile(source, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error:\n%s", compiled.error.c_str());
+    std::exit(1);
+  }
+  cash::vm::RunResult run = compiled.program->run();
+  if (!run.ok) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 run.fault ? run.fault->detail.c_str() : run.error.c_str());
+    std::exit(1);
+  }
+  return run;
+}
+
+void print_profile(const char* title, const cash::vm::RunResult& run) {
+  std::printf("%s — %llu cycles total "
+              "(base %llu, checking %llu, runtime %llu)\n",
+              title, static_cast<unsigned long long>(run.cycles),
+              static_cast<unsigned long long>(run.breakdown.base),
+              static_cast<unsigned long long>(run.breakdown.checking),
+              static_cast<unsigned long long>(run.breakdown.runtime));
+  std::vector<std::pair<std::string, cash::vm::FunctionProfile>> rows(
+      run.profile.begin(), run.profile.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_cycles > b.second.self_cycles;
+  });
+  std::printf("  %-16s %12s %14s %8s\n", "function", "calls", "self cycles",
+              "share");
+  for (const auto& [name, prof] : rows) {
+    std::printf("  %-16s %12llu %14llu %7.1f%%\n", name.c_str(),
+                static_cast<unsigned long long>(prof.calls),
+                static_cast<unsigned long long>(prof.self_cycles),
+                100.0 * static_cast<double>(prof.self_cycles) /
+                    static_cast<double>(run.cycles));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const cash::workloads::Workload* cjpeg = nullptr;
+  for (const auto& w : cash::workloads::macro_suite()) {
+    if (w.name == "Cjpeg") {
+      cjpeg = &w;
+    }
+  }
+  if (cjpeg == nullptr) {
+    return 1;
+  }
+
+  std::printf("Profiling the Cjpeg analog (4096 DCT blocks):\n\n");
+  const cash::vm::RunResult gcc =
+      run_mode(cjpeg->source, cash::passes::CheckMode::kNoCheck);
+  const cash::vm::RunResult cash_run =
+      run_mode(cjpeg->source, cash::passes::CheckMode::kCash);
+
+  print_profile("unchecked (gcc)", gcc);
+  print_profile("bound-checked (cash)", cash_run);
+
+  const double block_delta =
+      static_cast<double>(cash_run.profile.at("dct_block").self_cycles) -
+      static_cast<double>(gcc.profile.at("dct_block").self_cycles);
+  std::printf(
+      "dct_block costs +%.0f cycles across %llu calls under Cash — about\n"
+      "%.1f cycles per call: the hoisted segment loads plus the 3-entry-\n"
+      "cache hits for its three local arrays. The per-iteration loop work\n"
+      "is untouched; that is the whole trick.\n",
+      block_delta,
+      static_cast<unsigned long long>(cash_run.profile.at("dct_block").calls),
+      block_delta /
+          static_cast<double>(cash_run.profile.at("dct_block").calls));
+  return 0;
+}

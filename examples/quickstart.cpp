@@ -1,0 +1,70 @@
+// Quickstart: compile one MiniC program under the three checking modes of
+// the paper (GCC baseline, BCC software checks, Cash segment-hardware
+// checks), run it on the simulated Pentium-III, and compare costs.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/cash.hpp"
+
+int main() {
+  const char* source = R"(
+int histogram[64];
+int main() {
+  int i;
+  int peak = 0;
+  for (i = 0; i < 10000; i++) {
+    histogram[i * 37 % 64] = histogram[i * 37 % 64] + 1;
+  }
+  for (i = 0; i < 64; i++) {
+    if (histogram[i] > peak) {
+      peak = histogram[i];
+    }
+  }
+  print_int(peak);
+  return peak;
+}
+)";
+
+  std::printf("Compiling a histogram kernel under three checking modes:\n\n");
+  std::printf("%-8s %12s %10s %12s %12s\n", "mode", "cycles", "overhead",
+              "hw checks", "sw checks");
+
+  std::uint64_t baseline = 0;
+  for (cash::passes::CheckMode mode : {cash::passes::CheckMode::kNoCheck,
+                                       cash::passes::CheckMode::kCash,
+                                       cash::passes::CheckMode::kBcc}) {
+    cash::CompileOptions options;
+    options.lower.mode = mode;
+    cash::CompileResult compiled = cash::compile(source, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile error:\n%s", compiled.error.c_str());
+      return 1;
+    }
+    cash::vm::RunResult run = compiled.program->run();
+    if (!run.ok) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.fault ? run.fault->detail.c_str() : run.error.c_str());
+      return 1;
+    }
+    if (mode == cash::passes::CheckMode::kNoCheck) {
+      baseline = run.cycles;
+    }
+    std::printf("%-8s %12llu %9.2f%% %12llu %12llu\n", to_string(mode),
+                static_cast<unsigned long long>(run.cycles),
+                baseline == 0
+                    ? 0.0
+                    : 100.0 * (static_cast<double>(run.cycles) -
+                               static_cast<double>(baseline)) /
+                          static_cast<double>(baseline),
+                static_cast<unsigned long long>(
+                    run.counters.hw_checked_accesses),
+                static_cast<unsigned long long>(run.counters.sw_checks));
+  }
+
+  std::printf(
+      "\nCash routed every in-loop array reference through a segment\n"
+      "register, so the X86 segment-limit hardware performed the bound\n"
+      "checks for free — that is the paper's whole idea.\n");
+  return 0;
+}

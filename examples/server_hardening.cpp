@@ -1,0 +1,65 @@
+// Server-hardening scenario: take the Sendmail-style request handler from
+// the workload suite, serve a batch of requests with and without Cash, and
+// report the latency/throughput cost of turning bound checking on — the
+// deployment decision the paper's Table 8 informs.
+//
+//   $ ./examples/server_hardening [requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "netsim/netsim.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 500;
+
+  // Pick the hardest case: Sendmail, whose address-rewriting loops touch
+  // more arrays than there are free segment registers.
+  const cash::workloads::Workload* sendmail = nullptr;
+  for (const auto& w : cash::workloads::network_suite()) {
+    if (w.name == "Sendmail") {
+      sendmail = &w;
+    }
+  }
+  if (sendmail == nullptr) {
+    return 1;
+  }
+
+  std::printf("Serving %d SMTP-like requests through the Sendmail analog:\n\n",
+              requests);
+  std::printf("%-22s %16s %16s %12s\n", "build", "latency (us)",
+              "throughput (rps)", "sw checks");
+
+  double base_latency = 0;
+  double base_throughput = 0;
+  for (cash::passes::CheckMode mode :
+       {cash::passes::CheckMode::kNoCheck, cash::passes::CheckMode::kCash}) {
+    cash::CompileOptions options;
+    options.lower.mode = mode;
+    cash::CompileResult compiled = cash::compile(sendmail->source, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile error:\n%s", compiled.error.c_str());
+      return 1;
+    }
+    const cash::netsim::ServerMetrics metrics =
+        cash::netsim::serve_requests(*compiled.program, requests);
+    std::printf("%-22s %16.2f %16.0f %12llu\n",
+                mode == cash::passes::CheckMode::kNoCheck
+                    ? "unchecked (gcc)"
+                    : "bound-checked (cash)",
+                metrics.mean_latency_us, metrics.throughput_rps,
+                static_cast<unsigned long long>(metrics.sw_checks));
+    if (mode == cash::passes::CheckMode::kNoCheck) {
+      base_latency = metrics.mean_latency_us;
+      base_throughput = metrics.throughput_rps;
+    } else {
+      std::printf(
+          "\nHardening cost: +%.1f%% latency, -%.1f%% throughput —\n"
+          "every in-loop buffer access bound-checked, overflows impossible.\n",
+          (metrics.mean_latency_us - base_latency) / base_latency * 100.0,
+          (base_throughput - metrics.throughput_rps) / base_throughput *
+              100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace cash::backend {
+
+// Textual IA-32 code generator (AT&T syntax), reproducing the instruction
+// sequences the paper's Sections 3.3 and 3.7 show:
+//
+//   * array accesses through a spare segment register, with the selector
+//     loaded from the object's shadow information structure (`movw`) and
+//     the base subtraction that rebases the pointer (`subl`);
+//   * the 6-instruction software bound-check sequence;
+//   * prologue/epilogue save/restore of clobbered segment registers;
+//   * optionally, the Section 3.7 PUSH/POP -> MOV/SUB rewriting that frees
+//     SS as a fourth bound-checking register.
+//
+// The emitter is deliberately naive (every virtual register lives in a
+// frame slot; values pass through %eax/%edx) — its purpose is to show the
+// *shape* of Cash-generated code, not to win benchmarks; the cycle-accurate
+// execution happens in the IR interpreter. Emitted code is not assembled.
+struct AsmOptions {
+  // Section 3.7: replace PUSH/POP with MOV/SUB-ESP sequences and address
+  // EBP/ESP frames through DS explicitly, freeing SS for bound checking.
+  bool use_stack_segreg{false};
+  // Annotate the listing with the paper's commentary.
+  bool comments{true};
+};
+
+// Emits one function / a whole module as an assembly listing.
+std::string emit_function(const ir::Function& function,
+                          const AsmOptions& options = {});
+std::string emit_module(const ir::Module& module,
+                        const AsmOptions& options = {});
+
+} // namespace cash::backend

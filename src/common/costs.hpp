@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+
+// Cycle-cost model for the simulated Pentium-III 1.1 GHz testbed.
+//
+// The headline constants are the paper's own measurements (Section 3.6 and
+// Section 4.1 of Lam & Chiueh, DSN 2005); the per-IR-operation costs are the
+// conventional latencies for a P6-class core. All costs are centralised here
+// so benches and ablations can reason about them in one place.
+namespace cash::costs {
+
+// --- Paper-measured constants (Cash, Sections 3.6 / 4.1) -------------------
+
+// One-time program start-up: call-gate installation + segment free-list init.
+inline constexpr std::uint64_t kPerProgramSetup = 543;
+
+// Segment allocation + LDT descriptor installation for one array (when the
+// 3-entry recently-freed-segment cache misses and the call gate is taken).
+inline constexpr std::uint64_t kPerArraySetup = 263;
+
+// Hitting the user-space 3-entry segment cache: no kernel entry, just the
+// free-list bookkeeping.
+inline constexpr std::uint64_t kSegCacheHit = 10;
+
+// Releasing a segment never enters the kernel (the entry is pushed onto the
+// user-space free list / 3-entry cache).
+inline constexpr std::uint64_t kPerArrayTeardown = 8;
+
+// Loading a segment register (MOV %seg): per-array-use overhead. The paper
+// reports 4 cycles and hoists these loads outside the outermost loop.
+inline constexpr std::uint64_t kSegRegLoad = 4;
+
+// Slim Cash call gate into cash_modify_ldt().
+inline constexpr std::uint64_t kCallGate = 253;
+
+// Stock Linux modify_ldt() system call.
+inline constexpr std::uint64_t kModifyLdtSyscall = 781;
+
+// Switching the LDTR to another LDT (the Section 3.4 alternative to the
+// 8191-segment ceiling). LLDT is privileged, so this is a slim system call
+// like the Cash gate plus the LLDT itself.
+inline constexpr std::uint64_t kLdtSwitch = 282;
+
+// Creating an additional LDT (allocate + register its descriptor): a full
+// system call.
+inline constexpr std::uint64_t kLdtCreate = 781;
+
+// --- Checking-strategy costs ------------------------------------------------
+
+// BCC-style software bound check: 2 loads + 2 compares + 2 branches.
+inline constexpr std::uint64_t kSoftwareBoundCheck = 6;
+
+// x86 `bound` instruction on P6 (related-work ablation).
+inline constexpr std::uint64_t kBoundInstruction = 7;
+
+// Hardware (segment-limit) check: performed by the address-translation
+// pipeline, zero additional cycles.
+inline constexpr std::uint64_t kHardwareBoundCheck = 0;
+
+// --- Per-IR-operation latencies (P6-class) ----------------------------------
+
+inline constexpr std::uint64_t kAluOp = 1;        // add/sub/logic/compare
+// Register-resident operations: scalar locals are register-allocated at the
+// highest optimisation level, pointer-add folds into the x86 addressing
+// mode, and small constants are immediates — all zero-cycle.
+inline constexpr std::uint64_t kRegisterOp = 0;
+inline constexpr std::uint64_t kMulOp = 4;        // imul / fmul
+inline constexpr std::uint64_t kDivOp = 24;       // idiv / fdiv
+inline constexpr std::uint64_t kLoadStore = 1;    // L1-hit memory op
+inline constexpr std::uint64_t kBranch = 1;       // predicted branch
+inline constexpr std::uint64_t kCallRet = 2;      // call or ret
+inline constexpr std::uint64_t kMathBuiltin = 40; // sqrt/sin/cos/exp (fp unit)
+
+// Fat-pointer bookkeeping: copying the extra word(s) on pointer assignment.
+// Cash uses a 2-word pointer (1 extra word); BCC uses 3 words (2 extra).
+inline constexpr std::uint64_t kExtraPtrWordCopy = 1;
+
+} // namespace cash::costs

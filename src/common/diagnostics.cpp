@@ -1,0 +1,27 @@
+#include "common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace cash {
+
+namespace {
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError:   return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote:    return "note";
+  }
+  return "?";
+}
+} // namespace
+
+std::string DiagnosticSink::to_string() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << d.loc.line << ':' << d.loc.column << ": "
+        << severity_name(d.severity) << ": " << d.message << '\n';
+  }
+  return out.str();
+}
+
+} // namespace cash

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cash {
+
+// Position in a MiniC source buffer (1-based, like every compiler).
+struct SourceLoc {
+  int line{0};
+  int column{0};
+};
+
+enum class Severity : std::uint8_t { kError, kWarning, kNote };
+
+struct Diagnostic {
+  Severity severity{Severity::kError};
+  SourceLoc loc;
+  std::string message;
+};
+
+// Accumulates front-end diagnostics; the driver decides whether to abort.
+class DiagnosticSink {
+ public:
+  void error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kError, loc, std::move(message)});
+    ++error_count_;
+  }
+  void warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kWarning, loc, std::move(message)});
+  }
+
+  bool has_errors() const noexcept { return error_count_ > 0; }
+  int error_count() const noexcept { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diags_; }
+
+  // All diagnostics rendered one-per-line: "line:col: error: message".
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_{0};
+};
+
+} // namespace cash

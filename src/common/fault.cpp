@@ -1,0 +1,17 @@
+#include "common/fault.hpp"
+
+namespace cash {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kGeneralProtection: return "#GP general-protection fault";
+    case FaultKind::kSegmentNotPresent: return "#NP segment-not-present fault";
+    case FaultKind::kStackFault:        return "#SS stack fault";
+    case FaultKind::kPageFault:         return "#PF page fault";
+    case FaultKind::kInvalidOpcode:     return "#UD invalid opcode";
+    case FaultKind::kBoundRange:        return "#BR bound-range exceeded";
+  }
+  return "unknown fault";
+}
+
+} // namespace cash

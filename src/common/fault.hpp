@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace cash {
+
+// Hardware exception classes raised by the simulated x86 MMU, following the
+// IA-32 exception model the paper relies on.
+enum class FaultKind : std::uint8_t {
+  kGeneralProtection, // #GP: segment-limit violation, null-selector use, ...
+  kSegmentNotPresent, // #NP: descriptor present bit clear
+  kStackFault,        // #SS: SS-relative limit violation
+  kPageFault,         // #PF: unmapped / protected page
+  kInvalidOpcode,     // #UD
+  kBoundRange,        // #BR: `bound` instruction range exceeded
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+// A simulated processor fault. Carries enough context for the bound-checking
+// layers to produce a precise diagnostic (which object, which address).
+struct Fault {
+  FaultKind kind{FaultKind::kGeneralProtection};
+  std::uint32_t linear_address{0}; // address that faulted (if address-formed)
+  std::uint16_t selector{0};       // selector in use (if segment-related)
+  std::string detail;              // human-readable context
+};
+
+// Exception wrapper used where a fault must abort simulation.
+class FaultException : public std::runtime_error {
+ public:
+  explicit FaultException(Fault fault)
+      : std::runtime_error(std::string(to_string(fault.kind)) + ": " +
+                           fault.detail),
+        fault_(std::move(fault)) {}
+
+  const Fault& fault() const noexcept { return fault_; }
+
+ private:
+  Fault fault_;
+};
+
+} // namespace cash

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/fault.hpp"
+
+namespace cash {
+
+// Minimal expected-like carrier for simulated-hardware operations that either
+// produce a value or raise a processor fault. (std::expected is C++23.)
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {} // NOLINT: implicit by design
+  Result(Fault fault) : storage_(std::move(fault)) {} // NOLINT
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  const Fault& fault() const& {
+    assert(!ok());
+    return std::get<Fault>(storage_);
+  }
+
+ private:
+  std::variant<T, Fault> storage_;
+};
+
+// Result for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Fault fault) : fault_(std::move(fault)) {} // NOLINT
+
+  bool ok() const noexcept { return !fault_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Fault& fault() const& {
+    assert(!ok());
+    return *fault_;
+  }
+
+ private:
+  std::optional<Fault> fault_;
+};
+
+} // namespace cash

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ir/function.hpp"
+#include "passes/code_size.hpp"
+#include "passes/lower.hpp"
+#include "passes/program_stats.hpp"
+#include "vm/machine.hpp"
+
+// Public API of the Cash reproduction.
+//
+// Typical use:
+//
+//   cash::CompileOptions options;
+//   options.lower.mode = cash::passes::CheckMode::kCash;
+//   cash::CompileResult compiled = cash::compile(source, options);
+//   if (!compiled.ok()) { ... compiled.error ... }
+//   cash::vm::RunResult run = compiled.program->run();
+//
+// The same source can be compiled under CheckMode::kNoCheck (the GCC
+// baseline), kBcc (software checks) and kCash (segment-hardware checks) to
+// reproduce the paper's three-way comparisons.
+namespace cash {
+
+struct CompileOptions {
+  passes::LowerOptions lower;
+  vm::MachineConfig machine;
+  bool optimize{true};     // -O9-style scalar opts before lowering (all
+                           // modes; the paper compiles at the highest level)
+  bool run_verifier{true}; // verify IR after generation and after lowering
+};
+
+// A compiled MiniC program: lowered IR plus everything needed to run it and
+// to compute the paper's static metrics.
+class CompiledProgram {
+ public:
+  CompiledProgram(std::unique_ptr<ir::Module> module, CompileOptions options,
+                  std::string source, passes::LowerStats lower_stats);
+
+  const ir::Module& module() const noexcept { return *module_; }
+  const CompileOptions& options() const noexcept { return options_; }
+
+  // Static instrumentation statistics (the "HW/SW Checks" of Table 1).
+  const passes::LowerStats& lower_stats() const noexcept {
+    return lower_stats_;
+  }
+
+  // Static binary-size model (Tables 2 and 6).
+  passes::CodeSize code_size() const {
+    return passes::estimate_code_size(*module_, options_.lower);
+  }
+
+  // Loop/array characteristics (Tables 4 and 7).
+  passes::ProgramStats program_stats(int seg_reg_budget = 3) const {
+    return passes::compute_program_stats(*module_, source_, seg_reg_budget);
+  }
+
+  // Creates a fresh simulated machine (process) for this program.
+  std::unique_ptr<vm::Machine> make_machine() const {
+    return std::make_unique<vm::Machine>(*module_, options_.machine);
+  }
+
+  // Convenience: fresh machine, run main() once.
+  vm::RunResult run() const { return make_machine()->run(); }
+
+ private:
+  std::unique_ptr<ir::Module> module_;
+  CompileOptions options_;
+  std::string source_;
+  passes::LowerStats lower_stats_;
+};
+
+struct CompileResult {
+  std::unique_ptr<CompiledProgram> program;
+  std::string error; // diagnostics when compilation failed
+
+  bool ok() const noexcept { return program != nullptr; }
+};
+
+// Front end + checking-mode lowering + IR verification.
+CompileResult compile(std::string_view source,
+                      const CompileOptions& options = {});
+
+} // namespace cash

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "ir/type.hpp"
+
+namespace cash::frontend {
+
+using ir::Type;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,    // ident
+  kIndex,     // base[index]   (base is an expression: array var or pointer)
+  kDeref,     // *ptr  (sugar for ptr[0])
+  kUnary,     // -x !x ~x
+  kBinary,    // x OP y
+  kAssign,    // lvalue OP= value (op == kNone for plain '=')
+  kIncDec,    // ++x / x++ / --x / x--
+  kCall,      // f(args)
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kBitNot };
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class AssignOp : std::uint8_t { kNone, kAdd, kSub, kMul, kDiv, kRem };
+
+struct Expr {
+  ExprKind kind{ExprKind::kIntLit};
+  SourceLoc loc;
+
+  std::int32_t int_value{0};
+  float float_value{0.0F};
+  std::string name; // kVarRef / kCall
+
+  UnaryOp unary_op{UnaryOp::kNeg};
+  BinaryOp binary_op{BinaryOp::kAdd};
+  AssignOp assign_op{AssignOp::kNone};
+  bool is_prefix{false}; // kIncDec
+  bool is_increment{true};
+
+  std::unique_ptr<Expr> lhs;  // also: base of kIndex, operand of unary,
+                              // lvalue of kAssign/kIncDec, pointee of kDeref
+  std::unique_ptr<Expr> rhs;  // also: index of kIndex, value of kAssign
+  std::vector<std::unique_ptr<Expr>> args; // kCall
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kExpr,
+  kVarDecl,
+  kBlock,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind{StmtKind::kExpr};
+  SourceLoc loc;
+
+  std::unique_ptr<Expr> expr; // kExpr / kReturn value / decl initialiser
+
+  // kVarDecl
+  Type decl_type{Type::kInt};
+  std::string decl_name;
+  bool decl_is_array{false};
+  std::uint32_t decl_elem_count{0};
+
+  // kBlock
+  std::vector<std::unique_ptr<Stmt>> body;
+
+  // kIf / kWhile / kFor
+  std::unique_ptr<Expr> cond;
+  std::unique_ptr<Stmt> then_branch; // also: loop body
+  std::unique_ptr<Stmt> else_branch;
+  std::unique_ptr<Expr> for_init; // expressions only; declare loop vars first
+  std::unique_ptr<Expr> for_step;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  Type type{Type::kInt};
+  std::string name;
+  SourceLoc loc;
+};
+
+struct FunctionDecl {
+  Type return_type{Type::kVoid};
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<Stmt> body; // kBlock
+  SourceLoc loc;
+};
+
+struct GlobalDecl {
+  Type type{Type::kInt};
+  std::string name;
+  bool is_array{false};
+  std::uint32_t elem_count{0};
+  SourceLoc loc;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+};
+
+} // namespace cash::frontend

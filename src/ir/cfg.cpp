@@ -1,0 +1,66 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+
+namespace cash::ir {
+
+Cfg::Cfg(const Function& function)
+    : entry_(function.entry),
+      succs_(function.blocks.size()),
+      preds_(function.blocks.size()) {
+  for (const auto& block : function.blocks) {
+    const Instr* term = block->terminator();
+    if (term == nullptr) {
+      continue;
+    }
+    auto add_edge = [&](BlockId to) {
+      if (to == kNoBlock) {
+        return;
+      }
+      succs_[static_cast<size_t>(block->id)].push_back(to);
+      preds_[static_cast<size_t>(to)].push_back(block->id);
+    };
+    switch (term->op) {
+      case Opcode::kJump:
+        add_edge(term->target0);
+        break;
+      case Opcode::kBranch:
+        add_edge(term->target0);
+        if (term->target1 != term->target0) {
+          add_edge(term->target1);
+        }
+        break;
+      default:
+        break; // kRet: no successors
+    }
+  }
+}
+
+std::vector<BlockId> Cfg::reverse_post_order() const {
+  std::vector<BlockId> post_order;
+  std::vector<char> visited(succs_.size(), 0);
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  if (entry_ != kNoBlock) {
+    stack.emplace_back(entry_, 0);
+    visited[static_cast<size_t>(entry_)] = 1;
+  }
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    const auto& succs = succs_[static_cast<size_t>(block)];
+    if (next < succs.size()) {
+      const BlockId succ = succs[next++];
+      if (!visited[static_cast<size_t>(succ)]) {
+        visited[static_cast<size_t>(succ)] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      post_order.push_back(block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post_order.begin(), post_order.end());
+  return post_order;
+}
+
+} // namespace cash::ir

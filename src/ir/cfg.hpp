@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace cash::ir {
+
+// Explicit control-flow graph view over a Function's blocks (successors are
+// implicit in the terminators; analyses want both directions).
+class Cfg {
+ public:
+  explicit Cfg(const Function& function);
+
+  const std::vector<BlockId>& successors(BlockId block) const {
+    return succs_[static_cast<size_t>(block)];
+  }
+  const std::vector<BlockId>& predecessors(BlockId block) const {
+    return preds_[static_cast<size_t>(block)];
+  }
+  std::size_t block_count() const noexcept { return succs_.size(); }
+  BlockId entry() const noexcept { return entry_; }
+
+  // Blocks in reverse post-order from the entry (unreachable blocks absent).
+  std::vector<BlockId> reverse_post_order() const;
+
+ private:
+  BlockId entry_;
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+};
+
+} // namespace cash::ir

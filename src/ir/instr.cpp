@@ -1,0 +1,77 @@
+#include "ir/instr.hpp"
+
+namespace cash::ir {
+
+const char* to_string(Type type) noexcept {
+  switch (type) {
+    case Type::kVoid:     return "void";
+    case Type::kInt:      return "int";
+    case Type::kFloat:    return "float";
+    case Type::kIntPtr:   return "int*";
+    case Type::kFloatPtr: return "float*";
+  }
+  return "?";
+}
+
+const char* to_string(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kConstInt:      return "const.i";
+    case Opcode::kConstFloat:    return "const.f";
+    case Opcode::kMove:          return "move";
+    case Opcode::kBin:           return "bin";
+    case Opcode::kUn:            return "un";
+    case Opcode::kLoad:          return "load";
+    case Opcode::kStore:         return "store";
+    case Opcode::kLoadLocal:     return "load.local";
+    case Opcode::kStoreLocal:    return "store.local";
+    case Opcode::kLoadGlobal:    return "load.global";
+    case Opcode::kStoreGlobal:   return "store.global";
+    case Opcode::kAddrLocal:     return "addr.local";
+    case Opcode::kAddrGlobal:    return "addr.global";
+    case Opcode::kPtrAdd:        return "ptradd";
+    case Opcode::kCall:          return "call";
+    case Opcode::kRet:           return "ret";
+    case Opcode::kJump:          return "jump";
+    case Opcode::kBranch:        return "branch";
+    case Opcode::kSegLoad:       return "segload";
+    case Opcode::kBoundCheckSw:  return "boundcheck.sw";
+    case Opcode::kBoundCheckBnd: return "boundcheck.bnd";
+    case Opcode::kBoundCheckShadow: return "boundcheck.shadow";
+  }
+  return "?";
+}
+
+const char* to_string(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd:   return "add";
+    case BinOp::kSub:   return "sub";
+    case BinOp::kMul:   return "mul";
+    case BinOp::kDiv:   return "div";
+    case BinOp::kRem:   return "rem";
+    case BinOp::kAnd:   return "and";
+    case BinOp::kOr:    return "or";
+    case BinOp::kXor:   return "xor";
+    case BinOp::kShl:   return "shl";
+    case BinOp::kShr:   return "shr";
+    case BinOp::kCmpEq: return "cmpeq";
+    case BinOp::kCmpNe: return "cmpne";
+    case BinOp::kCmpLt: return "cmplt";
+    case BinOp::kCmpLe: return "cmple";
+    case BinOp::kCmpGt: return "cmpgt";
+    case BinOp::kCmpGe: return "cmpge";
+  }
+  return "?";
+}
+
+const char* to_string(UnOp op) noexcept {
+  switch (op) {
+    case UnOp::kNeg:        return "neg";
+    case UnOp::kLogicalNot: return "lnot";
+    case UnOp::kBitNot:     return "bnot";
+    case UnOp::kIntToFloat: return "i2f";
+    case UnOp::kFloatToInt: return "f2i";
+  }
+  return "?";
+}
+
+} // namespace cash::ir

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "ir/type.hpp"
+
+namespace cash::ir {
+
+using Reg = std::int32_t;              // virtual register id
+inline constexpr Reg kNoReg = -1;
+using BlockId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+using SymbolId = std::int32_t;         // array/pointer symbol (globals and
+                                       // locals share one per-module space)
+inline constexpr SymbolId kNoSymbol = -1;
+using LoopId = std::int32_t;
+inline constexpr LoopId kNoLoop = -1;
+
+enum class Opcode : std::uint8_t {
+  kConstInt,    // dst <- int_imm
+  kConstFloat,  // dst <- float_imm
+  kMove,        // dst <- src0 (copies pointer shadow info too)
+  kBin,         // dst <- src0 BINOP src1
+  kUn,          // dst <- UNOP src0
+  kLoad,        // dst <- mem[src0]; src0 holds a linear address (or a
+                //   segment-relative offset once `rebased` is set)
+  kStore,       // mem[src0] <- src1
+  kLoadLocal,   // dst <- local scalar slot `slot`
+  kStoreLocal,  // local scalar slot `slot` <- src0
+  kLoadGlobal,  // dst <- global scalar `symbol`
+  kStoreGlobal, // global scalar `symbol` <- src0
+  kAddrLocal,   // dst <- address of local array `slot` (attaches shadow info)
+  kAddrGlobal,  // dst <- address of global array `symbol` (attaches info)
+  kPtrAdd,      // dst <- src0 + src1 bytes (propagates shadow info)
+  kCall,        // dst? <- call `callee`(srcs...)
+  kRet,         // return src0?
+  kJump,        // goto target0
+  kBranch,      // if src0 != 0 goto target0 else target1
+  // --- instrumentation (inserted by lowering passes) ---
+  kSegLoad,     // load segment register `seg` with the segment of array
+                //   `symbol` (shadow info reachable through src0); 4 cycles
+  kBoundCheckSw,  // software bound check of address src0 against the bounds
+                  //   of the object src1's shadow points to; 6 cycles
+  kBoundCheckBnd, // same check via the x86 `bound` instruction; 7 cycles
+  kBoundCheckShadow, // enqueue the address for a shadow processor that runs
+                     //   the derived checking program concurrently
+                     //   (Patil & Fischer); 1 cycle on the main CPU
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+};
+
+enum class UnOp : std::uint8_t {
+  kNeg, kLogicalNot, kBitNot, kIntToFloat, kFloatToInt,
+};
+
+// One three-address instruction. A deliberately plain aggregate: the
+// interpreter walks millions of these, so cheap copies and direct field
+// access beat a class hierarchy.
+struct Instr {
+  Opcode op{Opcode::kMove};
+  Type type{Type::kInt};     // result / operand interpretation
+  Reg dst{kNoReg};
+  Reg src0{kNoReg};
+  Reg src1{kNoReg};
+  std::vector<Reg> args;     // kCall only
+
+  std::int32_t int_imm{0};
+  float float_imm{0.0F};
+  BinOp bin_op{BinOp::kAdd};
+  UnOp un_op{UnOp::kNeg};
+
+  std::int32_t slot{-1};          // kLoadLocal/kStoreLocal/kAddrLocal
+  SymbolId symbol{kNoSymbol};     // global symbol or array provenance
+  std::string callee;             // kCall
+
+  BlockId target0{kNoBlock};
+  BlockId target1{kNoBlock};
+
+  // --- bound-checking metadata ---
+  SymbolId array_ref{kNoSymbol};  // which array variable this memory access
+                                  // syntactically derives from
+  LoopId loop{kNoLoop};           // innermost syntactic loop containing it
+  std::int8_t seg{-1};            // segment register index (x86seg::SegReg)
+                                  // once Cash-lowered; -1 = flat DS access
+  bool rebased{false};            // address operand is segment-relative
+  bool synthetic{false};          // inserted by a lowering pass (check
+                                  // set-up); costed with the check, not as
+                                  // program work
+
+  SourceLoc loc;
+
+  bool is_terminator() const noexcept {
+    return op == Opcode::kJump || op == Opcode::kBranch || op == Opcode::kRet;
+  }
+  bool is_memory_access() const noexcept {
+    return op == Opcode::kLoad || op == Opcode::kStore;
+  }
+};
+
+const char* to_string(Opcode op) noexcept;
+const char* to_string(BinOp op) noexcept;
+const char* to_string(UnOp op) noexcept;
+
+} // namespace cash::ir

@@ -1,0 +1,55 @@
+#include "ir/natural_loops.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cash::ir {
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom) {
+  // Loops with the same header (e.g. `continue` creating a second back
+  // edge) are merged, matching the conventional definition.
+  std::map<BlockId, std::set<BlockId>> bodies;
+
+  for (std::size_t b = 0; b < cfg.block_count(); ++b) {
+    const BlockId block = static_cast<BlockId>(b);
+    if (dom.idom(block) == kNoBlock) {
+      continue; // unreachable from the entry: no loop to speak of
+    }
+    for (BlockId succ : cfg.successors(block)) {
+      if (!dom.dominates(succ, block)) {
+        continue; // not a back edge
+      }
+      // Collect the natural loop of back edge block->succ: all nodes that
+      // can reach `block` without passing through `succ`.
+      std::set<BlockId>& body = bodies[succ];
+      body.insert(succ);
+      std::vector<BlockId> work;
+      if (body.insert(block).second) {
+        work.push_back(block);
+      }
+      while (!work.empty()) {
+        const BlockId node = work.back();
+        work.pop_back();
+        for (BlockId pred : cfg.predecessors(node)) {
+          if (body.insert(pred).second) {
+            work.push_back(pred);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<NaturalLoop> loops;
+  loops.reserve(bodies.size());
+  for (auto& [header, body] : bodies) {
+    NaturalLoop loop;
+    loop.header = header;
+    loop.body.assign(body.begin(), body.end());
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+} // namespace cash::ir

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+
+namespace cash::ir {
+
+// A natural loop found from a back edge (latch -> header where header
+// dominates latch).
+struct NaturalLoop {
+  BlockId header{kNoBlock};
+  std::vector<BlockId> body; // sorted, header included
+};
+
+// Back-edge-based natural loop detection. The front end already records
+// loops syntactically (MiniC is structured); this analysis provides an
+// independent, CFG-derived view, and the test suite asserts the two agree —
+// a strong check that IR generation wires loops correctly.
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom);
+
+} // namespace cash::ir

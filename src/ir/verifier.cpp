@@ -1,0 +1,128 @@
+#include "ir/verifier.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace cash::ir {
+
+namespace {
+
+void check_function(const Function& f, std::vector<std::string>& problems) {
+  auto complain = [&](const std::string& what) {
+    problems.push_back(f.name + ": " + what);
+  };
+
+  if (f.entry == kNoBlock ||
+      static_cast<std::size_t>(f.entry) >= f.blocks.size()) {
+    complain("missing or invalid entry block");
+    return;
+  }
+
+  for (const auto& block : f.blocks) {
+    if (block->instrs.empty() || block->terminator() == nullptr) {
+      std::ostringstream msg;
+      msg << "block " << block->name << " (#" << block->id
+          << ") lacks a terminator";
+      complain(msg.str());
+      continue;
+    }
+    for (std::size_t i = 0; i < block->instrs.size(); ++i) {
+      const Instr& instr = block->instrs[i];
+      const bool is_last = (i + 1 == block->instrs.size());
+      if (instr.is_terminator() != is_last) {
+        std::ostringstream msg;
+        msg << "block " << block->name << " instr " << i
+            << (instr.is_terminator() ? ": terminator in the middle"
+                                      : ": non-terminator at the end");
+        complain(msg.str());
+      }
+      auto check_reg = [&](Reg r, const char* role) {
+        if (r != kNoReg && (r < 0 || r >= f.next_reg)) {
+          std::ostringstream msg;
+          msg << "block " << block->name << " instr " << i << ": " << role
+              << " register out of range";
+          complain(msg.str());
+        }
+      };
+      check_reg(instr.dst, "dst");
+      check_reg(instr.src0, "src0");
+      check_reg(instr.src1, "src1");
+      for (Reg arg : instr.args) {
+        check_reg(arg, "arg");
+      }
+      auto check_target = [&](BlockId t) {
+        if (t == kNoBlock || static_cast<std::size_t>(t) >= f.blocks.size()) {
+          std::ostringstream msg;
+          msg << "block " << block->name << " instr " << i
+              << ": branch target out of range";
+          complain(msg.str());
+        }
+      };
+      if (instr.op == Opcode::kJump) {
+        check_target(instr.target0);
+      }
+      if (instr.op == Opcode::kBranch) {
+        check_target(instr.target0);
+        check_target(instr.target1);
+      }
+      if ((instr.op == Opcode::kLoadLocal || instr.op == Opcode::kStoreLocal ||
+           instr.op == Opcode::kAddrLocal) &&
+          (instr.slot < 0 ||
+           static_cast<std::size_t>(instr.slot) >= f.locals.size())) {
+        std::ostringstream msg;
+        msg << "block " << block->name << " instr " << i
+            << ": local slot out of range";
+        complain(msg.str());
+      }
+      if (instr.op == Opcode::kAddrLocal &&
+          !f.locals[static_cast<std::size_t>(instr.slot)].is_array) {
+        complain("addr.local of a non-array slot (scalars have no address)");
+      }
+    }
+  }
+
+  // Loop records must reference valid blocks, with headers inside bodies.
+  for (const Loop& loop : f.loops) {
+    std::set<BlockId> body(loop.body.begin(), loop.body.end());
+    if (!body.count(loop.header)) {
+      complain("loop header not contained in its own body");
+    }
+    if (body.count(loop.preheader)) {
+      complain("loop preheader must be outside the loop body");
+    }
+    if (loop.parent != kNoLoop) {
+      const Loop& parent = f.loops[static_cast<std::size_t>(loop.parent)];
+      std::set<BlockId> parent_body(parent.body.begin(), parent.body.end());
+      for (BlockId b : loop.body) {
+        if (!parent_body.count(b)) {
+          complain("nested loop body escapes its parent loop");
+          break;
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<std::string> verify(const Function& function) {
+  std::vector<std::string> problems;
+  check_function(function, problems);
+  return problems;
+}
+
+std::vector<std::string> verify(const Module& module) {
+  std::vector<std::string> problems;
+  for (const auto& f : module.functions) {
+    check_function(*f, problems);
+  }
+  std::set<std::string> names;
+  for (const auto& f : module.functions) {
+    if (!names.insert(f->name).second) {
+      problems.push_back("duplicate function name: " + f->name);
+    }
+  }
+  return problems;
+}
+
+} // namespace cash::ir

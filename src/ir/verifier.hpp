@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace cash::ir {
+
+// Structural sanity checks over a module. Returns a list of human-readable
+// problems; empty means the module is well-formed. Run by the driver after
+// IR generation and after every lowering pass.
+std::vector<std::string> verify(const Module& module);
+std::vector<std::string> verify(const Function& function);
+
+} // namespace cash::ir

@@ -1,0 +1,171 @@
+#include "kernel/kernel_sim.hpp"
+
+#include <stdexcept>
+
+namespace cash::kernel {
+
+using x86seg::DescriptorKind;
+using x86seg::DescriptorTable;
+using x86seg::SegmentDescriptor;
+using x86seg::Selector;
+
+x86seg::Selector flat_user_data_selector() noexcept {
+  return Selector::make(kGdtUserData, /*local=*/false, /*rpl=*/3);
+}
+
+x86seg::Selector flat_user_code_selector() noexcept {
+  return Selector::make(kGdtUserCode, /*local=*/false, /*rpl=*/3);
+}
+
+KernelSim::KernelSim() {
+  // Flat 4 GB model, as Linux sets it up: page-granular segments covering
+  // the whole address space.
+  (void)gdt_.write(kGdtKernelCode,
+                   SegmentDescriptor::code_segment(0, 1U << 20, true, 0));
+  (void)gdt_.write(kGdtKernelData, SegmentDescriptor::page_granular_data(
+                                       0, 1U << 20, true, 0));
+  (void)gdt_.write(kGdtUserCode,
+                   SegmentDescriptor::code_segment(0, 1U << 20, true, 3));
+  (void)gdt_.write(kGdtUserData, SegmentDescriptor::page_granular_data(
+                                     0, 1U << 20, true, 3));
+}
+
+Pid KernelSim::create_process() {
+  const Pid pid = next_pid_++;
+  auto proc = std::make_unique<Process>();
+  proc->ldts.push_back(
+      std::make_unique<DescriptorTable>(DescriptorTable::Kind::kLocal));
+  processes_[pid] = std::move(proc);
+  return pid;
+}
+
+void KernelSim::destroy_process(Pid pid) { processes_.erase(pid); }
+
+KernelSim::Process& KernelSim::process(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::invalid_argument("unknown pid");
+  }
+  return *it->second;
+}
+
+x86seg::DescriptorTable& KernelSim::ldt(Pid pid) {
+  Process& proc = process(pid);
+  return *proc.ldts[proc.active];
+}
+
+x86seg::DescriptorTable& KernelSim::ldt(Pid pid, LdtId ldt_id) {
+  Process& proc = process(pid);
+  if (ldt_id >= proc.ldts.size()) {
+    throw std::invalid_argument("unknown LDT id");
+  }
+  return *proc.ldts[ldt_id];
+}
+
+LdtId KernelSim::active_ldt(Pid pid) { return process(pid).active; }
+
+std::size_t KernelSim::ldt_count(Pid pid) { return process(pid).ldts.size(); }
+
+const KernelAccount& KernelSim::account(Pid pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::invalid_argument("unknown pid");
+  }
+  return it->second->account;
+}
+
+Status KernelSim::validate_user_descriptor(
+    const SegmentDescriptor& descriptor, std::uint16_t index) {
+  if (descriptor.kind() == DescriptorKind::kCallGate ||
+      descriptor.kind() == DescriptorKind::kLdt) {
+    return Fault{FaultKind::kGeneralProtection, 0,
+                 static_cast<std::uint16_t>(index << 3),
+                 "refusing to install system descriptor in LDT"};
+  }
+  if (descriptor.dpl() != 3) {
+    return Fault{FaultKind::kGeneralProtection, 0,
+                 static_cast<std::uint16_t>(index << 3),
+                 "refusing to install privileged segment in LDT"};
+  }
+  return {};
+}
+
+Status KernelSim::modify_ldt(Pid pid, std::uint16_t index,
+                             const SegmentDescriptor& descriptor) {
+  Process& proc = process(pid);
+  proc.account.kernel_cycles += costs::kModifyLdtSyscall;
+  ++proc.account.modify_ldt_calls;
+  Status valid = validate_user_descriptor(descriptor, index);
+  if (!valid.ok()) {
+    return valid.fault();
+  }
+  return proc.ldts[proc.active]->write(index, descriptor);
+}
+
+Status KernelSim::set_ldt_callgate(Pid pid) {
+  Process& proc = process(pid);
+  if (proc.callgate_installed) {
+    return {};
+  }
+  // A gate to cash_modify_ldt(): target is kernel code at a fixed entry
+  // point; DPL 3 so user code may call through it.
+  const SegmentDescriptor gate = SegmentDescriptor::call_gate(
+      Selector::make(kGdtKernelCode, false, 0).raw(),
+      /*target_offset=*/0xC0100000U, /*dpl=*/3, /*param_count=*/0);
+  Status status = proc.ldts[0]->write(0, gate);
+  if (!status.ok()) {
+    return status.fault();
+  }
+  proc.callgate_installed = true;
+  return {};
+}
+
+Status KernelSim::cash_modify_ldt(Pid pid, std::uint16_t index,
+                                  const SegmentDescriptor& descriptor) {
+  return cash_modify_ldt(pid, process(pid).active, index, descriptor);
+}
+
+Status KernelSim::cash_modify_ldt(Pid pid, LdtId ldt_id, std::uint16_t index,
+                                  const SegmentDescriptor& descriptor) {
+  Process& proc = process(pid);
+  if (!proc.callgate_installed) {
+    return Fault{FaultKind::kGeneralProtection, 0, 0,
+                 "lcall $0x7,$0x0 without installed call gate"};
+  }
+  if (ldt_id >= proc.ldts.size()) {
+    return Fault{FaultKind::kGeneralProtection, 0, 0, "unknown LDT id"};
+  }
+  proc.account.kernel_cycles += costs::kCallGate;
+  ++proc.account.call_gate_calls;
+  if (ldt_id == 0 && index == 0) {
+    return Fault{FaultKind::kGeneralProtection, 0, 0,
+                 "LDT entry 0 is reserved for the call gate"};
+  }
+  Status valid = validate_user_descriptor(descriptor, index);
+  if (!valid.ok()) {
+    return valid.fault();
+  }
+  return proc.ldts[ldt_id]->write(index, descriptor);
+}
+
+Result<std::uint32_t> KernelSim::create_extra_ldt(Pid pid) {
+  Process& proc = process(pid);
+  proc.account.kernel_cycles += costs::kLdtCreate;
+  ++proc.account.ldts_created;
+  proc.ldts.push_back(
+      std::make_unique<DescriptorTable>(DescriptorTable::Kind::kLocal));
+  return static_cast<std::uint32_t>(proc.ldts.size() - 1);
+}
+
+Status KernelSim::switch_ldt(Pid pid, LdtId ldt_id) {
+  Process& proc = process(pid);
+  if (ldt_id >= proc.ldts.size()) {
+    return Fault{FaultKind::kGeneralProtection, 0, 0, "unknown LDT id"};
+  }
+  proc.account.kernel_cycles += costs::kLdtSwitch;
+  ++proc.account.ldt_switches;
+  proc.active = ldt_id;
+  return {};
+}
+
+} // namespace cash::kernel

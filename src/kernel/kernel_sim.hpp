@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/costs.hpp"
+#include "common/result.hpp"
+#include "x86seg/descriptor_table.hpp"
+
+namespace cash::kernel {
+
+using Pid = std::uint32_t;
+using LdtId = std::uint32_t; // per-process LDT handle; 0 is the primary LDT
+
+// Well-known GDT layout of the simulated Linux 2.4 kernel. Entry 0 is the
+// architectural null descriptor; the flat user data segment (base 0, 4 GB,
+// page-granular) is the "global segment" the paper assigns to unchecked
+// objects.
+inline constexpr std::uint16_t kGdtNull = 0;
+inline constexpr std::uint16_t kGdtKernelCode = 1;
+inline constexpr std::uint16_t kGdtKernelData = 2;
+inline constexpr std::uint16_t kGdtUserCode = 3;
+inline constexpr std::uint16_t kGdtUserData = 4;
+
+x86seg::Selector flat_user_data_selector() noexcept;
+x86seg::Selector flat_user_code_selector() noexcept;
+
+// Per-process kernel-side accounting of LDT-related work.
+struct KernelAccount {
+  std::uint64_t kernel_cycles{0};
+  std::uint64_t modify_ldt_calls{0};
+  std::uint64_t call_gate_calls{0};
+  std::uint64_t ldt_switches{0};
+  std::uint64_t ldts_created{0};
+};
+
+// Simulated kernel: owns the shared GDT and each process's LDTs (which live
+// in "kernel space" — user code can only change them through the entry
+// points below, mirroring Section 3.6). A process starts with one LDT;
+// the Section 3.4 multi-LDT extension adds more, with the LDTR switched via
+// a system call.
+class KernelSim {
+ public:
+  KernelSim();
+
+  Pid create_process();
+  void destroy_process(Pid pid);
+
+  x86seg::DescriptorTable& gdt() noexcept { return gdt_; }
+
+  // The process's *active* LDT (the one the LDTR points to).
+  x86seg::DescriptorTable& ldt(Pid pid);
+  // A specific LDT of the process.
+  x86seg::DescriptorTable& ldt(Pid pid, LdtId ldt_id);
+  LdtId active_ldt(Pid pid);
+  std::size_t ldt_count(Pid pid);
+
+  const KernelAccount& account(Pid pid) const;
+
+  // Stock Linux modify_ldt(2): full syscall path, 781 cycles. Installs any
+  // DPL-3 code/data descriptor into the active LDT.
+  Status modify_ldt(Pid pid, std::uint16_t index,
+                    const x86seg::SegmentDescriptor& descriptor);
+
+  // Cash's one-time set_ldt_callgate(void): installs a call gate to
+  // cash_modify_ldt() in primary-LDT entry 0. Charged as part of the
+  // per-program set-up cost (543 cycles total, Section 4.1).
+  Status set_ldt_callgate(Pid pid);
+
+  // The slim call-gate path: 253 cycles. Refuses to install call gates or
+  // privileged segments (Section 3.8's security guarantee), and never
+  // touches primary entry 0 (the gate itself).
+  Status cash_modify_ldt(Pid pid, std::uint16_t index,
+                         const x86seg::SegmentDescriptor& descriptor);
+  // Multi-LDT variant targeting a specific LDT of the process.
+  Status cash_modify_ldt(Pid pid, LdtId ldt_id, std::uint16_t index,
+                         const x86seg::SegmentDescriptor& descriptor);
+
+  // --- Section 3.4 multi-LDT extension ---
+
+  // Allocates an additional LDT for the process (781-cycle syscall).
+  // Returns its id.
+  Result<std::uint32_t> create_extra_ldt(Pid pid);
+
+  // Repoints the LDTR (282-cycle slim syscall: LLDT is privileged).
+  Status switch_ldt(Pid pid, LdtId ldt_id);
+
+ private:
+  struct Process {
+    std::vector<std::unique_ptr<x86seg::DescriptorTable>> ldts;
+    LdtId active{0};
+    bool callgate_installed{false};
+    KernelAccount account;
+  };
+
+  Process& process(Pid pid);
+  static Status validate_user_descriptor(
+      const x86seg::SegmentDescriptor& descriptor, std::uint16_t index);
+
+  x86seg::DescriptorTable gdt_{x86seg::DescriptorTable::Kind::kGlobal};
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+  Pid next_pid_{1};
+};
+
+} // namespace cash::kernel

@@ -1,0 +1,151 @@
+#include "mmu/mmu.hpp"
+
+namespace cash::mmu {
+
+using x86seg::Access;
+using x86seg::SegReg;
+
+namespace {
+constexpr std::uint32_t kPageMask = paging::kPageSize - 1;
+} // namespace
+
+Result<std::uint32_t> Mmu::read32(SegReg reg, std::uint32_t offset) {
+  ++access_count_;
+  Result<std::uint32_t> linear =
+      seg_->translate(reg, offset, 4, Access::kRead);
+  if (!linear.ok()) {
+    return linear.fault();
+  }
+  const std::uint32_t lin = linear.value();
+  pages_->map_range(lin, 4);
+  if ((lin & kPageMask) <= paging::kPageSize - 4) {
+    Result<std::uint32_t> phys =
+        pages_->translate(lin, 4, /*write=*/false, /*user_mode=*/true);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    return memory_->read32(phys.value());
+  }
+  // Word straddles a page boundary: frames are not physically contiguous,
+  // so compose the word byte by byte.
+  std::uint32_t value = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Result<std::uint32_t> phys =
+        pages_->translate(lin + i, 1, /*write=*/false, /*user_mode=*/true);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    value |= static_cast<std::uint32_t>(memory_->read8(phys.value()))
+             << (8 * i);
+  }
+  return value;
+}
+
+Status Mmu::write32(SegReg reg, std::uint32_t offset, std::uint32_t value) {
+  ++access_count_;
+  Result<std::uint32_t> linear =
+      seg_->translate(reg, offset, 4, Access::kWrite);
+  if (!linear.ok()) {
+    return linear.fault();
+  }
+  const std::uint32_t lin = linear.value();
+  pages_->map_range(lin, 4);
+  if ((lin & kPageMask) <= paging::kPageSize - 4) {
+    Result<std::uint32_t> phys =
+        pages_->translate(lin, 4, /*write=*/true, /*user_mode=*/true);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    memory_->write32(phys.value(), value);
+    return {};
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Result<std::uint32_t> phys =
+        pages_->translate(lin + i, 1, /*write=*/true, /*user_mode=*/true);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    memory_->write8(phys.value(), static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return {};
+}
+
+Result<std::uint8_t> Mmu::read8(SegReg reg, std::uint32_t offset) {
+  ++access_count_;
+  Result<std::uint32_t> linear =
+      seg_->translate(reg, offset, 1, Access::kRead);
+  if (!linear.ok()) {
+    return linear.fault();
+  }
+  pages_->map_range(linear.value(), 1);
+  Result<std::uint32_t> phys =
+      pages_->translate(linear.value(), 1, /*write=*/false, /*user_mode=*/true);
+  if (!phys.ok()) {
+    return phys.fault();
+  }
+  return memory_->read8(phys.value());
+}
+
+Status Mmu::write8(SegReg reg, std::uint32_t offset, std::uint8_t value) {
+  ++access_count_;
+  Result<std::uint32_t> linear =
+      seg_->translate(reg, offset, 1, Access::kWrite);
+  if (!linear.ok()) {
+    return linear.fault();
+  }
+  pages_->map_range(linear.value(), 1);
+  Result<std::uint32_t> phys =
+      pages_->translate(linear.value(), 1, /*write=*/true, /*user_mode=*/true);
+  if (!phys.ok()) {
+    return phys.fault();
+  }
+  memory_->write8(phys.value(), value);
+  return {};
+}
+
+Result<std::uint32_t> Mmu::read32_linear(std::uint32_t linear) {
+  pages_->map_range(linear, 4);
+  if ((linear & kPageMask) <= paging::kPageSize - 4) {
+    Result<std::uint32_t> phys =
+        pages_->translate(linear, 4, /*write=*/false, /*user_mode=*/false);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    return memory_->read32(phys.value());
+  }
+  std::uint32_t value = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Result<std::uint32_t> phys =
+        pages_->translate(linear + i, 1, /*write=*/false, /*user_mode=*/false);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    value |= static_cast<std::uint32_t>(memory_->read8(phys.value()))
+             << (8 * i);
+  }
+  return value;
+}
+
+Status Mmu::write32_linear(std::uint32_t linear, std::uint32_t value) {
+  pages_->map_range(linear, 4);
+  if ((linear & kPageMask) <= paging::kPageSize - 4) {
+    Result<std::uint32_t> phys =
+        pages_->translate(linear, 4, /*write=*/true, /*user_mode=*/false);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    memory_->write32(phys.value(), value);
+    return {};
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Result<std::uint32_t> phys =
+        pages_->translate(linear + i, 1, /*write=*/true, /*user_mode=*/false);
+    if (!phys.ok()) {
+      return phys.fault();
+    }
+    memory_->write8(phys.value(), static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return {};
+}
+
+} // namespace cash::mmu

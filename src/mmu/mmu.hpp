@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "paging/page_table.hpp"
+#include "paging/physical_memory.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash::mmu {
+
+// The full Figure 1 pipeline: logical address -> (segmentation unit, with
+// segment-limit checks) -> linear address -> (two-level page table) ->
+// physical address -> byte store. All Cash hardware bound checks surface
+// here as #GP faults from the segmentation stage.
+class Mmu {
+ public:
+  Mmu(x86seg::SegmentationUnit& seg, paging::PageTable& pages,
+      paging::PhysicalMemory& memory)
+      : seg_(&seg), pages_(&pages), memory_(&memory) {}
+
+  x86seg::SegmentationUnit& segmentation() noexcept { return *seg_; }
+  paging::PageTable& page_table() noexcept { return *pages_; }
+
+  // Segment-relative word access (the VM's data path).
+  Result<std::uint32_t> read32(x86seg::SegReg reg, std::uint32_t offset);
+  Status write32(x86seg::SegReg reg, std::uint32_t offset,
+                 std::uint32_t value);
+  Result<std::uint8_t> read8(x86seg::SegReg reg, std::uint32_t offset);
+  Status write8(x86seg::SegReg reg, std::uint32_t offset, std::uint8_t value);
+
+  // Linear-address access, bypassing segmentation (used by the simulated
+  // kernel and the runtime's trusted bookkeeping, which run with a flat
+  // view). Pages are still consulted.
+  Result<std::uint32_t> read32_linear(std::uint32_t linear);
+  Status write32_linear(std::uint32_t linear, std::uint32_t value);
+
+  std::uint64_t access_count() const noexcept { return access_count_; }
+
+ private:
+  Result<std::uint32_t> to_physical(x86seg::SegReg reg, std::uint32_t offset,
+                                    std::uint32_t size, bool write);
+
+  x86seg::SegmentationUnit* seg_;
+  paging::PageTable* pages_;
+  paging::PhysicalMemory* memory_;
+  std::uint64_t access_count_{0};
+};
+
+} // namespace cash::mmu

@@ -1,0 +1,66 @@
+#include "netsim/netsim.hpp"
+
+#include <stdexcept>
+
+namespace cash::netsim {
+
+ServerMetrics serve_requests(const CompiledProgram& program, int requests,
+                             std::uint32_t seed_base) {
+  ServerMetrics metrics;
+  metrics.requests = requests;
+
+  // The parent server process: program start-up (call gate, global-array
+  // segments) and service initialisation happen once, before the accept
+  // loop — forked children inherit this image, so none of it lands on the
+  // per-request latency.
+  vm::Machine parent(program.module(), program.options().machine);
+  if (program.module().find_function("server_init") != nullptr) {
+    vm::RunResult init = parent.run_function("server_init");
+    if (!init.ok) {
+      throw std::runtime_error(
+          "server_init failed: " +
+          (init.fault ? init.fault->detail : init.error));
+    }
+  }
+
+  std::uint64_t total_cpu = 0;
+  std::uint64_t base_allocs = 0;
+  std::uint64_t base_hits = 0;
+  for (int i = 0; i < requests; ++i) {
+    // fork(): the child inherits the parent image; its measured CPU time is
+    // the request handling itself.
+    parent.reseed(seed_base + static_cast<std::uint32_t>(i));
+    vm::RunResult run = parent.run_function("handle_request");
+    if (!run.ok) {
+      throw std::runtime_error(
+          "request " + std::to_string(i) + " failed: " +
+          (run.fault ? run.fault->detail : run.error));
+    }
+    total_cpu += run.cycles;
+    metrics.sw_checks += run.counters.sw_checks;
+    metrics.hw_checks += run.counters.hw_checked_accesses;
+    // Segment stats are cumulative per machine; report the deltas.
+    metrics.segment_allocs += run.segment_stats.alloc_requests - base_allocs;
+    metrics.cache_hits += run.segment_stats.cache_hits - base_hits;
+    base_allocs = run.segment_stats.alloc_requests;
+    base_hits = run.segment_stats.cache_hits;
+  }
+
+  metrics.mean_latency_cycles =
+      static_cast<double>(total_cpu) / static_cast<double>(requests);
+  metrics.total_busy_cycles = static_cast<double>(total_cpu) +
+                              static_cast<double>(kForkCycles) * requests;
+  metrics.mean_latency_us = metrics.mean_latency_cycles / kClockHz * 1e6;
+  metrics.throughput_rps =
+      static_cast<double>(requests) / (metrics.total_busy_cycles / kClockHz);
+  return metrics;
+}
+
+double penalty_pct(double baseline, double measured) {
+  if (baseline == 0) {
+    return 0;
+  }
+  return (measured - baseline) / baseline * 100.0;
+}
+
+} // namespace cash::netsim

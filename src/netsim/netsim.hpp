@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/cash.hpp"
+
+namespace cash::netsim {
+
+// Reproduction of the paper's network measurement methodology (Section 4.4):
+// client machines send `requests` requests to a server that forks one
+// process per request. Latency is the mean CPU time of the forked
+// processes; throughput is requests divided by the busy interval from the
+// first fork to the last termination.
+struct ServerMetrics {
+  int requests{0};
+  double mean_latency_cycles{0};  // mean per-process CPU cycles
+  double total_busy_cycles{0};    // sum of process + fork cycles
+  double mean_latency_us{0};      // at the simulated 1.1 GHz clock
+  double throughput_rps{0};       // requests per second
+  std::uint64_t sw_checks{0};     // aggregate dynamic counters
+  std::uint64_t hw_checks{0};
+  std::uint64_t segment_allocs{0};
+  std::uint64_t cache_hits{0};
+};
+
+// Simulated clock frequency (the paper's server is a 1.1 GHz Pentium III).
+inline constexpr double kClockHz = 1.1e9;
+
+// Effective (non-overlapped) cost of forking a server child. Forks overlap
+// with client think time and network latency, so only a small slice lands
+// on the measured interval.
+inline constexpr std::uint64_t kForkCycles = 2500;
+
+// Runs `requests` simulated forked processes of the compiled server program,
+// one fresh Machine per request, seeding each request's RNG differently
+// (request i gets seed `seed_base + i`).
+ServerMetrics serve_requests(const CompiledProgram& program, int requests,
+                             std::uint32_t seed_base = 1);
+
+// Convenience: penalty of `measured` relative to `baseline`, in percent.
+double penalty_pct(double baseline, double measured);
+
+} // namespace cash::netsim

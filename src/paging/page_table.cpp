@@ -1,0 +1,93 @@
+#include "paging/page_table.hpp"
+
+#include <sstream>
+
+namespace cash::paging {
+
+PageTable::PageTable(PhysicalMemory& memory)
+    : memory_(&memory), directory_(1024) {}
+
+const Pte* PageTable::find(std::uint32_t linear_page) const noexcept {
+  const std::uint32_t dir = linear_page >> 10;
+  const std::uint32_t idx = linear_page & 0x3FFU;
+  if (!directory_[dir]) {
+    return nullptr;
+  }
+  return &(*directory_[dir])[idx];
+}
+
+Pte* PageTable::find_or_create(std::uint32_t linear_page) {
+  const std::uint32_t dir = linear_page >> 10;
+  const std::uint32_t idx = linear_page & 0x3FFU;
+  if (!directory_[dir]) {
+    directory_[dir] = std::make_unique<std::vector<Pte>>(1024);
+  }
+  return &(*directory_[dir])[idx];
+}
+
+void PageTable::map_page(std::uint32_t linear_page, bool writable, bool user) {
+  Pte* pte = find_or_create(linear_page);
+  if (pte->present || pte->guard) {
+    return; // guard pages stay unmapped — demand-mapping must not undo them
+  }
+  pte->frame = memory_->allocate_frame();
+  pte->present = true;
+  pte->writable = writable;
+  pte->user = user;
+  pte->guard = false;
+  ++mapped_pages_;
+}
+
+void PageTable::set_guard(std::uint32_t linear_page, bool guard) {
+  Pte* pte = find_or_create(linear_page);
+  pte->guard = guard;
+}
+
+void PageTable::map_range(std::uint32_t linear, std::uint32_t size) {
+  if (size == 0) {
+    return;
+  }
+  const std::uint32_t first = linear >> kPageShift;
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(linear) + size - 1) >>
+                                 kPageShift);
+  for (std::uint32_t page = first; page <= last; ++page) {
+    map_page(page);
+  }
+}
+
+Result<std::uint32_t> PageTable::translate(std::uint32_t linear,
+                                           std::uint32_t size, bool write,
+                                           bool user_mode) const {
+  const std::uint32_t first = linear >> kPageShift;
+  const std::uint32_t last =
+      size == 0 ? first
+                : static_cast<std::uint32_t>(
+                      (static_cast<std::uint64_t>(linear) + size - 1) >>
+                      kPageShift);
+  for (std::uint32_t page = first; page <= last; ++page) {
+    const Pte* pte = find(page);
+    const bool missing = (pte == nullptr) || !pte->present || pte->guard;
+    if (missing) {
+      ++fault_count_;
+      std::ostringstream detail;
+      detail << (pte && pte->guard ? "guard-page hit" : "page not present")
+             << " at linear 0x" << std::hex << (page << kPageShift);
+      return Fault{FaultKind::kPageFault, page << kPageShift, 0, detail.str()};
+    }
+    if (write && !pte->writable) {
+      ++fault_count_;
+      return Fault{FaultKind::kPageFault, page << kPageShift, 0,
+                   "write to read-only page"};
+    }
+    if (user_mode && !pte->user) {
+      ++fault_count_;
+      return Fault{FaultKind::kPageFault, page << kPageShift, 0,
+                   "user access to supervisor page"};
+    }
+  }
+  const Pte* pte = find(first);
+  return (pte->frame << kPageShift) | (linear & (kPageSize - 1));
+}
+
+} // namespace cash::paging

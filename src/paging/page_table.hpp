@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "paging/physical_memory.hpp"
+
+namespace cash::paging {
+
+// One page-table entry of the classic IA-32 two-level scheme, decoded.
+struct Pte {
+  std::uint32_t frame{0};
+  bool present{false};
+  bool writable{true};
+  bool user{true};
+  bool guard{false}; // Electric-Fence-style trap page: present bit clear on
+                     // purpose; access raises #PF tagged as a guard hit.
+};
+
+// Two-level page table: a 1024-entry page directory of 1024-entry page
+// tables, translating the top 20 bits of a linear address to a frame
+// (Figure 1's paging stage).
+class PageTable {
+ public:
+  explicit PageTable(PhysicalMemory& memory);
+
+  // Maps the page containing `linear` to a fresh frame (no-op if present).
+  void map_page(std::uint32_t linear_page, bool writable = true,
+                bool user = true);
+
+  // Marks the page as a guard page: any access page-faults.
+  void set_guard(std::uint32_t linear_page, bool guard);
+
+  // Ensures [linear, linear+size) is mapped (demand-zero allocation).
+  void map_range(std::uint32_t linear, std::uint32_t size);
+
+  // Linear -> physical for an access of `size` bytes (must not cross an
+  // unmapped page; crossing mapped pages is fine).
+  Result<std::uint32_t> translate(std::uint32_t linear, std::uint32_t size,
+                                  bool write, bool user_mode) const;
+
+  std::uint64_t page_fault_count() const noexcept { return fault_count_; }
+  std::uint32_t mapped_pages() const noexcept { return mapped_pages_; }
+
+ private:
+  const Pte* find(std::uint32_t linear_page) const noexcept;
+  Pte* find_or_create(std::uint32_t linear_page);
+
+  PhysicalMemory* memory_;
+  // Page directory: index by top 10 bits; each second-level table indexed by
+  // the next 10 bits.
+  std::vector<std::unique_ptr<std::vector<Pte>>> directory_;
+  mutable std::uint64_t fault_count_{0};
+  std::uint32_t mapped_pages_{0};
+};
+
+} // namespace cash::paging

@@ -1,0 +1,38 @@
+#include "paging/physical_memory.hpp"
+
+#include <cstring>
+#include <algorithm>
+#include <stdexcept>
+
+namespace cash::paging {
+
+PhysicalMemory::PhysicalMemory(std::uint32_t frame_count)
+    : frame_count_(frame_count) {}
+
+std::uint32_t PhysicalMemory::allocate_frame() {
+  if (next_frame_ >= frame_count_) {
+    throw std::runtime_error("simulated physical memory exhausted");
+  }
+  const std::uint32_t frame = next_frame_++;
+  const std::size_t needed =
+      static_cast<std::size_t>(next_frame_) * kPageSize;
+  if (bytes_.size() < needed) {
+    if (bytes_.capacity() < needed) {
+      bytes_.reserve(std::max(needed, bytes_.capacity() * 2));
+    }
+    bytes_.resize(needed, 0);
+  }
+  return frame;
+}
+
+std::uint32_t PhysicalMemory::read32(std::uint32_t phys) const {
+  std::uint32_t value = 0;
+  std::memcpy(&value, &bytes_[phys], sizeof(value));
+  return value;
+}
+
+void PhysicalMemory::write32(std::uint32_t phys, std::uint32_t value) {
+  std::memcpy(&bytes_[phys], &value, sizeof(value));
+}
+
+} // namespace cash::paging

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cash::paging {
+
+inline constexpr std::uint32_t kPageSize = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+
+// Simulated physical memory: a frame allocator over a flat byte store.
+// Frames are allocated on demand, never freed individually (the simulated
+// machine's lifetime is one program run). The backing store grows lazily so
+// that short-lived machines (e.g. one forked per network request) stay
+// cheap.
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::uint32_t frame_count);
+
+  // Allocates a zeroed frame; returns its frame number.
+  std::uint32_t allocate_frame();
+
+  std::uint32_t frame_count() const noexcept { return frame_count_; }
+  std::uint32_t frames_allocated() const noexcept { return next_frame_; }
+
+  // Raw byte access within physical address space. Callers guarantee the
+  // address is inside an allocated frame (the page table enforces this).
+  std::uint8_t read8(std::uint32_t phys) const { return bytes_[phys]; }
+  void write8(std::uint32_t phys, std::uint8_t value) { bytes_[phys] = value; }
+
+  std::uint32_t read32(std::uint32_t phys) const;
+  void write32(std::uint32_t phys, std::uint32_t value);
+
+ private:
+  std::uint32_t frame_count_;
+  std::uint32_t next_frame_{0};
+  std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace cash::paging

@@ -1,0 +1,63 @@
+#include "passes/array_use.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cash::passes {
+
+LoopArrays analyze_loop(const ir::Function& function, const ir::Loop& loop) {
+  LoopArrays out;
+  out.loop = loop.id;
+  out.depth = loop.depth;
+
+  // Body blocks in creation (= source) order gives FCFS in parse order,
+  // matching how the Cash compiler encounters arrays during parsing.
+  std::vector<ir::BlockId> blocks = loop.body;
+  std::sort(blocks.begin(), blocks.end());
+
+  std::set<ir::SymbolId> seen;
+  for (ir::BlockId block_id : blocks) {
+    const ir::BasicBlock& block = function.block(block_id);
+    for (const ir::Instr& instr : block.instrs) {
+      if (!instr.is_memory_access() || instr.array_ref == ir::kNoSymbol) {
+        continue;
+      }
+      if (seen.insert(instr.array_ref).second) {
+        out.arrays.push_back(instr.array_ref);
+      }
+    }
+  }
+
+  // Union of reassignment records over this loop and every loop nested in
+  // it (a pointer re-seated in an inner loop is just as unsafe to hoist).
+  std::set<ir::BlockId> body(loop.body.begin(), loop.body.end());
+  std::set<ir::SymbolId> reassigned(loop.reassigned_ptrs.begin(),
+                                    loop.reassigned_ptrs.end());
+  for (const ir::Loop& other : function.loops) {
+    if (other.id == loop.id || other.body.empty()) {
+      continue;
+    }
+    const bool nested = body.count(other.header) != 0;
+    if (nested) {
+      reassigned.insert(other.reassigned_ptrs.begin(),
+                        other.reassigned_ptrs.end());
+    }
+  }
+  for (ir::SymbolId sym : out.arrays) {
+    if (reassigned.count(sym) != 0) {
+      out.reassigned.push_back(sym);
+    }
+  }
+  return out;
+}
+
+std::vector<LoopArrays> analyze_loops(const ir::Function& function) {
+  std::vector<LoopArrays> out;
+  out.reserve(function.loops.size());
+  for (const ir::Loop& loop : function.loops) {
+    out.push_back(analyze_loop(function, loop));
+  }
+  return out;
+}
+
+} // namespace cash::passes

@@ -1,0 +1,328 @@
+#include "passes/lower.hpp"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "passes/array_use.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instr;
+using ir::kNoSymbol;
+using ir::Opcode;
+using ir::SymbolId;
+
+// Segment registers available to Cash, in allocation order: ES, FS, GS, then
+// SS once PUSH/POP rewriting frees it (Section 3.7).
+constexpr std::int8_t kSegAllocationOrder[] = {
+    static_cast<std::int8_t>(x86seg::SegReg::kEs),
+    static_cast<std::int8_t>(x86seg::SegReg::kFs),
+    static_cast<std::int8_t>(x86seg::SegReg::kGs),
+    static_cast<std::int8_t>(x86seg::SegReg::kSs),
+};
+
+inline bool check_reads_applies(const LowerOptions& options, bool is_write) {
+  return options.check_reads || is_write;
+}
+
+// Inserts software checks (BCC / bound-instruction modes) before every
+// qualifying array reference in the function.
+LowerStats lower_software_checks(Function& function, Opcode check_op,
+                                 const LowerOptions& options) {
+  LowerStats stats;
+  for (auto& block : function.blocks) {
+    std::vector<Instr> out;
+    out.reserve(block->instrs.size());
+    // Gupta-style redundancy: *values* already checked in this block.
+    // Copies (kMove) propagate the representative, so the CSE'd address of
+    // an a[i] read-modify-write is recognised; any other redefinition
+    // invalidates.
+    std::set<ir::Reg> checked;
+    std::map<ir::Reg, ir::Reg> representative;
+    auto rep_of = [&](ir::Reg r) {
+      const auto it = representative.find(r);
+      return it != representative.end() ? it->second : r;
+    };
+    for (Instr& instr : block->instrs) {
+      if (instr.dst != ir::kNoReg) {
+        if (instr.op == Opcode::kMove && instr.src0 != ir::kNoReg) {
+          representative[instr.dst] = rep_of(instr.src0);
+        } else {
+          representative[instr.dst] = instr.dst;
+          checked.erase(instr.dst);
+        }
+      }
+      const bool is_ref =
+          instr.is_memory_access() && instr.array_ref != kNoSymbol;
+      if (is_ref) {
+        const bool is_write = instr.op == Opcode::kStore;
+        if (check_reads_applies(options, is_write)) {
+          const ir::Reg addr = rep_of(instr.src0);
+          if (options.eliminate_redundant_checks &&
+              checked.count(addr) != 0) {
+            ++stats.redundant_eliminated;
+          } else {
+            Instr check;
+            check.op = check_op;
+            check.src0 = instr.src0; // the address register
+            check.array_ref = instr.array_ref;
+            check.loop = instr.loop;
+            check.loc = instr.loc;
+            out.push_back(check);
+            checked.insert(addr);
+            ++stats.sw_checks;
+          }
+        } else {
+          ++stats.unchecked_refs;
+        }
+      }
+      out.push_back(std::move(instr));
+    }
+    block->instrs = std::move(out);
+  }
+  return stats;
+}
+
+// The Cash lowering (Section 3.3/3.7): per outermost loop nest, FCFS segment
+// register allocation, hoisted segment loads in the preheader, segment-based
+// rewriting of assigned references, and software fallback for the rest.
+LowerStats lower_cash(Function& function, const LowerOptions& options) {
+  LowerStats stats;
+
+  // sym -> assigned segment register, per block (assignments are per outer
+  // nest; blocks of different nests are disjoint so one map per block works).
+  std::map<ir::BlockId, std::map<SymbolId, std::int8_t>> assignment_by_block;
+  std::set<std::int8_t> used_regs;
+
+  struct PreheaderWork {
+    ir::BlockId preheader;
+    std::vector<std::pair<SymbolId, std::int8_t>> loads; // FCFS order
+  };
+  std::vector<PreheaderWork> preheader_work;
+
+  for (const ir::Loop* loop : function.outermost_loops()) {
+    LoopArrays use = analyze_loop(function, *loop);
+    ++stats.outer_loops;
+
+    // Arrays that need a checked access in this nest. In security-only mode
+    // read-only arrays don't consume a segment register.
+    std::vector<SymbolId> candidates;
+    if (options.check_reads) {
+      candidates = use.arrays;
+    } else {
+      std::set<SymbolId> written;
+      for (ir::BlockId block_id : loop->body) {
+        for (const Instr& instr : function.block(block_id).instrs) {
+          if (instr.op == Opcode::kStore && instr.array_ref != kNoSymbol) {
+            written.insert(instr.array_ref);
+          }
+        }
+      }
+      for (SymbolId sym : use.arrays) {
+        if (written.count(sym) != 0) {
+          candidates.push_back(sym);
+        }
+      }
+    }
+    if (static_cast<int>(candidates.size()) > options.num_seg_regs) {
+      ++stats.spilled_outer_loops;
+    }
+
+    const std::set<SymbolId> reassigned(use.reassigned.begin(),
+                                        use.reassigned.end());
+    std::map<SymbolId, std::int8_t> assigned;
+    PreheaderWork work;
+    work.preheader = loop->preheader;
+    int next_reg = 0;
+    for (SymbolId sym : candidates) {
+      if (next_reg >= options.num_seg_regs) {
+        break;
+      }
+      if (reassigned.count(sym) != 0) {
+        continue; // pointer re-seated inside the loop: spill to software
+      }
+      if (function.find_array_sym(sym) == nullptr) {
+        continue; // no way to materialise the pointer in the preheader
+      }
+      const std::int8_t reg = kSegAllocationOrder[next_reg++];
+      assigned[sym] = reg;
+      used_regs.insert(reg);
+      work.loads.emplace_back(sym, reg);
+    }
+    if (!work.loads.empty()) {
+      preheader_work.push_back(std::move(work));
+    }
+    for (ir::BlockId block_id : loop->body) {
+      auto& map = assignment_by_block[block_id];
+      map.insert(assigned.begin(), assigned.end());
+    }
+  }
+
+  // Rewrite memory accesses.
+  for (auto& block : function.blocks) {
+    const auto assigned_it = assignment_by_block.find(block->id);
+    const std::map<SymbolId, std::int8_t>* assigned =
+        assigned_it != assignment_by_block.end() ? &assigned_it->second
+                                                 : nullptr;
+    std::vector<Instr> out;
+    out.reserve(block->instrs.size());
+    for (Instr& instr : block->instrs) {
+      const bool is_ref =
+          instr.is_memory_access() && instr.array_ref != kNoSymbol;
+      if (!is_ref) {
+        out.push_back(std::move(instr));
+        continue;
+      }
+      const bool is_write = instr.op == Opcode::kStore;
+      const bool in_loop = instr.loop != ir::kNoLoop;
+      if (!in_loop) {
+        // Cash only checks array references inside loops (Section 1).
+        ++stats.unchecked_refs;
+        out.push_back(std::move(instr));
+        continue;
+      }
+      if (!options.check_reads && !is_write) {
+        ++stats.unchecked_refs;
+        out.push_back(std::move(instr));
+        continue;
+      }
+      const std::int8_t* seg = nullptr;
+      if (assigned != nullptr) {
+        const auto seg_it = assigned->find(instr.array_ref);
+        if (seg_it != assigned->end()) {
+          seg = &seg_it->second;
+        }
+      }
+      if (seg != nullptr) {
+        instr.seg = *seg;
+        instr.rebased = true;
+        ++stats.hw_checks;
+        out.push_back(std::move(instr));
+      } else {
+        Instr check;
+        check.op = Opcode::kBoundCheckSw;
+        check.src0 = instr.src0;
+        check.array_ref = instr.array_ref;
+        check.loop = instr.loop;
+        check.loc = instr.loc;
+        out.push_back(check);
+        ++stats.sw_checks;
+        out.push_back(std::move(instr));
+      }
+    }
+    block->instrs = std::move(out);
+  }
+
+  // Insert preheader materialisation + segment loads (before the
+  // terminator), in FCFS order.
+  for (const PreheaderWork& work : preheader_work) {
+    BasicBlock& preheader = function.block(work.preheader);
+    std::vector<Instr> prefix;
+    for (const auto& [sym, seg] : work.loads) {
+      const ir::ArraySym* array_sym = function.find_array_sym(sym);
+      Instr materialize;
+      materialize.synthetic = true; // costed as part of the segment load
+      materialize.dst = function.new_reg();
+      switch (array_sym->kind) {
+        case ir::ArraySym::Kind::kLocalArray:
+          materialize.op = Opcode::kAddrLocal;
+          materialize.slot = array_sym->slot;
+          materialize.array_ref = sym;
+          break;
+        case ir::ArraySym::Kind::kGlobalArray:
+          materialize.op = Opcode::kAddrGlobal;
+          materialize.symbol = array_sym->global;
+          materialize.array_ref = sym;
+          break;
+        case ir::ArraySym::Kind::kPointerSlot:
+          materialize.op = Opcode::kLoadLocal;
+          materialize.slot = array_sym->slot;
+          break;
+      }
+      prefix.push_back(materialize);
+
+      Instr seg_load;
+      seg_load.op = Opcode::kSegLoad;
+      seg_load.seg = seg;
+      seg_load.src0 = materialize.dst;
+      seg_load.array_ref = sym;
+      prefix.push_back(seg_load);
+      ++stats.seg_loads;
+    }
+    // Keep everything up to (not including) the terminator, then the new
+    // instructions, then the terminator.
+    std::vector<Instr>& instrs = preheader.instrs;
+    const std::size_t term_at =
+        (!instrs.empty() && instrs.back().is_terminator())
+            ? instrs.size() - 1
+            : instrs.size();
+    instrs.insert(instrs.begin() + static_cast<std::ptrdiff_t>(term_at),
+                  prefix.begin(), prefix.end());
+  }
+
+  function.used_seg_regs.assign(used_regs.begin(), used_regs.end());
+  return stats;
+}
+
+// Counts references Cash would have checked, for NoCheck/Efence accounting.
+LowerStats count_only(const Function& function) {
+  LowerStats stats;
+  for (const auto& block : function.blocks) {
+    for (const Instr& instr : block->instrs) {
+      if (instr.is_memory_access() && instr.array_ref != kNoSymbol) {
+        ++stats.unchecked_refs;
+      }
+    }
+  }
+  return stats;
+}
+
+} // namespace
+
+const char* to_string(CheckMode mode) noexcept {
+  switch (mode) {
+    case CheckMode::kNoCheck:   return "gcc";
+    case CheckMode::kBcc:       return "bcc";
+    case CheckMode::kCash:      return "cash";
+    case CheckMode::kBoundInsn: return "bound-insn";
+    case CheckMode::kEfence:    return "efence";
+    case CheckMode::kShadow:    return "shadow";
+  }
+  return "?";
+}
+
+LowerStats lower_function(ir::Function& function,
+                          const LowerOptions& options) {
+  switch (options.mode) {
+    case CheckMode::kNoCheck:
+    case CheckMode::kEfence:
+      return count_only(function);
+    case CheckMode::kBcc:
+      return lower_software_checks(function, Opcode::kBoundCheckSw, options);
+    case CheckMode::kBoundInsn:
+      return lower_software_checks(function, Opcode::kBoundCheckBnd,
+                                   options);
+    case CheckMode::kShadow:
+      return lower_software_checks(function, Opcode::kBoundCheckShadow,
+                                   options);
+    case CheckMode::kCash:
+      return lower_cash(function, options);
+  }
+  return {};
+}
+
+LowerStats lower_module(ir::Module& module, const LowerOptions& options) {
+  LowerStats stats;
+  for (auto& function : module.functions) {
+    stats += lower_function(*function, options);
+  }
+  return stats;
+}
+
+} // namespace cash::passes

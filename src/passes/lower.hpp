@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+
+namespace cash::passes {
+
+// The bound-checking strategy applied to front-end IR. All modes share the
+// same front end; only the lowering differs (Section 4.1's GCC/BCC/Cash
+// triple, plus two related-work ablations).
+enum class CheckMode : std::uint8_t {
+  kNoCheck,   // vanilla GCC: no checks at all
+  kBcc,       // BCC: 6-instruction software check on every array reference
+  kCash,      // Cash: segment-limit hardware checks + software fallback
+  kBoundInsn, // ablation: x86 `bound` instruction (7 cycles) per reference
+  kEfence,    // ablation: Electric-Fence guard pages (runtime-only; the
+              //   lowering inserts no checks)
+  kShadow,    // related work [6]: concurrent checking on a shadow processor
+              //   (the main CPU only enqueues addresses; a derived program
+              //   with all the checks runs in parallel)
+};
+
+const char* to_string(CheckMode mode) noexcept;
+
+struct LowerOptions {
+  CheckMode mode{CheckMode::kCash};
+  // Number of segment registers available for array bound checking:
+  // 2 (ES,FS), 3 (ES,FS,GS — the prototype default), or 4 (+SS after the
+  // PUSH/POP rewriting of Section 3.7).
+  int num_seg_regs{3};
+  // Security-only mode (Section 3.8): skip checking read accesses.
+  bool check_reads{true};
+  // Gupta-style redundant check elimination (related work [15,16]): within
+  // a basic block, an address already checked need not be checked again.
+  // Applies to the software-check modes (kBcc/kBoundInsn/kShadow).
+  bool eliminate_redundant_checks{false};
+};
+
+// Static instrumentation statistics, accumulated across functions. These are
+// the "HW/SW Checks" numbers of Table 1.
+struct LowerStats {
+  std::uint64_t hw_checks{0};        // references routed through a segment
+  std::uint64_t sw_checks{0};        // kBoundCheckSw / kBoundCheckBnd sites
+  std::uint64_t unchecked_refs{0};   // refs Cash leaves unchecked (outside
+                                     // loops, or reads in security-only mode)
+  std::uint64_t seg_loads{0};        // hoisted segment-register loads
+  std::uint64_t redundant_eliminated{0}; // checks removed as redundant
+  std::uint64_t outer_loops{0};
+  std::uint64_t spilled_outer_loops{0}; // outer nests with > N arrays
+
+  LowerStats& operator+=(const LowerStats& other) {
+    hw_checks += other.hw_checks;
+    sw_checks += other.sw_checks;
+    unchecked_refs += other.unchecked_refs;
+    seg_loads += other.seg_loads;
+    redundant_eliminated += other.redundant_eliminated;
+    outer_loops += other.outer_loops;
+    spilled_outer_loops += other.spilled_outer_loops;
+    return *this;
+  }
+};
+
+// Applies the selected checking strategy to the module, in place.
+LowerStats lower_module(ir::Module& module, const LowerOptions& options);
+
+// Per-function entry point (exposed for targeted tests).
+LowerStats lower_function(ir::Function& function, const LowerOptions& options);
+
+} // namespace cash::passes

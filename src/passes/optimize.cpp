@@ -1,0 +1,521 @@
+#include "passes/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace cash::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::BinOp;
+using ir::Function;
+using ir::Instr;
+using ir::Opcode;
+using ir::Reg;
+
+bool is_pure(const Instr& instr) {
+  switch (instr.op) {
+    case Opcode::kConstInt:
+    case Opcode::kConstFloat:
+    case Opcode::kMove:
+    case Opcode::kBin:
+    case Opcode::kUn:
+    case Opcode::kPtrAdd:
+    case Opcode::kAddrLocal:
+    case Opcode::kAddrGlobal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Integer div/rem can fault (divide by zero); executing them speculatively
+// in a preheader could introduce a fault the program never had.
+bool can_fault(const Instr& instr) {
+  return instr.op == Opcode::kBin && instr.type == ir::Type::kInt &&
+         (instr.bin_op == BinOp::kDiv || instr.bin_op == BinOp::kRem);
+}
+
+std::vector<int> count_defs(const Function& function) {
+  std::vector<int> defs(static_cast<std::size_t>(function.next_reg), 0);
+  for (const auto& block : function.blocks) {
+    for (const Instr& instr : block->instrs) {
+      if (instr.dst != ir::kNoReg) {
+        ++defs[static_cast<std::size_t>(instr.dst)];
+      }
+    }
+  }
+  return defs;
+}
+
+void for_each_use(const Instr& instr, const auto& fn) {
+  if (instr.src0 != ir::kNoReg) {
+    fn(instr.src0);
+  }
+  if (instr.src1 != ir::kNoReg) {
+    fn(instr.src1);
+  }
+  for (Reg arg : instr.args) {
+    fn(arg);
+  }
+}
+
+std::vector<int> count_uses(const Function& function) {
+  std::vector<int> uses(static_cast<std::size_t>(function.next_reg), 0);
+  for (const auto& block : function.blocks) {
+    for (const Instr& instr : block->instrs) {
+      for_each_use(instr,
+                   [&](Reg r) { ++uses[static_cast<std::size_t>(r)]; });
+    }
+  }
+  return uses;
+}
+
+// --- 1. strength reduction ---------------------------------------------
+
+int log2_exact(std::int32_t v) {
+  if (v <= 0 || (v & (v - 1)) != 0) {
+    return -1;
+  }
+  int shift = 0;
+  while ((1 << shift) != v) {
+    ++shift;
+  }
+  return shift;
+}
+
+std::uint64_t strength_reduce(Function& function,
+                              const std::vector<int>& defs) {
+  std::uint64_t changed = 0;
+  for (auto& block : function.blocks) {
+    // Constants known at this point of the block (single-def regs only).
+    std::map<Reg, std::int32_t> known;
+    std::vector<Instr> out;
+    out.reserve(block->instrs.size());
+    for (Instr& instr : block->instrs) {
+      if (instr.op == Opcode::kConstInt &&
+          defs[static_cast<std::size_t>(instr.dst)] == 1) {
+        known[instr.dst] = instr.int_imm;
+      }
+      // Signed division / remainder by a power-of-two constant: GCC at the
+      // highest level emits a shift with a sign fix-up, not idiv. Expand to
+      // the exact branch-free sequence so the cost model sees what the real
+      // compiler would pay:
+      //   s = x >> 31; bias = s & (C-1); t = x + bias;
+      //   div: q = t >> log2(C)
+      //   rem: r = x - (t & ~(C-1))
+      if (instr.op == Opcode::kBin && instr.type == ir::Type::kInt &&
+          (instr.bin_op == BinOp::kDiv || instr.bin_op == BinOp::kRem)) {
+        const auto it = known.find(instr.src1);
+        const int shift = it != known.end() ? log2_exact(it->second) : -1;
+        if (shift > 0) {
+          const bool is_div = instr.bin_op == BinOp::kDiv;
+          const std::int32_t mask = it->second - 1;
+          const Reg x = instr.src0;
+          auto emit_const = [&](std::int32_t value) {
+            Instr c;
+            c.op = Opcode::kConstInt;
+            c.type = ir::Type::kInt;
+            c.dst = function.new_reg();
+            c.int_imm = value;
+            c.loop = instr.loop;
+            c.loc = instr.loc;
+            out.push_back(c);
+            return c.dst;
+          };
+          auto emit_bin = [&](BinOp op, Reg a, Reg b) {
+            Instr b2;
+            b2.op = Opcode::kBin;
+            b2.bin_op = op;
+            b2.type = ir::Type::kInt;
+            b2.dst = function.new_reg();
+            b2.src0 = a;
+            b2.src1 = b;
+            b2.loop = instr.loop;
+            b2.loc = instr.loc;
+            out.push_back(b2);
+            return b2.dst;
+          };
+          const Reg sign = emit_bin(BinOp::kShr, x, emit_const(31));
+          const Reg bias = emit_bin(BinOp::kAnd, sign, emit_const(mask));
+          const Reg biased = emit_bin(BinOp::kAdd, x, bias);
+          if (is_div) {
+            instr.bin_op = BinOp::kShr;
+            instr.src0 = biased;
+            instr.src1 = emit_const(shift);
+          } else {
+            const Reg rounded =
+                emit_bin(BinOp::kAnd, biased, emit_const(~mask));
+            instr.bin_op = BinOp::kSub;
+            instr.src0 = x;
+            instr.src1 = rounded;
+          }
+          ++changed;
+          known.erase(instr.dst);
+          out.push_back(std::move(instr));
+          continue;
+        }
+      }
+      if (instr.op == Opcode::kBin && instr.type == ir::Type::kInt &&
+          instr.bin_op == BinOp::kMul) {
+        // x * C with C a power of two -> x << log2(C).
+        auto try_rewrite = [&](Reg value, Reg const_reg) -> bool {
+          const auto it = known.find(const_reg);
+          if (it == known.end()) {
+            return false;
+          }
+          const int shift = log2_exact(it->second);
+          if (it->second == 1) {
+            instr.op = Opcode::kMove;
+            instr.src0 = value;
+            instr.src1 = ir::kNoReg;
+            ++changed;
+            return true;
+          }
+          if (shift < 0) {
+            return false;
+          }
+          Instr shift_const;
+          shift_const.op = Opcode::kConstInt;
+          shift_const.type = ir::Type::kInt;
+          shift_const.dst = function.new_reg();
+          shift_const.int_imm = shift;
+          shift_const.loop = instr.loop;
+          shift_const.loc = instr.loc;
+          out.push_back(shift_const);
+          instr.bin_op = BinOp::kShl;
+          instr.src0 = value;
+          instr.src1 = shift_const.dst;
+          ++changed;
+          return true;
+        };
+        if (!try_rewrite(instr.src0, instr.src1)) {
+          try_rewrite(instr.src1, instr.src0);
+        }
+      }
+      // Redefinition kills constant knowledge.
+      if (instr.dst != ir::kNoReg && instr.op != Opcode::kConstInt) {
+        known.erase(instr.dst);
+      }
+      out.push_back(std::move(instr));
+    }
+    block->instrs = std::move(out);
+  }
+  return changed;
+}
+
+// --- 2. local value numbering (CSE) --------------------------------------
+
+struct ValueKey {
+  Opcode op;
+  ir::Type type;
+  int sub_op;
+  Reg src0;
+  Reg src1;
+  std::int64_t imm;
+  std::int32_t slot_or_symbol;
+
+  auto tie() const {
+    return std::tie(op, type, sub_op, src0, src1, imm, slot_or_symbol);
+  }
+  bool operator<(const ValueKey& other) const { return tie() < other.tie(); }
+};
+
+std::uint64_t local_cse(Function& function, const std::vector<int>& defs) {
+  std::uint64_t changed = 0;
+  const auto single = [&](Reg r) {
+    return r == ir::kNoReg || defs[static_cast<std::size_t>(r)] == 1;
+  };
+  for (auto& block : function.blocks) {
+    std::map<ValueKey, Reg> table;
+    // Copy resolution: operands are canonicalised through kMove chains so
+    // that value keys match across CSE-introduced copies.
+    std::map<Reg, Reg> representative;
+    const auto rep_of = [&](Reg r) {
+      const auto it = representative.find(r);
+      return it != representative.end() ? it->second : r;
+    };
+    for (Instr& instr : block->instrs) {
+      if (instr.dst != ir::kNoReg) {
+        // A definition invalidates every cached value computed from the
+        // previous contents of that register.
+        for (auto it = table.begin(); it != table.end();) {
+          if (it->first.src0 == instr.dst || it->first.src1 == instr.dst ||
+              it->second == instr.dst) {
+            it = table.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (instr.op == Opcode::kMove && instr.src0 != ir::kNoReg &&
+            single(instr.dst) && single(instr.src0)) {
+          representative[instr.dst] = rep_of(instr.src0);
+        } else {
+          representative[instr.dst] = instr.dst;
+        }
+      }
+      if (instr.op == Opcode::kStoreLocal) {
+        // Kills cached loads of that slot. (Calls cannot touch caller
+        // locals, so they do not invalidate.)
+        for (auto it = table.begin(); it != table.end();) {
+          if (it->first.op == Opcode::kLoadLocal &&
+              it->first.slot_or_symbol == instr.slot) {
+            it = table.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      // kLoadLocal joins the CSE-able set: local slots have no aliases, so
+      // a repeated load between two stores always yields the same value.
+      const bool cse_able =
+          (is_pure(instr) && instr.op != Opcode::kMove) ||
+          instr.op == Opcode::kLoadLocal;
+      if (!cse_able || instr.dst == ir::kNoReg || !single(instr.dst) ||
+          !single(instr.src0) || !single(instr.src1)) {
+        continue;
+      }
+      ValueKey key{};
+      key.op = instr.op;
+      key.type = instr.type;
+      key.sub_op = instr.op == Opcode::kBin ? static_cast<int>(instr.bin_op)
+                   : instr.op == Opcode::kUn ? static_cast<int>(instr.un_op)
+                                             : 0;
+      key.src0 = instr.src0 == ir::kNoReg ? ir::kNoReg : rep_of(instr.src0);
+      key.src1 = instr.src1 == ir::kNoReg ? ir::kNoReg : rep_of(instr.src1);
+      key.imm = instr.op == Opcode::kConstInt ? instr.int_imm
+                : instr.op == Opcode::kConstFloat
+                    ? static_cast<std::int64_t>(
+                          std::bit_cast<std::uint32_t>(instr.float_imm))
+                    : 0;
+      key.slot_or_symbol =
+          (instr.op == Opcode::kAddrLocal || instr.op == Opcode::kLoadLocal)
+              ? instr.slot
+          : instr.op == Opcode::kAddrGlobal ? instr.symbol
+                                            : -1;
+      const auto [it, inserted] = table.emplace(key, instr.dst);
+      if (!inserted) {
+        // Same value already available: turn into a cheap copy.
+        const ir::SymbolId array_ref = instr.array_ref;
+        const Reg existing = it->second;
+        Instr replacement;
+        replacement.op = Opcode::kMove;
+        replacement.type = instr.type;
+        replacement.dst = instr.dst;
+        replacement.src0 = existing;
+        replacement.loop = instr.loop;
+        replacement.loc = instr.loc;
+        replacement.array_ref = array_ref;
+        instr = replacement;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+// --- 2b. copy propagation --------------------------------------------------
+
+// Function-wide: uses of a single-def kMove destination are rewritten to the
+// (single-def) source. In this structured-code IR every definition dominates
+// its uses, so the rewrite is always legal; DCE then removes the dead moves.
+std::uint64_t copy_propagate(Function& function,
+                             const std::vector<int>& defs) {
+  const auto single = [&](Reg r) {
+    return r != ir::kNoReg && defs[static_cast<std::size_t>(r)] == 1;
+  };
+
+  std::map<Reg, Reg> rep;
+  for (const auto& block : function.blocks) {
+    for (const Instr& instr : block->instrs) {
+      if (instr.op == Opcode::kMove && single(instr.dst) &&
+          single(instr.src0)) {
+        const auto it = rep.find(instr.src0);
+        rep[instr.dst] = it != rep.end() ? it->second : instr.src0;
+      }
+    }
+  }
+  if (rep.empty()) {
+    return 0;
+  }
+
+  std::uint64_t rewritten = 0;
+  const auto rewrite = [&](Reg& r) {
+    const auto it = rep.find(r);
+    if (it != rep.end()) {
+      r = it->second;
+      ++rewritten;
+    }
+  };
+  for (auto& block : function.blocks) {
+    for (Instr& instr : block->instrs) {
+      if (instr.op == Opcode::kMove && rep.count(instr.dst) != 0) {
+        continue; // the move itself dies in DCE
+      }
+      if (instr.src0 != ir::kNoReg) {
+        rewrite(instr.src0);
+      }
+      if (instr.src1 != ir::kNoReg) {
+        rewrite(instr.src1);
+      }
+      for (Reg& arg : instr.args) {
+        rewrite(arg);
+      }
+    }
+  }
+  return rewritten;
+}
+
+// --- 3. loop-invariant code motion ---------------------------------------
+
+std::uint64_t licm(Function& function, const std::vector<int>& defs) {
+  std::uint64_t hoisted_total = 0;
+
+  // Deepest loops first, so invariants bubble outward one level at a time.
+  std::vector<const ir::Loop*> loops;
+  for (const ir::Loop& loop : function.loops) {
+    loops.push_back(&loop);
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const ir::Loop* a, const ir::Loop* b) {
+              return a->depth > b->depth;
+            });
+
+  for (const ir::Loop* loop : loops) {
+    std::set<ir::BlockId> body(loop->body.begin(), loop->body.end());
+
+    // Registers (re)defined and local slots stored anywhere inside the loop.
+    std::set<Reg> defined_inside;
+    std::set<std::int32_t> stored_slots;
+    for (ir::BlockId block_id : loop->body) {
+      for (const Instr& instr : function.block(block_id).instrs) {
+        if (instr.dst != ir::kNoReg) {
+          defined_inside.insert(instr.dst);
+        }
+        if (instr.op == Opcode::kStoreLocal) {
+          stored_slots.insert(instr.slot);
+        }
+      }
+    }
+
+    std::vector<Instr> hoisted;
+    std::set<Reg> hoisted_defs;
+    std::vector<ir::BlockId> ordered(loop->body.begin(), loop->body.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (ir::BlockId block_id : ordered) {
+      BasicBlock& block = function.block(block_id);
+      std::vector<Instr> kept;
+      kept.reserve(block.instrs.size());
+      for (Instr& instr : block.instrs) {
+        // kLoadLocal is hoistable when no store to that slot occurs in the
+        // loop (slots are per-frame: calls cannot alias them).
+        const bool invariant_load =
+            instr.op == Opcode::kLoadLocal &&
+            stored_slots.count(instr.slot) == 0;
+        bool movable = (is_pure(instr) || invariant_load) &&
+                       !can_fault(instr) && instr.dst != ir::kNoReg &&
+                       defs[static_cast<std::size_t>(instr.dst)] == 1;
+        if (movable) {
+          for_each_use(instr, [&](Reg r) {
+            const bool invariant =
+                defined_inside.count(r) == 0 || hoisted_defs.count(r) != 0;
+            movable = movable && invariant;
+          });
+        }
+        if (movable) {
+          hoisted_defs.insert(instr.dst);
+          hoisted.push_back(std::move(instr));
+        } else {
+          kept.push_back(std::move(instr));
+        }
+      }
+      block.instrs = std::move(kept);
+    }
+
+    if (!hoisted.empty()) {
+      BasicBlock& preheader = function.block(loop->preheader);
+      std::vector<Instr>& instrs = preheader.instrs;
+      const std::size_t term_at =
+          (!instrs.empty() && instrs.back().is_terminator())
+              ? instrs.size() - 1
+              : instrs.size();
+      instrs.insert(instrs.begin() + static_cast<std::ptrdiff_t>(term_at),
+                    std::make_move_iterator(hoisted.begin()),
+                    std::make_move_iterator(hoisted.end()));
+      hoisted_total += hoisted.size();
+    }
+  }
+  return hoisted_total;
+}
+
+// --- 4. dead code elimination ---------------------------------------------
+
+std::uint64_t dce(Function& function) {
+  std::uint64_t removed_total = 0;
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<int> uses = count_uses(function);
+    std::uint64_t removed = 0;
+    for (auto& block : function.blocks) {
+      std::vector<Instr> kept;
+      kept.reserve(block->instrs.size());
+      for (Instr& instr : block->instrs) {
+        const bool dead = is_pure(instr) && instr.dst != ir::kNoReg &&
+                          uses[static_cast<std::size_t>(instr.dst)] == 0;
+        if (dead) {
+          ++removed;
+        } else {
+          kept.push_back(std::move(instr));
+        }
+      }
+      block->instrs = std::move(kept);
+    }
+    removed_total += removed;
+    if (removed == 0) {
+      break;
+    }
+  }
+  return removed_total;
+}
+
+} // namespace
+
+OptStats optimize_function(ir::Function& function) {
+  OptStats stats;
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<int> defs = count_defs(function);
+    const std::uint64_t reduced = strength_reduce(function, defs);
+    const std::vector<int> defs2 = count_defs(function);
+    const std::uint64_t replaced = local_cse(function, defs2);
+    const std::uint64_t propagated = copy_propagate(function, defs2);
+    const std::uint64_t hoisted = licm(function, defs2);
+    const std::uint64_t removed = dce(function);
+    stats.strength_reduced += reduced;
+    stats.cse_replaced += replaced;
+    stats.copies_propagated += propagated;
+    stats.hoisted += hoisted;
+    stats.dead_removed += removed;
+    if (reduced + replaced + propagated + hoisted + removed == 0) {
+      break;
+    }
+  }
+  return stats;
+}
+
+OptStats optimize_module(ir::Module& module) {
+  OptStats stats;
+  for (auto& function : module.functions) {
+    const OptStats fn_stats = optimize_function(*function);
+    stats.strength_reduced += fn_stats.strength_reduced;
+    stats.cse_replaced += fn_stats.cse_replaced;
+    stats.copies_propagated += fn_stats.copies_propagated;
+    stats.hoisted += fn_stats.hoisted;
+    stats.dead_removed += fn_stats.dead_removed;
+  }
+  return stats;
+}
+
+} // namespace cash::passes

@@ -1,0 +1,42 @@
+#include "passes/program_stats.hpp"
+
+#include <algorithm>
+
+#include "passes/array_use.hpp"
+
+namespace cash::passes {
+
+ProgramStats compute_program_stats(const ir::Module& module,
+                                   std::string_view source,
+                                   int seg_reg_budget) {
+  ProgramStats stats;
+  stats.lines_of_code =
+      1 + static_cast<std::uint64_t>(
+              std::count(source.begin(), source.end(), '\n'));
+  stats.total_functions = module.functions.size();
+
+  for (const auto& function : module.functions) {
+    for (const LoopArrays& use : analyze_loops(*function)) {
+      ++stats.total_loops;
+      if (!use.arrays.empty()) {
+        ++stats.array_using_loops;
+      }
+      if (static_cast<int>(use.arrays.size()) > seg_reg_budget) {
+        ++stats.loops_over_budget;
+      }
+      stats.max_arrays_in_loop =
+          std::max(stats.max_arrays_in_loop,
+                   static_cast<std::uint64_t>(use.arrays.size()));
+    }
+    for (const auto& block : function->blocks) {
+      for (const ir::Instr& instr : block->instrs) {
+        if (instr.is_memory_access() && instr.array_ref != ir::kNoSymbol) {
+          ++stats.total_array_refs;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+} // namespace cash::passes

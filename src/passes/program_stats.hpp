@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ir/function.hpp"
+
+namespace cash::passes {
+
+// Static program characteristics, reproducing the columns of Tables 4 and 7:
+// lines of code, number of array-using loops, and number of loops that use
+// more than `seg_reg_budget` distinct arrays ("spilled loops").
+struct ProgramStats {
+  std::uint64_t lines_of_code{0};
+  std::uint64_t total_loops{0};
+  std::uint64_t array_using_loops{0};
+  std::uint64_t loops_over_budget{0}; // > seg_reg_budget distinct arrays
+  std::uint64_t max_arrays_in_loop{0};
+  std::uint64_t total_functions{0};
+  std::uint64_t total_array_refs{0};
+};
+
+ProgramStats compute_program_stats(const ir::Module& module,
+                                   std::string_view source,
+                                   int seg_reg_budget = 3);
+
+} // namespace cash::passes

@@ -1,0 +1,151 @@
+#include "runtime/segment_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cash::runtime {
+
+using x86seg::SegmentDescriptor;
+using x86seg::Selector;
+
+SegmentManager::SegmentManager(kernel::KernelSim& kernel, kernel::Pid pid,
+                               int max_ldts)
+    : kernel_(&kernel), pid_(pid), max_ldts_(std::max(1, max_ldts)) {}
+
+std::uint64_t SegmentManager::initialize() {
+  if (initialized_) {
+    return 0;
+  }
+  Status gate = kernel_->set_ldt_callgate(pid_);
+  assert(gate.ok());
+  (void)gate;
+  // Entries 8191..1 so that pop_back() hands them out in ascending order.
+  free_lists_.emplace_back();
+  free_lists_[0].reserve(x86seg::DescriptorTable::kMaxEntries - 1);
+  for (std::uint16_t i = x86seg::DescriptorTable::kMaxEntries - 1; i >= 1;
+       --i) {
+    free_lists_[0].push_back(i);
+  }
+  initialized_ = true;
+  return costs::kPerProgramSetup;
+}
+
+bool SegmentManager::take_free_entry(kernel::LdtId& ldt_id,
+                                     std::uint16_t& index,
+                                     std::uint64_t* cycles) {
+  // Newest LDT first: allocations cluster, which keeps hot code inside one
+  // LDT and LDTR switches rare.
+  for (std::size_t i = free_lists_.size(); i-- > 0;) {
+    if (!free_lists_[i].empty()) {
+      ldt_id = static_cast<kernel::LdtId>(i);
+      index = free_lists_[i].back();
+      free_lists_[i].pop_back();
+      return true;
+    }
+  }
+  // Recycle the oldest cached (freed but still configured) entry.
+  if (!cache_.empty()) {
+    ldt_id = cache_.back().ldt_id;
+    index = cache_.back().ldt_index;
+    cache_.pop_back();
+    return true;
+  }
+  // Section 3.4 alternative: grow another LDT, if configured.
+  if (static_cast<int>(free_lists_.size()) < max_ldts_) {
+    Result<std::uint32_t> created = kernel_->create_extra_ldt(pid_);
+    if (!created.ok()) {
+      return false;
+    }
+    *cycles += costs::kLdtCreate;
+    ++stats_.extra_ldts_created;
+    free_lists_.emplace_back();
+    auto& list = free_lists_.back();
+    list.reserve(x86seg::DescriptorTable::kMaxEntries - 1);
+    for (std::uint16_t i = x86seg::DescriptorTable::kMaxEntries - 1; i >= 1;
+         --i) {
+      list.push_back(i);
+    }
+    ldt_id = created.value();
+    index = list.back();
+    list.pop_back();
+    return true;
+  }
+  return false;
+}
+
+SegmentManager::Allocation SegmentManager::allocate(std::uint32_t base,
+                                                    std::uint32_t size) {
+  assert(initialized_);
+  ++stats_.alloc_requests;
+  Allocation out;
+
+  // 1. Cache probe: a recently freed segment with identical base and limit
+  //    can be reused without touching the LDT (Section 3.6, optimisation 3).
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i].base == base && cache_[i].size == size) {
+      out.ldt_index = cache_[i].ldt_index;
+      out.ldt_id = cache_[i].ldt_id;
+      out.selector = Selector::make(out.ldt_index, /*local=*/true, /*rpl=*/3);
+      out.cycles = costs::kSegCacheHit;
+      out.cache_hit = true;
+      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats_.cache_hits;
+      ++stats_.segments_in_use;
+      stats_.peak_segments =
+          std::max(stats_.peak_segments, stats_.segments_in_use);
+      return out;
+    }
+  }
+
+  // 2. Take a free entry (possibly growing a new LDT).
+  kernel::LdtId ldt_id = 0;
+  std::uint16_t index = 0;
+  std::uint64_t extra_cycles = 0;
+  if (!take_free_entry(ldt_id, index, &extra_cycles)) {
+    // 3. All entries in every permitted LDT are live: fall back to the
+    //    global segment, disabling hardware bound checking (Section 3.4).
+    out.ldt_index = kGlobalSegmentIndex;
+    out.selector = kernel::flat_user_data_selector();
+    out.cycles = 2;
+    out.global_fallback = true;
+    ++stats_.global_fallbacks;
+    return out;
+  }
+
+  Status installed = kernel_->cash_modify_ldt(
+      pid_, ldt_id, index, SegmentDescriptor::for_array(base, size));
+  assert(installed.ok());
+  (void)installed;
+  ++stats_.kernel_allocs;
+  ++stats_.segments_in_use;
+  stats_.peak_segments = std::max(stats_.peak_segments,
+                                  stats_.segments_in_use);
+
+  out.ldt_index = index;
+  out.ldt_id = ldt_id;
+  out.selector = Selector::make(index, /*local=*/true, /*rpl=*/3);
+  out.cycles = costs::kPerArraySetup + extra_cycles;
+  return out;
+}
+
+std::uint64_t SegmentManager::release(std::uint16_t ldt_index,
+                                      std::uint32_t base, std::uint32_t size,
+                                      kernel::LdtId ldt_id) {
+  ++stats_.releases;
+  if (ldt_index == kGlobalSegmentIndex) {
+    return 1; // nothing was allocated
+  }
+  assert(stats_.segments_in_use > 0);
+  --stats_.segments_in_use;
+  // Freeing never modifies the LDT: the descriptor stays installed so the
+  // cache can hand it straight back (Section 3.6).
+  cache_.insert(cache_.begin(), {ldt_index, ldt_id, base, size});
+  if (cache_.size() > kCacheEntries) {
+    const CachedSegment& evicted = cache_.back();
+    free_lists_[evicted.ldt_id].push_back(evicted.ldt_index);
+    cache_.pop_back();
+  }
+  return costs::kPerArrayTeardown;
+}
+
+} // namespace cash::runtime

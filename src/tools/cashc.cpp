@@ -1,0 +1,205 @@
+// cashc — the Cash compiler driver. Compiles a MiniC source file under a
+// chosen bound-checking strategy, optionally dumps IR and static stats, and
+// runs it on the simulated Pentium-III.
+//
+// Usage:
+//   cashc [options] program.mc
+//
+// Options:
+//   --mode=gcc|bcc|cash|bound|efence   checking strategy (default cash)
+//   --seg-regs=N                       segment registers for Cash (2..4)
+//   --no-reads                         security-only mode: skip read checks
+//   --no-opt                           disable the -O9-style optimiser
+//   --dump-ir                          print the lowered IR and exit
+//   --emit-asm                         print an x86 assembly listing (AT&T)
+//   --use-ss                           Section 3.7 PUSH/POP rewriting in asm
+//   --stats                            print static stats + code size
+//   --no-run                           compile only
+//   --seed=N                           rand() seed for the run
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "backend/x86_asm.hpp"
+#include "core/cash.hpp"
+#include "ir/printer.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cashc [--mode=gcc|bcc|cash|bound|efence|shadow] "
+               "[--seg-regs=N] [--no-reads] [--no-opt] [--dump-ir] "
+               "[--dump-ir] [--emit-asm] [--use-ss] [--stats] [--no-run] "
+               "[--seed=N] program.mc\n");
+}
+
+bool parse_mode(const std::string& name, cash::passes::CheckMode& mode) {
+  using cash::passes::CheckMode;
+  if (name == "gcc") { mode = CheckMode::kNoCheck; return true; }
+  if (name == "bcc") { mode = CheckMode::kBcc; return true; }
+  if (name == "cash") { mode = CheckMode::kCash; return true; }
+  if (name == "bound") { mode = CheckMode::kBoundInsn; return true; }
+  if (name == "efence") { mode = CheckMode::kEfence; return true; }
+  if (name == "shadow") { mode = CheckMode::kShadow; return true; }
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  cash::CompileOptions options;
+  options.lower.mode = cash::passes::CheckMode::kCash;
+  bool dump_ir = false;
+  bool emit_asm = false;
+  bool use_ss = false;
+  bool show_stats = false;
+  bool run = true;
+  std::string input_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      if (!parse_mode(arg.substr(7), options.lower.mode)) {
+        std::fprintf(stderr, "cashc: unknown mode '%s'\n",
+                     arg.substr(7).c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--seg-regs=", 0) == 0) {
+      options.lower.num_seg_regs = std::atoi(arg.c_str() + 11);
+      if (options.lower.num_seg_regs < 1 || options.lower.num_seg_regs > 4) {
+        std::fprintf(stderr, "cashc: --seg-regs must be 1..4\n");
+        return 2;
+      }
+    } else if (arg == "--no-reads") {
+      options.lower.check_reads = false;
+    } else if (arg == "--no-opt") {
+      options.optimize = false;
+    } else if (arg == "--dump-ir") {
+      dump_ir = true;
+    } else if (arg == "--emit-asm") {
+      emit_asm = true;
+    } else if (arg == "--use-ss") {
+      use_ss = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--no-run") {
+      run = false;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.machine.rng_seed =
+          static_cast<std::uint32_t>(std::strtoul(arg.c_str() + 7, nullptr, 0));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cashc: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      std::fprintf(stderr, "cashc: more than one input file\n");
+      return 2;
+    }
+  }
+  if (input_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream file(input_path);
+  if (!file) {
+    std::fprintf(stderr, "cashc: cannot open '%s'\n", input_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string source = buffer.str();
+
+  cash::CompileResult compiled = cash::compile(source, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s", compiled.error.c_str());
+    return 1;
+  }
+
+  if (dump_ir) {
+    std::fputs(cash::ir::to_text(compiled.program->module()).c_str(), stdout);
+    return 0;
+  }
+
+  if (emit_asm) {
+    cash::backend::AsmOptions asm_options;
+    asm_options.use_stack_segreg = use_ss;
+    std::fputs(
+        cash::backend::emit_module(compiled.program->module(), asm_options)
+            .c_str(),
+        stdout);
+    return 0;
+  }
+
+  if (show_stats) {
+    const cash::passes::LowerStats& lower = compiled.program->lower_stats();
+    const cash::passes::ProgramStats stats =
+        compiled.program->program_stats(options.lower.num_seg_regs);
+    const cash::passes::CodeSize size = compiled.program->code_size();
+    std::printf("mode:                 %s\n",
+                to_string(options.lower.mode));
+    std::printf("lines of code:        %llu\n",
+                static_cast<unsigned long long>(stats.lines_of_code));
+    std::printf("functions:            %llu\n",
+                static_cast<unsigned long long>(stats.total_functions));
+    std::printf("loops (array-using):  %llu (%llu)\n",
+                static_cast<unsigned long long>(stats.total_loops),
+                static_cast<unsigned long long>(stats.array_using_loops));
+    std::printf("loops over budget:    %llu\n",
+                static_cast<unsigned long long>(stats.loops_over_budget));
+    std::printf("static HW checks:     %llu\n",
+                static_cast<unsigned long long>(lower.hw_checks));
+    std::printf("static SW checks:     %llu\n",
+                static_cast<unsigned long long>(lower.sw_checks));
+    std::printf("hoisted seg loads:    %llu\n",
+                static_cast<unsigned long long>(lower.seg_loads));
+    std::printf("binary size (model):  %llu bytes (app %llu + lib %llu)\n",
+                static_cast<unsigned long long>(size.total_bytes),
+                static_cast<unsigned long long>(size.app_bytes),
+                static_cast<unsigned long long>(size.library_bytes));
+  }
+
+  if (!run) {
+    return 0;
+  }
+
+  const cash::vm::RunResult result = compiled.program->run();
+  std::fputs(result.output.c_str(), stdout);
+  if (!result.ok) {
+    if (result.fault.has_value()) {
+      std::fprintf(stderr, "cashc: %s: %s\n", to_string(result.fault->kind),
+                   result.fault->detail.c_str());
+      return 139; // like a SIGSEGV exit
+    }
+    std::fprintf(stderr, "cashc: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (show_stats) {
+    std::printf("cycles:               %llu\n",
+                static_cast<unsigned long long>(result.cycles));
+    std::printf("dynamic HW checks:    %llu\n",
+                static_cast<unsigned long long>(
+                    result.counters.hw_checked_accesses));
+    std::printf("dynamic SW checks:    %llu\n",
+                static_cast<unsigned long long>(result.counters.sw_checks));
+    std::printf("segment allocations:  %llu (cache hits %llu)\n",
+                static_cast<unsigned long long>(
+                    result.segment_stats.alloc_requests),
+                static_cast<unsigned long long>(
+                    result.segment_stats.cache_hits));
+    std::printf("cycle breakdown:      base %llu + checking %llu + "
+                "runtime %llu\n",
+                static_cast<unsigned long long>(result.breakdown.base),
+                static_cast<unsigned long long>(result.breakdown.checking),
+                static_cast<unsigned long long>(result.breakdown.runtime));
+  }
+  return result.exit_code & 0xFF;
+}

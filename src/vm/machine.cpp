@@ -1,0 +1,865 @@
+#include "vm/machine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "runtime/array_runtime.hpp"
+
+namespace cash::vm {
+
+namespace {
+
+using ir::BinOp;
+using ir::Instr;
+using ir::Opcode;
+using ir::UnOp;
+using passes::CheckMode;
+using x86seg::SegReg;
+
+// A runtime value: 32-bit payload plus the pointer-shadow word (the address
+// of the object's 3-word info structure, or 0 for unchecked pointers and
+// non-pointers). This models the paper's 2-word pointer representation.
+struct Value {
+  std::uint32_t bits{0};
+  std::uint32_t info{0};
+};
+
+std::int32_t as_int(Value v) noexcept {
+  return static_cast<std::int32_t>(v.bits);
+}
+float as_float(Value v) noexcept { return std::bit_cast<float>(v.bits); }
+Value from_int(std::int32_t i, std::uint32_t info = 0) noexcept {
+  return {static_cast<std::uint32_t>(i), info};
+}
+Value from_float(float f) noexcept { return {std::bit_cast<std::uint32_t>(f), 0}; }
+
+// Memory map of the simulated process.
+constexpr std::uint32_t kGlobalsBase = 0x08100000;
+constexpr std::uint32_t kHeapBase = 0x10000000;
+constexpr std::uint32_t kHeapLimit = 0xA0000000;
+constexpr std::uint32_t kStackTop = 0xBF000000;
+constexpr std::uint32_t kStackLimit = 0xBB000000; // 64 MB of stack
+
+constexpr std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+constexpr std::uint32_t align_down(std::uint32_t v, std::uint32_t a) {
+  return v & ~(a - 1);
+}
+
+struct GlobalInstance {
+  std::uint32_t data{0};
+  std::uint32_t info{0}; // 0 for scalars / unchecked modes
+  bool is_array{false};
+  std::uint32_t size_bytes{0};
+};
+
+struct Frame {
+  const ir::Function* func{nullptr};
+  std::vector<Value> regs;
+  std::vector<Value> slots;
+  ir::BlockId block{ir::kNoBlock};
+  std::size_t ip{0};
+  ir::Reg ret_dst{ir::kNoReg};
+  std::uint32_t saved_sp{0};
+  // Local array instances, indexed by slot (0 when the slot is no array).
+  std::vector<std::uint32_t> array_data;
+  std::vector<std::uint32_t> array_info;
+  // Segment registers this function clobbers, saved at entry.
+  std::vector<std::pair<SegReg, x86seg::SegmentRegister>> saved_segs;
+};
+
+} // namespace
+
+struct Machine::Impl {
+  const ir::Module* module;
+  MachineConfig config;
+
+  kernel::KernelSim kernel;
+  kernel::Pid pid;
+  paging::PhysicalMemory phys;
+  paging::PageTable pages;
+  x86seg::SegmentationUnit seg_unit;
+  mmu::Mmu mmu;
+  runtime::SegmentManager segments;
+  runtime::ArrayRuntime arrays;
+  runtime::CashHeap heap;
+
+  bool program_initialized{false};
+  std::uint64_t init_cycles{0};
+  std::map<ir::SymbolId, GlobalInstance> globals;
+  std::map<ir::SymbolId, std::uint32_t> global_scalar_addr;
+  // Shadow info words for pointers stored in memory (see DESIGN.md: the
+  // adjacent shadow word is modelled as a side table keyed by address).
+  std::unordered_map<std::uint32_t, std::uint32_t> mem_ptr_info;
+  std::uint32_t sp{kStackTop};
+  std::uint32_t rng_state;
+
+  explicit Impl(const ir::Module& m, MachineConfig cfg)
+      : module(&m),
+        config(cfg),
+        pid(kernel.create_process()),
+        phys(cfg.phys_frames),
+        pages(phys),
+        seg_unit(kernel.gdt(), kernel.ldt(pid)),
+        mmu(seg_unit, pages, phys),
+        segments(kernel, pid, cfg.max_ldts),
+        arrays(mmu, segments, cfg.mode),
+        heap(mmu, arrays, kHeapBase, kHeapLimit),
+        rng_state(cfg.rng_seed) {
+    // Flat model as Linux sets it up.
+    (void)seg_unit.load(SegReg::kCs, kernel::flat_user_code_selector());
+    (void)seg_unit.load(SegReg::kDs, kernel::flat_user_data_selector());
+    (void)seg_unit.load(SegReg::kSs, kernel::flat_user_data_selector());
+    (void)seg_unit.load(SegReg::kEs, kernel::flat_user_data_selector());
+  }
+
+  // One-time program load: place globals, charge per-program + per-global-
+  // array set-up (the code Cash inserts at program start, Section 3.4).
+  void initialize_program() {
+    if (program_initialized) {
+      return;
+    }
+    program_initialized = true;
+    if (config.mode == CheckMode::kCash) {
+      init_cycles += segments.initialize();
+    }
+    std::uint32_t cursor = kGlobalsBase;
+    for (const ir::GlobalVar& g : module->globals) {
+      GlobalInstance inst;
+      if (g.is_array) {
+        const std::uint32_t info = align_up(cursor, 8);
+        const std::uint32_t data = info + runtime::kInfoBytes;
+        const std::uint32_t size = g.elem_count * ir::kWordSize;
+        cursor = data + size;
+        pages.map_range(info, runtime::kInfoBytes + size);
+        inst.is_array = true;
+        inst.size_bytes = size;
+        inst.data = data;
+        if (config.mode == CheckMode::kCash ||
+            config.mode == CheckMode::kBcc ||
+            config.mode == CheckMode::kBoundInsn ||
+            config.mode == CheckMode::kShadow) {
+          init_cycles += arrays.setup(info, data, size);
+          inst.info = info;
+        }
+      } else {
+        inst.data = align_up(cursor, 4);
+        cursor = inst.data + 4;
+        pages.map_range(inst.data, 4);
+        global_scalar_addr[g.symbol] = inst.data;
+      }
+      globals[g.symbol] = inst;
+    }
+  }
+
+  std::uint64_t ptr_copy_penalty() const noexcept {
+    switch (config.mode) {
+      case CheckMode::kCash:      return 1; // 2-word pointers
+      case CheckMode::kBcc:
+      case CheckMode::kBoundInsn: return 2; // 3-word pointers
+      default:                    return 0;
+    }
+  }
+
+  // Converts simulator-resource exhaustion (physical memory, etc.) into a
+  // clean error result.
+  RunResult execute(const ir::Function* entry) {
+    try {
+      return execute_impl(entry);
+    } catch (const std::exception& e) {
+      RunResult r;
+      r.error = std::string("simulator limit: ") + e.what();
+      return r;
+    }
+  }
+
+  RunResult execute_impl(const ir::Function* entry);
+};
+
+Machine::Machine(const ir::Module& module, MachineConfig config)
+    : impl_(std::make_unique<Impl>(module, config)) {}
+
+Machine::~Machine() = default;
+
+x86seg::SegmentationUnit& Machine::segmentation() noexcept {
+  return impl_->seg_unit;
+}
+runtime::SegmentManager& Machine::segment_manager() noexcept {
+  return impl_->segments;
+}
+mmu::Mmu& Machine::mmu() noexcept { return impl_->mmu; }
+
+RunResult Machine::run() {
+  const ir::Function* main_fn = impl_->module->find_function("main");
+  if (main_fn == nullptr) {
+    RunResult r;
+    r.error = "program has no main()";
+    return r;
+  }
+  return impl_->execute(main_fn);
+}
+
+void Machine::reseed(std::uint32_t seed) { impl_->rng_state = seed; }
+
+RunResult Machine::run_function(const std::string& name) {
+  const ir::Function* fn = impl_->module->find_function(name);
+  if (fn == nullptr) {
+    RunResult r;
+    r.error = "no such function: " + name;
+    return r;
+  }
+  return impl_->execute(fn);
+}
+
+RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
+  RunResult result;
+  initialize_program();
+  std::uint64_t cycles = init_cycles;
+  std::uint64_t checking_cy = 0;        // bound-check work
+  std::uint64_t shadow_cy = 0;          // the shadow processor's workload
+  std::uint64_t runtime_cy = init_cycles; // set-up/teardown/bookkeeping
+  init_cycles = 0; // charged once, to the first run
+  RunCounters& ctr = result.counters;
+
+  const std::uint64_t ptr_penalty = ptr_copy_penalty();
+  std::vector<Frame> frames;
+  Value return_value;
+
+  // Per-function self-cycle attribution, updated only at call boundaries
+  // (zero per-instruction cost).
+  std::unordered_map<const ir::Function*, FunctionProfile> profile;
+  const ir::Function* profiled_fn = nullptr;
+  std::uint64_t span_start = cycles;
+  auto account_span = [&](const ir::Function* next) {
+    if (profiled_fn != nullptr) {
+      profile[profiled_fn].self_cycles += cycles - span_start;
+    }
+    span_start = cycles;
+    profiled_fn = next;
+  };
+
+  auto fail = [&](Fault fault, const Frame& frame,
+                  const Instr* instr) -> void {
+    std::ostringstream ctx;
+    ctx << fault.detail << " [in " << frame.func->name;
+    if (instr != nullptr && instr->loc.line > 0) {
+      ctx << " at line " << instr->loc.line;
+    }
+    ctx << "]";
+    fault.detail = ctx.str();
+    result.fault = std::move(fault);
+  };
+
+  // Pushes a frame for `fn`; returns false on stack overflow.
+  auto push_frame = [&](const ir::Function* fn, ir::Reg ret_dst,
+                        const std::vector<Value>& args) -> bool {
+    Frame frame;
+    frame.func = fn;
+    frame.regs.resize(static_cast<std::size_t>(fn->next_reg));
+    frame.slots.resize(fn->locals.size());
+    frame.block = fn->entry;
+    frame.ip = 0;
+    frame.ret_dst = ret_dst;
+    frame.saved_sp = sp;
+    frame.array_data.assign(fn->locals.size(), 0);
+    frame.array_info.assign(fn->locals.size(), 0);
+
+    for (std::size_t i = 0; i < fn->params.size() && i < args.size(); ++i) {
+      frame.slots[static_cast<std::size_t>(fn->params[i].slot)] = args[i];
+      if (ir::is_pointer(fn->params[i].type)) {
+        cycles += ptr_penalty;
+        runtime_cy += ptr_penalty;
+        ctr.ptr_word_copies += ptr_penalty;
+      }
+    }
+
+    // Function prologue: stack space + segment set-up for local arrays.
+    for (std::size_t i = 0; i < fn->locals.size(); ++i) {
+      const ir::LocalSlot& slot = fn->locals[i];
+      if (!slot.is_array) {
+        continue;
+      }
+      const std::uint32_t size = slot.elem_count * ir::kWordSize;
+      std::uint32_t base = align_down(sp - (runtime::kInfoBytes + size), 8);
+      if (base < kStackLimit) {
+        return false;
+      }
+      sp = base;
+      const std::uint32_t info = base;
+      const std::uint32_t data = base + runtime::kInfoBytes;
+      pages.map_range(info, runtime::kInfoBytes + size);
+      frame.array_data[i] = data;
+      if (config.mode == CheckMode::kCash || config.mode == CheckMode::kBcc ||
+          config.mode == CheckMode::kBoundInsn ||
+          config.mode == CheckMode::kShadow) {
+        const std::uint64_t setup = arrays.setup(info, data, size);
+        cycles += setup;
+        runtime_cy += setup;
+        frame.array_info[i] = info;
+      }
+    }
+
+    // Save clobbered segment registers (Section 3.7).
+    for (std::int8_t reg : fn->used_seg_regs) {
+      const SegReg seg = static_cast<SegReg>(reg);
+      frame.saved_segs.emplace_back(seg, seg_unit.reg(seg));
+      cycles += 1;
+      runtime_cy += 1;
+    }
+    frames.push_back(std::move(frame));
+    account_span(fn);
+    ++profile[fn].calls;
+    return true;
+  };
+
+  // Pops the top frame: epilogue (segment teardown + register restore).
+  auto pop_frame = [&]() {
+    Frame& frame = frames.back();
+    for (std::size_t i = 0; i < frame.array_info.size(); ++i) {
+      if (frame.array_info[i] != 0) {
+        const std::uint64_t teardown = arrays.teardown(frame.array_info[i]);
+        cycles += teardown;
+        runtime_cy += teardown;
+      }
+    }
+    for (auto it = frame.saved_segs.rbegin(); it != frame.saved_segs.rend();
+         ++it) {
+      seg_unit.restore(it->first, it->second);
+      cycles += 1;
+      runtime_cy += 1;
+    }
+    sp = frame.saved_sp;
+    frames.pop_back();
+    account_span(frames.empty() ? nullptr : frames.back().func);
+  };
+
+  if (!push_frame(entry, ir::kNoReg, {})) {
+    result.error = "stack overflow at program start";
+    return result;
+  }
+
+  while (!frames.empty()) {
+    Frame& frame = frames.back();
+    const ir::BasicBlock& block =
+        frame.func->block(frame.block);
+    if (frame.ip >= block.instrs.size()) {
+      result.error = "fell off the end of block " + block.name + " in " +
+                     frame.func->name;
+      break;
+    }
+    const Instr& instr = block.instrs[frame.ip];
+
+    if (++ctr.instructions > config.max_instructions) {
+      result.error = "instruction budget exceeded (possible infinite loop)";
+      break;
+    }
+
+    auto reg_of = [&](ir::Reg r) -> Value& {
+      return frame.regs[static_cast<std::size_t>(r)];
+    };
+
+    bool advance = true;
+    switch (instr.op) {
+      case Opcode::kConstInt:
+        reg_of(instr.dst) = from_int(instr.int_imm);
+        cycles += costs::kRegisterOp;
+        break;
+      case Opcode::kConstFloat:
+        reg_of(instr.dst) = from_float(instr.float_imm);
+        cycles += costs::kRegisterOp;
+        break;
+      case Opcode::kMove:
+        reg_of(instr.dst) = reg_of(instr.src0);
+        cycles += costs::kRegisterOp;
+        if (ir::is_pointer(instr.type)) {
+          cycles += ptr_penalty;
+          runtime_cy += ptr_penalty;
+          ctr.ptr_word_copies += ptr_penalty;
+        }
+        break;
+      case Opcode::kBin: {
+        const Value a = reg_of(instr.src0);
+        const Value b = reg_of(instr.src1);
+        Value out;
+        std::uint64_t cost = costs::kAluOp;
+        if (instr.type == ir::Type::kFloat) {
+          const float x = as_float(a);
+          const float y = as_float(b);
+          switch (instr.bin_op) {
+            case BinOp::kAdd: out = from_float(x + y); break;
+            case BinOp::kSub: out = from_float(x - y); break;
+            case BinOp::kMul: out = from_float(x * y); cost = costs::kMulOp; break;
+            case BinOp::kDiv: out = from_float(x / y); cost = costs::kDivOp; break;
+            case BinOp::kCmpEq: out = from_int(x == y); break;
+            case BinOp::kCmpNe: out = from_int(x != y); break;
+            case BinOp::kCmpLt: out = from_int(x < y); break;
+            case BinOp::kCmpLe: out = from_int(x <= y); break;
+            case BinOp::kCmpGt: out = from_int(x > y); break;
+            case BinOp::kCmpGe: out = from_int(x >= y); break;
+            default:
+              result.error = "float operand to integer-only operator";
+              break;
+          }
+        } else {
+          const std::int32_t x = as_int(a);
+          const std::int32_t y = as_int(b);
+          // Two's-complement wraparound, computed in unsigned space so the
+          // host never sees signed overflow.
+          const std::uint32_t ux = a.bits;
+          const std::uint32_t uy = b.bits;
+          switch (instr.bin_op) {
+            case BinOp::kAdd:
+              out = Value{ux + uy, 0};
+              break;
+            case BinOp::kSub:
+              out = Value{ux - uy, 0};
+              break;
+            case BinOp::kMul:
+              out = Value{ux * uy, 0};
+              cost = costs::kMulOp;
+              break;
+            case BinOp::kDiv:
+            case BinOp::kRem:
+              if (y == 0 ||
+                  (x == std::numeric_limits<std::int32_t>::min() && y == -1)) {
+                // x86 idiv raises #DE on both zero divisors and the
+                // INT_MIN/-1 quotient overflow.
+                fail(Fault{FaultKind::kInvalidOpcode, 0, 0,
+                           y == 0 ? "integer division by zero"
+                                  : "integer division overflow"},
+                     frame, &instr);
+              } else {
+                out = from_int(instr.bin_op == BinOp::kDiv ? x / y : x % y);
+              }
+              cost = costs::kDivOp;
+              break;
+            case BinOp::kAnd: out = from_int(x & y); break;
+            case BinOp::kOr:  out = from_int(x | y); break;
+            case BinOp::kXor: out = from_int(x ^ y); break;
+            case BinOp::kShl:
+              out = Value{ux << (uy & 31), 0};
+              break;
+            case BinOp::kShr:
+              // Arithmetic right shift, as C++20 defines for signed types.
+              out = from_int(static_cast<std::int32_t>(x >> (y & 31)));
+              break;
+            case BinOp::kCmpEq: out = from_int(x == y); break;
+            case BinOp::kCmpNe: out = from_int(x != y); break;
+            case BinOp::kCmpLt: out = from_int(x < y); break;
+            case BinOp::kCmpLe: out = from_int(x <= y); break;
+            case BinOp::kCmpGt: out = from_int(x > y); break;
+            case BinOp::kCmpGe: out = from_int(x >= y); break;
+          }
+        }
+        reg_of(instr.dst) = out;
+        cycles += cost;
+        break;
+      }
+      case Opcode::kUn: {
+        const Value a = reg_of(instr.src0);
+        Value out;
+        switch (instr.un_op) {
+          case UnOp::kNeg:
+            out = instr.type == ir::Type::kFloat ? from_float(-as_float(a))
+                                                 : from_int(-as_int(a));
+            break;
+          case UnOp::kLogicalNot: out = from_int(as_int(a) == 0); break;
+          case UnOp::kBitNot:     out = from_int(~as_int(a)); break;
+          case UnOp::kIntToFloat:
+            out = from_float(static_cast<float>(as_int(a)));
+            break;
+          case UnOp::kFloatToInt:
+            out = from_int(static_cast<std::int32_t>(as_float(a)));
+            break;
+        }
+        reg_of(instr.dst) = out;
+        cycles += costs::kAluOp;
+        break;
+      }
+      case Opcode::kLoad:
+      case Opcode::kStore: {
+        const bool is_store = instr.op == Opcode::kStore;
+        const Value addr = reg_of(instr.src0);
+        SegReg seg = SegReg::kDs;
+        std::uint32_t offset = addr.bits;
+        if (instr.rebased) {
+          seg = static_cast<SegReg>(instr.seg);
+          const x86seg::SegmentRegister& sr = seg_unit.reg(seg);
+          if (!sr.valid) {
+            fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
+                       "rebased access through unloaded segment register"},
+                 frame, &instr);
+            break;
+          }
+          // The hoisted `subl base` of Section 3.3.
+          offset = addr.bits - sr.cached.base();
+          ++ctr.hw_checked_accesses;
+        }
+        cycles += costs::kLoadStore;
+        if (is_store) {
+          Status status = mmu.write32(seg, offset, reg_of(instr.src1).bits);
+          if (!status.ok()) {
+            fail(status.fault(), frame, &instr);
+            break;
+          }
+          if (ir::is_pointer(instr.type)) {
+            const std::uint32_t linear =
+                instr.rebased ? seg_unit.reg(seg).cached.base() + offset
+                              : offset;
+            mem_ptr_info[linear] = reg_of(instr.src1).info;
+            cycles += ptr_penalty;
+            runtime_cy += ptr_penalty;
+            ctr.ptr_word_copies += ptr_penalty;
+          }
+        } else {
+          Result<std::uint32_t> loaded = mmu.read32(seg, offset);
+          if (!loaded.ok()) {
+            fail(loaded.fault(), frame, &instr);
+            break;
+          }
+          std::uint32_t info = 0;
+          if (ir::is_pointer(instr.type)) {
+            const std::uint32_t linear =
+                instr.rebased ? seg_unit.reg(seg).cached.base() + offset
+                              : offset;
+            const auto it = mem_ptr_info.find(linear);
+            info = it != mem_ptr_info.end() ? it->second : 0;
+            cycles += ptr_penalty;
+            runtime_cy += ptr_penalty;
+            ctr.ptr_word_copies += ptr_penalty;
+          }
+          reg_of(instr.dst) = Value{loaded.value(), info};
+        }
+        break;
+      }
+      case Opcode::kLoadLocal:
+        reg_of(instr.dst) = frame.slots[static_cast<std::size_t>(instr.slot)];
+        cycles += costs::kRegisterOp;
+        if (ir::is_pointer(instr.type)) {
+          cycles += ptr_penalty;
+          runtime_cy += ptr_penalty;
+          ctr.ptr_word_copies += ptr_penalty;
+        }
+        break;
+      case Opcode::kStoreLocal:
+        frame.slots[static_cast<std::size_t>(instr.slot)] =
+            reg_of(instr.src0);
+        cycles += costs::kRegisterOp;
+        if (ir::is_pointer(instr.type)) {
+          cycles += ptr_penalty;
+          runtime_cy += ptr_penalty;
+          ctr.ptr_word_copies += ptr_penalty;
+        }
+        break;
+      case Opcode::kLoadGlobal: {
+        const std::uint32_t addr = global_scalar_addr.at(instr.symbol);
+        Result<std::uint32_t> loaded = mmu.read32_linear(addr);
+        if (!loaded.ok()) {
+          fail(loaded.fault(), frame, &instr);
+          break;
+        }
+        std::uint32_t info = 0;
+        if (ir::is_pointer(instr.type)) {
+          const auto it = mem_ptr_info.find(addr);
+          info = it != mem_ptr_info.end() ? it->second : 0;
+          cycles += ptr_penalty;
+          runtime_cy += ptr_penalty;
+          ctr.ptr_word_copies += ptr_penalty;
+        }
+        reg_of(instr.dst) = Value{loaded.value(), info};
+        cycles += costs::kLoadStore;
+        break;
+      }
+      case Opcode::kStoreGlobal: {
+        const std::uint32_t addr = global_scalar_addr.at(instr.symbol);
+        Status status = mmu.write32_linear(addr, reg_of(instr.src0).bits);
+        if (!status.ok()) {
+          fail(status.fault(), frame, &instr);
+          break;
+        }
+        if (ir::is_pointer(instr.type)) {
+          mem_ptr_info[addr] = reg_of(instr.src0).info;
+          cycles += ptr_penalty;
+          runtime_cy += ptr_penalty;
+          ctr.ptr_word_copies += ptr_penalty;
+        }
+        cycles += costs::kLoadStore;
+        break;
+      }
+      case Opcode::kAddrLocal: {
+        const std::size_t slot = static_cast<std::size_t>(instr.slot);
+        reg_of(instr.dst) =
+            Value{frame.array_data[slot], frame.array_info[slot]};
+        // lea; free when it is lowering-inserted set-up (its cost is part
+        // of the segment-load charge).
+        cycles += instr.synthetic ? 0 : costs::kAluOp;
+        break;
+      }
+      case Opcode::kAddrGlobal: {
+        const GlobalInstance& g = globals.at(instr.symbol);
+        reg_of(instr.dst) = Value{g.data, g.info};
+        cycles += instr.synthetic ? 0 : costs::kAluOp;
+        break;
+      }
+      case Opcode::kPtrAdd: {
+        const Value base = reg_of(instr.src0);
+        const Value off = reg_of(instr.src1);
+        reg_of(instr.dst) =
+            Value{base.bits + off.bits, base.info};
+        cycles += costs::kRegisterOp; // folds into the addressing mode
+        break;
+      }
+      case Opcode::kJump:
+        frame.block = instr.target0;
+        frame.ip = 0;
+        advance = false;
+        cycles += costs::kBranch;
+        break;
+      case Opcode::kBranch:
+        frame.block = as_int(reg_of(instr.src0)) != 0 ? instr.target0
+                                                      : instr.target1;
+        frame.ip = 0;
+        advance = false;
+        cycles += costs::kBranch;
+        break;
+      case Opcode::kSegLoad: {
+        const Value ptr = reg_of(instr.src0);
+        std::uint32_t selector_word = 0;
+        if (ptr.info != 0) {
+          Result<std::uint32_t> sel =
+              mmu.read32_linear(ptr.info + runtime::kInfoSelectorOff);
+          if (sel.ok()) {
+            selector_word = sel.value();
+          }
+        }
+        std::uint32_t selector_raw = selector_word & 0xFFFFU;
+        if (selector_word == 0) {
+          // Unchecked object: use the global segment (Section 3.4).
+          selector_raw = kernel::flat_user_data_selector().raw();
+        } else if (x86seg::Selector(
+                       static_cast<std::uint16_t>(selector_raw))
+                       .is_local()) {
+          // Multi-LDT extension: the segment may live in another LDT —
+          // repoint the LDTR first (282-cycle slim syscall).
+          const kernel::LdtId target_ldt = selector_word >> 16;
+          if (target_ldt != kernel.active_ldt(pid)) {
+            Status switched = kernel.switch_ldt(pid, target_ldt);
+            if (!switched.ok()) {
+              fail(switched.fault(), frame, &instr);
+              break;
+            }
+            seg_unit.set_ldt(kernel.ldt(pid));
+            cycles += costs::kLdtSwitch;
+            checking_cy += costs::kLdtSwitch;
+          }
+        }
+        Status status = seg_unit.load(
+            static_cast<SegReg>(instr.seg),
+            x86seg::Selector(static_cast<std::uint16_t>(selector_raw)));
+        if (!status.ok()) {
+          fail(status.fault(), frame, &instr);
+          break;
+        }
+        // mov shadow + movw %seg (4 cy) + subl base: the per-array-use cost.
+        cycles += costs::kSegRegLoad + 2;
+        checking_cy += costs::kSegRegLoad + 2;
+        ++ctr.seg_reg_loads;
+        break;
+      }
+      case Opcode::kBoundCheckShadow: {
+        // Main CPU: one store into the address queue. Shadow CPU: re-derive
+        // the address context and run the 6-instruction check (Patil &
+        // Fischer's derived program).
+        cycles += 1;
+        checking_cy += 1;
+        shadow_cy += 2 + costs::kSoftwareBoundCheck;
+        ++ctr.sw_checks;
+        const Value addr = reg_of(instr.src0);
+        if (addr.info != 0) {
+          Result<std::uint32_t> lower =
+              mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
+          Result<std::uint32_t> upper =
+              mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
+          if (lower.ok() && upper.ok() &&
+              (addr.bits < lower.value() || addr.bits + 4 > upper.value())) {
+            std::ostringstream detail;
+            detail << "shadow-processor check: address 0x" << std::hex
+                   << addr.bits << " outside [0x" << lower.value() << ", 0x"
+                   << upper.value() << ")";
+            fail(Fault{FaultKind::kBoundRange, addr.bits, 0, detail.str()},
+                 frame, &instr);
+          }
+        }
+        break;
+      }
+      case Opcode::kBoundCheckSw:
+      case Opcode::kBoundCheckBnd: {
+        const bool is_bound_insn = instr.op == Opcode::kBoundCheckBnd;
+        const std::uint64_t check_cost = is_bound_insn
+                                             ? costs::kBoundInstruction
+                                             : costs::kSoftwareBoundCheck;
+        cycles += check_cost;
+        checking_cy += check_cost;
+        ++ctr.sw_checks;
+        const Value addr = reg_of(instr.src0);
+        if (addr.info != 0) {
+          Result<std::uint32_t> lower =
+              mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
+          Result<std::uint32_t> upper =
+              mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
+          if (lower.ok() && upper.ok() &&
+              (addr.bits < lower.value() ||
+               addr.bits + 4 > upper.value())) {
+            std::ostringstream detail;
+            detail << (is_bound_insn ? "bound instruction" : "software check")
+                   << ": address 0x" << std::hex << addr.bits
+                   << " outside [0x" << lower.value() << ", 0x"
+                   << upper.value() << ")";
+            fail(Fault{FaultKind::kBoundRange, addr.bits, 0, detail.str()},
+                 frame, &instr);
+          }
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const std::string& callee = instr.callee;
+        std::vector<Value> args;
+        args.reserve(instr.args.size());
+        for (ir::Reg arg : instr.args) {
+          args.push_back(reg_of(arg));
+        }
+        ++ctr.calls;
+
+        // --- builtins ---
+        if (callee == "malloc") {
+          runtime::CashHeap::Object obj =
+              heap.allocate(args.empty() ? 0 : args[0].bits);
+          cycles += obj.cycles;
+          runtime_cy += obj.cycles;
+          ++ctr.malloc_calls;
+          if (obj.data == 0) {
+            result.error = "simulated heap exhausted";
+            break;
+          }
+          reg_of(instr.dst) = Value{obj.data, obj.info};
+        } else if (callee == "free") {
+          const std::uint64_t released =
+              heap.release(args.empty() ? 0 : args[0].bits);
+          cycles += released;
+          runtime_cy += released;
+        } else if (callee == "sqrt") {
+          reg_of(instr.dst) = from_float(std::sqrt(as_float(args[0])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "fabs") {
+          reg_of(instr.dst) = from_float(std::fabs(as_float(args[0])));
+          cycles += costs::kAluOp;
+        } else if (callee == "sin") {
+          reg_of(instr.dst) = from_float(std::sin(as_float(args[0])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "cos") {
+          reg_of(instr.dst) = from_float(std::cos(as_float(args[0])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "exp") {
+          reg_of(instr.dst) = from_float(std::exp(as_float(args[0])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "log") {
+          reg_of(instr.dst) = from_float(std::log(as_float(args[0])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "floor") {
+          reg_of(instr.dst) = from_float(std::floor(as_float(args[0])));
+          cycles += costs::kAluOp;
+        } else if (callee == "pow") {
+          reg_of(instr.dst) =
+              from_float(std::pow(as_float(args[0]), as_float(args[1])));
+          cycles += costs::kMathBuiltin;
+        } else if (callee == "abs") {
+          // Defined for INT_MIN too (wraps to itself, like x86 neg).
+          const std::int32_t v = as_int(args[0]);
+          reg_of(instr.dst) =
+              v < 0 ? Value{0U - args[0].bits, 0} : from_int(v);
+          cycles += costs::kAluOp;
+        } else if (callee == "print_int") {
+          result.output += std::to_string(as_int(args[0]));
+          result.output += '\n';
+          cycles += 10;
+        } else if (callee == "print_float") {
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%.6g",
+                        static_cast<double>(as_float(args[0])));
+          result.output += buffer;
+          result.output += '\n';
+          cycles += 10;
+        } else if (callee == "rand") {
+          rng_state = rng_state * 1103515245U + 12345U;
+          reg_of(instr.dst) =
+              from_int(static_cast<std::int32_t>((rng_state >> 16) & 0x7FFF));
+          cycles += 5;
+        } else if (callee == "srand") {
+          rng_state = args.empty() ? 1 : args[0].bits;
+          cycles += 2;
+        } else {
+          // --- user function ---
+          const ir::Function* fn = module->find_function(callee);
+          if (fn == nullptr) {
+            result.error = "call to unknown function " + callee;
+            break;
+          }
+          cycles += costs::kCallRet;
+          ++frame.ip; // return to the next instruction
+          if (!push_frame(fn, instr.dst, args)) {
+            result.error = "stack overflow calling " + callee;
+            break;
+          }
+          advance = false;
+        }
+        break;
+      }
+      case Opcode::kRet: {
+        Value value;
+        if (instr.src0 != ir::kNoReg) {
+          value = reg_of(instr.src0);
+        }
+        cycles += costs::kCallRet;
+        const ir::Reg ret_dst = frame.ret_dst;
+        pop_frame();
+        if (frames.empty()) {
+          return_value = value;
+        } else if (ret_dst != ir::kNoReg) {
+          frames.back().regs[static_cast<std::size_t>(ret_dst)] = value;
+        }
+        advance = false;
+        break;
+      }
+    }
+
+    if (result.fault.has_value() || !result.error.empty()) {
+      break;
+    }
+    if (advance && !frames.empty()) {
+      ++frames.back().ip;
+    }
+  }
+
+  account_span(nullptr); // flush the final span
+  for (const auto& [fn, prof] : profile) {
+    result.profile[fn->name] = prof;
+  }
+  result.cycles = cycles;
+  result.shadow_cycles = shadow_cy;
+  result.breakdown.checking = checking_cy;
+  result.breakdown.runtime = runtime_cy;
+  result.breakdown.base = cycles - checking_cy - runtime_cy;
+  result.exit_code = as_int(return_value);
+  result.ok = !result.fault.has_value() && result.error.empty();
+  result.segment_stats = segments.stats();
+  result.heap_stats = heap.stats();
+  result.kernel_account = kernel.account(pid);
+  return result;
+}
+
+} // namespace cash::vm

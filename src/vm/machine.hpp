@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/costs.hpp"
+#include "common/fault.hpp"
+#include "ir/function.hpp"
+#include "kernel/kernel_sim.hpp"
+#include "mmu/mmu.hpp"
+#include "paging/page_table.hpp"
+#include "paging/physical_memory.hpp"
+#include "passes/lower.hpp"
+#include "runtime/heap.hpp"
+#include "runtime/segment_manager.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash::vm {
+
+struct MachineConfig {
+  passes::CheckMode mode{passes::CheckMode::kCash};
+  // Physical memory behind the simulated machine.
+  std::uint32_t phys_frames{32768}; // 128 MB
+  // Abort runaway programs.
+  std::uint64_t max_instructions{4'000'000'000ULL};
+  // Seed for the deterministic rand() builtin; varying it varies the
+  // workload instance (netsim gives each simulated request a fresh seed).
+  std::uint32_t rng_seed{0x12345678};
+  // LDTs available to the Cash runtime (Section 3.4 multi-LDT extension).
+  // 1 = the paper's prototype: past 8191 live segments, objects fall back
+  // to the unchecked global segment. > 1 = allocate extra LDTs and switch
+  // the LDTR on demand (282 cycles per switch).
+  int max_ldts{1};
+};
+
+// Dynamic counters accumulated during one run.
+struct RunCounters {
+  std::uint64_t instructions{0};
+  std::uint64_t hw_checked_accesses{0}; // accesses through array segments
+  std::uint64_t sw_checks{0};           // software bound checks executed
+  std::uint64_t seg_reg_loads{0};       // hoisted loads executed
+  std::uint64_t ptr_word_copies{0};     // fat-pointer extra-word copies
+  std::uint64_t calls{0};
+  std::uint64_t malloc_calls{0};
+};
+
+// Where the simulated cycles went. `base` is the program's own work and is
+// mode-independent (identical across NoCheck/Bcc/Cash/... for in-bounds
+// runs — the test suite asserts this); `checking` is bound-check work
+// (software checks, segment-register loads, LDTR switches); `runtime` is
+// bookkeeping (program/segment set-up and teardown, allocator, fat-pointer
+// word copies).
+struct CycleBreakdown {
+  std::uint64_t base{0};
+  std::uint64_t checking{0};
+  std::uint64_t runtime{0};
+
+  std::uint64_t total() const noexcept { return base + checking + runtime; }
+};
+
+// Per-function execution profile: calls and self cycles (callees excluded).
+struct FunctionProfile {
+  std::uint64_t calls{0};
+  std::uint64_t self_cycles{0};
+};
+struct RunResult {
+  bool ok{false};                 // ran to completion (no fault, no budget
+                                  // blow-up)
+  std::optional<Fault> fault;     // set when a check / the hardware fired
+  std::string error;              // non-fault failure (budget, bad program)
+  std::int32_t exit_code{0};
+  std::uint64_t cycles{0};        // simulated CPU cycles, runtime included
+  CycleBreakdown breakdown;       // cycles split by cause
+  // kShadow mode: cycles consumed by the shadow processor running the
+  // derived checking program concurrently. Wall time for the pair is
+  // max(cycles, shadow_cycles) — see effective_cycles().
+  std::uint64_t shadow_cycles{0};
+  RunCounters counters;
+  runtime::SegmentManager::Stats segment_stats;
+  runtime::CashHeap::Stats heap_stats;
+  kernel::KernelAccount kernel_account;
+  std::map<std::string, FunctionProfile> profile; // per-function self costs
+  std::string output;             // print_int / print_float stream
+
+  // Wall-clock cycles of the whole system: the main CPU, or — in shadow
+  // mode — whichever of the two processors is the bottleneck.
+  std::uint64_t effective_cycles() const noexcept {
+    return cycles > shadow_cycles ? cycles : shadow_cycles;
+  }
+
+  // True when the run was aborted by a bound violation (hardware #GP/#SS
+  // from a segment-limit check, a software check, a `bound` #BR, or an
+  // Electric-Fence guard-page #PF).
+  bool bound_violation() const noexcept {
+    return fault.has_value() &&
+           (fault->kind == FaultKind::kGeneralProtection ||
+            fault->kind == FaultKind::kStackFault ||
+            fault->kind == FaultKind::kBoundRange ||
+            fault->kind == FaultKind::kPageFault);
+  }
+};
+
+// The simulated Pentium-III machine: segmentation + paging MMU, a simulated
+// Linux kernel, the Cash user-space runtime, and an IR interpreter with the
+// paper's cycle cost model. One Machine executes one program run.
+class Machine {
+ public:
+  Machine(const ir::Module& module, MachineConfig config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Runs `main()` (already lowered for the configured mode) and returns the
+  // result. A Machine can run main multiple times; cycles accumulate into
+  // each result separately but global/heap state persists.
+  RunResult run();
+
+  // Runs an arbitrary zero-argument function (netsim request handlers).
+  RunResult run_function(const std::string& name);
+
+  // Reseeds the deterministic rand() builtin — netsim uses this to vary the
+  // request each simulated fork handles.
+  void reseed(std::uint32_t seed);
+
+  x86seg::SegmentationUnit& segmentation() noexcept;
+  runtime::SegmentManager& segment_manager() noexcept;
+  mmu::Mmu& mmu() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace cash::vm

@@ -1,0 +1,179 @@
+#include "workloads/fuzz.hpp"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace cash::workloads {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(std::uint32_t seed) : rng_(seed) {}
+
+  std::string run() {
+    const int num_globals = pick(1, 3);
+    for (int i = 0; i < num_globals; ++i) {
+      Array array;
+      array.name = "g" + std::to_string(i);
+      array.size = pick(4, 64);
+      arrays_.push_back(array);
+      out_ << "int " << array.name << "[" << array.size << "];\n";
+    }
+
+    // A helper function with its own local array, exercising per-call
+    // segment set-up and the pointer-parameter path.
+    helper_array_size_ = pick(4, 16);
+    out_ << "int helper(int *p, int n, int x) {\n"
+         << "  int scratch[" << helper_array_size_ << "];\n"
+         << "  int i;\n"
+         << "  int acc = 0;\n"
+         << "  for (i = 0; i < " << helper_array_size_ << "; i++) {\n"
+         << "    scratch[i] = x + i;\n"
+         << "  }\n"
+         << "  for (i = 0; i < n; i++) {\n"
+         << "    acc = acc + p[((i * " << pick(1, 7) << " + x) & 1023) % n]"
+         << " + scratch[(acc & 1023) % " << helper_array_size_ << "];\n"
+         << "  }\n"
+         << "  return acc;\n"
+         << "}\n\n";
+
+    out_ << "int main() {\n";
+    const int num_scalars = pick(3, 5);
+    for (int i = 0; i < num_scalars; ++i) {
+      scalars_.push_back("v" + std::to_string(i));
+      out_ << "  int v" << i << " = " << pick(0, 9) << ";\n";
+    }
+    out_ << "  int i0;\n  int i1;\n  int sum = 0;\n";
+
+    // A local array in main, too.
+    Array local;
+    local.name = "buf";
+    local.size = pick(8, 32);
+    arrays_.push_back(local);
+    out_ << "  int buf[" << local.size << "];\n";
+    out_ << "  for (i0 = 0; i0 < " << local.size
+         << "; i0++) { buf[i0] = i0; }\n";
+
+    const int num_stmts = pick(4, 8);
+    for (int i = 0; i < num_stmts; ++i) {
+      emit_statement(2);
+    }
+
+    // Pointer walk over a random array.
+    const Array& walk = arrays_[pick_index(arrays_.size())];
+    out_ << "  {\n    int *p;\n    p = " << walk.name << ";\n"
+         << "    for (i0 = 0; i0 < " << walk.size << "; i0++) {\n"
+         << "      sum = sum + *p;\n      p++;\n    }\n  }\n";
+
+    out_ << "  sum = sum + helper(" << arrays_[0].name << ", "
+         << arrays_[0].size << ", " << pick(0, 15) << ");\n";
+    out_ << "  print_int(sum);\n  return sum;\n}\n";
+    return out_.str();
+  }
+
+ private:
+  struct Array {
+    std::string name;
+    int size;
+  };
+
+  int pick(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+  std::size_t pick_index(std::size_t n) {
+    return static_cast<std::size_t>(pick(0, static_cast<int>(n) - 1));
+  }
+
+  // A random scalar expression over declared variables and constants.
+  // Depth-bounded; division only by non-zero constants.
+  std::string expr(int depth) {
+    if (depth == 0 || pick(0, 2) == 0) {
+      if (pick(0, 1) == 0) {
+        return std::to_string(pick(1, 99));
+      }
+      return scalars_[pick_index(scalars_.size())];
+    }
+    static const char* kOps[] = {" + ", " - ", " * ", " & ", " | ", " ^ "};
+    const int op = pick(0, 7);
+    if (op < 6) {
+      return "(" + expr(depth - 1) + kOps[op] + expr(depth - 1) + ")";
+    }
+    if (op == 6) {
+      return "(" + expr(depth - 1) + " / " + std::to_string(pick(1, 9)) +
+             ")";
+    }
+    return "(" + expr(depth - 1) + " % " + std::to_string(pick(2, 16)) + ")";
+  }
+
+  // An always-in-bounds index into `array`.
+  std::string index_of(const Array& array, int depth) {
+    return "((" + expr(depth) + ") & 8191) % " + std::to_string(array.size);
+  }
+
+  void emit_statement(int depth) {
+    switch (pick(0, 5)) {
+      case 0: { // scalar update
+        out_ << "  " << scalars_[pick_index(scalars_.size())] << " = "
+             << expr(2) << ";\n";
+        break;
+      }
+      case 1: { // array store
+        const Array& a = arrays_[pick_index(arrays_.size())];
+        out_ << "  " << a.name << "[" << index_of(a, 1) << "] = " << expr(2)
+             << ";\n";
+        break;
+      }
+      case 2: { // accumulate from an array
+        const Array& a = arrays_[pick_index(arrays_.size())];
+        out_ << "  sum = sum + " << a.name << "[" << index_of(a, 1)
+             << "];\n";
+        break;
+      }
+      case 3: { // conditional
+        out_ << "  if (" << expr(1) << " > " << pick(0, 50) << ") {\n  ";
+        emit_statement(depth - 1);
+        out_ << "  } else {\n  ";
+        emit_statement(depth - 1);
+        out_ << "  }\n";
+        break;
+      }
+      case 4: { // counted loop over one or two arrays
+        const Array& a = arrays_[pick_index(arrays_.size())];
+        const Array& b = arrays_[pick_index(arrays_.size())];
+        out_ << "  for (i1 = 0; i1 < " << pick(2, 20) << "; i1++) {\n"
+             << "    " << a.name << "[((i1 * " << pick(1, 5) << " + "
+             << pick(0, 3) << ") & 8191) % " << a.size << "] = " << b.name
+             << "[((i1 + sum) & 8191) % " << b.size << "] + " << pick(0, 9)
+             << ";\n"
+             << "    sum = sum + " << a.name << "[(i1 & 8191) % " << a.size
+             << "];\n"
+             << "  }\n";
+        break;
+      }
+      default: { // while loop with a decreasing counter
+        out_ << "  i1 = " << pick(1, 12) << ";\n"
+             << "  while (i1 > 0) {\n"
+             << "    sum = sum + i1 * " << pick(1, 4) << ";\n"
+             << "    i1--;\n"
+             << "  }\n";
+        break;
+      }
+    }
+  }
+
+  std::mt19937 rng_;
+  std::ostringstream out_;
+  std::vector<Array> arrays_;
+  std::vector<std::string> scalars_;
+  int helper_array_size_{8};
+};
+
+} // namespace
+
+std::string generate_fuzz_program(std::uint32_t seed) {
+  return Generator(seed).run();
+}
+
+} // namespace cash::workloads

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cash::workloads {
+
+// Generates a random, deterministic, *in-bounds* MiniC program from a seed.
+// Programs mix global and local arrays, pointer walks, nested loops,
+// conditionals, helper functions, and arithmetic; every array index is
+// masked into range, so a correct tool chain must run them to completion
+// with identical output in every checking mode — the differential-fuzzing
+// property the test suite sweeps.
+std::string generate_fuzz_program(std::uint32_t seed);
+
+} // namespace cash::workloads

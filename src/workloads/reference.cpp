@@ -1,0 +1,261 @@
+#include "workloads/reference.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace cash::workloads::reference {
+
+double matmul(int n) {
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size());
+  std::vector<float> c(a.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          static_cast<float>((i * 7 + j * 13) % 17) * 0.25F;
+      b[static_cast<std::size_t>(i) * n + j] =
+          static_cast<float>((i * 3 + j * 5) % 11) * 0.5F;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float s = 0.0F;
+      for (int k = 0; k < n; ++k) {
+        s += a[static_cast<std::size_t>(i) * n + k] *
+             b[static_cast<std::size_t>(k) * n + j];
+      }
+      c[static_cast<std::size_t>(i) * n + j] = s;
+    }
+  }
+  float sum = 0.0F;
+  for (float value : c) {
+    sum += value;
+  }
+  return sum;
+}
+
+double gauss(int n) {
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(static_cast<std::size_t>(n));
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          static_cast<float>((i * 5 + j * 3) % 7) * 0.125F;
+    }
+    a[static_cast<std::size_t>(i) * n + i] += static_cast<float>(n);
+    b[static_cast<std::size_t>(i)] = static_cast<float>(i % 13) * 0.5F;
+  }
+  for (int k = 0; k < n - 1; ++k) {
+    for (int i = k + 1; i < n; ++i) {
+      const float factor = a[static_cast<std::size_t>(i) * n + k] /
+                           a[static_cast<std::size_t>(k) * n + k];
+      for (int j = k; j < n; ++j) {
+        a[static_cast<std::size_t>(i) * n + j] -=
+            factor * a[static_cast<std::size_t>(k) * n + j];
+      }
+      b[static_cast<std::size_t>(i)] -= factor * b[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    float s = b[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      s -= a[static_cast<std::size_t>(i) * n + j] *
+           x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = s / a[static_cast<std::size_t>(i) * n + i];
+  }
+  float sum = 0.0F;
+  for (float value : x) {
+    sum += value;
+  }
+  return sum;
+}
+
+namespace {
+void fft1(std::vector<float>& xr, std::vector<float>& xi, int off, int stride,
+          int n) {
+  int j = 0;
+  for (int i = 0; i < n - 1; ++i) {
+    if (i < j) {
+      std::swap(xr[static_cast<std::size_t>(off + i * stride)],
+                xr[static_cast<std::size_t>(off + j * stride)]);
+      std::swap(xi[static_cast<std::size_t>(off + i * stride)],
+                xi[static_cast<std::size_t>(off + j * stride)]);
+    }
+    int k = n / 2;
+    while (k <= j) {
+      j -= k;
+      k /= 2;
+    }
+    j += k;
+  }
+  for (int m = 2; m <= n; m *= 2) {
+    const int half = m / 2;
+    for (int k = 0; k < half; ++k) {
+      const float ang =
+          0.0F - 6.2831853F * static_cast<float>(k) / static_cast<float>(m);
+      const float wr = std::cos(ang);
+      const float wi = std::sin(ang);
+      for (int i = k; i < n; i += m) {
+        const std::size_t pos = static_cast<std::size_t>(off + i * stride);
+        const std::size_t part =
+            pos + static_cast<std::size_t>(half * stride);
+        const float ur = xr[pos];
+        const float ui = xi[pos];
+        const float tr = wr * xr[part] - wi * xi[part];
+        const float ti = wr * xi[part] + wi * xr[part];
+        xr[pos] = ur + tr;
+        xi[pos] = ui + ti;
+        xr[part] = ur - tr;
+        xi[part] = ui - ti;
+      }
+    }
+  }
+}
+} // namespace
+
+double fft2d(int n) {
+  std::vector<float> re(static_cast<std::size_t>(n) * n);
+  std::vector<float> im(re.size());
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      re[static_cast<std::size_t>(r) * n + c] =
+          static_cast<float>((r * 11 + c * 17) % 23) * 0.125F;
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    fft1(re, im, r * n, 1, n);
+  }
+  for (int c = 0; c < n; ++c) {
+    fft1(re, im, c, n, n);
+  }
+  float sum = 0.0F;
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    sum += std::fabs(re[i]) + std::fabs(im[i]);
+  }
+  return sum / (static_cast<float>(n) * static_cast<float>(n));
+}
+
+std::int64_t edge(int width, int height) {
+  std::vector<int> img(static_cast<std::size_t>(width) * height);
+  std::vector<int> out(img.size());
+  auto at = [&](std::vector<int>& v, int y, int x) -> int& {
+    return v[static_cast<std::size_t>(y) * width + x];
+  };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      at(img, y, x) = (x * 31 + y * 17) % 256;
+    }
+  }
+  for (int y = 1; y < height - 1; ++y) {
+    for (int x = 1; x < width - 1; ++x) {
+      const int gx = at(img, y - 1, x + 1) + 2 * at(img, y, x + 1) +
+                     at(img, y + 1, x + 1) - at(img, y - 1, x - 1) -
+                     2 * at(img, y, x - 1) - at(img, y + 1, x - 1);
+      const int gy = at(img, y + 1, x - 1) + 2 * at(img, y + 1, x) +
+                     at(img, y + 1, x + 1) - at(img, y - 1, x - 1) -
+                     2 * at(img, y - 1, x) - at(img, y - 1, x + 1);
+      const int mag = std::abs(gx) + std::abs(gy);
+      at(out, y, x) = mag > 255 ? 255 : mag;
+    }
+  }
+  std::int64_t count = 0;
+  for (int value : out) {
+    count += value;
+  }
+  return count;
+}
+
+double volren(int vol_n, int img_n) {
+  const int scale = img_n / vol_n > 0 ? img_n / vol_n : 1;
+  std::vector<float> vol(static_cast<std::size_t>(vol_n) * vol_n * vol_n);
+  std::vector<float> img(static_cast<std::size_t>(img_n) * img_n);
+  for (int z = 0; z < vol_n; ++z) {
+    for (int y = 0; y < vol_n; ++y) {
+      for (int x = 0; x < vol_n; ++x) {
+        vol[(static_cast<std::size_t>(z) * vol_n + y) * vol_n + x] =
+            static_cast<float>((x * 3 + y * 5 + z * 7) % 32) * 0.01F;
+      }
+    }
+  }
+  for (int py = 0; py < img_n; ++py) {
+    for (int px = 0; px < img_n; ++px) {
+      const int vx = px / scale;
+      const int vy = py / scale;
+      float acc = 0.0F;
+      float trans = 1.0F;
+      int z = 0;
+      while (z < vol_n && trans > 0.02F) {
+        const float density =
+            vol[(static_cast<std::size_t>(z) * vol_n + vy) * vol_n + vx];
+        const float alpha = density * 0.4F;
+        acc += trans * alpha;
+        trans *= 1.0F - alpha;
+        ++z;
+      }
+      img[static_cast<std::size_t>(py) * img_n + px] = acc;
+    }
+  }
+  float sum = 0.0F;
+  for (float value : img) {
+    sum += value;
+  }
+  return sum / (static_cast<float>(img_n) * static_cast<float>(img_n));
+}
+
+double svd(int rows, int cols, int iterations) {
+  std::vector<float> a(static_cast<std::size_t>(rows) * cols);
+  std::vector<float> u(static_cast<std::size_t>(rows));
+  std::vector<float> v(static_cast<std::size_t>(cols));
+  std::vector<float> w(static_cast<std::size_t>(cols));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      a[static_cast<std::size_t>(i) * cols + j] =
+          static_cast<float>((i * 13 + j * 7) % 19) * 0.1F - 0.9F;
+    }
+  }
+  for (int j = 0; j < cols; ++j) {
+    v[static_cast<std::size_t>(j)] =
+        1.0F / static_cast<float>(cols) * static_cast<float>(j % 3 + 1);
+  }
+  for (int it = 0; it < iterations; ++it) {
+    for (int i = 0; i < rows; ++i) {
+      float s = 0.0F;
+      for (int j = 0; j < cols; ++j) {
+        s += a[static_cast<std::size_t>(i) * cols + j] *
+             v[static_cast<std::size_t>(j)];
+      }
+      u[static_cast<std::size_t>(i)] = s;
+    }
+    for (int j = 0; j < cols; ++j) {
+      float s = 0.0F;
+      for (int i = 0; i < rows; ++i) {
+        s += a[static_cast<std::size_t>(i) * cols + j] *
+             u[static_cast<std::size_t>(i)];
+      }
+      w[static_cast<std::size_t>(j)] = s;
+    }
+    float norm = 0.0F;
+    for (int j = 0; j < cols; ++j) {
+      norm += w[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(j)];
+    }
+    norm = std::sqrt(norm);
+    for (int j = 0; j < cols; ++j) {
+      v[static_cast<std::size_t>(j)] = w[static_cast<std::size_t>(j)] / norm;
+    }
+  }
+  float sigma = 0.0F;
+  for (int i = 0; i < rows; ++i) {
+    float s = 0.0F;
+    for (int j = 0; j < cols; ++j) {
+      s += a[static_cast<std::size_t>(i) * cols + j] *
+           v[static_cast<std::size_t>(j)];
+    }
+    sigma += s * s;
+  }
+  return std::sqrt(sigma);
+}
+
+} // namespace cash::workloads::reference

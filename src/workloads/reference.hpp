@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+// Native C++ reference implementations of the micro kernels, mirroring the
+// MiniC sources operation-for-operation (same float precision, same
+// evaluation order). The test suite runs both and compares checksums — an
+// end-to-end correctness check of lexer, parser, IR generation, optimiser,
+// lowering and interpreter at once.
+namespace cash::workloads::reference {
+
+double matmul(int n);
+double gauss(int n);
+double fft2d(int n);
+std::int64_t edge(int width, int height);
+double volren(int vol_n, int img_n);
+double svd(int rows, int cols, int iterations);
+
+} // namespace cash::workloads::reference

@@ -1,0 +1,204 @@
+#include "x86seg/descriptor.hpp"
+
+#include <cassert>
+
+namespace cash::x86seg {
+
+namespace {
+constexpr std::uint32_t kMaxByteSegment = 1U << 20;  // 1 MB, G=0 ceiling
+constexpr std::uint32_t kPage = 4096;
+} // namespace
+
+SegmentDescriptor SegmentDescriptor::byte_granular_data(std::uint32_t base,
+                                                        std::uint32_t byte_size,
+                                                        bool writable,
+                                                        std::uint8_t dpl) {
+  assert(byte_size >= 1 && byte_size <= kMaxByteSegment);
+  SegmentDescriptor d;
+  d.kind_ = DescriptorKind::kData;
+  d.base_ = base;
+  d.limit_ = byte_size - 1;
+  d.granularity_ = false;
+  d.writable_ = writable;
+  d.dpl_ = dpl;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::page_granular_data(
+    std::uint32_t base, std::uint32_t page_count, bool writable,
+    std::uint8_t dpl) {
+  assert(page_count >= 1 && page_count <= (1U << 20));
+  SegmentDescriptor d;
+  d.kind_ = DescriptorKind::kData;
+  d.base_ = base;
+  d.limit_ = page_count - 1;
+  d.granularity_ = true;
+  d.writable_ = writable;
+  d.dpl_ = dpl;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::for_array(std::uint32_t array_base,
+                                               std::uint32_t size,
+                                               bool writable,
+                                               std::uint8_t dpl) {
+  assert(size >= 1);
+  if (size <= kMaxByteSegment) {
+    return byte_granular_data(array_base, size, writable, dpl);
+  }
+  // Section 3.5: segment size is the minimum multiple of 4 KB >= array size,
+  // and the end of the array is aligned with the end of the segment. The
+  // base therefore moves *down* by (segment span - array size) < 4 KB,
+  // producing the documented lower-bound slack.
+  const std::uint32_t pages = (size + kPage - 1) / kPage;
+  const std::uint64_t span = static_cast<std::uint64_t>(pages) * kPage;
+  const std::uint32_t slack = static_cast<std::uint32_t>(span - size);
+  return page_granular_data(array_base - slack, pages, writable, dpl);
+}
+
+SegmentDescriptor SegmentDescriptor::code_segment(std::uint32_t base,
+                                                  std::uint32_t byte_size,
+                                                  bool readable,
+                                                  std::uint8_t dpl) {
+  assert(byte_size >= 1 && byte_size <= kMaxByteSegment);
+  SegmentDescriptor d;
+  d.kind_ = DescriptorKind::kCode;
+  d.base_ = base;
+  d.limit_ = byte_size - 1;
+  d.writable_ = readable; // R bit for code segments
+  d.dpl_ = dpl;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::ldt_descriptor(std::uint32_t base,
+                                                    std::uint32_t byte_size) {
+  assert(byte_size >= 1 && byte_size <= kMaxByteSegment);
+  SegmentDescriptor d;
+  d.kind_ = DescriptorKind::kLdt;
+  d.base_ = base;
+  d.limit_ = byte_size - 1;
+  d.dpl_ = 0;
+  d.writable_ = false;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::call_gate(std::uint16_t target_selector,
+                                               std::uint32_t target_offset,
+                                               std::uint8_t dpl,
+                                               std::uint8_t param_count) {
+  SegmentDescriptor d;
+  d.kind_ = DescriptorKind::kCallGate;
+  d.gate_selector_ = target_selector;
+  d.gate_offset_ = target_offset;
+  d.gate_param_count_ = param_count & 0x1F;
+  d.dpl_ = dpl;
+  d.big_ = true;
+  return d;
+}
+
+bool SegmentDescriptor::offset_in_limit(std::uint32_t offset,
+                                        std::uint32_t size) const noexcept {
+  if (size == 0) {
+    return true;
+  }
+  const std::uint64_t last =
+      static_cast<std::uint64_t>(offset) + size - 1;
+  if (!expand_down_) {
+    return last <= effective_limit();
+  }
+  // Expand-down: valid range is (effective_limit, upper]. B=1 → upper is
+  // 0xFFFFFFFF; B=0 → 0xFFFF.
+  const std::uint64_t upper = big_ ? 0xFFFFFFFFULL : 0xFFFFULL;
+  return offset > effective_limit() && last <= upper;
+}
+
+std::uint64_t SegmentDescriptor::encode() const {
+  // Intel SDM Vol. 3, Figure 3-8 (segment descriptor) / Figure 5-8 (gate).
+  if (kind_ == DescriptorKind::kCallGate) {
+    const std::uint64_t type = 0xC; // 32-bit call gate
+    std::uint64_t lo = (static_cast<std::uint64_t>(gate_selector_) << 16) |
+                       (gate_offset_ & 0xFFFFU);
+    std::uint64_t hi = (static_cast<std::uint64_t>(gate_offset_ & 0xFFFF0000U)) |
+                       (static_cast<std::uint64_t>(present_) << 15) |
+                       (static_cast<std::uint64_t>(dpl_ & 0x3) << 13) |
+                       (type << 8) | (gate_param_count_ & 0x1F);
+    return (hi << 32) | lo;
+  }
+
+  std::uint64_t type = 0;
+  std::uint64_t s_bit = 1;
+  switch (kind_) {
+    case DescriptorKind::kData:
+      type = (expand_down_ ? 0x4U : 0x0U) | (writable_ ? 0x2U : 0x0U) |
+             (accessed_ ? 0x1U : 0x0U);
+      break;
+    case DescriptorKind::kCode:
+      type = 0x8U | (writable_ ? 0x2U : 0x0U) | (accessed_ ? 0x1U : 0x0U);
+      break;
+    case DescriptorKind::kLdt:
+      type = 0x2U;
+      s_bit = 0;
+      break;
+    case DescriptorKind::kCallGate:
+      break; // handled above
+  }
+
+  std::uint64_t lo = (static_cast<std::uint64_t>(base_ & 0xFFFFU) << 16) |
+                     (limit_ & 0xFFFFU);
+  std::uint64_t hi =
+      (static_cast<std::uint64_t>(base_ & 0xFF000000U)) |
+      (static_cast<std::uint64_t>(granularity_) << 23) |
+      (static_cast<std::uint64_t>(big_) << 22) |
+      ((limit_ >> 16) & 0xFU) << 16 |
+      (static_cast<std::uint64_t>(present_) << 15) |
+      (static_cast<std::uint64_t>(dpl_ & 0x3) << 13) |
+      (s_bit << 12) | (type << 8) | ((base_ >> 16) & 0xFFU);
+  return (hi << 32) | lo;
+}
+
+std::optional<SegmentDescriptor> SegmentDescriptor::decode(std::uint64_t raw) {
+  const std::uint32_t lo = static_cast<std::uint32_t>(raw);
+  const std::uint32_t hi = static_cast<std::uint32_t>(raw >> 32);
+
+  const bool s_bit = (hi >> 12) & 1;
+  const std::uint8_t type = (hi >> 8) & 0xF;
+
+  SegmentDescriptor d;
+  d.present_ = (hi >> 15) & 1;
+  d.dpl_ = static_cast<std::uint8_t>((hi >> 13) & 0x3);
+
+  if (!s_bit && type == 0xC) { // 32-bit call gate
+    d.kind_ = DescriptorKind::kCallGate;
+    d.gate_selector_ = static_cast<std::uint16_t>(lo >> 16);
+    d.gate_offset_ = (hi & 0xFFFF0000U) | (lo & 0xFFFFU);
+    d.gate_param_count_ = static_cast<std::uint8_t>(hi & 0x1F);
+    return d;
+  }
+
+  d.base_ = ((lo >> 16) & 0xFFFFU) | ((hi & 0xFFU) << 16) |
+            (hi & 0xFF000000U);
+  d.limit_ = (lo & 0xFFFFU) | (((hi >> 16) & 0xFU) << 16);
+  d.granularity_ = (hi >> 23) & 1;
+  d.big_ = (hi >> 22) & 1;
+
+  if (!s_bit) {
+    if (type != 0x2) {
+      return std::nullopt; // unsupported system descriptor
+    }
+    d.kind_ = DescriptorKind::kLdt;
+    d.writable_ = false;
+    return d;
+  }
+  if (type & 0x8U) {
+    d.kind_ = DescriptorKind::kCode;
+    d.writable_ = (type & 0x2U) != 0; // R bit
+  } else {
+    d.kind_ = DescriptorKind::kData;
+    d.expand_down_ = (type & 0x4U) != 0;
+    d.writable_ = (type & 0x2U) != 0;
+  }
+  d.accessed_ = (type & 0x1U) != 0;
+  return d;
+}
+
+} // namespace cash::x86seg

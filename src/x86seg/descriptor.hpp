@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace cash::x86seg {
+
+// Descriptor type field (S=1 code/data descriptors), condensed to the cases
+// the Cash system exercises. System descriptors (S=0) are modelled only as
+// far as Cash needs them: LDT descriptors and call gates.
+enum class DescriptorKind : std::uint8_t {
+  kData,     // S=1, type 0xxx
+  kCode,     // S=1, type 1xxx
+  kLdt,      // S=0, type 0010
+  kCallGate, // S=0, type 1100 (32-bit call gate)
+};
+
+// An IA-32 segment descriptor, as stored in a GDT/LDT entry. The class keeps
+// the decoded fields and can round-trip through the raw 8-byte wire format
+// (Intel SDM Vol. 3, Figure 3-8), so tests can verify bit-level fidelity.
+class SegmentDescriptor {
+ public:
+  SegmentDescriptor() = default;
+
+  // Builds a byte-granular (G=0) data segment. `byte_size` must be in
+  // [1, 2^20]; the stored limit is byte_size - 1.
+  static SegmentDescriptor byte_granular_data(std::uint32_t base,
+                                              std::uint32_t byte_size,
+                                              bool writable = true,
+                                              std::uint8_t dpl = 3);
+
+  // Builds a page-granular (G=1) data segment covering `page_count` 4 KB
+  // pages starting at `base`. `page_count` must be in [1, 2^20].
+  static SegmentDescriptor page_granular_data(std::uint32_t base,
+                                              std::uint32_t page_count,
+                                              bool writable = true,
+                                              std::uint8_t dpl = 3);
+
+  // Builds the descriptor Cash allocates for an array of `size` bytes at
+  // `array_base`: byte-granular when size <= 1 MB; otherwise page-granular
+  // with the *end of the array aligned to the end of the segment*
+  // (Section 3.5), which keeps the upper bound byte-precise and leaves a
+  // < 4 KB slack below the lower bound.
+  static SegmentDescriptor for_array(std::uint32_t array_base,
+                                     std::uint32_t size, bool writable = true,
+                                     std::uint8_t dpl = 3);
+
+  static SegmentDescriptor code_segment(std::uint32_t base,
+                                        std::uint32_t byte_size,
+                                        bool readable = true,
+                                        std::uint8_t dpl = 3);
+
+  static SegmentDescriptor ldt_descriptor(std::uint32_t base,
+                                          std::uint32_t byte_size);
+
+  // 32-bit call gate into (selector, offset) with `param_count` stack params.
+  static SegmentDescriptor call_gate(std::uint16_t target_selector,
+                                     std::uint32_t target_offset,
+                                     std::uint8_t dpl,
+                                     std::uint8_t param_count);
+
+  // --- raw wire format ---
+  std::uint64_t encode() const;
+  static std::optional<SegmentDescriptor> decode(std::uint64_t raw);
+
+  // --- field accessors ---
+  DescriptorKind kind() const noexcept { return kind_; }
+  std::uint32_t base() const noexcept { return base_; }
+  std::uint32_t raw_limit() const noexcept { return limit_; } // 20-bit field
+  bool granularity() const noexcept { return granularity_; }
+  bool present() const noexcept { return present_; }
+  void set_present(bool present) noexcept { present_ = present; }
+  std::uint8_t dpl() const noexcept { return dpl_; }
+  bool writable() const noexcept { return writable_; }
+  bool expand_down() const noexcept { return expand_down_; }
+  bool big() const noexcept { return big_; } // D/B flag
+
+  // Call-gate payload (valid only when kind() == kCallGate).
+  std::uint16_t gate_selector() const noexcept { return gate_selector_; }
+  std::uint32_t gate_offset() const noexcept { return gate_offset_; }
+
+  // The highest valid byte offset for an expand-up segment: raw limit for
+  // G=0; (limit << 12) | 0xFFF for G=1 — i.e. with G=1 the low 12 offset
+  // bits are not checked, which is exactly the Figure 2 imprecision.
+  std::uint32_t effective_limit() const noexcept {
+    return granularity_ ? ((limit_ << 12) | 0xFFFU) : limit_;
+  }
+
+  // Whether an access of `size` bytes at `offset` passes the limit check.
+  // Expand-up: offset .. offset+size-1 must all be <= effective_limit.
+  // Expand-down: valid offsets are (effective_limit, upper] where upper is
+  // 0xFFFFFFFF when B=1 (the only mode Cash uses).
+  bool offset_in_limit(std::uint32_t offset, std::uint32_t size) const noexcept;
+
+  // Number of bytes the segment spans ([base, base + span - 1]).
+  std::uint64_t span() const noexcept {
+    return static_cast<std::uint64_t>(effective_limit()) + 1;
+  }
+
+  friend bool operator==(const SegmentDescriptor& a,
+                         const SegmentDescriptor& b) noexcept {
+    return a.encode() == b.encode();
+  }
+
+ private:
+  DescriptorKind kind_{DescriptorKind::kData};
+  std::uint32_t base_{0};
+  std::uint32_t limit_{0}; // 20-bit raw limit field
+  bool granularity_{false};
+  bool present_{true};
+  std::uint8_t dpl_{3};
+  bool writable_{true};    // data: W bit; code: R bit
+  bool expand_down_{false};
+  bool big_{true};         // D/B flag (32-bit)
+  bool accessed_{false};
+  // call-gate payload
+  std::uint16_t gate_selector_{0};
+  std::uint32_t gate_offset_{0};
+  std::uint8_t gate_param_count_{0};
+};
+
+} // namespace cash::x86seg

@@ -1,0 +1,69 @@
+#include "x86seg/descriptor_table.hpp"
+
+#include <cassert>
+
+namespace cash::x86seg {
+
+DescriptorTable::DescriptorTable(Kind kind, std::uint32_t entry_count)
+    : kind_(kind), entry_count_(entry_count) {
+  assert(entry_count >= 1 && entry_count <= kMaxEntries);
+}
+
+Status DescriptorTable::write(std::uint16_t index,
+                              const SegmentDescriptor& descriptor) {
+  if (index >= entry_count_) {
+    return Fault{FaultKind::kGeneralProtection, 0,
+                 static_cast<std::uint16_t>(index << 3),
+                 "descriptor write past table limit"};
+  }
+  raw_[index] = descriptor.encode();
+  return {};
+}
+
+Status DescriptorTable::clear(std::uint16_t index) {
+  if (index >= entry_count_) {
+    return Fault{FaultKind::kGeneralProtection, 0,
+                 static_cast<std::uint16_t>(index << 3),
+                 "descriptor clear past table limit"};
+  }
+  raw_[index] = 0;
+  return {};
+}
+
+Result<std::uint64_t> DescriptorTable::read_raw(std::uint16_t index) const {
+  if (index >= entry_count_) {
+    return Fault{FaultKind::kGeneralProtection, 0,
+                 static_cast<std::uint16_t>(index << 3),
+                 "descriptor read past table limit"};
+  }
+  return raw_[index];
+}
+
+Result<SegmentDescriptor> DescriptorTable::lookup(Selector selector) const {
+  // The processor checks (index*8 + 7) <= table byte limit before the fetch.
+  const std::uint32_t last_byte = selector.index() * 8U + 7U;
+  if (last_byte > byte_limit()) {
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "selector indexes past descriptor-table limit"};
+  }
+  std::optional<SegmentDescriptor> decoded =
+      SegmentDescriptor::decode(raw_[selector.index()]);
+  if (!decoded) {
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "undecodable descriptor entry"};
+  }
+  return *decoded;
+}
+
+std::uint32_t DescriptorTable::present_count() const noexcept {
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < entry_count_; ++i) {
+    auto d = SegmentDescriptor::decode(raw_[i]);
+    if (d && d->present() && raw_[i] != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+} // namespace cash::x86seg

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/result.hpp"
+#include "x86seg/descriptor.hpp"
+#include "x86seg/selector.hpp"
+
+namespace cash::x86seg {
+
+// A GDT or LDT: up to 8192 raw 8-byte descriptor entries plus the table
+// limit that the GDTR/LDTR would hold. Entries are stored in wire format so
+// every read goes through the real decode path.
+class DescriptorTable {
+ public:
+  static constexpr std::uint32_t kMaxEntries = 8192;
+
+  enum class Kind : std::uint8_t { kGlobal, kLocal };
+
+  explicit DescriptorTable(Kind kind, std::uint32_t entry_count = kMaxEntries);
+
+  Kind kind() const noexcept { return kind_; }
+  std::uint32_t entry_count() const noexcept { return entry_count_; }
+
+  // Byte limit as a GDTR/LDTR would report it: entry_count*8 - 1.
+  std::uint32_t byte_limit() const noexcept { return entry_count_ * 8 - 1; }
+
+  // Installs a descriptor. Returns #GP if the index is outside the table.
+  Status write(std::uint16_t index, const SegmentDescriptor& descriptor);
+
+  // Clears an entry (marks it not-present with a zero descriptor).
+  Status clear(std::uint16_t index);
+
+  // Raw 8-byte entry (for fidelity tests and the kernel simulator).
+  Result<std::uint64_t> read_raw(std::uint16_t index) const;
+
+  // Descriptor-table limit check + decode. Faults with #GP when the selector
+  // indexes past the table limit or the entry fails to decode.
+  Result<SegmentDescriptor> lookup(Selector selector) const;
+
+  // Number of present entries (diagnostics).
+  std::uint32_t present_count() const noexcept;
+
+ private:
+  Kind kind_;
+  std::uint32_t entry_count_;
+  std::array<std::uint64_t, kMaxEntries> raw_{};
+};
+
+} // namespace cash::x86seg

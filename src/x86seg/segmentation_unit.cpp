@@ -1,0 +1,121 @@
+#include "x86seg/segmentation_unit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cash::x86seg {
+
+const char* to_string(SegReg reg) noexcept {
+  switch (reg) {
+    case SegReg::kCs: return "CS";
+    case SegReg::kSs: return "SS";
+    case SegReg::kDs: return "DS";
+    case SegReg::kEs: return "ES";
+    case SegReg::kFs: return "FS";
+    case SegReg::kGs: return "GS";
+  }
+  return "?";
+}
+
+Status SegmentationUnit::load(SegReg reg, Selector selector) {
+  ++load_count_;
+  SegmentRegister& target = regs_[static_cast<int>(reg)];
+
+  if (selector.is_null()) {
+    // Null selector: legal for data segment registers (marks them unusable),
+    // #GP for CS and SS (SDM Vol. 3, Section 3.4.2).
+    if (reg == SegReg::kCs || reg == SegReg::kSs) {
+      return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                   "null selector loaded into CS/SS"};
+    }
+    target.selector = selector;
+    target.valid = false;
+    return {};
+  }
+
+  const DescriptorTable& table = selector.is_local() ? *ldt_ : *gdt_;
+  Result<SegmentDescriptor> looked_up = table.lookup(selector);
+  if (!looked_up.ok()) {
+    return looked_up.fault();
+  }
+  const SegmentDescriptor& descriptor = looked_up.value();
+
+  if (descriptor.kind() == DescriptorKind::kCallGate ||
+      descriptor.kind() == DescriptorKind::kLdt) {
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "system descriptor loaded into segment register"};
+  }
+  if (!descriptor.present()) {
+    return Fault{FaultKind::kSegmentNotPresent, 0, selector.raw(),
+                 "descriptor not present"};
+  }
+  // Data-segment privilege check: max(CPL, RPL) <= DPL.
+  if (descriptor.kind() == DescriptorKind::kData) {
+    const std::uint8_t effective =
+        std::max<std::uint8_t>(cpl_, selector.rpl());
+    if (effective > descriptor.dpl()) {
+      return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                   "privilege violation loading data segment"};
+    }
+  }
+  if (reg == SegReg::kSs && descriptor.kind() != DescriptorKind::kData) {
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "SS must reference a writable data segment"};
+  }
+  if (reg == SegReg::kSs && !descriptor.writable()) {
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "SS segment not writable"};
+  }
+
+  target.selector = selector;
+  target.cached = descriptor; // fill the hidden part
+  target.valid = true;
+  return {};
+}
+
+Result<std::uint32_t> SegmentationUnit::translate(SegReg reg,
+                                                  std::uint32_t offset,
+                                                  std::uint32_t size,
+                                                  Access access) const {
+  const SegmentRegister& sr = regs_[static_cast<int>(reg)];
+
+  if (!sr.valid) {
+    return Fault{FaultKind::kGeneralProtection, offset, sr.selector.raw(),
+                 std::string("memory access through unusable ") +
+                     to_string(reg) + " (null or never loaded)"};
+  }
+  const SegmentDescriptor& d = sr.cached;
+
+  // Type checks (SDM Vol. 3, Section 5.5).
+  if (access == Access::kWrite &&
+      (d.kind() != DescriptorKind::kData || !d.writable())) {
+    return Fault{FaultKind::kGeneralProtection, offset, sr.selector.raw(),
+                 "write to non-writable segment"};
+  }
+  if (access == Access::kRead && d.kind() == DescriptorKind::kCode &&
+      !d.writable() /* R bit clear */) {
+    return Fault{FaultKind::kGeneralProtection, offset, sr.selector.raw(),
+                 "read from execute-only code segment"};
+  }
+  if (access == Access::kExecute && d.kind() != DescriptorKind::kCode) {
+    return Fault{FaultKind::kGeneralProtection, offset, sr.selector.raw(),
+                 "execute from non-code segment"};
+  }
+
+  // The segment-limit check: this is the hardware array bound check Cash
+  // exploits. Both lower (offset wrap / expand-down) and upper bounds are
+  // enforced here.
+  if (!d.offset_in_limit(offset, size)) {
+    std::ostringstream detail;
+    detail << "segment-limit violation through " << to_string(reg)
+           << ": offset 0x" << std::hex << offset << " size " << std::dec
+           << size << " exceeds limit 0x" << std::hex << d.effective_limit();
+    const FaultKind kind = (reg == SegReg::kSs) ? FaultKind::kStackFault
+                                                : FaultKind::kGeneralProtection;
+    return Fault{kind, d.base() + offset, sr.selector.raw(), detail.str()};
+  }
+
+  return d.base() + offset;
+}
+
+} // namespace cash::x86seg

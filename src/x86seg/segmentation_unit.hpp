@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "x86seg/descriptor_table.hpp"
+#include "x86seg/selector.hpp"
+
+namespace cash::x86seg {
+
+// The six IA-32 segment registers.
+enum class SegReg : std::uint8_t { kCs = 0, kSs, kDs, kEs, kFs, kGs };
+inline constexpr int kNumSegRegs = 6;
+
+const char* to_string(SegReg reg) noexcept;
+
+enum class Access : std::uint8_t { kRead, kWrite, kExecute };
+
+// One segment register: the visible selector plus the hidden part (the
+// descriptor cache / shadow register, SDM Vol. 3 Section 3.4.3). Address
+// translation uses only the hidden part — stale caches after a descriptor
+// rewrite are faithfully reproduced unless the register is reloaded.
+struct SegmentRegister {
+  Selector selector;
+  SegmentDescriptor cached; // hidden part
+  bool valid{false};        // hidden part holds a usable descriptor
+};
+
+// The segmentation stage of Figure 1: logical address (segment register,
+// 32-bit offset) -> 32-bit linear address, with all protection checks the
+// paper relies on (segment-limit check incl. granularity masking, type
+// check, privilege check, null-selector check, descriptor-table limit
+// check).
+class SegmentationUnit {
+ public:
+  SegmentationUnit(DescriptorTable& gdt, DescriptorTable& ldt)
+      : gdt_(&gdt), ldt_(&ldt) {}
+
+  // Switches the active LDT (models an LLDT / LDTR rewrite).
+  void set_ldt(DescriptorTable& ldt) noexcept { ldt_ = &ldt; }
+  DescriptorTable& ldt() noexcept { return *ldt_; }
+  DescriptorTable& gdt() noexcept { return *gdt_; }
+
+  std::uint8_t cpl() const noexcept { return cpl_; }
+  void set_cpl(std::uint8_t cpl) noexcept { cpl_ = cpl; }
+
+  // MOV %reg, selector. Performs the descriptor fetch and protection checks
+  // and fills the hidden part. Loading a null selector into a *data* segment
+  // register succeeds (marking it unusable); loading one into CS or SS
+  // faults, as does loading a non-present or privilege-violating descriptor.
+  Status load(SegReg reg, Selector selector);
+
+  const SegmentRegister& reg(SegReg reg) const noexcept {
+    return regs_[static_cast<int>(reg)];
+  }
+
+  // Restores a previously saved register snapshot (visible + hidden part).
+  // Models the save/restore Cash emits in prologues/epilogues of functions
+  // that clobber a segment register (Section 3.7).
+  void restore(SegReg reg, const SegmentRegister& saved) noexcept {
+    regs_[static_cast<int>(reg)] = saved;
+  }
+
+  // Forms the linear address for an access of `size` bytes at `offset`
+  // through `reg`, running the full protection pipeline. This is where the
+  // Cash hardware bound check happens.
+  Result<std::uint32_t> translate(SegReg reg, std::uint32_t offset,
+                                  std::uint32_t size, Access access) const;
+
+  // Number of segment-register loads performed (cost accounting).
+  std::uint64_t load_count() const noexcept { return load_count_; }
+
+ private:
+  DescriptorTable* gdt_;
+  DescriptorTable* ldt_;
+  std::array<SegmentRegister, kNumSegRegs> regs_{};
+  std::uint8_t cpl_{3};
+  std::uint64_t load_count_{0};
+};
+
+} // namespace cash::x86seg

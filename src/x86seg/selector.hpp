@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cash::x86seg {
+
+// A 16-bit IA-32 segment selector:
+//
+//   15            3   2    1  0
+//   +---------------+----+-----+
+//   |    index      | TI | RPL |
+//   +---------------+----+-----+
+//
+// index selects one of 8192 descriptors; TI=0 selects the GDT, TI=1 the
+// current LDT; RPL is the requestor privilege level.
+class Selector {
+ public:
+  constexpr Selector() = default;
+  constexpr explicit Selector(std::uint16_t raw) : raw_(raw) {}
+
+  static constexpr Selector make(std::uint16_t index, bool local,
+                                 std::uint8_t rpl) {
+    return Selector(static_cast<std::uint16_t>(
+        (index << 3) | (local ? 0x4U : 0U) | (rpl & 0x3U)));
+  }
+
+  constexpr std::uint16_t raw() const noexcept { return raw_; }
+  constexpr std::uint16_t index() const noexcept { return raw_ >> 3; }
+  constexpr bool is_local() const noexcept { return (raw_ & 0x4U) != 0; }
+  constexpr std::uint8_t rpl() const noexcept { return raw_ & 0x3U; }
+
+  // A null selector: index 0 with TI=0, any RPL. Loading one into a data
+  // segment register is legal; *using* it to access memory raises #GP.
+  constexpr bool is_null() const noexcept { return (raw_ & ~0x3U) == 0; }
+
+  friend constexpr bool operator==(Selector a, Selector b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+
+ private:
+  std::uint16_t raw_{0};
+};
+
+} // namespace cash::x86seg

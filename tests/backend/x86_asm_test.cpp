@@ -1,0 +1,160 @@
+// Tests of the assembly backend: the listings must reproduce the paper's
+// Section 3.3 array-access sequence and the Section 3.7 PUSH/POP rewriting.
+#include <gtest/gtest.h>
+
+#include "backend/x86_asm.hpp"
+#include "core/cash.hpp"
+#include "frontend/irgen.hpp"
+#include "passes/lower.hpp"
+#include "passes/optimize.hpp"
+
+namespace cash::backend {
+namespace {
+
+std::unique_ptr<ir::Module> lowered(const char* source,
+                                    passes::CheckMode mode,
+                                    int seg_regs = 3) {
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(source, diagnostics);
+  EXPECT_NE(module, nullptr) << diagnostics.to_string();
+  passes::optimize_module(*module);
+  passes::LowerOptions options;
+  options.mode = mode;
+  options.num_seg_regs = seg_regs;
+  passes::lower_module(*module, options);
+  return module;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  std::size_t at = 0;
+  while ((at = haystack.find(needle, at)) != std::string::npos) {
+    ++count;
+    at += needle.size();
+  }
+  return count;
+}
+
+// The paper's Section 3.3 example: A[i] = 10 inside a loop, Cash-compiled,
+// must produce the selector load (movw ... %gs-family), the hoisted base
+// subtraction, and a segment-prefixed store.
+constexpr const char* kPaperExample = R"(
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    a[i] = 10;
+  }
+  return 0;
+}
+)";
+
+TEST(X86Asm, CashReproducesTheSection33Sequence) {
+  auto module = lowered(kPaperExample, passes::CheckMode::kCash);
+  const std::string text = emit_function(*module->find_function("main"));
+  // Selector load into ES (the first FCFS register).
+  EXPECT_NE(text.find("movw    8(%ecx), %es"), std::string::npos) << text;
+  // Hoisted base subtraction feeding the rebased access.
+  EXPECT_NE(text.find("subl"), std::string::npos);
+  // The store goes through the segment override — where the hardware check
+  // happens.
+  EXPECT_NE(text.find("%es:(%eax)"), std::string::npos) << text;
+  // Exactly one selector load: it was hoisted out of the loop.
+  EXPECT_EQ(count_occurrences(text, "movw    8(%ecx)"), 1);
+}
+
+TEST(X86Asm, GccModeHasNoSegmentOverrides) {
+  auto module = lowered(kPaperExample, passes::CheckMode::kNoCheck);
+  const std::string text = emit_function(*module->find_function("main"));
+  EXPECT_EQ(text.find("%es:"), std::string::npos);
+  EXPECT_EQ(text.find("movw"), std::string::npos);
+}
+
+TEST(X86Asm, BccEmitsTheSixInstructionSequence) {
+  auto module = lowered(kPaperExample, passes::CheckMode::kBcc);
+  const std::string text = emit_function(*module->find_function("main"));
+  EXPECT_NE(text.find("jb      .Lbound_violation"), std::string::npos);
+  EXPECT_NE(text.find("jae     .Lbound_violation"), std::string::npos);
+  // Two compares and two branches per check site.
+  EXPECT_EQ(count_occurrences(text, "jb      .Lbound_violation"),
+            count_occurrences(text, "jae     .Lbound_violation"));
+}
+
+TEST(X86Asm, BoundModeUsesTheBoundInstruction) {
+  auto module = lowered(kPaperExample, passes::CheckMode::kBoundInsn);
+  const std::string text = emit_function(*module->find_function("main"));
+  EXPECT_NE(text.find("boundl"), std::string::npos);
+}
+
+// Section 3.7: with use_stack_segreg the prologue, calls and epilogue use
+// MOV/SUB instead of PUSH/POP, and SS can be saved/restored like the other
+// bound-checking registers.
+constexpr const char* kCallExample = R"(
+int a[8]; int b[8]; int c[8]; int d[8];
+int foo(int x, int y) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 8; i++) {
+    d[i] = a[i] + b[i] + c[i];
+  }
+  return s + x + y;
+}
+int main() {
+  return foo(1, 2);
+}
+)";
+
+TEST(X86Asm, StackSegregModeEliminatesPushPop) {
+  auto module = lowered(kCallExample, passes::CheckMode::kCash, 4);
+  AsmOptions options;
+  options.use_stack_segreg = true;
+  const std::string text = emit_module(*module, options);
+  EXPECT_EQ(text.find("pushl"), std::string::npos) << text;
+  EXPECT_EQ(text.find("popl"), std::string::npos);
+  EXPECT_EQ(text.find("pushw"), std::string::npos);
+  // The rewritten forms are present (the paper's foo() listing).
+  EXPECT_NE(text.find("subl    $4, %esp"), std::string::npos);
+  EXPECT_NE(text.find("%ds:(%esp)"), std::string::npos);
+  // SS is genuinely used as the fourth checking register.
+  EXPECT_NE(text.find("%ss:("), std::string::npos) << text;
+}
+
+TEST(X86Asm, DefaultModeUsesPushPop) {
+  auto module = lowered(kCallExample, passes::CheckMode::kCash, 3);
+  const std::string text = emit_module(*module);
+  EXPECT_NE(text.find("pushl   %ebp"), std::string::npos);
+  EXPECT_NE(text.find("pushl"), std::string::npos);
+  // Three registers only: SS never appears as an override.
+  EXPECT_EQ(text.find("%ss:("), std::string::npos);
+}
+
+TEST(X86Asm, ClobberedSegmentRegistersAreSavedAndRestored) {
+  auto module = lowered(kCallExample, passes::CheckMode::kCash, 3);
+  const std::string text = emit_function(*module->find_function("foo"));
+  EXPECT_NE(text.find("pushw   %es"), std::string::npos) << text;
+  EXPECT_NE(text.find("popw    %es"), std::string::npos);
+  EXPECT_NE(text.find("pushw   %gs"), std::string::npos);
+}
+
+TEST(X86Asm, ModuleEmitsGlobalsWithInfoStructure) {
+  auto module = lowered(kPaperExample, passes::CheckMode::kCash);
+  const std::string text = emit_module(*module);
+  // 64 ints + 12-byte info structure.
+  EXPECT_NE(text.find(".comm   sym0, 268"), std::string::npos) << text;
+  EXPECT_NE(text.find(".text"), std::string::npos);
+}
+
+TEST(X86Asm, EveryWorkloadEmitsNonTrivialAssembly) {
+  for (passes::CheckMode mode :
+       {passes::CheckMode::kNoCheck, passes::CheckMode::kCash,
+        passes::CheckMode::kBcc}) {
+    auto module = lowered(kCallExample, mode);
+    const std::string text = emit_module(*module);
+    EXPECT_GT(text.size(), 500U);
+    EXPECT_NE(text.find("main:"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+  }
+}
+
+} // namespace
+} // namespace cash::backend

@@ -1,0 +1,77 @@
+// Tests of the common support types: Result/Status carriers, fault
+// formatting, and the diagnostic sink.
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.hpp"
+#include "common/fault.hpp"
+#include "common/result.hpp"
+
+namespace cash {
+namespace {
+
+TEST(Result, CarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, CarriesFault) {
+  Result<int> r(Fault{FaultKind::kPageFault, 0x1000, 0, "boom"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.fault().kind, FaultKind::kPageFault);
+  EXPECT_EQ(r.fault().linear_address, 0x1000U);
+  EXPECT_EQ(r.fault().detail, "boom");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  Status bad(Fault{FaultKind::kGeneralProtection, 0, 0x17, "sel"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.fault().selector, 0x17);
+}
+
+TEST(Fault, KindNames) {
+  EXPECT_STREQ(to_string(FaultKind::kGeneralProtection),
+               "#GP general-protection fault");
+  EXPECT_STREQ(to_string(FaultKind::kPageFault), "#PF page fault");
+  EXPECT_STREQ(to_string(FaultKind::kBoundRange), "#BR bound-range exceeded");
+  EXPECT_STREQ(to_string(FaultKind::kStackFault), "#SS stack fault");
+  EXPECT_STREQ(to_string(FaultKind::kSegmentNotPresent),
+               "#NP segment-not-present fault");
+  EXPECT_STREQ(to_string(FaultKind::kInvalidOpcode), "#UD invalid opcode");
+}
+
+TEST(FaultException, FormatsKindAndDetail) {
+  try {
+    throw FaultException(Fault{FaultKind::kPageFault, 0, 0, "guard hit"});
+  } catch (const FaultException& e) {
+    EXPECT_NE(std::string(e.what()).find("#PF"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("guard hit"), std::string::npos);
+    EXPECT_EQ(e.fault().kind, FaultKind::kPageFault);
+  }
+}
+
+TEST(DiagnosticSink, CountsErrorsNotWarnings) {
+  DiagnosticSink sink;
+  sink.warning({1, 1}, "meh");
+  EXPECT_FALSE(sink.has_errors());
+  sink.error({2, 5}, "bad");
+  sink.error({3, 1}, "worse");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 2);
+  EXPECT_EQ(sink.diagnostics().size(), 3U);
+}
+
+TEST(DiagnosticSink, RendersLineColumnSeverity) {
+  DiagnosticSink sink;
+  sink.error({7, 3}, "unexpected token");
+  sink.warning({9, 1}, "unused");
+  const std::string text = sink.to_string();
+  EXPECT_NE(text.find("7:3: error: unexpected token"), std::string::npos);
+  EXPECT_NE(text.find("9:1: warning: unused"), std::string::npos);
+}
+
+} // namespace
+} // namespace cash

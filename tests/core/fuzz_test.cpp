@@ -1,0 +1,64 @@
+// Differential fuzzing: randomly generated in-bounds MiniC programs must
+// compile in every mode, run to completion, and produce identical output —
+// with and without the optimiser. Any divergence is a bug somewhere in the
+// front end, optimiser, lowering, runtime, or interpreter.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "workloads/fuzz.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+class Fuzz : public testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, AllModesAndOptLevelsAgree) {
+  const std::uint32_t seed = static_cast<std::uint32_t>(GetParam());
+  const std::string source = workloads::generate_fuzz_program(seed);
+
+  std::string reference;
+  bool have_reference = false;
+  for (bool optimize : {false, true}) {
+    for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kBcc,
+                           CheckMode::kCash, CheckMode::kBoundInsn,
+                           CheckMode::kEfence}) {
+      CompileOptions options;
+      options.lower.mode = mode;
+      options.optimize = optimize;
+      CompileResult compiled = compile(source, options);
+      ASSERT_TRUE(compiled.ok())
+          << "seed " << seed << " mode " << to_string(mode) << ":\n"
+          << compiled.error << "\n--- source ---\n"
+          << source;
+      const vm::RunResult run = compiled.program->run();
+      ASSERT_TRUE(run.ok) << "seed " << seed << " mode " << to_string(mode)
+                          << " opt=" << optimize << ": "
+                          << (run.fault ? run.fault->detail : run.error)
+                          << "\n--- source ---\n"
+                          << source;
+      if (!have_reference) {
+        reference = run.output;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(run.output, reference)
+            << "seed " << seed << " mode " << to_string(mode)
+            << " opt=" << optimize << " diverged\n--- source ---\n"
+            << source;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, testing::Range(1, 41));
+
+TEST(FuzzGenerator, IsDeterministic) {
+  EXPECT_EQ(workloads::generate_fuzz_program(7),
+            workloads::generate_fuzz_program(7));
+  EXPECT_NE(workloads::generate_fuzz_program(7),
+            workloads::generate_fuzz_program(8));
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,106 @@
+// Tests of the Machine lifecycle API: repeated runs, white-box accessors,
+// per-run accounting, and the one-time program-initialisation charge.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+
+namespace cash {
+namespace {
+
+constexpr const char* kCounter = R"(
+int counter;
+int bump[4];
+int main() {
+  int i;
+  counter = counter + 1;
+  for (i = 0; i < 4; i++) {
+    bump[i] = bump[i] + counter;
+  }
+  return counter;
+}
+)";
+
+TEST(MachineApi, GlobalStatePersistsAcrossRuns) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  auto machine = compiled.program->make_machine();
+  EXPECT_EQ(machine->run().exit_code, 1);
+  EXPECT_EQ(machine->run().exit_code, 2);
+  EXPECT_EQ(machine->run().exit_code, 3);
+}
+
+TEST(MachineApi, ProgramInitIsChargedOnlyToTheFirstRun) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok());
+  auto machine = compiled.program->make_machine();
+  const vm::RunResult first = machine->run();
+  const vm::RunResult second = machine->run();
+  ASSERT_TRUE(first.ok && second.ok);
+  // First run carries the 543-cycle program set-up + global segment init.
+  EXPECT_GT(first.cycles, second.cycles + 500);
+  EXPECT_GT(first.breakdown.runtime, second.breakdown.runtime);
+}
+
+TEST(MachineApi, FreshMachinesAreIndependent) {
+  CompileOptions options;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.program->run().exit_code, 1);
+  EXPECT_EQ(compiled.program->run().exit_code, 1); // new machine each time
+}
+
+TEST(MachineApi, WhiteBoxAccessorsExposeTheHardware) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok());
+  auto machine = compiled.program->make_machine();
+  ASSERT_TRUE(machine->run().ok);
+  // The global array's segment is installed in the LDT; DS holds the flat
+  // segment; the 3-entry cache is intact.
+  EXPECT_TRUE(machine->segmentation().reg(x86seg::SegReg::kDs).valid);
+  EXPECT_EQ(machine->segment_manager().stats().segments_in_use, 1U);
+  EXPECT_GE(machine->segmentation().load_count(), 1U);
+  // main clobbered ES for the bump[] loop, and its epilogue restored the
+  // flat segment (the Section 3.7 save/restore discipline) — observable
+  // through the hidden part.
+  const auto& es = machine->segmentation().reg(x86seg::SegReg::kEs);
+  ASSERT_TRUE(es.valid);
+  EXPECT_EQ(es.cached.span(), 1ULL << 32);
+}
+
+TEST(MachineApi, RunFunctionExecutesAnyZeroArgFunction) {
+  CompileOptions options;
+  CompileResult compiled = compile(R"(
+int forty_two() { return 42; }
+int main() { return 0; }
+)",
+                                   options);
+  ASSERT_TRUE(compiled.ok());
+  auto machine = compiled.program->make_machine();
+  EXPECT_EQ(machine->run_function("forty_two").exit_code, 42);
+  EXPECT_FALSE(machine->run_function("missing").ok);
+}
+
+TEST(MachineApi, CountersAreFreshPerRunButStatsAccumulate) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok());
+  auto machine = compiled.program->make_machine();
+  const vm::RunResult first = machine->run();
+  const vm::RunResult second = machine->run();
+  // Per-run counters are equal (same work each run)...
+  EXPECT_EQ(first.counters.hw_checked_accesses,
+            second.counters.hw_checked_accesses);
+  // ...while machine-lifetime segment stats accumulate monotonically.
+  EXPECT_GE(second.segment_stats.alloc_requests,
+            first.segment_stats.alloc_requests);
+}
+
+} // namespace
+} // namespace cash

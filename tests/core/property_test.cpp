@@ -1,0 +1,201 @@
+// Property-style sweeps over the bound-checking invariants:
+//
+//  P1. Soundness of execution: on in-bounds programs, every checking mode
+//      computes exactly what the unchecked baseline computes.
+//  P2. Detection: Cash and BCC abort any loop access outside [0, N) of a
+//      (small) array — at the first offending access.
+//  P3. Figure 2: for arrays > 1 MB, Cash's upper bound stays byte-precise
+//      while negative offsets inside the slack go undetected.
+//  P4. The segment span computed for any size covers the object and wastes
+//      less than one page.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "workloads/workloads.hpp"
+#include "x86seg/descriptor.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+std::string indexed_write_program(int array_elems, int first, int last) {
+  return workloads::expand_template(R"(
+int a[${N}];
+int main() {
+  int i;
+  for (i = ${FIRST}; i <= ${LAST}; i++) {
+    a[i] = i;
+  }
+  return 0;
+}
+)",
+                                    {{"N", std::to_string(array_elems)},
+                                     {"FIRST", std::to_string(first)},
+                                     {"LAST", std::to_string(last)}});
+}
+
+vm::RunResult run_mode(const std::string& source, CheckMode mode) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  return compiled.program->run();
+}
+
+// --- P2: detection sweep over overflow distances -------------------------
+
+class OverflowDistance : public testing::TestWithParam<int> {};
+
+TEST_P(OverflowDistance, CashAndBccCatchUpperOverflow) {
+  const int overshoot = GetParam();
+  const std::string source = indexed_write_program(16, 0, 15 + overshoot);
+  for (CheckMode mode : {CheckMode::kCash, CheckMode::kBcc}) {
+    const vm::RunResult r = run_mode(source, mode);
+    if (overshoot == 0) {
+      EXPECT_TRUE(r.ok) << to_string(mode);
+    } else {
+      EXPECT_FALSE(r.ok) << to_string(mode) << " overshoot " << overshoot;
+      ASSERT_TRUE(r.fault.has_value());
+      EXPECT_TRUE(r.bound_violation());
+    }
+  }
+}
+
+TEST_P(OverflowDistance, CashCatchesLowerUnderflowOnSmallArrays) {
+  const int undershoot = GetParam();
+  const std::string source = indexed_write_program(16, -undershoot, 15);
+  const vm::RunResult r = run_mode(source, CheckMode::kCash);
+  if (undershoot == 0) {
+    EXPECT_TRUE(r.ok);
+  } else {
+    EXPECT_FALSE(r.ok) << "undershoot " << undershoot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, OverflowDistance,
+                         testing::Values(0, 1, 2, 7, 64, 1000));
+
+// --- P2b: the fault fires at the FIRST offending access ------------------
+
+TEST(Detection, FirstOffendingAccessAborts) {
+  for (int n : {4, 8, 32, 100}) {
+    const std::string source = indexed_write_program(n, 0, n + 5);
+    const vm::RunResult r = run_mode(source, CheckMode::kCash);
+    ASSERT_FALSE(r.ok) << n;
+    // Exactly n in-bounds accesses succeeded, the (n+1)-th faulted.
+    EXPECT_EQ(r.counters.hw_checked_accesses,
+              static_cast<std::uint64_t>(n) + 1)
+        << n;
+  }
+}
+
+// --- P1: cross-mode equivalence on random in-bounds programs --------------
+
+class RandomKernel : public testing::TestWithParam<int> {};
+
+TEST_P(RandomKernel, AllModesAgree) {
+  // A little self-randomising kernel: sizes and strides derived from the
+  // parameter, always in bounds.
+  const int seed = GetParam();
+  const int n = 16 + (seed * 13) % 48;
+  const int stride = 1 + seed % 5;
+  const std::string source = workloads::expand_template(R"(
+int a[${N}]; int b[${N}];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < ${N}; i++) {
+    a[i] = (i * ${STRIDE} + ${SEED}) % 97;
+  }
+  for (i = 0; i < ${N}; i++) {
+    b[(i * ${STRIDE}) % ${N}] = a[i] * 2;
+  }
+  for (i = 0; i < ${N}; i++) {
+    s = s + b[i] + a[(i + ${SEED}) % ${N}];
+  }
+  print_int(s);
+  return s;
+}
+)",
+                                                        {
+                                                            {"N", std::to_string(n)},
+                                                            {"STRIDE", std::to_string(stride)},
+                                                            {"SEED", std::to_string(seed)},
+                                                        });
+  const vm::RunResult base = run_mode(source, CheckMode::kNoCheck);
+  ASSERT_TRUE(base.ok);
+  for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash,
+                         CheckMode::kBoundInsn, CheckMode::kEfence}) {
+    const vm::RunResult r = run_mode(source, mode);
+    EXPECT_TRUE(r.ok) << to_string(mode);
+    EXPECT_EQ(r.output, base.output) << to_string(mode) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernel, testing::Range(1, 13));
+
+// --- P3: Figure 2 slack sweep ---------------------------------------------
+
+TEST(Fig2Property, LargeArrayLowerBoundSlackIsExactlyTheAlignmentGap) {
+  // 300000 ints = 1.2 MB: page-granular segment. The slack below the
+  // array is span - size; indices within it escape, below it fault.
+  const std::uint32_t size = 300000 * 4;
+  const std::uint32_t span = ((size + 4095) / 4096) * 4096;
+  const int slack_words = static_cast<int>((span - size) / 4);
+  ASSERT_GT(slack_words, 0);
+
+  // Write just inside the slack: undetected (the Figure 2 imprecision).
+  {
+    const std::string source =
+        indexed_write_program(300000, -slack_words, 10);
+    const vm::RunResult r = run_mode(source, CheckMode::kCash);
+    EXPECT_TRUE(r.ok) << (r.fault ? r.fault->detail : r.error);
+  }
+  // One word below the slack: detected.
+  {
+    const std::string source =
+        indexed_write_program(300000, -(slack_words + 1), 10);
+    const vm::RunResult r = run_mode(source, CheckMode::kCash);
+    EXPECT_FALSE(r.ok);
+  }
+  // Upper bound: byte-precise even for the large array.
+  {
+    const std::string source = indexed_write_program(300000, 299995, 300000);
+    const vm::RunResult r = run_mode(source, CheckMode::kCash);
+    EXPECT_FALSE(r.ok);
+  }
+  {
+    const std::string source = indexed_write_program(300000, 299995, 299999);
+    const vm::RunResult r = run_mode(source, CheckMode::kCash);
+    EXPECT_TRUE(r.ok) << (r.fault ? r.fault->detail : r.error);
+  }
+}
+
+// --- P4: descriptor span property over many sizes --------------------------
+
+class SpanProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SpanProperty, SegmentCoversObjectAndWastesLessThanAPage) {
+  const std::uint32_t size = GetParam();
+  const std::uint32_t base = 0x10000000 + (size % 4096);
+  const auto d = x86seg::SegmentDescriptor::for_array(base, size);
+  // Covers every byte of the object.
+  EXPECT_TRUE(d.offset_in_limit(base - d.base(), 1));
+  EXPECT_TRUE(d.offset_in_limit(base + size - 1 - d.base(), 1));
+  // Never admits the byte one past the end.
+  EXPECT_FALSE(d.offset_in_limit(base + size - d.base(), 1));
+  // Wastes less than a page below.
+  EXPECT_LT(base - d.base(), 4096U);
+  EXPECT_EQ(static_cast<std::uint64_t>(d.base()) + d.span(),
+            static_cast<std::uint64_t>(base) + size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpanProperty,
+    testing::Values(1U, 2U, 3U, 4U, 100U, 4095U, 4096U, 4097U, 65536U,
+                    (1U << 20) - 1, 1U << 20, (1U << 20) + 1,
+                    (1U << 20) + 4095, (1U << 20) + 4096, 3U << 20,
+                    (16U << 20) + 123));
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,230 @@
+// Front-end semantic tests: diagnostics for ill-formed programs, loop
+// metadata (nesting, preheaders, bodies), array-symbol registration, and
+// pointer-reassignment tracking — the inputs the Cash pass depends on.
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace cash::frontend {
+namespace {
+
+std::unique_ptr<ir::Module> gen_ok(std::string_view source) {
+  DiagnosticSink diagnostics;
+  auto module = compile_to_ir(source, diagnostics);
+  EXPECT_TRUE(module != nullptr) << diagnostics.to_string();
+  if (module != nullptr) {
+    EXPECT_TRUE(ir::verify(*module).empty());
+  }
+  return module;
+}
+
+std::string gen_error(std::string_view source) {
+  DiagnosticSink diagnostics;
+  auto module = compile_to_ir(source, diagnostics);
+  EXPECT_EQ(module, nullptr) << "expected a compile error";
+  return diagnostics.to_string();
+}
+
+TEST(IrGen, ErrorOnUndeclaredVariable) {
+  EXPECT_NE(gen_error("int main() { return x; }").find("undeclared"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnRedeclaration) {
+  EXPECT_NE(
+      gen_error("int main() { int a; int a; return 0; }").find("redeclaration"),
+      std::string::npos);
+}
+
+TEST(IrGen, InnerScopeMayShadow) {
+  gen_ok("int main() { int a = 1; { int a = 2; } return a; }");
+}
+
+TEST(IrGen, ErrorOnMissingMain) {
+  EXPECT_NE(gen_error("int foo() { return 1; }").find("main"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnAssigningToArray) {
+  EXPECT_NE(gen_error("int a[4]; int main() { a = 0; return 0; }")
+                .find("cannot assign to array"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnBreakOutsideLoop) {
+  EXPECT_NE(gen_error("int main() { break; return 0; }")
+                .find("break outside"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnWrongArgumentCount) {
+  EXPECT_NE(gen_error("int f(int x) { return x; } "
+                      "int main() { return f(1, 2); }")
+                .find("wrong number"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnUnknownFunction) {
+  EXPECT_NE(gen_error("int main() { return nope(); }").find("undeclared"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnIndexingScalar) {
+  EXPECT_NE(gen_error("int main() { int x; return x[0]; }")
+                .find("not an array or pointer"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnVoidValueReturn) {
+  EXPECT_NE(gen_error("void f() { return 1; } int main() { return 0; }")
+                .find("void"),
+            std::string::npos);
+}
+
+TEST(IrGen, ErrorOnFloatBitwise) {
+  EXPECT_NE(gen_error("int main() { float f = 1.0; return 1 & f; }")
+                .find("integer operands"),
+            std::string::npos);
+}
+
+TEST(IrGen, LoopMetadataNesting) {
+  auto module = gen_ok(R"(
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < 4; i++) {
+    while (j < 2) {
+      j++;
+    }
+    for (k = 0; k < 3; k++) {
+      i = i + 0;
+    }
+  }
+  while (i > 0) { i--; }
+  return 0;
+}
+)");
+  const ir::Function* main_fn = module->find_function("main");
+  ASSERT_NE(main_fn, nullptr);
+  ASSERT_EQ(main_fn->loops.size(), 4U);
+  EXPECT_EQ(main_fn->outermost_loops().size(), 2U);
+  int depth2 = 0;
+  for (const ir::Loop& loop : main_fn->loops) {
+    EXPECT_NE(loop.preheader, ir::kNoBlock);
+    EXPECT_NE(loop.header, ir::kNoBlock);
+    EXPECT_FALSE(loop.body.empty());
+    if (loop.depth == 2) {
+      ++depth2;
+      EXPECT_NE(loop.parent, ir::kNoLoop);
+    }
+  }
+  EXPECT_EQ(depth2, 2);
+}
+
+TEST(IrGen, MemoryAccessesCarryArrayRefAndLoopTags) {
+  auto module = gen_ok(R"(
+int a[8];
+int main() {
+  int i;
+  a[0] = 1;
+  for (i = 0; i < 8; i++) {
+    a[i] = i;
+  }
+  return 0;
+}
+)");
+  const ir::Function* main_fn = module->find_function("main");
+  int in_loop = 0;
+  int outside = 0;
+  for (const auto& block : main_fn->blocks) {
+    for (const ir::Instr& instr : block->instrs) {
+      if (instr.op == ir::Opcode::kStore &&
+          instr.array_ref != ir::kNoSymbol) {
+        (instr.loop != ir::kNoLoop ? in_loop : outside)++;
+      }
+    }
+  }
+  EXPECT_EQ(in_loop, 1);
+  EXPECT_EQ(outside, 1);
+}
+
+TEST(IrGen, ArraySymbolsRegisteredForAllKinds) {
+  auto module = gen_ok(R"(
+int g[8];
+int take(int *p) { return p[0]; }
+int main() {
+  int local[4];
+  int *q;
+  q = g;
+  local[0] = take(q) + g[0];
+  return local[0];
+}
+)");
+  const ir::Function* take_fn = module->find_function("take");
+  const ir::Function* main_fn = module->find_function("main");
+  // take: pointer param registered.
+  ASSERT_EQ(take_fn->array_syms.size(), 1U);
+  EXPECT_EQ(take_fn->array_syms[0].kind, ir::ArraySym::Kind::kPointerSlot);
+  // main: local array, pointer q, and the referenced global.
+  bool has_local = false;
+  bool has_ptr = false;
+  bool has_global = false;
+  for (const ir::ArraySym& sym : main_fn->array_syms) {
+    has_local = has_local || sym.kind == ir::ArraySym::Kind::kLocalArray;
+    has_ptr = has_ptr || sym.kind == ir::ArraySym::Kind::kPointerSlot;
+    has_global = has_global || sym.kind == ir::ArraySym::Kind::kGlobalArray;
+  }
+  EXPECT_TRUE(has_local);
+  EXPECT_TRUE(has_ptr);
+  EXPECT_TRUE(has_global);
+}
+
+TEST(IrGen, PointerReassignmentInsideLoopIsRecorded) {
+  auto module = gen_ok(R"(
+int a[8]; int b[8];
+int main() {
+  int *p;
+  int i;
+  p = a;
+  for (i = 0; i < 8; i++) {
+    p[0] = i;
+    p = b;     // re-seats p to a different object: unsafe to hoist
+  }
+  return 0;
+}
+)");
+  const ir::Function* main_fn = module->find_function("main");
+  ASSERT_EQ(main_fn->loops.size(), 1U);
+  EXPECT_EQ(main_fn->loops[0].reassigned_ptrs.size(), 1U);
+}
+
+TEST(IrGen, PointerSteppingIsNotReassignment) {
+  auto module = gen_ok(R"(
+int a[8];
+int main() {
+  int *p;
+  int i;
+  p = a;
+  for (i = 0; i < 8; i++) {
+    p[0] = i;
+    p = p + 1;  // same object: hoisting stays legal
+    p++;
+  }
+  return 0;
+}
+)");
+  const ir::Function* main_fn = module->find_function("main");
+  ASSERT_EQ(main_fn->loops.size(), 1U);
+  EXPECT_TRUE(main_fn->loops[0].reassigned_ptrs.empty());
+}
+
+TEST(IrGen, PrinterProducesText) {
+  auto module = gen_ok("int main() { return 1 + 2; }");
+  const std::string text = ir::to_text(*module);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+} // namespace
+} // namespace cash::frontend

@@ -1,0 +1,200 @@
+// Tests of the CFG analyses: reverse post-order, dominators, natural loops
+// — and the cross-check that dominator-derived natural loops agree with the
+// front end's syntactic loop records on real programs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frontend/irgen.hpp"
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "ir/natural_loops.hpp"
+#include "ir/verifier.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash::ir {
+namespace {
+
+// Builds a small diamond-with-loop CFG by hand:
+//   entry -> header; header -> body | exit; body -> header
+Function make_loop_function() {
+  Function f;
+  f.name = "hand";
+  BasicBlock& entry = f.new_block("entry");
+  BasicBlock& header = f.new_block("header");
+  BasicBlock& body = f.new_block("body");
+  BasicBlock& exit = f.new_block("exit");
+  f.entry = entry.id;
+
+  const Reg cond = f.new_reg();
+  Instr c;
+  c.op = Opcode::kConstInt;
+  c.dst = cond;
+  c.int_imm = 1;
+  entry.instrs.push_back(c);
+  Instr j;
+  j.op = Opcode::kJump;
+  j.target0 = header.id;
+  entry.instrs.push_back(j);
+
+  Instr br;
+  br.op = Opcode::kBranch;
+  br.src0 = cond;
+  br.target0 = body.id;
+  br.target1 = exit.id;
+  header.instrs.push_back(br);
+
+  Instr back;
+  back.op = Opcode::kJump;
+  back.target0 = header.id;
+  body.instrs.push_back(back);
+
+  Instr ret;
+  ret.op = Opcode::kRet;
+  exit.instrs.push_back(ret);
+  return f;
+}
+
+TEST(Cfg, EdgesAndRpo) {
+  const Function f = make_loop_function();
+  const Cfg cfg(f);
+  EXPECT_EQ(cfg.successors(0), (std::vector<BlockId>{1}));
+  EXPECT_EQ(cfg.successors(1), (std::vector<BlockId>{2, 3}));
+  EXPECT_EQ(cfg.predecessors(1), (std::vector<BlockId>{0, 2}));
+  const std::vector<BlockId> rpo = cfg.reverse_post_order();
+  ASSERT_EQ(rpo.size(), 4U);
+  EXPECT_EQ(rpo.front(), 0);
+  // header precedes both its successors in RPO.
+  auto pos = [&](BlockId b) {
+    return std::find(rpo.begin(), rpo.end(), b) - rpo.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+}
+
+TEST(Dominators, LoopDiamond) {
+  const Function f = make_loop_function();
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  EXPECT_EQ(dom.idom(1), 0);
+  EXPECT_EQ(dom.idom(2), 1);
+  EXPECT_EQ(dom.idom(3), 1);
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_TRUE(dom.dominates(1, 2));
+  EXPECT_FALSE(dom.dominates(2, 3));
+  EXPECT_TRUE(dom.dominates(2, 2));
+}
+
+TEST(NaturalLoops, FindsTheBackEdgeLoop) {
+  const Function f = make_loop_function();
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const auto loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(loops[0].header, 1);
+  EXPECT_EQ(loops[0].body, (std::vector<BlockId>{1, 2}));
+}
+
+TEST(NaturalLoops, UnreachableBlocksAreIgnored) {
+  Function f = make_loop_function();
+  BasicBlock& island = f.new_block("island");
+  Instr j;
+  j.op = Opcode::kJump;
+  j.target0 = island.id;
+  island.instrs.push_back(j); // self loop, but unreachable
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const auto loops = find_natural_loops(cfg, dom);
+  EXPECT_EQ(loops.size(), 1U); // only the reachable loop
+}
+
+// The strongest loop test: on every workload program, the CFG-derived
+// natural loops must correspond 1:1 with the front end's syntactic records
+// (same headers, and each syntactic body contained in the natural body).
+class LoopAgreement : public testing::TestWithParam<int> {};
+
+TEST_P(LoopAgreement, SyntacticMatchesNaturalLoops) {
+  std::vector<workloads::Workload> all;
+  for (const auto& w : workloads::micro_suite()) all.push_back(w);
+  for (const auto& w : workloads::macro_suite()) all.push_back(w);
+  for (const auto& w : workloads::network_suite()) all.push_back(w);
+  const workloads::Workload& w = all[static_cast<std::size_t>(GetParam())];
+
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(w.source, diagnostics);
+  ASSERT_NE(module, nullptr) << w.name << ": " << diagnostics.to_string();
+
+  for (const auto& function : module->functions) {
+    const Cfg cfg(*function);
+    const DominatorTree dom(cfg);
+    const auto natural = find_natural_loops(cfg, dom);
+
+    ASSERT_EQ(natural.size(), function->loops.size())
+        << w.name << "/" << function->name;
+    std::set<BlockId> natural_headers;
+    for (const auto& loop : natural) {
+      natural_headers.insert(loop.header);
+    }
+    for (const Loop& syntactic : function->loops) {
+      EXPECT_TRUE(natural_headers.count(syntactic.header))
+          << w.name << "/" << function->name << ": syntactic header "
+          << syntactic.header << " is no natural-loop header";
+      // Every natural-loop block must be inside the syntactic body. (The
+      // converse does not hold: a block ending in `break` is syntactically
+      // inside the loop but cannot reach the back edge.)
+      for (const auto& loop : natural) {
+        if (loop.header != syntactic.header) {
+          continue;
+        }
+        const std::set<BlockId> body(syntactic.body.begin(),
+                                     syntactic.body.end());
+        for (BlockId b : loop.body) {
+          EXPECT_TRUE(body.count(b))
+              << w.name << "/" << function->name << ": natural-loop block "
+              << b << " missing from the syntactic body";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, LoopAgreement, testing::Range(0, 18));
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Function f;
+  f.name = "bad";
+  BasicBlock& entry = f.new_block("entry");
+  f.entry = entry.id;
+  Instr c;
+  c.op = Opcode::kConstInt;
+  c.dst = f.new_reg();
+  entry.instrs.push_back(c); // no terminator
+  EXPECT_FALSE(verify(f).empty());
+}
+
+TEST(Verifier, CatchesBadBranchTarget) {
+  Function f;
+  f.name = "bad";
+  BasicBlock& entry = f.new_block("entry");
+  f.entry = entry.id;
+  Instr j;
+  j.op = Opcode::kJump;
+  j.target0 = 99;
+  entry.instrs.push_back(j);
+  EXPECT_FALSE(verify(f).empty());
+}
+
+TEST(Verifier, CatchesRegisterOutOfRange) {
+  Function f;
+  f.name = "bad";
+  BasicBlock& entry = f.new_block("entry");
+  f.entry = entry.id;
+  Instr r;
+  r.op = Opcode::kRet;
+  r.src0 = 5; // next_reg is 0
+  entry.instrs.push_back(r);
+  EXPECT_FALSE(verify(f).empty());
+}
+
+} // namespace
+} // namespace cash::ir

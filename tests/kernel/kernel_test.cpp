@@ -1,0 +1,120 @@
+// Tests of the simulated kernel: LDT management through the two entry
+// points, their cycle costs, and the Section 3.8 security invariants.
+#include <gtest/gtest.h>
+
+#include "common/costs.hpp"
+#include "kernel/kernel_sim.hpp"
+
+namespace cash::kernel {
+namespace {
+
+using x86seg::SegmentDescriptor;
+
+TEST(KernelSim, GdtHasFlatSegments) {
+  KernelSim kern;
+  auto user_data = kern.gdt().lookup(flat_user_data_selector());
+  ASSERT_TRUE(user_data.ok());
+  EXPECT_EQ(user_data.value().base(), 0U);
+  EXPECT_EQ(user_data.value().span(), 1ULL << 32);
+  EXPECT_EQ(user_data.value().dpl(), 3);
+}
+
+TEST(KernelSim, ModifyLdtCosts781Cycles) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(
+      kern.modify_ldt(pid, 1, SegmentDescriptor::for_array(0x1000, 64)).ok());
+  EXPECT_EQ(kern.account(pid).kernel_cycles, costs::kModifyLdtSyscall);
+  EXPECT_EQ(kern.account(pid).modify_ldt_calls, 1U);
+}
+
+TEST(KernelSim, CallGateCosts253Cycles) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(pid).ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(pid, 1, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+  EXPECT_EQ(kern.account(pid).kernel_cycles, costs::kCallGate);
+  EXPECT_EQ(kern.account(pid).call_gate_calls, 1U);
+}
+
+TEST(KernelSim, CallGateWithoutInstallFaults) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  EXPECT_FALSE(
+      kern.cash_modify_ldt(pid, 1, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+}
+
+TEST(KernelSim, GateInstallsCallGateAtEntry0) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(pid).ok());
+  auto raw = kern.ldt(pid).read_raw(0);
+  ASSERT_TRUE(raw.ok());
+  auto decoded = SegmentDescriptor::decode(raw.value());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind(), x86seg::DescriptorKind::kCallGate);
+}
+
+TEST(KernelSim, SecurityRefusesCallGateInstallation) {
+  // Section 3.8: cash_modify_ldt guarantees no call gate can be created.
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(pid).ok());
+  EXPECT_FALSE(
+      kern.cash_modify_ldt(pid, 7,
+                           SegmentDescriptor::call_gate(0x08, 0xC0100000, 3, 0))
+          .ok());
+  EXPECT_FALSE(kern.modify_ldt(pid, 7,
+                               SegmentDescriptor::call_gate(0x08, 0, 3, 0))
+                   .ok());
+}
+
+TEST(KernelSim, SecurityRefusesPrivilegedSegments) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(pid).ok());
+  EXPECT_FALSE(
+      kern.cash_modify_ldt(
+              pid, 7, SegmentDescriptor::byte_granular_data(0, 64, true, 0))
+          .ok());
+}
+
+TEST(KernelSim, SecurityRefusesEntry0Overwrite) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(pid).ok());
+  EXPECT_FALSE(
+      kern.cash_modify_ldt(pid, 0, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+}
+
+TEST(KernelSim, ProcessesHaveIndependentLdts) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 3, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+  EXPECT_EQ(kern.ldt(a).present_count(), 2U); // gate + array
+  EXPECT_EQ(kern.ldt(b).present_count(), 0U);
+}
+
+TEST(KernelSim, UnknownPidThrows) {
+  KernelSim kern;
+  EXPECT_THROW(kern.ldt(99), std::invalid_argument);
+  EXPECT_THROW((void)kern.account(99), std::invalid_argument);
+}
+
+TEST(KernelSim, DestroyProcessReleasesState) {
+  KernelSim kern;
+  const Pid pid = kern.create_process();
+  kern.destroy_process(pid);
+  EXPECT_THROW(kern.ldt(pid), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cash::kernel

@@ -1,0 +1,112 @@
+// Netsim harness tests: the fork-inheritance measurement model, request
+// variation, determinism, and penalty computation.
+#include <gtest/gtest.h>
+
+#include "netsim/netsim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash::netsim {
+namespace {
+
+constexpr const char* kTinyServer = R"(
+int table[64];
+int server_init() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    table[i] = i * 3;
+  }
+  return 0;
+}
+int handle_request() {
+  int buf[16];
+  int i; int n; int s;
+  n = rand() % 12 + 4;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i] = table[(i * 7) % 64];
+    s = s + buf[i];
+  }
+  return s;
+}
+int main() {
+  server_init();
+  return handle_request();
+}
+)";
+
+CompileResult compile_mode(passes::CheckMode mode) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  return compile(kTinyServer, options);
+}
+
+TEST(Netsim, MeasuresPositiveLatencyAndThroughput) {
+  CompileResult program = compile_mode(passes::CheckMode::kNoCheck);
+  ASSERT_TRUE(program.ok()) << program.error;
+  const ServerMetrics m = serve_requests(*program.program, 100);
+  EXPECT_EQ(m.requests, 100);
+  EXPECT_GT(m.mean_latency_cycles, 0);
+  EXPECT_GT(m.throughput_rps, 0);
+  // Throughput can never exceed 1/latency (fork overhead only adds time).
+  EXPECT_LE(m.throughput_rps, kClockHz / m.mean_latency_cycles * 1.0001);
+}
+
+TEST(Netsim, DeterministicAcrossRuns) {
+  CompileResult program = compile_mode(passes::CheckMode::kNoCheck);
+  ASSERT_TRUE(program.ok());
+  const ServerMetrics a = serve_requests(*program.program, 50);
+  const ServerMetrics b = serve_requests(*program.program, 50);
+  EXPECT_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+}
+
+TEST(Netsim, SeedBaseVariesTheRequestMix) {
+  CompileResult program = compile_mode(passes::CheckMode::kNoCheck);
+  ASSERT_TRUE(program.ok());
+  const ServerMetrics a = serve_requests(*program.program, 50, 1);
+  const ServerMetrics b = serve_requests(*program.program, 50, 5000);
+  EXPECT_NE(a.mean_latency_cycles, b.mean_latency_cycles);
+}
+
+TEST(Netsim, CashCostsMoreThanBaselineButLittle) {
+  CompileResult gcc = compile_mode(passes::CheckMode::kNoCheck);
+  CompileResult cash_p = compile_mode(passes::CheckMode::kCash);
+  ASSERT_TRUE(gcc.ok() && cash_p.ok());
+  const ServerMetrics base = serve_requests(*gcc.program, 200);
+  const ServerMetrics cash_m = serve_requests(*cash_p.program, 200);
+  EXPECT_GT(cash_m.mean_latency_cycles, base.mean_latency_cycles);
+  // The per-request segment churn is served by the 3-entry cache.
+  EXPECT_GT(cash_m.cache_hits, 0U);
+  const double penalty =
+      penalty_pct(base.mean_latency_cycles, cash_m.mean_latency_cycles);
+  EXPECT_LT(penalty, 40.0);
+}
+
+TEST(Netsim, PenaltyHelper) {
+  EXPECT_DOUBLE_EQ(penalty_pct(100.0, 110.0), 10.0);
+  EXPECT_DOUBLE_EQ(penalty_pct(0.0, 5.0), 0.0);
+}
+
+TEST(Netsim, MissingHandlerThrows) {
+  CompileOptions options;
+  CompileResult program = compile("int main() { return 0; }", options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_THROW((void)serve_requests(*program.program, 1),
+               std::runtime_error);
+}
+
+TEST(Netsim, EveryNetworkAppServesRequestsInBothModes) {
+  for (const auto& w : workloads::network_suite()) {
+    for (passes::CheckMode mode :
+         {passes::CheckMode::kNoCheck, passes::CheckMode::kCash}) {
+      CompileOptions options;
+      options.lower.mode = mode;
+      CompileResult program = compile(w.source, options);
+      ASSERT_TRUE(program.ok()) << w.name << ": " << program.error;
+      const ServerMetrics m = serve_requests(*program.program, 25);
+      EXPECT_GT(m.mean_latency_cycles, 0) << w.name;
+    }
+  }
+}
+
+} // namespace
+} // namespace cash::netsim

@@ -1,0 +1,260 @@
+// Lowering-pass tests: FCFS segment register allocation, preheader
+// placement of hoisted segment loads, software fallback for spilled and
+// re-seated arrays, security-only mode, and BCC check placement.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "frontend/irgen.hpp"
+#include "ir/verifier.hpp"
+#include "passes/array_use.hpp"
+#include "passes/lower.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash::passes {
+namespace {
+
+std::unique_ptr<ir::Module> gen(const char* source) {
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(source, diagnostics);
+  EXPECT_NE(module, nullptr) << diagnostics.to_string();
+  return module;
+}
+
+constexpr const char* kThreeArrays = R"(
+int a[8]; int b[8]; int c[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    c[i] = a[i] + b[i];
+  }
+  return 0;
+}
+)";
+
+TEST(ArrayUse, FcfsOrderFollowsFirstAccess) {
+  auto module = gen(kThreeArrays);
+  const ir::Function* main_fn = module->find_function("main");
+  const auto uses = analyze_loops(*main_fn);
+  ASSERT_EQ(uses.size(), 1U);
+  // a is read first, then b, then c is written.
+  ASSERT_EQ(uses[0].arrays.size(), 3U);
+  const ir::ArraySym* first = main_fn->find_array_sym(uses[0].arrays[0]);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name, "a");
+  EXPECT_EQ(main_fn->find_array_sym(uses[0].arrays[1])->name, "b");
+  EXPECT_EQ(main_fn->find_array_sym(uses[0].arrays[2])->name, "c");
+}
+
+TEST(CashLower, AssignsEsFsGsInFcfsOrder) {
+  auto module = gen(kThreeArrays);
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  const LowerStats stats = lower_function(*main_fn, options);
+  EXPECT_EQ(stats.hw_checks, 3U);
+  EXPECT_EQ(stats.sw_checks, 0U);
+  EXPECT_TRUE(ir::verify(*main_fn).empty());
+
+  // Find the segment assigned per array name via the seg loads.
+  std::map<std::string, int> assignment;
+  for (const auto& block : main_fn->blocks) {
+    for (const ir::Instr& instr : block->instrs) {
+      if (instr.op == ir::Opcode::kSegLoad) {
+        assignment[main_fn->find_array_sym(instr.array_ref)->name] =
+            instr.seg;
+      }
+    }
+  }
+  ASSERT_EQ(assignment.size(), 3U);
+  EXPECT_EQ(assignment["a"], static_cast<int>(x86seg::SegReg::kEs));
+  EXPECT_EQ(assignment["b"], static_cast<int>(x86seg::SegReg::kFs));
+  EXPECT_EQ(assignment["c"], static_cast<int>(x86seg::SegReg::kGs));
+  EXPECT_EQ(main_fn->used_seg_regs.size(), 3U);
+}
+
+TEST(CashLower, SegLoadsLandInThePreheader) {
+  auto module = gen(kThreeArrays);
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  (void)lower_function(*main_fn, options);
+  ASSERT_EQ(main_fn->loops.size(), 1U);
+  const ir::BasicBlock& preheader =
+      main_fn->block(main_fn->loops[0].preheader);
+  int seg_loads = 0;
+  for (const ir::Instr& instr : preheader.instrs) {
+    seg_loads += instr.op == ir::Opcode::kSegLoad;
+  }
+  EXPECT_EQ(seg_loads, 3);
+  // And none inside the loop body.
+  for (ir::BlockId b : main_fn->loops[0].body) {
+    for (const ir::Instr& instr : main_fn->block(b).instrs) {
+      EXPECT_NE(instr.op, ir::Opcode::kSegLoad);
+    }
+  }
+  // The preheader still ends with its terminator.
+  EXPECT_NE(preheader.terminator(), nullptr);
+}
+
+TEST(CashLower, FourthArraySpillsToSoftware) {
+  auto module = gen(R"(
+int a[8]; int b[8]; int c[8]; int d[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    d[i] = a[i] + b[i] + c[i];
+  }
+  return 0;
+}
+)");
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  options.num_seg_regs = 3;
+  const LowerStats stats = lower_function(*main_fn, options);
+  EXPECT_EQ(stats.hw_checks, 3U);
+  EXPECT_EQ(stats.sw_checks, 1U); // d spills
+  EXPECT_EQ(stats.spilled_outer_loops, 1U);
+
+  // With 4 registers d gets SS and nothing spills.
+  auto module4 = gen(R"(
+int a[8]; int b[8]; int c[8]; int d[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    d[i] = a[i] + b[i] + c[i];
+  }
+  return 0;
+}
+)");
+  ir::Function* main4 = module4->find_function("main");
+  options.num_seg_regs = 4;
+  const LowerStats stats4 = lower_function(*main4, options);
+  EXPECT_EQ(stats4.sw_checks, 0U);
+  bool uses_ss = false;
+  for (std::int8_t reg : main4->used_seg_regs) {
+    uses_ss = uses_ss || reg == static_cast<int>(x86seg::SegReg::kSs);
+  }
+  EXPECT_TRUE(uses_ss);
+}
+
+TEST(CashLower, RefsOutsideLoopsStayUnchecked) {
+  auto module = gen(R"(
+int a[8];
+int main() {
+  a[0] = 1;
+  a[1] = 2;
+  return a[0];
+}
+)");
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  const LowerStats stats = lower_function(*main_fn, options);
+  EXPECT_EQ(stats.hw_checks, 0U);
+  EXPECT_EQ(stats.sw_checks, 0U);
+  EXPECT_EQ(stats.unchecked_refs, 3U);
+}
+
+TEST(CashLower, ReseatedPointerSpillsToSoftware) {
+  auto module = gen(R"(
+int a[8]; int b[8];
+int main() {
+  int *p;
+  int i;
+  p = a;
+  for (i = 0; i < 8; i++) {
+    p[0] = i;
+    p = b;
+  }
+  return 0;
+}
+)");
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  const LowerStats stats = lower_function(*main_fn, options);
+  // p's object changes mid-loop: its reference must be software-checked.
+  EXPECT_EQ(stats.sw_checks, 1U);
+}
+
+TEST(CashLower, SecurityOnlyModeSkipsReadChecks) {
+  auto module = gen(kThreeArrays);
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kCash;
+  options.check_reads = false;
+  const LowerStats stats = lower_function(*main_fn, options);
+  // Only the store to c is checked; reads of a and b are left alone and
+  // only one segment register is consumed.
+  EXPECT_EQ(stats.hw_checks, 1U);
+  EXPECT_EQ(stats.unchecked_refs, 2U);
+  EXPECT_EQ(main_fn->used_seg_regs.size(), 1U);
+}
+
+TEST(BccLower, ChecksEveryArrayRefIncludingOutsideLoops) {
+  auto module = gen(R"(
+int a[8];
+int main() {
+  int i;
+  a[0] = 1;
+  for (i = 0; i < 8; i++) {
+    a[i] = a[i] + 1;
+  }
+  return a[7];
+}
+)");
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kBcc;
+  const LowerStats stats = lower_function(*main_fn, options);
+  EXPECT_EQ(stats.sw_checks, 4U); // store, load+store in loop, final load
+  EXPECT_TRUE(ir::verify(*main_fn).empty());
+
+  // Each check instruction directly precedes its access and shares the
+  // address register.
+  for (const auto& block : main_fn->blocks) {
+    for (std::size_t i = 0; i < block->instrs.size(); ++i) {
+      if (block->instrs[i].op == ir::Opcode::kBoundCheckSw) {
+        ASSERT_LT(i + 1, block->instrs.size());
+        const ir::Instr& next = block->instrs[i + 1];
+        EXPECT_TRUE(next.is_memory_access());
+        EXPECT_EQ(next.src0, block->instrs[i].src0);
+      }
+    }
+  }
+}
+
+TEST(Lower, NoCheckLeavesEverythingUnchecked) {
+  auto module = gen(kThreeArrays);
+  ir::Function* main_fn = module->find_function("main");
+  LowerOptions options;
+  options.mode = CheckMode::kNoCheck;
+  const LowerStats stats = lower_function(*main_fn, options);
+  EXPECT_EQ(stats.hw_checks, 0U);
+  EXPECT_EQ(stats.sw_checks, 0U);
+  EXPECT_EQ(stats.unchecked_refs, 3U);
+}
+
+TEST(CodeSize, ModesAreOrdered) {
+  for (const char* source : {kThreeArrays}) {
+    auto compile_mode = [&](CheckMode mode) {
+      CompileOptions options;
+      options.lower.mode = mode;
+      CompileResult compiled = compile(source, options);
+      EXPECT_TRUE(compiled.ok());
+      return compiled.program->code_size().total_bytes;
+    };
+    const auto gcc = compile_mode(CheckMode::kNoCheck);
+    const auto cash_size = compile_mode(CheckMode::kCash);
+    const auto bcc = compile_mode(CheckMode::kBcc);
+    const auto bound = compile_mode(CheckMode::kBoundInsn);
+    EXPECT_LT(gcc, cash_size);
+    EXPECT_LT(cash_size, bcc);
+    EXPECT_LT(bound, bcc); // bound insn is shorter than the 6-insn sequence
+    EXPECT_GT(bound, gcc);
+  }
+}
+
+} // namespace
+} // namespace cash::passes

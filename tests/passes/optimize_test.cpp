@@ -1,0 +1,203 @@
+// Optimiser tests: semantics preservation (especially the signed div/rem
+// strength reduction around negative operands), hoisting, CSE and DCE
+// effectiveness, and cycle-count reductions.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "frontend/irgen.hpp"
+#include "passes/optimize.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+vm::RunResult run_src(const std::string& source, bool optimize) {
+  CompileOptions options;
+  options.lower.mode = CheckMode::kNoCheck;
+  options.optimize = optimize;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  vm::RunResult run = compiled.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  return run;
+}
+
+void expect_same_output_less_cycles(const std::string& source,
+                                    bool strictly_fewer = true) {
+  const vm::RunResult raw = run_src(source, false);
+  const vm::RunResult opt = run_src(source, true);
+  EXPECT_EQ(raw.output, opt.output);
+  EXPECT_EQ(raw.exit_code, opt.exit_code);
+  if (strictly_fewer) {
+    EXPECT_LT(opt.cycles, raw.cycles);
+  } else {
+    EXPECT_LE(opt.cycles, raw.cycles);
+  }
+}
+
+TEST(Optimizer, SignedDivRemByPowerOfTwoMatchesCSemantics) {
+  // Exhaustively compare x / C and x % C against the interpreter's own
+  // unoptimised idiv path for negative, zero and positive operands.
+  const char* source = R"(
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0 - 37; i <= 37; i++) {
+    acc = acc * 3 + i / 8 + i % 8 + i / 2 + i % 16;
+    print_int(i / 8);
+    print_int(i % 8);
+  }
+  return acc;
+}
+)";
+  const vm::RunResult raw = run_src(source, false);
+  const vm::RunResult opt = run_src(source, true);
+  EXPECT_EQ(raw.output, opt.output);
+  EXPECT_EQ(raw.exit_code, opt.exit_code);
+  EXPECT_LT(opt.cycles, raw.cycles); // idiv 24 -> ~5 ops
+}
+
+TEST(Optimizer, MulByPowerOfTwoBecomesShift) {
+  expect_same_output_less_cycles(R"(
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 100; i++) {
+    s = s + i * 16 + i * 1;
+  }
+  print_int(s);
+  return 0;
+}
+)");
+}
+
+TEST(Optimizer, LoopInvariantAddressComputationIsHoisted) {
+  // i*N inside the k-loop is invariant; without LICM it costs a multiply
+  // per iteration.
+  expect_same_output_less_cycles(R"(
+int a[64];
+int main() {
+  int i; int k; int s = 0;
+  for (i = 0; i < 8; i++) {
+    for (k = 0; k < 8; k++) {
+      s = s + a[i * 8 + k];
+    }
+  }
+  print_int(s);
+  return 0;
+}
+)");
+}
+
+TEST(Optimizer, CseRemovesRepeatedSubexpressions) {
+  expect_same_output_less_cycles(R"(
+int a[16];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) {
+    a[i * 3 % 16] = a[i * 3 % 16] + 1;
+    s = s + a[i * 3 % 16];
+  }
+  print_int(s);
+  return 0;
+}
+)");
+}
+
+TEST(Optimizer, DivByZeroStillFaultsAfterOptimization) {
+  const char* source = R"(
+int main() {
+  int x = 4;
+  int y = 0;
+  return x / y;
+}
+)";
+  CompileOptions options;
+  options.lower.mode = CheckMode::kNoCheck;
+  CompileResult compiled = compile(source, options);
+  ASSERT_TRUE(compiled.ok());
+  const vm::RunResult run = compiled.program->run();
+  EXPECT_FALSE(run.ok);
+  ASSERT_TRUE(run.fault.has_value());
+  EXPECT_EQ(run.fault->kind, FaultKind::kInvalidOpcode);
+}
+
+TEST(Optimizer, DivInsideConditionalIsNotHoistedSpeculatively) {
+  // The division only executes when safe; LICM must not move it to the
+  // preheader where it would fault.
+  const char* source = R"(
+int main() {
+  int i; int d = 0; int s = 0;
+  for (i = 0; i < 10; i++) {
+    if (d != 0) {
+      s = s + 100 / d;
+    }
+  }
+  print_int(s);
+  return 0;
+}
+)";
+  const vm::RunResult opt = run_src(source, true);
+  EXPECT_EQ(opt.output, "0\n");
+}
+
+TEST(Optimizer, PointerHoistKeepsShadowInfoIntact) {
+  // Hoisting kAddrLocal/kAddrGlobal must not lose the bound metadata —
+  // the Cash check still fires.
+  const char* source = R"(
+int buf[8];
+int main() {
+  int i;
+  for (i = 0; i < 12; i++) {
+    buf[i] = i;
+  }
+  return 0;
+}
+)";
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  CompileResult compiled = compile(source, options);
+  ASSERT_TRUE(compiled.ok());
+  const vm::RunResult run = compiled.program->run();
+  EXPECT_FALSE(run.ok);
+  EXPECT_TRUE(run.bound_violation());
+}
+
+TEST(Optimizer, ReportsWorkDone) {
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(R"(
+int a[64];
+int main() {
+  int i; int k; int s = 0;
+  for (i = 0; i < 8; i++) {
+    for (k = 0; k < 8; k++) {
+      s = s + a[i * 8 + k] * 4;
+    }
+  }
+  return s;
+}
+)",
+                                        diagnostics);
+  ASSERT_NE(module, nullptr);
+  const passes::OptStats stats = passes::optimize_module(*module);
+  EXPECT_GT(stats.strength_reduced, 0U);
+  EXPECT_GT(stats.hoisted, 0U);
+  EXPECT_GT(stats.dead_removed, 0U);
+}
+
+TEST(Optimizer, WorkloadChecksumsUnchanged) {
+  // The macro workloads must compute identical results with and without
+  // optimisation — a broad semantics-preservation sweep.
+  for (const auto& w : workloads::macro_suite()) {
+    if (w.name != "Gif2png" && w.name != "RayLab") {
+      continue; // two representative apps keep this test fast
+    }
+    const vm::RunResult raw = run_src(w.source, false);
+    const vm::RunResult opt = run_src(w.source, true);
+    EXPECT_EQ(raw.output, opt.output) << w.name;
+  }
+}
+
+} // namespace
+} // namespace cash

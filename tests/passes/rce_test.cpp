@@ -1,0 +1,117 @@
+// Tests of Gupta-style redundant check elimination (related work [15,16]):
+// a second check of the same, unmodified address register in a block is
+// dropped — without weakening detection.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+// a[i] += 1 : the CSE'd address is checked once for the load, and the
+// store's check is provably redundant.
+constexpr const char* kReadModifyWrite = R"(
+int a[32];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 32; i++) {
+    a[i] = a[i] + 1;
+  }
+  for (i = 0; i < 32; i++) {
+    s = s + a[i];
+  }
+  return s;
+}
+)";
+
+CompileResult compile_rce(const char* source, bool rce,
+                          CheckMode mode = CheckMode::kBcc) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  options.lower.eliminate_redundant_checks = rce;
+  return compile(source, options);
+}
+
+TEST(Rce, DropsTheSecondCheckOfAReadModifyWrite) {
+  CompileResult plain = compile_rce(kReadModifyWrite, false);
+  CompileResult rce = compile_rce(kReadModifyWrite, true);
+  ASSERT_TRUE(plain.ok() && rce.ok());
+  EXPECT_EQ(plain.program->lower_stats().redundant_eliminated, 0U);
+  EXPECT_GT(rce.program->lower_stats().redundant_eliminated, 0U);
+  EXPECT_LT(rce.program->lower_stats().sw_checks,
+            plain.program->lower_stats().sw_checks);
+
+  const vm::RunResult a = plain.program->run();
+  const vm::RunResult b = rce.program->run();
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_LT(b.cycles, a.cycles);
+}
+
+TEST(Rce, DetectionIsPreserved) {
+  constexpr const char* kOverflow = R"(
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 12; i++) {
+    a[i] = a[i] + 1;
+  }
+  return 0;
+}
+)";
+  for (CheckMode mode : {CheckMode::kBcc, CheckMode::kBoundInsn}) {
+    CompileResult rce = compile_rce(kOverflow, true, mode);
+    ASSERT_TRUE(rce.ok());
+    const vm::RunResult r = rce.program->run();
+    EXPECT_FALSE(r.ok) << to_string(mode);
+    ASSERT_TRUE(r.fault.has_value());
+    EXPECT_TRUE(r.bound_violation());
+  }
+}
+
+TEST(Rce, RedefinedAddressIsCheckedAgain) {
+  // Two different elements in the same block: both checks must stay.
+  constexpr const char* kTwoElems = R"(
+int a[16];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    a[i] = 1;
+    a[i + 8] = 2;
+  }
+  return 0;
+}
+)";
+  CompileResult rce = compile_rce(kTwoElems, true);
+  ASSERT_TRUE(rce.ok());
+  EXPECT_EQ(rce.program->lower_stats().redundant_eliminated, 0U);
+  EXPECT_EQ(rce.program->lower_stats().sw_checks, 2U);
+}
+
+TEST(Rce, WorksForShadowModeToo) {
+  CompileResult plain =
+      compile_rce(kReadModifyWrite, false, CheckMode::kShadow);
+  CompileResult rce = compile_rce(kReadModifyWrite, true, CheckMode::kShadow);
+  ASSERT_TRUE(plain.ok() && rce.ok());
+  const vm::RunResult a = plain.program->run();
+  const vm::RunResult b = rce.program->run();
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_LT(b.shadow_cycles, a.shadow_cycles);
+}
+
+TEST(Rce, NeverAppliedToCashHardwareChecks) {
+  // Hardware checks are free — there is nothing to eliminate; the option
+  // must be a no-op for Cash.
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  options.lower.eliminate_redundant_checks = true;
+  CompileResult compiled = compile(kReadModifyWrite, options);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.program->lower_stats().redundant_eliminated, 0U);
+  EXPECT_GT(compiled.program->lower_stats().hw_checks, 0U);
+}
+
+} // namespace
+} // namespace cash

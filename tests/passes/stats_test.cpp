@@ -1,0 +1,137 @@
+// Tests of the static program-statistics and code-size models feeding
+// Tables 2/4/6/7.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "frontend/irgen.hpp"
+#include "passes/code_size.hpp"
+#include "passes/program_stats.hpp"
+
+namespace cash::passes {
+namespace {
+
+constexpr const char* kSample = R"(
+int a[8]; int b[8]; int c[8]; int d[8];
+int helper(int x) {
+  int i; int s = 0;
+  for (i = 0; i < x; i++) {
+    s = s + a[i % 8];
+  }
+  return s;
+}
+int main() {
+  int i; int j; int s = 0;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      d[j] = a[j] + b[j] + c[j];
+    }
+  }
+  for (i = 0; i < 4; i++) {
+    s = s + 1;
+  }
+  return s + helper(5);
+}
+)";
+
+TEST(ProgramStats, CountsLoopsAndBudget) {
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(kSample, diagnostics);
+  ASSERT_NE(module, nullptr) << diagnostics.to_string();
+  const ProgramStats stats = compute_program_stats(*module, kSample, 3);
+  EXPECT_EQ(stats.total_functions, 2U);
+  EXPECT_EQ(stats.total_loops, 4U);
+  // helper's loop + the i/j nest (both i and j loops see the 4 arrays);
+  // the counting loop uses none.
+  EXPECT_EQ(stats.array_using_loops, 3U);
+  EXPECT_EQ(stats.loops_over_budget, 2U); // i and j loops: 4 distinct arrays
+  EXPECT_EQ(stats.max_arrays_in_loop, 4U);
+  EXPECT_GT(stats.lines_of_code, 15U);
+  EXPECT_GT(stats.total_array_refs, 0U);
+}
+
+TEST(ProgramStats, BudgetOfFourAbsorbsTheNest) {
+  DiagnosticSink diagnostics;
+  auto module = frontend::compile_to_ir(kSample, diagnostics);
+  ASSERT_NE(module, nullptr);
+  const ProgramStats stats = compute_program_stats(*module, kSample, 4);
+  EXPECT_EQ(stats.loops_over_budget, 0U);
+}
+
+TEST(CodeSize, CashAppGrowthComesFromSegmentSetupAndFatPointers) {
+  auto size_for = [&](CheckMode mode) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult compiled = compile(kSample, options);
+    EXPECT_TRUE(compiled.ok());
+    return compiled.program->code_size();
+  };
+  const CodeSize gcc = size_for(CheckMode::kNoCheck);
+  const CodeSize cash_size = size_for(CheckMode::kCash);
+  const CodeSize bcc = size_for(CheckMode::kBcc);
+  // App code grows in both checked modes. (For tiny programs with few
+  // check sites Cash's app-level set-up code can exceed BCC's; it is the
+  // totals — dominated by the recompiled library — that the paper orders.)
+  EXPECT_LT(gcc.app_bytes, cash_size.app_bytes);
+  EXPECT_LT(gcc.app_bytes, bcc.app_bytes);
+  EXPECT_LT(cash_size.total_bytes, bcc.total_bytes);
+  // Library: the recompiled-libc constants dominate, as in the paper.
+  EXPECT_EQ(gcc.library_bytes, kLibraryBytesGcc);
+  EXPECT_EQ(cash_size.library_bytes, kLibraryBytesCash);
+  EXPECT_EQ(bcc.library_bytes, kLibraryBytesBcc);
+  EXPECT_EQ(gcc.total_bytes, gcc.app_bytes + gcc.library_bytes);
+  // Overall percentages land in the paper's bands: Cash ~25-65 %,
+  // BCC ~120-155 %.
+  const double cash_pct =
+      100.0 *
+      (static_cast<double>(cash_size.total_bytes) -
+       static_cast<double>(gcc.total_bytes)) /
+      static_cast<double>(gcc.total_bytes);
+  const double bcc_pct =
+      100.0 *
+      (static_cast<double>(bcc.total_bytes) -
+       static_cast<double>(gcc.total_bytes)) /
+      static_cast<double>(gcc.total_bytes);
+  EXPECT_GT(cash_pct, 20.0);
+  EXPECT_LT(cash_pct, 70.0);
+  EXPECT_GT(bcc_pct, 110.0);
+  EXPECT_LT(bcc_pct, 160.0);
+}
+
+TEST(CodeSize, BccGrowsWithCheckSites) {
+  // More static array references => more 6-instruction sequences => a
+  // bigger BCC binary, while the unchecked build grows much less.
+  const char* few_refs = R"(
+int a[16];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) { s = s + a[i]; }
+  return s;
+}
+)";
+  const char* many_refs = R"(
+int a[16];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) {
+    s = s + a[i] + a[(i+1) % 16] + a[(i+2) % 16] + a[(i+3) % 16]
+          + a[(i+4) % 16] + a[(i+5) % 16] + a[(i+6) % 16] + a[(i+7) % 16];
+  }
+  return s;
+}
+)";
+  auto app_bytes = [&](const char* source, CheckMode mode) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult compiled = compile(source, options);
+    EXPECT_TRUE(compiled.ok());
+    return compiled.program->code_size().app_bytes;
+  };
+  const auto bcc_growth = app_bytes(many_refs, CheckMode::kBcc) -
+                          app_bytes(few_refs, CheckMode::kBcc);
+  const auto gcc_growth = app_bytes(many_refs, CheckMode::kNoCheck) -
+                          app_bytes(few_refs, CheckMode::kNoCheck);
+  EXPECT_GT(bcc_growth, gcc_growth + 7 * 18 - 30); // ~18 B per extra check
+}
+
+} // namespace
+} // namespace cash::passes

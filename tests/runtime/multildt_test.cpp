@@ -1,0 +1,143 @@
+// Tests of the Section 3.4 multi-LDT extension: growing past the 8191-
+// segment ceiling, LDTR switching, and the end-to-end protection-coverage
+// difference against the paper's global-segment fallback.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "runtime/segment_manager.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash::runtime {
+namespace {
+
+TEST(MultiLdt, SegmentManagerGrowsASecondLdt) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  SegmentManager segments(kern, pid, /*max_ldts=*/2);
+  (void)segments.initialize();
+  for (int i = 0; i < 8191; ++i) {
+    const auto alloc = segments.allocate(
+        0x100000 + static_cast<std::uint32_t>(i) * 16, 16);
+    ASSERT_EQ(alloc.ldt_id, 0U) << i;
+  }
+  const auto overflow = segments.allocate(0x9000000, 16);
+  EXPECT_FALSE(overflow.global_fallback);
+  EXPECT_EQ(overflow.ldt_id, 1U);
+  EXPECT_EQ(segments.stats().extra_ldts_created, 1U);
+  EXPECT_EQ(kern.ldt_count(pid), 2U);
+  // The packed selector word carries the LDT id.
+  EXPECT_EQ(overflow.selector_word() >> 16, 1U);
+  EXPECT_EQ(overflow.selector_word() & 0xFFFFU, overflow.selector.raw());
+}
+
+TEST(MultiLdt, ExhaustionOfAllLdtsStillFallsBack) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  SegmentManager segments(kern, pid, /*max_ldts=*/2);
+  (void)segments.initialize();
+  for (int i = 0; i < 2 * 8191; ++i) {
+    const auto alloc = segments.allocate(
+        0x100000 + static_cast<std::uint32_t>(i) * 16, 16);
+    ASSERT_FALSE(alloc.global_fallback) << i;
+  }
+  EXPECT_TRUE(segments.allocate(0x9000000, 16).global_fallback);
+}
+
+TEST(MultiLdt, ReleaseReturnsEntryToTheRightLdt) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  SegmentManager segments(kern, pid, /*max_ldts=*/2);
+  (void)segments.initialize();
+  for (int i = 0; i < 8191; ++i) {
+    (void)segments.allocate(0x100000 + static_cast<std::uint32_t>(i) * 16,
+                            16);
+  }
+  const auto in_second = segments.allocate(0x9000000, 16);
+  ASSERT_EQ(in_second.ldt_id, 1U);
+  (void)segments.release(in_second.ldt_index, 0x9000000, 16,
+                         in_second.ldt_id);
+  // Reallocating the same object hits the cache with the right LDT id.
+  const auto again = segments.allocate(0x9000000, 16);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.ldt_id, 1U);
+}
+
+TEST(MultiLdt, KernelSwitchChargesAndRepoints) {
+  kernel::KernelSim kern;
+  const kernel::Pid pid = kern.create_process();
+  const auto created = kern.create_extra_ldt(pid);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(kern.active_ldt(pid), 0U);
+  ASSERT_TRUE(kern.switch_ldt(pid, created.value()).ok());
+  EXPECT_EQ(kern.active_ldt(pid), 1U);
+  EXPECT_EQ(kern.account(pid).ldt_switches, 1U);
+  EXPECT_FALSE(kern.switch_ldt(pid, 7).ok());
+}
+
+// End-to-end coverage: a program that keeps > 8191 buffers live. The
+// paper's prototype silently stops checking the overflowed late buffer;
+// with two LDTs the overflow is caught.
+constexpr const char* kManyBuffersOverflow = R"(
+int main() {
+  int *p;
+  int i;
+  p = malloc(8);
+  for (i = 0; i < 8250; i++) {
+    p = malloc(8);
+  }
+  for (i = 0; i < 6; i++) {
+    p[i] = i;        // overflows the 2-word buffer at i == 2
+  }
+  return 0;
+}
+)";
+
+vm::RunResult run_with_ldts(const char* source, int max_ldts) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  options.machine.max_ldts = max_ldts;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  return compiled.program->run();
+}
+
+TEST(MultiLdt, SingleLdtMissesOverflowPast8191Segments) {
+  const vm::RunResult r = run_with_ldts(kManyBuffersOverflow, 1);
+  // The late buffer fell back to the global segment: unchecked.
+  EXPECT_TRUE(r.ok) << (r.fault ? r.fault->detail : r.error);
+  EXPECT_GT(r.segment_stats.global_fallbacks, 0U);
+}
+
+TEST(MultiLdt, TwoLdtsCatchTheSameOverflow) {
+  const vm::RunResult r = run_with_ldts(kManyBuffersOverflow, 2);
+  EXPECT_FALSE(r.ok);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_TRUE(r.bound_violation());
+  EXPECT_EQ(r.segment_stats.global_fallbacks, 0U);
+  EXPECT_EQ(r.segment_stats.extra_ldts_created, 1U);
+}
+
+TEST(MultiLdt, InBoundsProgramRunsCleanlyWithTwoLdts) {
+  // Same shape, but the final loop stays within the 2-word buffer; the run
+  // must complete and must have exercised at least one LDTR switch.
+  constexpr const char* kInBounds = R"(
+int main() {
+  int *p;
+  int i;
+  p = malloc(8);
+  for (i = 0; i < 8250; i++) {
+    p = malloc(8);
+  }
+  for (i = 0; i < 2; i++) {
+    p[i] = i;
+  }
+  return 0;
+}
+)";
+  const vm::RunResult r = run_with_ldts(kInBounds, 2);
+  EXPECT_TRUE(r.ok) << (r.fault ? r.fault->detail : r.error);
+  EXPECT_GT(r.kernel_account.ldt_switches, 0U);
+}
+
+} // namespace
+} // namespace cash::runtime

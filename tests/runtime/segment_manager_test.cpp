@@ -1,0 +1,138 @@
+// SegmentManager tests: the user-space free list, the 3-entry recently-
+// freed-segment cache (Section 3.6's third optimisation), LDT exhaustion
+// and the global-segment fallback.
+#include <gtest/gtest.h>
+
+#include "common/costs.hpp"
+#include "runtime/segment_manager.hpp"
+
+namespace cash::runtime {
+namespace {
+
+class SegmentManagerTest : public testing::Test {
+ protected:
+  SegmentManagerTest() : pid_(kernel_.create_process()) {}
+
+  kernel::KernelSim kernel_;
+  kernel::Pid pid_;
+};
+
+TEST_F(SegmentManagerTest, InitializeChargesPerProgramSetup) {
+  SegmentManager segments(kernel_, pid_);
+  EXPECT_EQ(segments.initialize(), costs::kPerProgramSetup);
+  EXPECT_EQ(segments.initialize(), 0U); // idempotent
+}
+
+TEST_F(SegmentManagerTest, FirstAllocationTakesTheCallGate) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  const auto alloc = segments.allocate(0x1000, 256);
+  EXPECT_FALSE(alloc.cache_hit);
+  EXPECT_FALSE(alloc.global_fallback);
+  EXPECT_EQ(alloc.cycles, costs::kPerArraySetup);
+  EXPECT_NE(alloc.ldt_index, 0); // entry 0 is the call gate
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 1U);
+  // The descriptor is really installed.
+  auto installed = kernel_.ldt(pid_).lookup(alloc.selector);
+  ASSERT_TRUE(installed.ok());
+  EXPECT_EQ(installed.value().base(), 0x1000U);
+  EXPECT_EQ(installed.value().span(), 256U);
+}
+
+TEST_F(SegmentManagerTest, ExactMatchHitsTheCache) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  const auto first = segments.allocate(0x1000, 256);
+  (void)segments.release(first.ldt_index, 0x1000, 256);
+  const auto second = segments.allocate(0x1000, 256);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.ldt_index, first.ldt_index);
+  EXPECT_EQ(second.cycles, costs::kSegCacheHit);
+  // No additional kernel entry for the hit.
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 1U);
+}
+
+TEST_F(SegmentManagerTest, DifferentBaseOrLimitMisses) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  const auto first = segments.allocate(0x1000, 256);
+  (void)segments.release(first.ldt_index, 0x1000, 256);
+  const auto different_size = segments.allocate(0x1000, 512);
+  EXPECT_FALSE(different_size.cache_hit);
+  const auto different_base = segments.allocate(0x9000, 256);
+  EXPECT_FALSE(different_base.cache_hit);
+}
+
+TEST_F(SegmentManagerTest, CacheHoldsThreeMostRecent) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  // Allocate and free four distinct segments a..d.
+  std::uint16_t idx[4];
+  for (int i = 0; i < 4; ++i) {
+    const auto alloc =
+        segments.allocate(0x1000 * (i + 1), 128);
+    idx[i] = alloc.ldt_index;
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)segments.release(idx[i], 0x1000 * (i + 1), 128);
+  }
+  // d, c, b are cached; a was evicted to the free list.
+  EXPECT_TRUE(segments.allocate(0x4000, 128).cache_hit);  // d
+  EXPECT_TRUE(segments.allocate(0x3000, 128).cache_hit);  // c
+  EXPECT_TRUE(segments.allocate(0x2000, 128).cache_hit);  // b
+  EXPECT_FALSE(segments.allocate(0x1000, 128).cache_hit); // a: miss
+}
+
+TEST_F(SegmentManagerTest, ToastPatternGetsSteadyStateHits) {
+  // Three local arrays allocated/freed per call, same bases each time —
+  // after the first call, every allocation hits (the Section 3.6 story).
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  for (int call = 0; call < 10; ++call) {
+    const auto a = segments.allocate(0xA000, 36);
+    const auto b = segments.allocate(0xB000, 36);
+    const auto c = segments.allocate(0xC000, 640);
+    (void)segments.release(a.ldt_index, 0xA000, 36);
+    (void)segments.release(b.ldt_index, 0xB000, 36);
+    (void)segments.release(c.ldt_index, 0xC000, 640);
+  }
+  EXPECT_EQ(segments.stats().alloc_requests, 30U);
+  EXPECT_EQ(segments.stats().cache_hits, 27U); // all but the first three
+}
+
+TEST_F(SegmentManagerTest, ExhaustionFallsBackToGlobalSegment) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  // Consume all 8191 entries.
+  for (int i = 0; i < 8191; ++i) {
+    const auto alloc = segments.allocate(
+        0x100000 + static_cast<std::uint32_t>(i) * 16, 16);
+    ASSERT_FALSE(alloc.global_fallback) << i;
+  }
+  const auto overflow = segments.allocate(0x9000000, 16);
+  EXPECT_TRUE(overflow.global_fallback);
+  EXPECT_EQ(overflow.ldt_index, SegmentManager::kGlobalSegmentIndex);
+  // The fallback selector is the flat user data segment: no protection.
+  EXPECT_EQ(overflow.selector.raw(),
+            kernel::flat_user_data_selector().raw());
+  EXPECT_EQ(segments.stats().global_fallbacks, 1U);
+  EXPECT_EQ(segments.stats().peak_segments, 8191U);
+}
+
+TEST_F(SegmentManagerTest, ReleasingGlobalFallbackIsCheap) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  EXPECT_EQ(segments.release(SegmentManager::kGlobalSegmentIndex, 0, 16), 1U);
+}
+
+TEST_F(SegmentManagerTest, FreeingNeverEntersTheKernel) {
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  const auto alloc = segments.allocate(0x1000, 64);
+  const std::uint64_t gates_before = kernel_.account(pid_).call_gate_calls;
+  (void)segments.release(alloc.ldt_index, 0x1000, 64);
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, gates_before);
+}
+
+} // namespace
+} // namespace cash::runtime

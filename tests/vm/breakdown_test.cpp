@@ -1,0 +1,77 @@
+// Tests of the cycle breakdown: the invariant that `base` cycles — the
+// program's own work — are IDENTICAL across every checking mode for an
+// in-bounds run, with the modes differing only in `checking` and `runtime`.
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "workloads/fuzz.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+vm::RunResult run_mode(const std::string& source, CheckMode mode) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  vm::RunResult run = compiled.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  return run;
+}
+
+TEST(Breakdown, BucketsSumToTotal) {
+  const vm::RunResult r =
+      run_mode(workloads::matmul_source(16), CheckMode::kCash);
+  EXPECT_EQ(r.breakdown.total(), r.cycles);
+  EXPECT_GT(r.breakdown.base, 0U);
+  EXPECT_GT(r.breakdown.runtime, 0U);  // segment set-up happened
+  EXPECT_GT(r.breakdown.checking, 0U); // segment loads happened
+}
+
+TEST(Breakdown, BaseCyclesAreModeInvariant) {
+  for (const std::string& source :
+       {workloads::matmul_source(16), workloads::gauss_source(12),
+        workloads::generate_fuzz_program(3),
+        workloads::generate_fuzz_program(11)}) {
+    const std::uint64_t reference =
+        run_mode(source, CheckMode::kNoCheck).breakdown.base;
+    for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash,
+                           CheckMode::kBoundInsn, CheckMode::kEfence}) {
+      const vm::RunResult r = run_mode(source, mode);
+      EXPECT_EQ(r.breakdown.base, reference)
+          << to_string(mode) << ": the base bucket leaked mode-dependent "
+          << "cycles";
+    }
+  }
+}
+
+TEST(Breakdown, NoCheckModeHasZeroCheckingCycles) {
+  const vm::RunResult r =
+      run_mode(workloads::matmul_source(16), CheckMode::kNoCheck);
+  EXPECT_EQ(r.breakdown.checking, 0U);
+  EXPECT_EQ(r.breakdown.runtime, 0U);
+}
+
+TEST(Breakdown, BccCheckingBucketMatchesCheckCountTimesSix) {
+  const vm::RunResult r =
+      run_mode(workloads::matmul_source(16), CheckMode::kBcc);
+  EXPECT_EQ(r.breakdown.checking, r.counters.sw_checks * 6);
+}
+
+TEST(Breakdown, CashChecksAreSetupNotPerReference) {
+  // The defining Cash property, stated as bucket arithmetic: its checking
+  // bucket scales with loop entries (segment loads), not with the number
+  // of checked references.
+  const vm::RunResult cash_r =
+      run_mode(workloads::matmul_source(24), CheckMode::kCash);
+  ASSERT_GT(cash_r.counters.hw_checked_accesses, 10000U);
+  EXPECT_EQ(cash_r.breakdown.checking, cash_r.counters.seg_reg_loads * 6);
+  EXPECT_LT(cash_r.breakdown.checking,
+            cash_r.counters.hw_checked_accesses / 10);
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,115 @@
+// Validates every micro kernel against its native C++ reference, in each
+// checking mode — an end-to-end correctness check of the whole pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/cash.hpp"
+#include "workloads/reference.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+double run_and_parse(const std::string& source, CheckMode mode) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  if (!compiled.ok()) {
+    return 0.0;
+  }
+  vm::RunResult run = compiled.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  return std::strtod(run.output.c_str(), nullptr);
+}
+
+void expect_near_rel(double expected, double actual, double rel) {
+  const double tolerance =
+      rel * std::max(1.0, std::max(std::abs(expected), std::abs(actual)));
+  EXPECT_NEAR(expected, actual, tolerance);
+}
+
+// Small instances so every mode runs fast; the benches use paper sizes.
+TEST(MicroKernels, MatmulMatchesReferenceAllModes) {
+  const double expected = workloads::reference::matmul(24);
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kBcc,
+                         CheckMode::kCash, CheckMode::kBoundInsn,
+                         CheckMode::kEfence}) {
+    expect_near_rel(expected,
+                    run_and_parse(workloads::matmul_source(24), mode), 1e-4);
+  }
+}
+
+TEST(MicroKernels, GaussMatchesReferenceAllModes) {
+  const double expected = workloads::reference::gauss(24);
+  for (CheckMode mode :
+       {CheckMode::kNoCheck, CheckMode::kBcc, CheckMode::kCash}) {
+    expect_near_rel(expected,
+                    run_and_parse(workloads::gauss_source(24), mode), 1e-4);
+  }
+}
+
+TEST(MicroKernels, Fft2dMatchesReferenceAllModes) {
+  const double expected = workloads::reference::fft2d(16);
+  for (CheckMode mode :
+       {CheckMode::kNoCheck, CheckMode::kBcc, CheckMode::kCash}) {
+    expect_near_rel(expected,
+                    run_and_parse(workloads::fft2d_source(16), mode), 1e-3);
+  }
+}
+
+TEST(MicroKernels, EdgeMatchesReferenceAllModes) {
+  const double expected =
+      static_cast<double>(workloads::reference::edge(64, 48));
+  for (CheckMode mode :
+       {CheckMode::kNoCheck, CheckMode::kBcc, CheckMode::kCash}) {
+    EXPECT_EQ(expected, run_and_parse(workloads::edge_source(64, 48), mode));
+  }
+}
+
+TEST(MicroKernels, VolrenMatchesReferenceAllModes) {
+  const double expected = workloads::reference::volren(16, 32);
+  for (CheckMode mode :
+       {CheckMode::kNoCheck, CheckMode::kBcc, CheckMode::kCash}) {
+    expect_near_rel(expected,
+                    run_and_parse(workloads::volren_source(16, 32), mode),
+                    1e-4);
+  }
+}
+
+TEST(MicroKernels, SvdMatchesReferenceAllModes) {
+  const double expected = workloads::reference::svd(37, 12, 15);
+  for (CheckMode mode :
+       {CheckMode::kNoCheck, CheckMode::kBcc, CheckMode::kCash}) {
+    expect_near_rel(expected,
+                    run_and_parse(workloads::svd_source(37, 12, 15), mode),
+                    1e-3);
+  }
+}
+
+// Paper-size kernels compile, and the Cash pass finds only hardware checks
+// with 4 segment registers (the Table 1 configuration: "all software bound
+// checks are eliminated in each of the six test programs").
+TEST(MicroKernels, PaperSizesCompileAndEliminateAllSwChecksWith4Regs) {
+  for (const workloads::Workload& w : workloads::micro_suite()) {
+    CompileOptions options;
+    options.lower.mode = CheckMode::kCash;
+    options.lower.num_seg_regs = 4;
+    CompileResult compiled = compile(w.source, options);
+    ASSERT_TRUE(compiled.ok()) << w.name << ": " << compiled.error;
+    EXPECT_EQ(compiled.program->lower_stats().sw_checks, 0U) << w.name;
+    EXPECT_GT(compiled.program->lower_stats().hw_checks, 0U) << w.name;
+  }
+}
+
+TEST(MicroKernels, TemplateExpansion) {
+  EXPECT_EQ(workloads::expand_template("${A}+${B}=${A}${B}",
+                                       {{"A", "1"}, {"B", "2"}}),
+            "1+2=12");
+}
+
+} // namespace
+} // namespace cash

@@ -1,0 +1,151 @@
+// Cross-mode agreement tests for the macro and network suites: every
+// checking mode must compute the same result as the unchecked baseline
+// (checks may abort a buggy program but must never change a correct one).
+#include <gtest/gtest.h>
+
+#include "core/cash.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+vm::RunResult run_mode(const workloads::Workload& w, CheckMode mode,
+                       int seg_regs = 3, std::uint32_t seed = 0x1234) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  options.lower.num_seg_regs = seg_regs;
+  options.machine.rng_seed = seed;
+  CompileResult compiled = compile(w.source, options);
+  EXPECT_TRUE(compiled.ok()) << w.name << ": " << compiled.error;
+  if (!compiled.ok()) {
+    return {};
+  }
+  vm::RunResult run = compiled.program->run();
+  EXPECT_TRUE(run.ok) << w.name << " [" << to_string(mode) << "]: "
+                      << (run.fault ? run.fault->detail : run.error);
+  return run;
+}
+
+class MacroSuite : public testing::TestWithParam<int> {};
+
+TEST_P(MacroSuite, AllModesAgreeWithBaseline) {
+  const workloads::Workload& w =
+      workloads::macro_suite()[static_cast<std::size_t>(GetParam())];
+  const vm::RunResult baseline = run_mode(w, CheckMode::kNoCheck);
+  for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash,
+                         CheckMode::kBoundInsn, CheckMode::kEfence}) {
+    const vm::RunResult run = run_mode(w, mode);
+    EXPECT_EQ(baseline.output, run.output)
+        << w.name << " diverges under " << to_string(mode);
+  }
+}
+
+TEST_P(MacroSuite, CashOverheadIsBelowBcc) {
+  const workloads::Workload& w =
+      workloads::macro_suite()[static_cast<std::size_t>(GetParam())];
+  const vm::RunResult gcc = run_mode(w, CheckMode::kNoCheck);
+  const vm::RunResult cash = run_mode(w, CheckMode::kCash);
+  const vm::RunResult bcc = run_mode(w, CheckMode::kBcc);
+  EXPECT_LT(cash.cycles, bcc.cycles) << w.name;
+  EXPECT_LE(gcc.cycles, cash.cycles) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMacroApps, MacroSuite, testing::Range(0, 6),
+    [](const testing::TestParamInfo<int>& info) {
+      std::string name =
+          workloads::macro_suite()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+class NetworkSuite : public testing::TestWithParam<int> {};
+
+TEST_P(NetworkSuite, AllModesAgreeAcrossRequests) {
+  const workloads::Workload& w =
+      workloads::network_suite()[static_cast<std::size_t>(GetParam())];
+  for (std::uint32_t seed : {1U, 7U, 42U, 1000U}) {
+    const vm::RunResult baseline =
+        run_mode(w, CheckMode::kNoCheck, 3, seed);
+    for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash}) {
+      const vm::RunResult run = run_mode(w, mode, 3, seed);
+      EXPECT_EQ(baseline.output, run.output)
+          << w.name << " seed " << seed << " diverges under "
+          << to_string(mode);
+    }
+  }
+}
+
+TEST_P(NetworkSuite, RequestsVaryWithSeed) {
+  const workloads::Workload& w =
+      workloads::network_suite()[static_cast<std::size_t>(GetParam())];
+  const vm::RunResult a = run_mode(w, CheckMode::kNoCheck, 3, 1);
+  const vm::RunResult b = run_mode(w, CheckMode::kNoCheck, 3, 2);
+  // Different seeds must generally produce different requests/responses.
+  EXPECT_NE(a.output, b.output) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworkApps, NetworkSuite, testing::Range(0, 6),
+    [](const testing::TestParamInfo<int>& info) {
+      std::string name = workloads::network_suite()
+                             [static_cast<std::size_t>(info.param)]
+                                 .name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(MacroSuiteStats, QuatAndRayLabHaveSpilledLoops) {
+  // The Quat iteration loop touches 5 arrays and RayLab's hit loop 5 —
+  // with 3 segment registers both must spill (the paper's Table 4 story).
+  for (const char* name : {"Quat", "RayLab"}) {
+    const auto& suite = workloads::macro_suite();
+    const auto it =
+        std::find_if(suite.begin(), suite.end(),
+                     [&](const auto& w) { return w.name == name; });
+    ASSERT_NE(it, suite.end());
+    CompileOptions options;
+    options.lower.mode = CheckMode::kCash;
+    CompileResult compiled = compile(it->source, options);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    EXPECT_GT(compiled.program->lower_stats().sw_checks, 0U) << name;
+    EXPECT_GT(compiled.program->program_stats(3).loops_over_budget, 0U)
+        << name;
+  }
+}
+
+TEST(NetworkSuiteStats, SendmailHasMostSpilledLoops) {
+  const auto& suite = workloads::network_suite();
+  std::uint64_t sendmail_spills = 0;
+  std::uint64_t max_other = 0;
+  for (const auto& w : suite) {
+    CompileOptions options;
+    options.lower.mode = CheckMode::kCash;
+    CompileResult compiled = compile(w.source, options);
+    ASSERT_TRUE(compiled.ok()) << w.name << ": " << compiled.error;
+    const std::uint64_t spills =
+        compiled.program->program_stats(3).loops_over_budget;
+    if (w.name == "Sendmail") {
+      sendmail_spills = spills;
+    } else {
+      max_other = std::max(max_other, spills);
+    }
+  }
+  EXPECT_GE(sendmail_spills, max_other)
+      << "Sendmail should spill at least as much as any other network app "
+         "(Table 7: 11% vs <= 3.5%)";
+  EXPECT_GT(sendmail_spills, 0U);
+}
+
+} // namespace
+} // namespace cash

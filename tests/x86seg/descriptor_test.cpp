@@ -1,0 +1,171 @@
+// Bit-level tests of IA-32 segment descriptors: wire-format round trips,
+// limit semantics (incl. the granularity bit behind Figure 2), expand-down
+// segments, and call gates.
+#include <gtest/gtest.h>
+
+#include "x86seg/descriptor.hpp"
+#include "x86seg/selector.hpp"
+
+namespace cash::x86seg {
+namespace {
+
+TEST(Selector, FieldPacking) {
+  const Selector s = Selector::make(0x1ABC, /*local=*/true, /*rpl=*/3);
+  EXPECT_EQ(s.index(), 0x1ABC);
+  EXPECT_TRUE(s.is_local());
+  EXPECT_EQ(s.rpl(), 3);
+  EXPECT_EQ(s.raw(), (0x1ABC << 3) | 0x4 | 0x3);
+}
+
+TEST(Selector, NullSelector) {
+  EXPECT_TRUE(Selector(0).is_null());
+  EXPECT_TRUE(Selector(1).is_null());  // RPL bits don't matter
+  EXPECT_TRUE(Selector(3).is_null());
+  EXPECT_FALSE(Selector(4).is_null()); // TI=1 (LDT index 0) is not null
+  EXPECT_FALSE(Selector(8).is_null()); // GDT index 1
+}
+
+TEST(Descriptor, ByteGranularRoundTrip) {
+  const SegmentDescriptor d =
+      SegmentDescriptor::byte_granular_data(0xDEADBEEF, 0x12345, true, 3);
+  const auto decoded = SegmentDescriptor::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->base(), 0xDEADBEEF);
+  EXPECT_EQ(decoded->raw_limit(), 0x12344U);
+  EXPECT_FALSE(decoded->granularity());
+  EXPECT_EQ(decoded->dpl(), 3);
+  EXPECT_TRUE(decoded->writable());
+  EXPECT_EQ(decoded->kind(), DescriptorKind::kData);
+  EXPECT_EQ(*decoded, d);
+}
+
+TEST(Descriptor, PageGranularRoundTrip) {
+  const SegmentDescriptor d =
+      SegmentDescriptor::page_granular_data(0x10000000, 0x80000, false, 0);
+  const auto decoded = SegmentDescriptor::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->granularity());
+  EXPECT_EQ(decoded->raw_limit(), 0x7FFFFU);
+  EXPECT_FALSE(decoded->writable());
+  EXPECT_EQ(decoded->dpl(), 0);
+}
+
+TEST(Descriptor, CodeSegmentRoundTrip) {
+  const SegmentDescriptor d =
+      SegmentDescriptor::code_segment(0x08048000, 0x100000, true, 3);
+  const auto decoded = SegmentDescriptor::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind(), DescriptorKind::kCode);
+  EXPECT_EQ(decoded->base(), 0x08048000U);
+}
+
+TEST(Descriptor, CallGateRoundTrip) {
+  const SegmentDescriptor gate =
+      SegmentDescriptor::call_gate(0x0008, 0xC0100000, 3, 2);
+  const auto decoded = SegmentDescriptor::decode(gate.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind(), DescriptorKind::kCallGate);
+  EXPECT_EQ(decoded->gate_selector(), 0x0008);
+  EXPECT_EQ(decoded->gate_offset(), 0xC0100000U);
+  EXPECT_EQ(decoded->dpl(), 3);
+}
+
+TEST(Descriptor, LdtDescriptorRoundTrip) {
+  const SegmentDescriptor d = SegmentDescriptor::ldt_descriptor(0x1000, 8192 * 8);
+  const auto decoded = SegmentDescriptor::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind(), DescriptorKind::kLdt);
+}
+
+TEST(Descriptor, EffectiveLimitByteGranular) {
+  const SegmentDescriptor d = SegmentDescriptor::byte_granular_data(0, 100);
+  EXPECT_EQ(d.effective_limit(), 99U);
+  EXPECT_TRUE(d.offset_in_limit(0, 1));
+  EXPECT_TRUE(d.offset_in_limit(99, 1));
+  EXPECT_TRUE(d.offset_in_limit(96, 4));
+  EXPECT_FALSE(d.offset_in_limit(97, 4)); // last byte at 100 > 99
+  EXPECT_FALSE(d.offset_in_limit(100, 1));
+  EXPECT_FALSE(d.offset_in_limit(0xFFFFFFFF, 1));
+}
+
+TEST(Descriptor, EffectiveLimitPageGranularIgnoresLow12Bits) {
+  // raw limit 1 with G=1: effective limit = (1 << 12) | 0xFFF = 0x1FFF.
+  const SegmentDescriptor d = SegmentDescriptor::page_granular_data(0, 2);
+  EXPECT_EQ(d.effective_limit(), 0x1FFFU);
+  EXPECT_TRUE(d.offset_in_limit(0x1FFF, 1));
+  EXPECT_FALSE(d.offset_in_limit(0x2000, 1));
+}
+
+TEST(Descriptor, ForArraySmallIsByteExact) {
+  const SegmentDescriptor d = SegmentDescriptor::for_array(0x5000, 1234);
+  EXPECT_FALSE(d.granularity());
+  EXPECT_EQ(d.base(), 0x5000U);
+  EXPECT_EQ(d.span(), 1234U);
+}
+
+TEST(Descriptor, ForArrayAtExactly1MbStaysByteGranular) {
+  const SegmentDescriptor d = SegmentDescriptor::for_array(0x5000, 1U << 20);
+  EXPECT_FALSE(d.granularity());
+  EXPECT_EQ(d.span(), 1U << 20);
+}
+
+TEST(Descriptor, ForArrayLargeAlignsEndAndLeavesSlack) {
+  // Section 3.5: span is the minimal 4K multiple >= size; the array's end
+  // coincides with the segment's end; slack < 4096 below the start.
+  const std::uint32_t base = 0x10000100;
+  const std::uint32_t size = (1U << 20) + 123;
+  const SegmentDescriptor d = SegmentDescriptor::for_array(base, size);
+  EXPECT_TRUE(d.granularity());
+  const std::uint64_t span = d.span();
+  EXPECT_EQ(span % 4096, 0U);
+  EXPECT_GE(span, size);
+  EXPECT_LT(span - size, 4096U);
+  // End alignment: base + span == array end.
+  EXPECT_EQ(static_cast<std::uint64_t>(d.base()) + span,
+            static_cast<std::uint64_t>(base) + size);
+  // Upper bound byte-precise.
+  EXPECT_TRUE(d.offset_in_limit(base + size - 1 - d.base(), 1));
+  EXPECT_FALSE(d.offset_in_limit(base + size - d.base(), 1));
+  // Lower bound has slack: the first byte BELOW the array still passes.
+  EXPECT_TRUE(d.offset_in_limit(base - 1 - d.base(), 1));
+}
+
+TEST(Descriptor, ForArrayLargeMultipleOf4kHasNoSlack) {
+  const std::uint32_t base = 0x10000000;
+  const std::uint32_t size = 2U << 20;
+  const SegmentDescriptor d = SegmentDescriptor::for_array(base, size);
+  EXPECT_TRUE(d.granularity());
+  EXPECT_EQ(d.base(), base);
+  EXPECT_EQ(d.span(), size);
+}
+
+TEST(Descriptor, ExpandDownSemantics) {
+  SegmentDescriptor d = SegmentDescriptor::byte_granular_data(0, 0x1000);
+  const std::uint64_t raw = d.encode();
+  // Flip the expand-down type bit (bit 2 of the type field, hi bit 10).
+  const std::uint64_t expand_down_raw = raw | (1ULL << (32 + 10));
+  const auto decoded = SegmentDescriptor::decode(expand_down_raw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->expand_down());
+  // Valid offsets are above the limit for expand-down segments.
+  EXPECT_FALSE(decoded->offset_in_limit(0, 4));
+  EXPECT_FALSE(decoded->offset_in_limit(0xFFF, 1));
+  EXPECT_TRUE(decoded->offset_in_limit(0x1000, 4));
+  EXPECT_TRUE(decoded->offset_in_limit(0xFFFFFFFF, 1));
+}
+
+TEST(Descriptor, NotPresentBitRoundTrips) {
+  SegmentDescriptor d = SegmentDescriptor::byte_granular_data(0, 16);
+  d.set_present(false);
+  const auto decoded = SegmentDescriptor::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->present());
+}
+
+TEST(Descriptor, ZeroSizeAccessAlwaysPasses) {
+  const SegmentDescriptor d = SegmentDescriptor::byte_granular_data(0, 8);
+  EXPECT_TRUE(d.offset_in_limit(100, 0));
+}
+
+} // namespace
+} // namespace cash::x86seg

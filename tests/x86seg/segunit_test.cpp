@@ -1,0 +1,164 @@
+// Tests of the segmentation unit: register loads (null selectors, privilege
+// and type checks), the translation pipeline with its limit checks, the
+// hidden descriptor cache, and descriptor-table limit checks.
+#include <gtest/gtest.h>
+
+#include "x86seg/descriptor_table.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash::x86seg {
+namespace {
+
+class SegUnitTest : public testing::Test {
+ protected:
+  SegUnitTest() : unit_(gdt_, ldt_) {
+    // GDT entry 1: flat data; entry 2: flat code.
+    EXPECT_TRUE(gdt_.write(1, SegmentDescriptor::page_granular_data(
+                                  0, 1U << 20, true, 3)).ok());
+    EXPECT_TRUE(
+        gdt_.write(2, SegmentDescriptor::code_segment(0, 1U << 20, true, 3))
+            .ok());
+    // LDT entry 1: a 256-byte array segment at 0x8000.
+    EXPECT_TRUE(
+        ldt_.write(1, SegmentDescriptor::byte_granular_data(0x8000, 256))
+            .ok());
+  }
+
+  DescriptorTable gdt_{DescriptorTable::Kind::kGlobal};
+  DescriptorTable ldt_{DescriptorTable::Kind::kLocal};
+  SegmentationUnit unit_;
+};
+
+TEST_F(SegUnitTest, LoadAndTranslate) {
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  const Result<std::uint32_t> linear =
+      unit_.translate(SegReg::kGs, 16, 4, Access::kWrite);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(linear.value(), 0x8010U);
+}
+
+TEST_F(SegUnitTest, LimitViolationFaults) {
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  const Result<std::uint32_t> past_end =
+      unit_.translate(SegReg::kGs, 256, 4, Access::kRead);
+  ASSERT_FALSE(past_end.ok());
+  EXPECT_EQ(past_end.fault().kind, FaultKind::kGeneralProtection);
+
+  // Straddling the end also faults (offset 253..256 with limit 255).
+  EXPECT_FALSE(unit_.translate(SegReg::kGs, 253, 4, Access::kRead).ok());
+  // The very last word is fine.
+  EXPECT_TRUE(unit_.translate(SegReg::kGs, 252, 4, Access::kRead).ok());
+}
+
+TEST_F(SegUnitTest, NegativeOffsetWrapsAndFaults) {
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  // addr - base underflows to a huge offset: the lower-bound check.
+  const std::uint32_t below = 0x8000 - 4;
+  const std::uint32_t offset = below - 0x8000; // wraps to 0xFFFFFFFC
+  EXPECT_FALSE(unit_.translate(SegReg::kGs, offset, 4, Access::kRead).ok());
+}
+
+TEST_F(SegUnitTest, NullSelectorLoadsButFaultsOnUse) {
+  ASSERT_TRUE(unit_.load(SegReg::kEs, Selector(0)).ok());
+  const Result<std::uint32_t> use =
+      unit_.translate(SegReg::kEs, 0, 4, Access::kRead);
+  ASSERT_FALSE(use.ok());
+  EXPECT_EQ(use.fault().kind, FaultKind::kGeneralProtection);
+}
+
+TEST_F(SegUnitTest, NullSelectorIntoSsOrCsFaults) {
+  EXPECT_FALSE(unit_.load(SegReg::kSs, Selector(0)).ok());
+  EXPECT_FALSE(unit_.load(SegReg::kCs, Selector(0)).ok());
+}
+
+TEST_F(SegUnitTest, SelectorPastTableLimitFaults) {
+  EXPECT_FALSE(unit_.load(SegReg::kGs, Selector::make(8000, true, 3)).ok());
+}
+
+TEST_F(SegUnitTest, NonPresentDescriptorFaultsWithNp) {
+  SegmentDescriptor d = SegmentDescriptor::byte_granular_data(0, 16);
+  d.set_present(false);
+  ASSERT_TRUE(ldt_.write(2, d).ok());
+  const Status s = unit_.load(SegReg::kGs, Selector::make(2, true, 3));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.fault().kind, FaultKind::kSegmentNotPresent);
+}
+
+TEST_F(SegUnitTest, PrivilegeViolationFaults) {
+  ASSERT_TRUE(
+      ldt_.write(3, SegmentDescriptor::byte_granular_data(0, 16, true, 0))
+          .ok());
+  // CPL 3 loading a DPL-0 data segment: #GP.
+  EXPECT_FALSE(unit_.load(SegReg::kGs, Selector::make(3, true, 3)).ok());
+  unit_.set_cpl(0);
+  EXPECT_TRUE(unit_.load(SegReg::kGs, Selector::make(3, true, 0)).ok());
+}
+
+TEST_F(SegUnitTest, WriteToReadOnlySegmentFaults) {
+  ASSERT_TRUE(
+      ldt_.write(4, SegmentDescriptor::byte_granular_data(0x9000, 64,
+                                                          /*writable=*/false))
+          .ok());
+  ASSERT_TRUE(unit_.load(SegReg::kFs, Selector::make(4, true, 3)).ok());
+  EXPECT_TRUE(unit_.translate(SegReg::kFs, 0, 4, Access::kRead).ok());
+  EXPECT_FALSE(unit_.translate(SegReg::kFs, 0, 4, Access::kWrite).ok());
+}
+
+TEST_F(SegUnitTest, SystemDescriptorCannotLoadIntoSegmentRegister) {
+  ASSERT_TRUE(
+      ldt_.write(5, SegmentDescriptor::call_gate(0x10, 0x1000, 3, 0)).ok());
+  EXPECT_FALSE(unit_.load(SegReg::kGs, Selector::make(5, true, 3)).ok());
+}
+
+TEST_F(SegUnitTest, HiddenPartSurvivesDescriptorRewrite) {
+  // SDM 3.4.3: translation uses the cached hidden part until a reload.
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  ASSERT_TRUE(
+      ldt_.write(1, SegmentDescriptor::byte_granular_data(0x8000, 8)).ok());
+  // Offset 100 exceeds the NEW limit but the stale cache still allows it.
+  EXPECT_TRUE(unit_.translate(SegReg::kGs, 100, 4, Access::kRead).ok());
+  // After the reload the new, smaller limit applies.
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  EXPECT_FALSE(unit_.translate(SegReg::kGs, 100, 4, Access::kRead).ok());
+}
+
+TEST_F(SegUnitTest, RestoreBringsBackSavedState) {
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector::make(1, true, 3)).ok());
+  const SegmentRegister saved = unit_.reg(SegReg::kGs);
+  ASSERT_TRUE(unit_.load(SegReg::kGs, Selector(0)).ok()); // clobber
+  EXPECT_FALSE(unit_.translate(SegReg::kGs, 0, 4, Access::kRead).ok());
+  unit_.restore(SegReg::kGs, saved);
+  EXPECT_TRUE(unit_.translate(SegReg::kGs, 0, 4, Access::kRead).ok());
+}
+
+TEST_F(SegUnitTest, SsLimitViolationRaisesStackFault) {
+  ASSERT_TRUE(
+      ldt_.write(6, SegmentDescriptor::byte_granular_data(0xA000, 64)).ok());
+  ASSERT_TRUE(unit_.load(SegReg::kSs, Selector::make(6, true, 3)).ok());
+  const Result<std::uint32_t> bad =
+      unit_.translate(SegReg::kSs, 64, 4, Access::kWrite);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.fault().kind, FaultKind::kStackFault);
+}
+
+TEST(DescriptorTable, PresentCountAndClear) {
+  DescriptorTable table(DescriptorTable::Kind::kLocal);
+  EXPECT_EQ(table.present_count(), 0U);
+  ASSERT_TRUE(table.write(1, SegmentDescriptor::byte_granular_data(0, 8)).ok());
+  ASSERT_TRUE(table.write(9, SegmentDescriptor::byte_granular_data(0, 8)).ok());
+  EXPECT_EQ(table.present_count(), 2U);
+  ASSERT_TRUE(table.clear(1).ok());
+  EXPECT_EQ(table.present_count(), 1U);
+}
+
+TEST(DescriptorTable, WritePastLimitFaults) {
+  DescriptorTable table(DescriptorTable::Kind::kLocal, 16);
+  EXPECT_FALSE(
+      table.write(16, x86seg::SegmentDescriptor::byte_granular_data(0, 8))
+          .ok());
+  EXPECT_FALSE(table.read_raw(16).ok());
+  EXPECT_TRUE(table.read_raw(15).ok());
+}
+
+} // namespace
+} // namespace cash::x86seg

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microcosts.dir/bench_microcosts.cpp.o"
+  "CMakeFiles/bench_microcosts.dir/bench_microcosts.cpp.o.d"
+  "bench_microcosts"
+  "bench_microcosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microcosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multildt.dir/bench_multildt.cpp.o"
+  "CMakeFiles/bench_multildt.dir/bench_multildt.cpp.o.d"
+  "bench_multildt"
+  "bench_multildt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multildt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segregs.dir/bench_segregs.cpp.o"
+  "CMakeFiles/bench_segregs.dir/bench_segregs.cpp.o.d"
+  "bench_segregs"
+  "bench_segregs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segregs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_session.dir/debugging_session.cpp.o"
+  "CMakeFiles/debugging_session.dir/debugging_session.cpp.o.d"
+  "debugging_session"
+  "debugging_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

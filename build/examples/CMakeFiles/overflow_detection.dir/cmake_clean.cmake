@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_detection.dir/overflow_detection.cpp.o"
+  "CMakeFiles/overflow_detection.dir/overflow_detection.cpp.o.d"
+  "overflow_detection"
+  "overflow_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_hotspots.dir/profile_hotspots.cpp.o"
+  "CMakeFiles/profile_hotspots.dir/profile_hotspots.cpp.o.d"
+  "profile_hotspots"
+  "profile_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

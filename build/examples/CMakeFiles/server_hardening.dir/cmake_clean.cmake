@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_hardening.dir/server_hardening.cpp.o"
+  "CMakeFiles/server_hardening.dir/server_hardening.cpp.o.d"
+  "server_hardening"
+  "server_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

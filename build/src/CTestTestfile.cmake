@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("x86seg")
+subdirs("paging")
+subdirs("mmu")
+subdirs("kernel")
+subdirs("ir")
+subdirs("frontend")
+subdirs("passes")
+subdirs("runtime")
+subdirs("vm")
+subdirs("core")
+subdirs("workloads")
+subdirs("netsim")
+subdirs("backend")
+subdirs("tools")

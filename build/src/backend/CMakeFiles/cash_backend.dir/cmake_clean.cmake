@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_backend.dir/x86_asm.cpp.o"
+  "CMakeFiles/cash_backend.dir/x86_asm.cpp.o.d"
+  "libcash_backend.a"
+  "libcash_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_common.dir/diagnostics.cpp.o"
+  "CMakeFiles/cash_common.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/cash_common.dir/fault.cpp.o"
+  "CMakeFiles/cash_common.dir/fault.cpp.o.d"
+  "libcash_common.a"
+  "libcash_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_core.dir/cash.cpp.o"
+  "CMakeFiles/cash_core.dir/cash.cpp.o.d"
+  "libcash_core.a"
+  "libcash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

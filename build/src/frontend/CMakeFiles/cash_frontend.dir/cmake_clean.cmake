@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_frontend.dir/irgen.cpp.o"
+  "CMakeFiles/cash_frontend.dir/irgen.cpp.o.d"
+  "CMakeFiles/cash_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/cash_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/cash_frontend.dir/parser.cpp.o"
+  "CMakeFiles/cash_frontend.dir/parser.cpp.o.d"
+  "libcash_frontend.a"
+  "libcash_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cfg.cpp" "src/ir/CMakeFiles/cash_ir.dir/cfg.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/cfg.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "src/ir/CMakeFiles/cash_ir.dir/dominators.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/dominators.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/ir/CMakeFiles/cash_ir.dir/instr.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/instr.cpp.o.d"
+  "/root/repo/src/ir/natural_loops.cpp" "src/ir/CMakeFiles/cash_ir.dir/natural_loops.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/natural_loops.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/cash_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/cash_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/cash_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

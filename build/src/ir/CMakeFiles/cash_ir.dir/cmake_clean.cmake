@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_ir.dir/cfg.cpp.o"
+  "CMakeFiles/cash_ir.dir/cfg.cpp.o.d"
+  "CMakeFiles/cash_ir.dir/dominators.cpp.o"
+  "CMakeFiles/cash_ir.dir/dominators.cpp.o.d"
+  "CMakeFiles/cash_ir.dir/instr.cpp.o"
+  "CMakeFiles/cash_ir.dir/instr.cpp.o.d"
+  "CMakeFiles/cash_ir.dir/natural_loops.cpp.o"
+  "CMakeFiles/cash_ir.dir/natural_loops.cpp.o.d"
+  "CMakeFiles/cash_ir.dir/printer.cpp.o"
+  "CMakeFiles/cash_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/cash_ir.dir/verifier.cpp.o"
+  "CMakeFiles/cash_ir.dir/verifier.cpp.o.d"
+  "libcash_ir.a"
+  "libcash_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

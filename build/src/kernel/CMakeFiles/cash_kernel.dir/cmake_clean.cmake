@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_kernel.dir/kernel_sim.cpp.o"
+  "CMakeFiles/cash_kernel.dir/kernel_sim.cpp.o.d"
+  "libcash_kernel.a"
+  "libcash_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/mmu.cpp" "src/mmu/CMakeFiles/cash_mmu.dir/mmu.cpp.o" "gcc" "src/mmu/CMakeFiles/cash_mmu.dir/mmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x86seg/CMakeFiles/cash_x86seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/cash_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_mmu.dir/mmu.cpp.o"
+  "CMakeFiles/cash_mmu.dir/mmu.cpp.o.d"
+  "libcash_mmu.a"
+  "libcash_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cash_mmu.
+# This may be replaced when dependencies are built.

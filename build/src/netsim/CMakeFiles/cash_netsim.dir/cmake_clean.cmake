@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/cash_netsim.dir/netsim.cpp.o.d"
+  "libcash_netsim.a"
+  "libcash_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_paging.dir/page_table.cpp.o"
+  "CMakeFiles/cash_paging.dir/page_table.cpp.o.d"
+  "CMakeFiles/cash_paging.dir/physical_memory.cpp.o"
+  "CMakeFiles/cash_paging.dir/physical_memory.cpp.o.d"
+  "libcash_paging.a"
+  "libcash_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

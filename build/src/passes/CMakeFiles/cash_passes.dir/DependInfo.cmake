@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/array_use.cpp" "src/passes/CMakeFiles/cash_passes.dir/array_use.cpp.o" "gcc" "src/passes/CMakeFiles/cash_passes.dir/array_use.cpp.o.d"
+  "/root/repo/src/passes/code_size.cpp" "src/passes/CMakeFiles/cash_passes.dir/code_size.cpp.o" "gcc" "src/passes/CMakeFiles/cash_passes.dir/code_size.cpp.o.d"
+  "/root/repo/src/passes/lower.cpp" "src/passes/CMakeFiles/cash_passes.dir/lower.cpp.o" "gcc" "src/passes/CMakeFiles/cash_passes.dir/lower.cpp.o.d"
+  "/root/repo/src/passes/optimize.cpp" "src/passes/CMakeFiles/cash_passes.dir/optimize.cpp.o" "gcc" "src/passes/CMakeFiles/cash_passes.dir/optimize.cpp.o.d"
+  "/root/repo/src/passes/program_stats.cpp" "src/passes/CMakeFiles/cash_passes.dir/program_stats.cpp.o" "gcc" "src/passes/CMakeFiles/cash_passes.dir/program_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86seg/CMakeFiles/cash_x86seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_passes.dir/array_use.cpp.o"
+  "CMakeFiles/cash_passes.dir/array_use.cpp.o.d"
+  "CMakeFiles/cash_passes.dir/code_size.cpp.o"
+  "CMakeFiles/cash_passes.dir/code_size.cpp.o.d"
+  "CMakeFiles/cash_passes.dir/lower.cpp.o"
+  "CMakeFiles/cash_passes.dir/lower.cpp.o.d"
+  "CMakeFiles/cash_passes.dir/optimize.cpp.o"
+  "CMakeFiles/cash_passes.dir/optimize.cpp.o.d"
+  "CMakeFiles/cash_passes.dir/program_stats.cpp.o"
+  "CMakeFiles/cash_passes.dir/program_stats.cpp.o.d"
+  "libcash_passes.a"
+  "libcash_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_runtime.dir/array_runtime.cpp.o"
+  "CMakeFiles/cash_runtime.dir/array_runtime.cpp.o.d"
+  "CMakeFiles/cash_runtime.dir/heap.cpp.o"
+  "CMakeFiles/cash_runtime.dir/heap.cpp.o.d"
+  "CMakeFiles/cash_runtime.dir/segment_manager.cpp.o"
+  "CMakeFiles/cash_runtime.dir/segment_manager.cpp.o.d"
+  "libcash_runtime.a"
+  "libcash_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

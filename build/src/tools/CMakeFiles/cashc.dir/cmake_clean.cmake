@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../tools/cashc"
+  "../../tools/cashc.pdb"
+  "CMakeFiles/cashc.dir/cashc.cpp.o"
+  "CMakeFiles/cashc.dir/cashc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cashc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

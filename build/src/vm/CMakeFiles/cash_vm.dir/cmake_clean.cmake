@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_vm.dir/machine.cpp.o"
+  "CMakeFiles/cash_vm.dir/machine.cpp.o.d"
+  "libcash_vm.a"
+  "libcash_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

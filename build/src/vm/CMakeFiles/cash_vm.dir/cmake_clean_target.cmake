@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcash_vm.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_workloads.dir/fuzz.cpp.o"
+  "CMakeFiles/cash_workloads.dir/fuzz.cpp.o.d"
+  "CMakeFiles/cash_workloads.dir/macro.cpp.o"
+  "CMakeFiles/cash_workloads.dir/macro.cpp.o.d"
+  "CMakeFiles/cash_workloads.dir/micro.cpp.o"
+  "CMakeFiles/cash_workloads.dir/micro.cpp.o.d"
+  "CMakeFiles/cash_workloads.dir/network.cpp.o"
+  "CMakeFiles/cash_workloads.dir/network.cpp.o.d"
+  "CMakeFiles/cash_workloads.dir/reference.cpp.o"
+  "CMakeFiles/cash_workloads.dir/reference.cpp.o.d"
+  "libcash_workloads.a"
+  "libcash_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

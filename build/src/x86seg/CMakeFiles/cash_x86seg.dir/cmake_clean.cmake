@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cash_x86seg.dir/descriptor.cpp.o"
+  "CMakeFiles/cash_x86seg.dir/descriptor.cpp.o.d"
+  "CMakeFiles/cash_x86seg.dir/descriptor_table.cpp.o"
+  "CMakeFiles/cash_x86seg.dir/descriptor_table.cpp.o.d"
+  "CMakeFiles/cash_x86seg.dir/segmentation_unit.cpp.o"
+  "CMakeFiles/cash_x86seg.dir/segmentation_unit.cpp.o.d"
+  "libcash_x86seg.a"
+  "libcash_x86seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cash_x86seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

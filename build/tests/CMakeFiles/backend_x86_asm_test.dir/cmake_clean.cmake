@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_x86_asm_test.dir/backend/x86_asm_test.cpp.o"
+  "CMakeFiles/backend_x86_asm_test.dir/backend/x86_asm_test.cpp.o.d"
+  "backend_x86_asm_test"
+  "backend_x86_asm_test.pdb"
+  "backend_x86_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_x86_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_irgen_test.dir/frontend/irgen_test.cpp.o"
+  "CMakeFiles/frontend_irgen_test.dir/frontend/irgen_test.cpp.o.d"
+  "frontend_irgen_test"
+  "frontend_irgen_test.pdb"
+  "frontend_irgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_irgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_analyses_test.dir/ir/analyses_test.cpp.o"
+  "CMakeFiles/ir_analyses_test.dir/ir/analyses_test.cpp.o.d"
+  "ir_analyses_test"
+  "ir_analyses_test.pdb"
+  "ir_analyses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_analyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

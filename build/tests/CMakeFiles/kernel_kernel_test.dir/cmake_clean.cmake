@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_kernel_test.dir/kernel/kernel_test.cpp.o"
+  "CMakeFiles/kernel_kernel_test.dir/kernel/kernel_test.cpp.o.d"
+  "kernel_kernel_test"
+  "kernel_kernel_test.pdb"
+  "kernel_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

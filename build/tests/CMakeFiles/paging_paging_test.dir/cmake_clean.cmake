@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_paging_test.dir/paging/paging_test.cpp.o"
+  "CMakeFiles/paging_paging_test.dir/paging/paging_test.cpp.o.d"
+  "paging_paging_test"
+  "paging_paging_test.pdb"
+  "paging_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_lower_test.dir/passes/lower_test.cpp.o"
+  "CMakeFiles/passes_lower_test.dir/passes/lower_test.cpp.o.d"
+  "passes_lower_test"
+  "passes_lower_test.pdb"
+  "passes_lower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_lower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

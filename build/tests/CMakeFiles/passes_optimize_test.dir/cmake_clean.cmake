@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_optimize_test.dir/passes/optimize_test.cpp.o"
+  "CMakeFiles/passes_optimize_test.dir/passes/optimize_test.cpp.o.d"
+  "passes_optimize_test"
+  "passes_optimize_test.pdb"
+  "passes_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

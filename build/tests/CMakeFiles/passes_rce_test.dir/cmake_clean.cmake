@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_rce_test.dir/passes/rce_test.cpp.o"
+  "CMakeFiles/passes_rce_test.dir/passes/rce_test.cpp.o.d"
+  "passes_rce_test"
+  "passes_rce_test.pdb"
+  "passes_rce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_rce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_stats_test.dir/passes/stats_test.cpp.o"
+  "CMakeFiles/passes_stats_test.dir/passes/stats_test.cpp.o.d"
+  "passes_stats_test"
+  "passes_stats_test.pdb"
+  "passes_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

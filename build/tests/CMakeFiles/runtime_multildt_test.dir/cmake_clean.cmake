@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_multildt_test.dir/runtime/multildt_test.cpp.o"
+  "CMakeFiles/runtime_multildt_test.dir/runtime/multildt_test.cpp.o.d"
+  "runtime_multildt_test"
+  "runtime_multildt_test.pdb"
+  "runtime_multildt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_multildt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_segment_manager_test.dir/runtime/segment_manager_test.cpp.o"
+  "CMakeFiles/runtime_segment_manager_test.dir/runtime/segment_manager_test.cpp.o.d"
+  "runtime_segment_manager_test"
+  "runtime_segment_manager_test.pdb"
+  "runtime_segment_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_segment_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_breakdown_test.dir/vm/breakdown_test.cpp.o"
+  "CMakeFiles/vm_breakdown_test.dir/vm/breakdown_test.cpp.o.d"
+  "vm_breakdown_test"
+  "vm_breakdown_test.pdb"
+  "vm_breakdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

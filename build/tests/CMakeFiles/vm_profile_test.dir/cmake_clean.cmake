@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_profile_test.dir/vm/profile_test.cpp.o"
+  "CMakeFiles/vm_profile_test.dir/vm/profile_test.cpp.o.d"
+  "vm_profile_test"
+  "vm_profile_test.pdb"
+  "vm_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_micro_test.dir/workloads/micro_test.cpp.o"
+  "CMakeFiles/workloads_micro_test.dir/workloads/micro_test.cpp.o.d"
+  "workloads_micro_test"
+  "workloads_micro_test.pdb"
+  "workloads_micro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_micro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/suite_test.cpp" "tests/CMakeFiles/workloads_suite_test.dir/workloads/suite_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_suite_test.dir/workloads/suite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cash_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cash_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/cash_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/cash_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cash_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cash_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/cash_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cash_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/cash_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86seg/CMakeFiles/cash_x86seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/cash_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cash_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

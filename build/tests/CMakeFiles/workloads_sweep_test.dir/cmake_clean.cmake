@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_sweep_test.dir/workloads/sweep_test.cpp.o"
+  "CMakeFiles/workloads_sweep_test.dir/workloads/sweep_test.cpp.o.d"
+  "workloads_sweep_test"
+  "workloads_sweep_test.pdb"
+  "workloads_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

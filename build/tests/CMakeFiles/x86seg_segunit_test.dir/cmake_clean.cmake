@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86seg_segunit_test.dir/x86seg/segunit_test.cpp.o"
+  "CMakeFiles/x86seg_segunit_test.dir/x86seg/segunit_test.cpp.o.d"
+  "x86seg_segunit_test"
+  "x86seg_segunit_test.pdb"
+  "x86seg_segunit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86seg_segunit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

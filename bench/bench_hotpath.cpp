@@ -1,0 +1,256 @@
+// Host-side hot-path benchmark: how many simulated memory accesses per
+// second the simulator sustains, with the software TLB + segmentation fast
+// path on vs off, across check modes. This measures the *simulator's* wall
+// time only — the simulated cycle model is independent of the TLB, and this
+// bench enforces that by asserting bit-identical cycles/breakdown/counters
+// between the two configurations (non-zero exit on mismatch, so the ctest
+// smoke run doubles as a determinism check).
+//
+// Writes BENCH_hotpath.json with accesses/sec and speedups per mode.
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernel/kernel_sim.hpp"
+#include "mmu/mmu.hpp"
+
+namespace {
+
+using cash::passes::CheckMode;
+
+// Raw Figure-1 pipeline: hammer the MMU directly (segmentation walk + page
+// walk per access, no interpreter around it). This isolates exactly the
+// path the TLB + segment fast path accelerate; `cash_style` routes every
+// access through a byte-granular LDT array segment as Cash does.
+double raw_pipeline_accesses_per_sec(bool enable_tlb, bool cash_style,
+                                     std::uint64_t accesses) {
+  using cash::x86seg::SegReg;
+  cash::kernel::KernelSim kern;
+  const cash::kernel::Pid pid = kern.create_process();
+  cash::paging::PhysicalMemory phys(4096);
+  cash::paging::PageTable pages(phys);
+  cash::x86seg::SegmentationUnit unit(kern.gdt(), kern.ldt(pid));
+  cash::mmu::Mmu mmu(unit, pages, phys);
+  (void)unit.load(SegReg::kDs, cash::kernel::flat_user_data_selector());
+  (void)kern.set_ldt_callgate(pid);
+  (void)kern.cash_modify_ldt(pid, 42,
+                             cash::x86seg::SegmentDescriptor::for_array(
+                                 0x100000, 1U << 20));
+  (void)unit.load(SegReg::kGs, cash::x86seg::Selector::make(42, true, 3));
+  pages.tlb().set_enabled(enable_tlb);
+
+  const SegReg seg = cash_style ? SegReg::kGs : SegReg::kDs;
+  const std::uint32_t base = cash_style ? 0 : 0x100000;
+  const std::uint32_t mask = (1U << 20) - 4;
+  std::uint32_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < accesses; i += 2) {
+    const std::uint32_t offset = base + (static_cast<std::uint32_t>(i) & mask);
+    (void)mmu.write32(seg, offset, static_cast<std::uint32_t>(i));
+    sink ^= mmu.read32(seg, offset).value();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (sink == 0xDEADBEEF) { // defeat over-eager dead-code elimination
+    std::printf("#");
+  }
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  return seconds > 0 ? static_cast<double>(accesses) / seconds : 0;
+}
+
+// Access-heavy kernels: a strided read-modify-write sweep (fig1-style loop
+// over an array) and a small matmul. Sized so one run is dominated by
+// array accesses, the exact traffic the TLB accelerates.
+std::string sweep_source(int n, int iters) {
+  return cash::workloads::expand_template(R"(
+int a[${N}];
+int main() {
+  int i; int it; int s;
+  s = 0;
+  for (it = 0; it < ${ITERS}; it++) {
+    for (i = 0; i < ${N}; i++) {
+      a[i] = a[i] + it;
+    }
+    s = s + a[it % ${N}];
+  }
+  print_int(s);
+  return 0;
+}
+)",
+                                          {{"N", std::to_string(n)},
+                                           {"ITERS", std::to_string(iters)}});
+}
+
+struct Measurement {
+  double seconds{0};
+  double accesses{0};
+  cash::vm::RunResult last;
+};
+
+Measurement run_config(const cash::CompiledProgram& program, CheckMode mode,
+                       bool enable_tlb, int reps) {
+  cash::vm::MachineConfig cfg = program.options().machine;
+  cfg.mode = mode;
+  cfg.enable_tlb = enable_tlb;
+  Measurement m;
+  for (int rep = 0; rep < reps; ++rep) {
+    cash::vm::Machine machine(program.module(), cfg);
+    const auto start = std::chrono::steady_clock::now();
+    cash::vm::RunResult run = machine.run();
+    const auto stop = std::chrono::steady_clock::now();
+    if (!run.ok) {
+      throw std::runtime_error("bench run failed: " +
+                               (run.fault ? run.fault->detail : run.error));
+    }
+    m.seconds += std::chrono::duration<double>(stop - start).count();
+    m.accesses += static_cast<double>(machine.mmu().access_count());
+    m.last = run;
+  }
+  return m;
+}
+
+bool identical(const cash::vm::RunResult& a, const cash::vm::RunResult& b) {
+  const cash::vm::RunCounters& ca = a.counters;
+  const cash::vm::RunCounters& cb = b.counters;
+  return a.cycles == b.cycles && a.shadow_cycles == b.shadow_cycles &&
+         a.breakdown.base == b.breakdown.base &&
+         a.breakdown.checking == b.breakdown.checking &&
+         a.breakdown.runtime == b.breakdown.runtime &&
+         a.exit_code == b.exit_code && a.output == b.output &&
+         ca.instructions == cb.instructions &&
+         ca.hw_checked_accesses == cb.hw_checked_accesses &&
+         ca.sw_checks == cb.sw_checks && ca.seg_reg_loads == cb.seg_reg_loads &&
+         ca.ptr_word_copies == cb.ptr_word_copies && ca.calls == cb.calls &&
+         ca.malloc_calls == cb.malloc_calls;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace cash;
+  using namespace cash::bench;
+
+  bool quick = env_int("CASH_BENCH_QUICK", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  print_title(quick ? "Hot path: simulator accesses/sec, TLB on vs off (smoke)"
+                    : "Hot path: simulator accesses/sec, TLB on vs off");
+
+  const int n = quick ? 256 : 4096;
+  const int iters = quick ? 40 : 400;
+  const int reps = quick ? 1 : 3;
+  const std::string source = sweep_source(n, iters);
+
+  struct Row {
+    const char* label;
+    CheckMode mode;
+    double on_aps{0};
+    double off_aps{0};
+    paging::TlbStats tlb;
+  };
+  std::vector<Row> rows = {{"gcc", CheckMode::kNoCheck, 0, 0, {}},
+                           {"cash", CheckMode::kCash, 0, 0, {}},
+                           {"bcc", CheckMode::kBcc, 0, 0, {}}};
+
+  bool deterministic = true;
+  std::printf("%-6s %14s %14s %9s %9s %10s\n", "mode", "tlb-on acc/s",
+              "tlb-off acc/s", "speedup", "hit-rate", "cycles-eq");
+  for (Row& row : rows) {
+    CompileOptions options;
+    options.lower.mode = row.mode;
+    CompileResult compiled = compile(source, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", compiled.error.c_str());
+      return 1;
+    }
+    const Measurement on = run_config(*compiled.program, row.mode, true, reps);
+    const Measurement off =
+        run_config(*compiled.program, row.mode, false, reps);
+    const bool same = identical(on.last, off.last);
+    deterministic = deterministic && same;
+    row.on_aps = on.seconds > 0 ? on.accesses / on.seconds : 0;
+    row.off_aps = off.seconds > 0 ? off.accesses / off.seconds : 0;
+    row.tlb = on.last.tlb_stats;
+    const double total = static_cast<double>(row.tlb.hits + row.tlb.misses);
+    std::printf("%-6s %14.0f %14.0f %8.2fx %8.1f%% %10s\n", row.label,
+                row.on_aps, row.off_aps,
+                row.off_aps > 0 ? row.on_aps / row.off_aps : 0,
+                total > 0 ? 100.0 * row.tlb.hits / total : 0,
+                same ? "yes" : "NO");
+    if (off.last.tlb_stats.hits != 0) {
+      std::fprintf(stderr, "tlb-off run recorded TLB hits?!\n");
+      deterministic = false;
+    }
+  }
+
+  // Raw pipeline section: no interpreter dispatch, every operation is a
+  // memory access, so the translation speedup is undiluted.
+  const std::uint64_t raw_accesses = quick ? (1ULL << 21) : (1ULL << 25);
+  struct RawRow {
+    const char* label;
+    bool cash_style;
+    double on_aps{0};
+    double off_aps{0};
+  };
+  std::vector<RawRow> raw_rows = {{"raw-flat", false, 0, 0},
+                                  {"raw-cash", true, 0, 0}};
+  std::printf("\n%-9s %14s %14s %9s   (Figure-1 pipeline only)\n", "raw",
+              "tlb-on acc/s", "tlb-off acc/s", "speedup");
+  for (RawRow& row : raw_rows) {
+    row.on_aps =
+        raw_pipeline_accesses_per_sec(true, row.cash_style, raw_accesses);
+    row.off_aps =
+        raw_pipeline_accesses_per_sec(false, row.cash_style, raw_accesses);
+    std::printf("%-9s %14.0f %14.0f %8.2fx\n", row.label, row.on_aps,
+                row.off_aps, row.off_aps > 0 ? row.on_aps / row.off_aps : 0);
+  }
+
+  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"workload\": \"sweep n=%d iters=%d reps=%d\",\n",
+                 n, iters, reps);
+    std::fprintf(json, "  \"deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(json, "  \"modes\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"tlb_on_accesses_per_sec\": %.0f, "
+                   "\"tlb_off_accesses_per_sec\": %.0f, \"speedup\": %.3f, "
+                   "\"tlb_hits\": %llu, \"tlb_misses\": %llu, "
+                   "\"tlb_flushes\": %llu, \"tlb_invalidations\": %llu}%s\n",
+                   row.label, row.on_aps, row.off_aps,
+                   row.off_aps > 0 ? row.on_aps / row.off_aps : 0,
+                   static_cast<unsigned long long>(row.tlb.hits),
+                   static_cast<unsigned long long>(row.tlb.misses),
+                   static_cast<unsigned long long>(row.tlb.flushes),
+                   static_cast<unsigned long long>(row.tlb.invalidations),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"raw_pipeline\": [\n");
+    for (std::size_t i = 0; i < raw_rows.size(); ++i) {
+      const RawRow& row = raw_rows[i];
+      std::fprintf(json,
+                   "    {\"workload\": \"%s\", "
+                   "\"tlb_on_accesses_per_sec\": %.0f, "
+                   "\"tlb_off_accesses_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                   row.label, row.on_aps, row.off_aps,
+                   row.off_aps > 0 ? row.on_aps / row.off_aps : 0,
+                   i + 1 < raw_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    print_note("\nwrote BENCH_hotpath.json");
+  }
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: simulated results differ between TLB on and off\n");
+    return 1;
+  }
+  return 0;
+}

@@ -7,18 +7,30 @@ using x86seg::SegReg;
 
 namespace {
 constexpr std::uint32_t kPageMask = paging::kPageSize - 1;
+
+constexpr std::uint32_t phys_of(const paging::TlbEntry& e,
+                                std::uint32_t linear) noexcept {
+  return (e.frame << paging::kPageShift) | (linear & kPageMask);
+}
 } // namespace
 
 Result<std::uint32_t> Mmu::read32(SegReg reg, std::uint32_t offset) {
   ++access_count_;
-  Result<std::uint32_t> linear =
-      seg_->translate(reg, offset, 4, Access::kRead);
-  if (!linear.ok()) {
-    return linear.fault();
+  std::uint32_t lin = 0;
+  if (!seg_->translate_fast(reg, offset, 4, Access::kRead, &lin)) {
+    Result<std::uint32_t> linear =
+        seg_->translate(reg, offset, 4, Access::kRead);
+    if (!linear.ok()) {
+      return linear.fault();
+    }
+    lin = linear.value();
   }
-  const std::uint32_t lin = linear.value();
-  pages_->map_range(lin, 4);
   if ((lin & kPageMask) <= paging::kPageSize - 4) {
+    if (const paging::TlbEntry* e = tlb_->probe(
+            lin >> paging::kPageShift, /*write=*/false, /*user_mode=*/true)) {
+      return memory_->read32(phys_of(*e, lin));
+    }
+    pages_->map_range(lin, 4);
     Result<std::uint32_t> phys =
         pages_->translate(lin, 4, /*write=*/false, /*user_mode=*/true);
     if (!phys.ok()) {
@@ -28,6 +40,7 @@ Result<std::uint32_t> Mmu::read32(SegReg reg, std::uint32_t offset) {
   }
   // Word straddles a page boundary: frames are not physically contiguous,
   // so compose the word byte by byte.
+  pages_->map_range(lin, 4);
   std::uint32_t value = 0;
   for (std::uint32_t i = 0; i < 4; ++i) {
     Result<std::uint32_t> phys =
@@ -43,14 +56,22 @@ Result<std::uint32_t> Mmu::read32(SegReg reg, std::uint32_t offset) {
 
 Status Mmu::write32(SegReg reg, std::uint32_t offset, std::uint32_t value) {
   ++access_count_;
-  Result<std::uint32_t> linear =
-      seg_->translate(reg, offset, 4, Access::kWrite);
-  if (!linear.ok()) {
-    return linear.fault();
+  std::uint32_t lin = 0;
+  if (!seg_->translate_fast(reg, offset, 4, Access::kWrite, &lin)) {
+    Result<std::uint32_t> linear =
+        seg_->translate(reg, offset, 4, Access::kWrite);
+    if (!linear.ok()) {
+      return linear.fault();
+    }
+    lin = linear.value();
   }
-  const std::uint32_t lin = linear.value();
-  pages_->map_range(lin, 4);
   if ((lin & kPageMask) <= paging::kPageSize - 4) {
+    if (const paging::TlbEntry* e = tlb_->probe(
+            lin >> paging::kPageShift, /*write=*/true, /*user_mode=*/true)) {
+      memory_->write32(phys_of(*e, lin), value);
+      return {};
+    }
+    pages_->map_range(lin, 4);
     Result<std::uint32_t> phys =
         pages_->translate(lin, 4, /*write=*/true, /*user_mode=*/true);
     if (!phys.ok()) {
@@ -59,6 +80,7 @@ Status Mmu::write32(SegReg reg, std::uint32_t offset, std::uint32_t value) {
     memory_->write32(phys.value(), value);
     return {};
   }
+  pages_->map_range(lin, 4);
   for (std::uint32_t i = 0; i < 4; ++i) {
     Result<std::uint32_t> phys =
         pages_->translate(lin + i, 1, /*write=*/true, /*user_mode=*/true);
@@ -72,14 +94,22 @@ Status Mmu::write32(SegReg reg, std::uint32_t offset, std::uint32_t value) {
 
 Result<std::uint8_t> Mmu::read8(SegReg reg, std::uint32_t offset) {
   ++access_count_;
-  Result<std::uint32_t> linear =
-      seg_->translate(reg, offset, 1, Access::kRead);
-  if (!linear.ok()) {
-    return linear.fault();
+  std::uint32_t lin = 0;
+  if (!seg_->translate_fast(reg, offset, 1, Access::kRead, &lin)) {
+    Result<std::uint32_t> linear =
+        seg_->translate(reg, offset, 1, Access::kRead);
+    if (!linear.ok()) {
+      return linear.fault();
+    }
+    lin = linear.value();
   }
-  pages_->map_range(linear.value(), 1);
+  if (const paging::TlbEntry* e = tlb_->probe(
+          lin >> paging::kPageShift, /*write=*/false, /*user_mode=*/true)) {
+    return memory_->read8(phys_of(*e, lin));
+  }
+  pages_->map_range(lin, 1);
   Result<std::uint32_t> phys =
-      pages_->translate(linear.value(), 1, /*write=*/false, /*user_mode=*/true);
+      pages_->translate(lin, 1, /*write=*/false, /*user_mode=*/true);
   if (!phys.ok()) {
     return phys.fault();
   }
@@ -88,14 +118,23 @@ Result<std::uint8_t> Mmu::read8(SegReg reg, std::uint32_t offset) {
 
 Status Mmu::write8(SegReg reg, std::uint32_t offset, std::uint8_t value) {
   ++access_count_;
-  Result<std::uint32_t> linear =
-      seg_->translate(reg, offset, 1, Access::kWrite);
-  if (!linear.ok()) {
-    return linear.fault();
+  std::uint32_t lin = 0;
+  if (!seg_->translate_fast(reg, offset, 1, Access::kWrite, &lin)) {
+    Result<std::uint32_t> linear =
+        seg_->translate(reg, offset, 1, Access::kWrite);
+    if (!linear.ok()) {
+      return linear.fault();
+    }
+    lin = linear.value();
   }
-  pages_->map_range(linear.value(), 1);
+  if (const paging::TlbEntry* e = tlb_->probe(
+          lin >> paging::kPageShift, /*write=*/true, /*user_mode=*/true)) {
+    memory_->write8(phys_of(*e, lin), value);
+    return {};
+  }
+  pages_->map_range(lin, 1);
   Result<std::uint32_t> phys =
-      pages_->translate(linear.value(), 1, /*write=*/true, /*user_mode=*/true);
+      pages_->translate(lin, 1, /*write=*/true, /*user_mode=*/true);
   if (!phys.ok()) {
     return phys.fault();
   }
@@ -104,8 +143,13 @@ Status Mmu::write8(SegReg reg, std::uint32_t offset, std::uint8_t value) {
 }
 
 Result<std::uint32_t> Mmu::read32_linear(std::uint32_t linear) {
-  pages_->map_range(linear, 4);
   if ((linear & kPageMask) <= paging::kPageSize - 4) {
+    if (const paging::TlbEntry* e =
+            tlb_->probe(linear >> paging::kPageShift, /*write=*/false,
+                        /*user_mode=*/false)) {
+      return memory_->read32(phys_of(*e, linear));
+    }
+    pages_->map_range(linear, 4);
     Result<std::uint32_t> phys =
         pages_->translate(linear, 4, /*write=*/false, /*user_mode=*/false);
     if (!phys.ok()) {
@@ -113,6 +157,7 @@ Result<std::uint32_t> Mmu::read32_linear(std::uint32_t linear) {
     }
     return memory_->read32(phys.value());
   }
+  pages_->map_range(linear, 4);
   std::uint32_t value = 0;
   for (std::uint32_t i = 0; i < 4; ++i) {
     Result<std::uint32_t> phys =
@@ -127,8 +172,14 @@ Result<std::uint32_t> Mmu::read32_linear(std::uint32_t linear) {
 }
 
 Status Mmu::write32_linear(std::uint32_t linear, std::uint32_t value) {
-  pages_->map_range(linear, 4);
   if ((linear & kPageMask) <= paging::kPageSize - 4) {
+    if (const paging::TlbEntry* e =
+            tlb_->probe(linear >> paging::kPageShift, /*write=*/true,
+                        /*user_mode=*/false)) {
+      memory_->write32(phys_of(*e, linear), value);
+      return {};
+    }
+    pages_->map_range(linear, 4);
     Result<std::uint32_t> phys =
         pages_->translate(linear, 4, /*write=*/true, /*user_mode=*/false);
     if (!phys.ok()) {
@@ -137,6 +188,7 @@ Status Mmu::write32_linear(std::uint32_t linear, std::uint32_t value) {
     memory_->write32(phys.value(), value);
     return {};
   }
+  pages_->map_range(linear, 4);
   for (std::uint32_t i = 0; i < 4; ++i) {
     Result<std::uint32_t> phys =
         pages_->translate(linear + i, 1, /*write=*/true, /*user_mode=*/false);

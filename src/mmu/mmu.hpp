@@ -17,10 +17,16 @@ class Mmu {
  public:
   Mmu(x86seg::SegmentationUnit& seg, paging::PageTable& pages,
       paging::PhysicalMemory& memory)
-      : seg_(&seg), pages_(&pages), memory_(&memory) {}
+      : seg_(&seg), pages_(&pages), memory_(&memory), tlb_(&pages.tlb()) {}
 
   x86seg::SegmentationUnit& segmentation() noexcept { return *seg_; }
   paging::PageTable& page_table() noexcept { return *pages_; }
+
+  // The software TLB between this MMU and the page table: every in-page
+  // access probes it first and only walks the page table on a miss.
+  // Disable (page_table().tlb().set_enabled(false)) to force every access
+  // through the full walk; results must be bit-identical either way.
+  const paging::TlbStats& tlb_stats() const noexcept { return tlb_->stats(); }
 
   // Segment-relative word access (the VM's data path).
   Result<std::uint32_t> read32(x86seg::SegReg reg, std::uint32_t offset);
@@ -38,12 +44,10 @@ class Mmu {
   std::uint64_t access_count() const noexcept { return access_count_; }
 
  private:
-  Result<std::uint32_t> to_physical(x86seg::SegReg reg, std::uint32_t offset,
-                                    std::uint32_t size, bool write);
-
   x86seg::SegmentationUnit* seg_;
   paging::PageTable* pages_;
   paging::PhysicalMemory* memory_;
+  paging::Tlb* tlb_; // owned by pages_
   std::uint64_t access_count_{0};
 };
 

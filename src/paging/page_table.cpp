@@ -36,11 +36,29 @@ void PageTable::map_page(std::uint32_t linear_page, bool writable, bool user) {
   pte->user = user;
   pte->guard = false;
   ++mapped_pages_;
+  tlb_.invalidate_page(linear_page);
 }
 
 void PageTable::set_guard(std::uint32_t linear_page, bool guard) {
   Pte* pte = find_or_create(linear_page);
   pte->guard = guard;
+  // A cached translation would let accesses bypass the new guard (or keep
+  // faulting after it is lifted).
+  tlb_.invalidate_page(linear_page);
+}
+
+void PageTable::unmap(std::uint32_t linear_page) {
+  const std::uint32_t dir = linear_page >> 10;
+  const std::uint32_t idx = linear_page & 0x3FFU;
+  if (!directory_[dir]) {
+    return;
+  }
+  Pte& pte = (*directory_[dir])[idx];
+  if (pte.present) {
+    --mapped_pages_;
+  }
+  pte = Pte{};
+  tlb_.invalidate_page(linear_page);
 }
 
 void PageTable::map_range(std::uint32_t linear, std::uint32_t size) {
@@ -65,6 +83,7 @@ Result<std::uint32_t> PageTable::translate(std::uint32_t linear,
                 : static_cast<std::uint32_t>(
                       (static_cast<std::uint64_t>(linear) + size - 1) >>
                       kPageShift);
+  const Pte* first_pte = nullptr;
   for (std::uint32_t page = first; page <= last; ++page) {
     const Pte* pte = find(page);
     const bool missing = (pte == nullptr) || !pte->present || pte->guard;
@@ -85,9 +104,16 @@ Result<std::uint32_t> PageTable::translate(std::uint32_t linear,
       return Fault{FaultKind::kPageFault, page << kPageShift, 0,
                    "user access to supervisor page"};
     }
+    if (page == first) {
+      first_pte = pte;
+    }
   }
-  const Pte* pte = find(first);
-  return (pte->frame << kPageShift) | (linear & (kPageSize - 1));
+  // Successful walk: cache the first page so the next access to it is one
+  // tag compare. The cached protection bits are the PTE's own, so a later
+  // stricter access (write through a read-only entry, user access to a
+  // supervisor entry) misses and re-walks to the architectural fault.
+  tlb_.fill(first, first_pte->frame, first_pte->writable, first_pte->user);
+  return (first_pte->frame << kPageShift) | (linear & (kPageSize - 1));
 }
 
 } // namespace cash::paging

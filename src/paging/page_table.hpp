@@ -6,6 +6,7 @@
 
 #include "common/result.hpp"
 #include "paging/physical_memory.hpp"
+#include "paging/tlb.hpp"
 
 namespace cash::paging {
 
@@ -33,6 +34,11 @@ class PageTable {
   // Marks the page as a guard page: any access page-faults.
   void set_guard(std::uint32_t linear_page, bool guard);
 
+  // Unmaps the page: clears the whole PTE (present, guard, protection).
+  // The physical frame is not recycled (frames are never freed
+  // individually); a later access demand-maps a fresh zeroed frame.
+  void unmap(std::uint32_t linear_page);
+
   // Ensures [linear, linear+size) is mapped (demand-zero allocation).
   void map_range(std::uint32_t linear, std::uint32_t size);
 
@@ -44,6 +50,12 @@ class PageTable {
   std::uint64_t page_fault_count() const noexcept { return fault_count_; }
   std::uint32_t mapped_pages() const noexcept { return mapped_pages_; }
 
+  // The software TLB caching successful walks. translate() refills it;
+  // map_page/set_guard/unmap invalidate stale entries. The MMU probes it
+  // before walking.
+  Tlb& tlb() noexcept { return tlb_; }
+  const Tlb& tlb() const noexcept { return tlb_; }
+
  private:
   const Pte* find(std::uint32_t linear_page) const noexcept;
   Pte* find_or_create(std::uint32_t linear_page);
@@ -54,6 +66,7 @@ class PageTable {
   std::vector<std::unique_ptr<std::vector<Pte>>> directory_;
   mutable std::uint64_t fault_count_{0};
   std::uint32_t mapped_pages_{0};
+  mutable Tlb tlb_; // mutable: const translate() refills on a successful walk
 };
 
 } // namespace cash::paging

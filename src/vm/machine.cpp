@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -58,6 +59,40 @@ struct GlobalInstance {
   std::uint32_t size_bytes{0};
 };
 
+// Builtins the interpreter implements directly. Call sites are resolved to
+// a CallTarget once per Machine (the IR is immutable after lowering), so
+// the per-call dispatch is a pointer-keyed hash lookup plus an enum switch
+// instead of a chain of string compares and a linear function-list scan.
+enum class Builtin : std::uint8_t {
+  kNone, // user function (CallTarget::fn) or unknown callee
+  kMalloc, kFree, kSqrt, kFabs, kSin, kCos, kExp, kLog, kFloor, kPow, kAbs,
+  kPrintInt, kPrintFloat, kRand, kSrand,
+};
+
+Builtin builtin_of(const std::string& name) noexcept {
+  if (name == "malloc") return Builtin::kMalloc;
+  if (name == "free") return Builtin::kFree;
+  if (name == "sqrt") return Builtin::kSqrt;
+  if (name == "fabs") return Builtin::kFabs;
+  if (name == "sin") return Builtin::kSin;
+  if (name == "cos") return Builtin::kCos;
+  if (name == "exp") return Builtin::kExp;
+  if (name == "log") return Builtin::kLog;
+  if (name == "floor") return Builtin::kFloor;
+  if (name == "pow") return Builtin::kPow;
+  if (name == "abs") return Builtin::kAbs;
+  if (name == "print_int") return Builtin::kPrintInt;
+  if (name == "print_float") return Builtin::kPrintFloat;
+  if (name == "rand") return Builtin::kRand;
+  if (name == "srand") return Builtin::kSrand;
+  return Builtin::kNone;
+}
+
+struct CallTarget {
+  Builtin builtin{Builtin::kNone};
+  const ir::Function* fn{nullptr}; // resolved callee when builtin == kNone
+};
+
 struct Frame {
   const ir::Function* func{nullptr};
   std::vector<Value> regs;
@@ -98,6 +133,8 @@ struct Machine::Impl {
   std::unordered_map<std::uint32_t, std::uint32_t> mem_ptr_info;
   std::uint32_t sp{kStackTop};
   std::uint32_t rng_state;
+  // Call-resolution cache: one entry per kCall site in the module.
+  std::unordered_map<const Instr*, CallTarget> call_targets;
 
   explicit Impl(const ir::Module& m, MachineConfig cfg)
       : module(&m),
@@ -116,6 +153,26 @@ struct Machine::Impl {
     (void)seg_unit.load(SegReg::kDs, kernel::flat_user_data_selector());
     (void)seg_unit.load(SegReg::kSs, kernel::flat_user_data_selector());
     (void)seg_unit.load(SegReg::kEs, kernel::flat_user_data_selector());
+
+    if (!cfg.enable_tlb || std::getenv("CASH_NO_TLB") != nullptr) {
+      pages.tlb().set_enabled(false);
+    }
+
+    for (const auto& fn : module->functions) {
+      for (const auto& block : fn->blocks) {
+        for (const Instr& in : block->instrs) {
+          if (in.op != Opcode::kCall) {
+            continue;
+          }
+          CallTarget target;
+          target.builtin = builtin_of(in.callee);
+          if (target.builtin == Builtin::kNone) {
+            target.fn = module->find_function(in.callee);
+          }
+          call_targets.emplace(&in, target);
+        }
+      }
+    }
   }
 
   // One-time program load: place globals, charge per-program + per-global-
@@ -735,8 +792,14 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
         }
         ++ctr.calls;
 
+        const auto target_it = call_targets.find(&instr);
+        const CallTarget target =
+            target_it != call_targets.end()
+                ? target_it->second
+                : CallTarget{builtin_of(callee), module->find_function(callee)};
+
         // --- builtins ---
-        if (callee == "malloc") {
+        if (target.builtin == Builtin::kMalloc) {
           runtime::CashHeap::Object obj =
               heap.allocate(args.empty() ? 0 : args[0].bits);
           cycles += obj.cycles;
@@ -747,64 +810,64 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
             break;
           }
           reg_of(instr.dst) = Value{obj.data, obj.info};
-        } else if (callee == "free") {
+        } else if (target.builtin == Builtin::kFree) {
           const std::uint64_t released =
               heap.release(args.empty() ? 0 : args[0].bits);
           cycles += released;
           runtime_cy += released;
-        } else if (callee == "sqrt") {
+        } else if (target.builtin == Builtin::kSqrt) {
           reg_of(instr.dst) = from_float(std::sqrt(as_float(args[0])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "fabs") {
+        } else if (target.builtin == Builtin::kFabs) {
           reg_of(instr.dst) = from_float(std::fabs(as_float(args[0])));
           cycles += costs::kAluOp;
-        } else if (callee == "sin") {
+        } else if (target.builtin == Builtin::kSin) {
           reg_of(instr.dst) = from_float(std::sin(as_float(args[0])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "cos") {
+        } else if (target.builtin == Builtin::kCos) {
           reg_of(instr.dst) = from_float(std::cos(as_float(args[0])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "exp") {
+        } else if (target.builtin == Builtin::kExp) {
           reg_of(instr.dst) = from_float(std::exp(as_float(args[0])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "log") {
+        } else if (target.builtin == Builtin::kLog) {
           reg_of(instr.dst) = from_float(std::log(as_float(args[0])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "floor") {
+        } else if (target.builtin == Builtin::kFloor) {
           reg_of(instr.dst) = from_float(std::floor(as_float(args[0])));
           cycles += costs::kAluOp;
-        } else if (callee == "pow") {
+        } else if (target.builtin == Builtin::kPow) {
           reg_of(instr.dst) =
               from_float(std::pow(as_float(args[0]), as_float(args[1])));
           cycles += costs::kMathBuiltin;
-        } else if (callee == "abs") {
+        } else if (target.builtin == Builtin::kAbs) {
           // Defined for INT_MIN too (wraps to itself, like x86 neg).
           const std::int32_t v = as_int(args[0]);
           reg_of(instr.dst) =
               v < 0 ? Value{0U - args[0].bits, 0} : from_int(v);
           cycles += costs::kAluOp;
-        } else if (callee == "print_int") {
+        } else if (target.builtin == Builtin::kPrintInt) {
           result.output += std::to_string(as_int(args[0]));
           result.output += '\n';
           cycles += 10;
-        } else if (callee == "print_float") {
+        } else if (target.builtin == Builtin::kPrintFloat) {
           char buffer[32];
           std::snprintf(buffer, sizeof(buffer), "%.6g",
                         static_cast<double>(as_float(args[0])));
           result.output += buffer;
           result.output += '\n';
           cycles += 10;
-        } else if (callee == "rand") {
+        } else if (target.builtin == Builtin::kRand) {
           rng_state = rng_state * 1103515245U + 12345U;
           reg_of(instr.dst) =
               from_int(static_cast<std::int32_t>((rng_state >> 16) & 0x7FFF));
           cycles += 5;
-        } else if (callee == "srand") {
+        } else if (target.builtin == Builtin::kSrand) {
           rng_state = args.empty() ? 1 : args[0].bits;
           cycles += 2;
         } else {
           // --- user function ---
-          const ir::Function* fn = module->find_function(callee);
+          const ir::Function* fn = target.fn;
           if (fn == nullptr) {
             result.error = "call to unknown function " + callee;
             break;
@@ -856,6 +919,7 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
   result.breakdown.base = cycles - checking_cy - runtime_cy;
   result.exit_code = as_int(return_value);
   result.ok = !result.fault.has_value() && result.error.empty();
+  result.tlb_stats = pages.tlb().stats();
   result.segment_stats = segments.stats();
   result.heap_stats = heap.stats();
   result.kernel_account = kernel.account(pid);

@@ -36,6 +36,11 @@ struct MachineConfig {
   // to the unchecked global segment. > 1 = allocate extra LDTs and switch
   // the LDTR on demand (282 cycles per switch).
   int max_ldts{1};
+  // Software TLB in front of the simulated page table (host-side fast path
+  // only — simulated cycles, breakdowns and counters are bit-identical with
+  // it on or off). Also forced off when $CASH_NO_TLB is set, for A/B runs
+  // without recompiling.
+  bool enable_tlb{true};
 };
 
 // Dynamic counters accumulated during one run.
@@ -81,6 +86,9 @@ struct RunResult {
   // max(cycles, shadow_cycles) — see effective_cycles().
   std::uint64_t shadow_cycles{0};
   RunCounters counters;
+  // Host-side software-TLB statistics (cumulative across runs of the same
+  // Machine). All zero when the TLB is disabled.
+  paging::TlbStats tlb_stats;
   runtime::SegmentManager::Stats segment_stats;
   runtime::CashHeap::Stats heap_stats;
   kernel::KernelAccount kernel_account;

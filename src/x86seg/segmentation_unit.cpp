@@ -5,6 +5,29 @@
 
 namespace cash::x86seg {
 
+void SegmentRegister::refresh_fast_path() noexcept {
+  const SegmentDescriptor& d = cached;
+  const bool is_code = d.kind() == DescriptorKind::kCode;
+  const bool is_data = d.kind() == DescriptorKind::kData;
+  std::uint8_t mask = 0;
+  // Mirrors the type checks in translate_slow: reads fault only through
+  // execute-only code segments; writes need a writable data segment;
+  // execution needs a code segment.
+  if (!(is_code && !d.writable())) {
+    mask |= 1U << static_cast<unsigned>(Access::kRead);
+  }
+  if (is_data && d.writable()) {
+    mask |= 1U << static_cast<unsigned>(Access::kWrite);
+  }
+  if (is_code) {
+    mask |= 1U << static_cast<unsigned>(Access::kExecute);
+  }
+  fast_base = d.base();
+  fast_limit = d.effective_limit();
+  fast_access = mask;
+  fast_expand_up = !d.expand_down();
+}
+
 const char* to_string(SegReg reg) noexcept {
   switch (reg) {
     case SegReg::kCs: return "CS";
@@ -70,13 +93,14 @@ Status SegmentationUnit::load(SegReg reg, Selector selector) {
   target.selector = selector;
   target.cached = descriptor; // fill the hidden part
   target.valid = true;
+  target.refresh_fast_path();
   return {};
 }
 
-Result<std::uint32_t> SegmentationUnit::translate(SegReg reg,
-                                                  std::uint32_t offset,
-                                                  std::uint32_t size,
-                                                  Access access) const {
+Result<std::uint32_t> SegmentationUnit::translate_slow(SegReg reg,
+                                                       std::uint32_t offset,
+                                                       std::uint32_t size,
+                                                       Access access) const {
   const SegmentRegister& sr = regs_[static_cast<int>(reg)];
 
   if (!sr.valid) {

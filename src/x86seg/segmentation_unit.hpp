@@ -25,6 +25,20 @@ struct SegmentRegister {
   Selector selector;
   SegmentDescriptor cached; // hidden part
   bool valid{false};        // hidden part holds a usable descriptor
+
+  // Fast-path word, derived from `cached` whenever the hidden part is
+  // (re)filled — i.e. with exactly the lifetime of the hidden part, so a
+  // descriptor-table rewrite stays invisible until the register is
+  // reloaded, just like on real hardware. The common in-bounds expand-up
+  // data access then needs only an access-mask test and two compares; all
+  // other cases (expand-down, faults) re-run the full check pipeline.
+  std::uint32_t fast_base{0};
+  std::uint32_t fast_limit{0}; // effective (byte) limit, expand-up only
+  std::uint8_t fast_access{0}; // bit per Access value: permitted kinds
+  bool fast_expand_up{false};
+
+  // Recomputes the fast-path word from the hidden part.
+  void refresh_fast_path() noexcept;
 };
 
 // The segmentation stage of Figure 1: logical address (segment register,
@@ -64,14 +78,43 @@ class SegmentationUnit {
 
   // Forms the linear address for an access of `size` bytes at `offset`
   // through `reg`, running the full protection pipeline. This is where the
-  // Cash hardware bound check happens.
+  // Cash hardware bound check happens. The in-bounds expand-up case is an
+  // inline mask test plus two overflow-free compares against the fast-path
+  // word; everything else (expand-down segments, every fault, size 0)
+  // falls back to the full pipeline, which also builds the fault detail
+  // strings — no formatting cost on the hot path.
   Result<std::uint32_t> translate(SegReg reg, std::uint32_t offset,
-                                  std::uint32_t size, Access access) const;
+                                  std::uint32_t size, Access access) const {
+    std::uint32_t linear = 0;
+    if (translate_fast(reg, offset, size, access, &linear)) {
+      return linear;
+    }
+    return translate_slow(reg, offset, size, access);
+  }
+
+  // The fast path alone, with no Result construction: returns true and sets
+  // *linear when the access hits the precomputed in-bounds expand-up case;
+  // false means "run translate() for the full pipeline" (which may still
+  // succeed, e.g. expand-down segments), not "fault".
+  bool translate_fast(SegReg reg, std::uint32_t offset, std::uint32_t size,
+                      Access access, std::uint32_t* linear) const noexcept {
+    const SegmentRegister& sr = regs_[static_cast<int>(reg)];
+    if (sr.valid && sr.fast_expand_up && size != 0 &&
+        ((sr.fast_access >> static_cast<unsigned>(access)) & 1U) != 0 &&
+        offset <= sr.fast_limit && size - 1 <= sr.fast_limit - offset) {
+      *linear = sr.fast_base + offset;
+      return true;
+    }
+    return false;
+  }
 
   // Number of segment-register loads performed (cost accounting).
   std::uint64_t load_count() const noexcept { return load_count_; }
 
  private:
+  Result<std::uint32_t> translate_slow(SegReg reg, std::uint32_t offset,
+                                       std::uint32_t size, Access access) const;
+
   DescriptorTable* gdt_;
   DescriptorTable* ldt_;
   std::array<SegmentRegister, kNumSegRegs> regs_{};

@@ -3,6 +3,8 @@
 //     software sequence vs Cash,
 //   * Electric-Fence guard pages (heap-only protection, no per-ref cost),
 //   * Cash security-only mode (skip read checks, Section 3.8).
+#include <vector>
+
 #include "bench_util.hpp"
 
 namespace {
@@ -31,6 +33,13 @@ cash::bench::ModeResult run_with(const std::string& source,
   return out;
 }
 
+// One ablation column: how to compile/run the cell.
+struct Column {
+  cash::passes::CheckMode mode;
+  bool check_reads;
+  bool rce;
+};
+
 } // namespace
 
 int main() {
@@ -43,33 +52,45 @@ int main() {
               "GCC(Kcyc)", "Cash", "Cash-sec", "BCC", "BCC+RCE", "bound",
               "EFence", "shadow*");
 
-  for (const workloads::Workload& w : workloads::micro_suite()) {
-    ModeResult gcc = run_with(w.source, CheckMode::kNoCheck, 3, true);
-    ModeResult cash_r = run_with(w.source, CheckMode::kCash, 3, true);
-    // Security-only Cash: writes checked, reads left alone (Section 3.8).
-    ModeResult cash_sec = run_with(w.source, CheckMode::kCash, 3, false);
-    ModeResult bcc = run_with(w.source, CheckMode::kBcc, 3, true);
-    // Gupta-style redundant check elimination (related work [15,16]).
-    ModeResult bcc_rce = run_with(w.source, CheckMode::kBcc, 3, true, true);
-    ModeResult bound = run_with(w.source, CheckMode::kBoundInsn, 3, true);
-    ModeResult efence = run_with(w.source, CheckMode::kEfence, 3, true);
-    // Concurrent checking (related work [6]): overhead measured on wall
-    // clock, i.e. whichever of the two processors is the bottleneck.
-    ModeResult shadow = run_with(w.source, CheckMode::kShadow, 3, true);
+  const Column kColumns[] = {
+      {CheckMode::kNoCheck, true, false},
+      {CheckMode::kCash, true, false},
+      // Security-only Cash: writes checked, reads left alone (Section 3.8).
+      {CheckMode::kCash, false, false},
+      {CheckMode::kBcc, true, false},
+      // Gupta-style redundant check elimination (related work [15,16]).
+      {CheckMode::kBcc, true, true},
+      {CheckMode::kBoundInsn, true, false},
+      {CheckMode::kEfence, true, false},
+      // Concurrent checking (related work [6]): overhead measured on wall
+      // clock, i.e. whichever of the two processors is the bottleneck.
+      {CheckMode::kShadow, true, false},
+  };
+  const std::size_t kNumColumns = std::size(kColumns);
 
-    const double base = static_cast<double>(gcc.run.cycles);
+  const std::vector<workloads::Workload>& suite = workloads::micro_suite();
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kNumColumns, [&](std::size_t i) {
+        const Column& col = kColumns[i % kNumColumns];
+        return run_with(suite[i / kNumColumns].source, col.mode, 3,
+                        col.check_reads, col.rce);
+      });
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult* row = &cells[w * kNumColumns];
+    const double base = static_cast<double>(row[0].run.cycles);
     std::printf(
         "%-14s %10.0f %8.2f%% %8.2f%% %9.1f%% %8.1f%% %8.1f%% %8.2f%% "
         "%8.1f%%\n",
-        w.name.c_str(), base / 1000.0,
-        overhead_pct(base, static_cast<double>(cash_r.run.cycles)),
-        overhead_pct(base, static_cast<double>(cash_sec.run.cycles)),
-        overhead_pct(base, static_cast<double>(bcc.run.cycles)),
-        overhead_pct(base, static_cast<double>(bcc_rce.run.cycles)),
-        overhead_pct(base, static_cast<double>(bound.run.cycles)),
-        overhead_pct(base, static_cast<double>(efence.run.cycles)),
+        suite[w].name.c_str(), base / 1000.0,
+        overhead_pct(base, static_cast<double>(row[1].run.cycles)),
+        overhead_pct(base, static_cast<double>(row[2].run.cycles)),
+        overhead_pct(base, static_cast<double>(row[3].run.cycles)),
+        overhead_pct(base, static_cast<double>(row[4].run.cycles)),
+        overhead_pct(base, static_cast<double>(row[5].run.cycles)),
+        overhead_pct(base, static_cast<double>(row[6].run.cycles)),
         overhead_pct(base,
-                     static_cast<double>(shadow.run.effective_cycles())));
+                     static_cast<double>(row[7].run.effective_cycles())));
   }
 
   print_note("\nFindings to reproduce:");

@@ -209,9 +209,9 @@ int main(int argc, char** argv) {
                 row.off_aps, row.off_aps > 0 ? row.on_aps / row.off_aps : 0);
   }
 
-  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  std::FILE* json = open_bench_json("BENCH_hotpath.json");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"workload\": \"sweep n=%d iters=%d reps=%d\",\n",
+    std::fprintf(json, "  \"workload\": \"sweep n=%d iters=%d reps=%d\",\n",
                  n, iters, reps);
     std::fprintf(json, "  \"deterministic\": %s,\n",
                  deterministic ? "true" : "false");
@@ -242,9 +242,8 @@ int main(int argc, char** argv) {
                    row.off_aps > 0 ? row.on_aps / row.off_aps : 0,
                    i + 1 < raw_rows.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    print_note("\nwrote BENCH_hotpath.json");
+    std::fprintf(json, "  ]\n");
+    close_bench_json(json, "BENCH_hotpath.json");
   }
 
   if (!deterministic) {

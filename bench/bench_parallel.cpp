@@ -1,0 +1,174 @@
+// Parallel-engine benchmark and determinism gate: sweeps the host thread
+// count over the netsim workload (one simulated forked server process per
+// request) and over a bench-style (workload x mode) grid, reporting host
+// wall-clock speedup over the serial path — and EXITING NON-ZERO if any
+// simulated aggregate (cycles, checks, allocations, metrics) differs from
+// the jobs=1 run. The simulated results must be a pure function of the
+// program, never of the host's thread count (DESIGN.md §7).
+//
+// Writes BENCH_parallel.json (throughput vs jobs, speedup over serial).
+// Quick smoke run under ctest (label: bench); full scale with
+// -DCASH_BENCH_FULL=ON or without --quick.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/netsim.hpp"
+
+namespace {
+
+bool identical_metrics(const cash::netsim::ServerMetrics& a,
+                       const cash::netsim::ServerMetrics& b) {
+  return a.requests == b.requests &&
+         a.total_cpu_cycles == b.total_cpu_cycles &&
+         a.total_busy_cycles == b.total_busy_cycles &&
+         a.mean_latency_cycles == b.mean_latency_cycles &&
+         a.mean_latency_us == b.mean_latency_us &&
+         a.throughput_rps == b.throughput_rps &&
+         a.sw_checks == b.sw_checks && a.hw_checks == b.hw_checks &&
+         a.segment_allocs == b.segment_allocs &&
+         a.cache_hits == b.cache_hits;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace cash;
+  using namespace cash::bench;
+  using passes::CheckMode;
+
+  bool quick = env_int("CASH_BENCH_QUICK", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  print_title(quick ? "Parallel engine: netsim speedup vs jobs (smoke)"
+                    : "Parallel engine: netsim speedup vs jobs");
+
+  const int requests = env_int("CASH_BENCH_REQUESTS", quick ? 60 : 1000);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> jobs_values = {1, 2, 4, static_cast<int>(hw)};
+  std::sort(jobs_values.begin(), jobs_values.end());
+  jobs_values.erase(std::unique(jobs_values.begin(), jobs_values.end()),
+                    jobs_values.end());
+
+  // The netsim workload: the first network app under Cash — the paper's
+  // fork-per-request server, the heaviest fan-out site in the repo.
+  const workloads::Workload& app = workloads::network_suite().front();
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  CompileResult compiled = compile(app.source, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.error.c_str());
+    return 1;
+  }
+
+  struct JobsRow {
+    int jobs;
+    double seconds;
+    double host_rps; // requests / host second
+    netsim::ServerMetrics metrics;
+  };
+  std::vector<JobsRow> rows;
+  bool identical = true;
+
+  std::printf("netsim: %s, %d requests, Cash mode (host: %u cores)\n\n",
+              app.name.c_str(), requests, hw);
+  std::printf("%6s %12s %14s %10s %12s\n", "jobs", "host sec",
+              "host req/s", "speedup", "identical");
+  for (int jobs : jobs_values) {
+    const double start = now_s();
+    const netsim::ServerMetrics metrics = netsim::serve_requests(
+        *compiled.program, requests, 1, exec::ExecutorConfig{jobs});
+    const double seconds = now_s() - start;
+    JobsRow row{jobs, seconds,
+                seconds > 0 ? static_cast<double>(requests) / seconds : 0,
+                metrics};
+    const bool same =
+        rows.empty() || identical_metrics(rows.front().metrics, metrics);
+    identical = identical && same;
+    const double speedup =
+        !rows.empty() && seconds > 0 ? rows.front().seconds / seconds : 1.0;
+    std::printf("%6d %12.3f %14.0f %9.2fx %12s\n", jobs, seconds,
+                row.host_rps, speedup, same ? "yes" : "NO");
+    rows.push_back(row);
+  }
+
+  // Second fan-out site: a bench-style (workload x mode) grid. Simulated
+  // cycles per cell must not depend on the thread count either.
+  const std::vector<workloads::Workload>& micro = workloads::micro_suite();
+  const std::size_t grid_workloads = quick ? 2 : micro.size();
+  const CheckMode kModes[] = {CheckMode::kNoCheck, CheckMode::kCash,
+                              CheckMode::kBcc};
+  const std::size_t kNumModes = std::size(kModes);
+  auto grid_cell = [&](std::size_t i) -> std::uint64_t {
+    return compile_and_run(micro[i / kNumModes].source, kModes[i % kNumModes])
+        .run.cycles;
+  };
+  std::printf("\nbench grid: %zu (workload x mode) cells\n",
+              grid_workloads * kNumModes);
+  std::vector<std::uint64_t> grid_serial;
+  double grid_serial_s = 0;
+  for (int jobs : jobs_values) {
+    const double start = now_s();
+    const std::vector<std::uint64_t> cycles =
+        run_cells_jobs(grid_workloads * kNumModes, jobs, grid_cell);
+    const double seconds = now_s() - start;
+    bool same = true;
+    if (grid_serial.empty()) {
+      grid_serial = cycles;
+      grid_serial_s = seconds;
+    } else {
+      same = cycles == grid_serial;
+    }
+    identical = identical && same;
+    std::printf("  jobs=%d: %.3fs, speedup %.2fx, identical: %s\n", jobs,
+                seconds, seconds > 0 ? grid_serial_s / seconds : 1.0,
+                same ? "yes" : "NO");
+  }
+
+  std::FILE* json = open_bench_json("BENCH_parallel.json");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "  \"workload\": \"%s\",\n  \"requests\": %d,\n"
+                 "  \"host_cores\": %u,\n  \"identical\": %s,\n"
+                 "  \"jobs_sweep\": [\n",
+                 app.name.c_str(), requests, hw,
+                 identical ? "true" : "false");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const JobsRow& row = rows[r];
+      std::fprintf(json,
+                   "    {\"jobs\": %d, \"host_seconds\": %.4f, "
+                   "\"host_requests_per_sec\": %.1f, "
+                   "\"speedup_vs_serial\": %.3f}%s\n",
+                   row.jobs, row.seconds, row.host_rps,
+                   row.seconds > 0 ? rows.front().seconds / row.seconds : 1.0,
+                   r + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n");
+    close_bench_json(json, "BENCH_parallel.json");
+  }
+
+  if (hw < 4) {
+    print_note(
+        "\n(Host has fewer than 4 cores; the >=3x jobs=4 speedup target"
+        " needs a multi-core host — determinism is still enforced.)");
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: simulated aggregates differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

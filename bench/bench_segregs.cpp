@@ -3,6 +3,8 @@
 // touch more arrays must fall back to software checks and the overhead
 // rises (the paper reports SVDPACKC 35.7%, Matrix 1.5%, Edge 44.2% with
 // only 2 registers).
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -12,16 +14,33 @@ int main() {
 
   print_title("Section 4.2: Cash overhead vs number of segment registers");
   std::printf("%-14s", "Program");
-  for (int regs : {2, 3, 4}) {
+  const int kRegCounts[] = {2, 3, 4};
+  const std::size_t kNumRegs = std::size(kRegCounts);
+  for (int regs : kRegCounts) {
     std::printf("  %d regs: HW/SW  elim%%   ovhd", regs);
   }
   std::printf("\n");
 
-  for (const workloads::Workload& w : workloads::micro_suite()) {
-    ModeResult gcc = compile_and_run(w.source, CheckMode::kNoCheck);
-    std::printf("%-14s", w.name.c_str());
-    for (int regs : {2, 3, 4}) {
-      ModeResult cash_r = compile_and_run(w.source, CheckMode::kCash, regs);
+  // Cells: per workload, the GCC baseline plus one Cash run per register
+  // count — 4 cells per row, all independent.
+  const std::vector<workloads::Workload>& suite = workloads::micro_suite();
+  const std::size_t kCellsPerRow = 1 + kNumRegs;
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kCellsPerRow, [&](std::size_t i) {
+        const std::string& source = suite[i / kCellsPerRow].source;
+        const std::size_t slot = i % kCellsPerRow;
+        if (slot == 0) {
+          return compile_and_run(source, CheckMode::kNoCheck);
+        }
+        return compile_and_run(source, CheckMode::kCash,
+                               kRegCounts[slot - 1]);
+      });
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult& gcc = cells[w * kCellsPerRow];
+    std::printf("%-14s", suite[w].name.c_str());
+    for (std::size_t r = 0; r < kNumRegs; ++r) {
+      const ModeResult& cash_r = cells[w * kCellsPerRow + 1 + r];
       const double total = static_cast<double>(cash_r.stats.hw_checks +
                                                cash_r.stats.sw_checks);
       const double eliminated =

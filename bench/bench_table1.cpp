@@ -1,6 +1,8 @@
 // Table 1: GCC / Cash / BCC on six array-intensive numerical kernels.
 // Configuration per the paper's Table 1 experiment: Cash uses FOUR segment
 // registers (ES, FS, GS, SS), which eliminates every software bound check.
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -13,10 +15,28 @@ int main() {
   std::printf("%-14s %11s %14s %9s %9s %16s %16s\n", "Program", "HW/SW",
               "GCC (Kcycles)", "Cash", "BCC", "paper Cash", "paper BCC");
 
-  for (const workloads::Workload& w : workloads::micro_suite()) {
-    ModeResult gcc = compile_and_run(w.source, CheckMode::kNoCheck);
-    ModeResult cash_r = compile_and_run(w.source, CheckMode::kCash, 4);
-    ModeResult bcc = compile_and_run(w.source, CheckMode::kBcc);
+  // One parallel cell per (workload, mode) pair; rows are assembled from
+  // the index-ordered results afterwards.
+  const std::vector<workloads::Workload>& suite = workloads::micro_suite();
+  struct Cell {
+    CheckMode mode;
+    int seg_regs;
+  };
+  const Cell kModes[] = {{CheckMode::kNoCheck, 3},
+                         {CheckMode::kCash, 4},
+                         {CheckMode::kBcc, 3}};
+  const std::size_t kNumModes = std::size(kModes);
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kNumModes, [&](std::size_t i) {
+        const Cell& cell = kModes[i % kNumModes];
+        return compile_and_run(suite[i / kNumModes].source, cell.mode,
+                               cell.seg_regs);
+      });
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult& gcc = cells[w * kNumModes + 0];
+    const ModeResult& cash_r = cells[w * kNumModes + 1];
+    const ModeResult& bcc = cells[w * kNumModes + 2];
 
     const double gcc_k = static_cast<double>(gcc.run.cycles) / 1000.0;
     const double cash_pct = overhead_pct(
@@ -27,11 +47,11 @@ int main() {
         static_cast<double>(bcc.run.cycles));
 
     std::printf("%-14s %6llu/%-4llu %14.0f %8.2f%% %8.1f%% %15.1f%% %15.1f%%\n",
-                w.name.c_str(),
+                suite[w].name.c_str(),
                 static_cast<unsigned long long>(cash_r.stats.hw_checks),
                 static_cast<unsigned long long>(cash_r.stats.sw_checks),
-                gcc_k, cash_pct, bcc_pct, w.paper_cash_overhead_pct,
-                w.paper_bcc_overhead_pct);
+                gcc_k, cash_pct, bcc_pct, suite[w].paper_cash_overhead_pct,
+                suite[w].paper_bcc_overhead_pct);
   }
 
   print_note(

@@ -1,6 +1,8 @@
 // Table 2: binary code size of the statically linked kernels under
 // GCC / Cash / BCC (Cash pays only the fat-pointer + segment set-up code;
 // BCC also pays the 6-instruction sequence per static check site).
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -16,24 +18,35 @@ int main() {
   const double paper_cash[] = {29.9, 30.1, 28.6, 29.8, 29.9, 30.4};
   const double paper_bcc[] = {127.1, 124.2, 135.9, 125.6, 145.2, 146.5};
 
-  int i = 0;
-  for (const workloads::Workload& w : workloads::micro_suite()) {
-    ModeResult gcc =
-        compile_and_run(w.source, CheckMode::kNoCheck, 3, /*execute=*/false);
-    ModeResult cash_r =
-        compile_and_run(w.source, CheckMode::kCash, 4, /*execute=*/false);
-    ModeResult bcc =
-        compile_and_run(w.source, CheckMode::kBcc, 3, /*execute=*/false);
+  const std::vector<workloads::Workload>& suite = workloads::micro_suite();
+  struct Cell {
+    CheckMode mode;
+    int seg_regs;
+  };
+  const Cell kModes[] = {{CheckMode::kNoCheck, 3},
+                         {CheckMode::kCash, 4},
+                         {CheckMode::kBcc, 3}};
+  const std::size_t kNumModes = std::size(kModes);
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kNumModes, [&](std::size_t i) {
+        const Cell& cell = kModes[i % kNumModes];
+        return compile_and_run(suite[i / kNumModes].source, cell.mode,
+                               cell.seg_regs, /*execute=*/false);
+      });
 
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult& gcc = cells[w * kNumModes + 0];
+    const ModeResult& cash_r = cells[w * kNumModes + 1];
+    const ModeResult& bcc = cells[w * kNumModes + 2];
     std::printf(
-        "%-14s %12llu %8.1f%% %8.1f%% %15.1f%% %15.1f%%\n", w.name.c_str(),
+        "%-14s %12llu %8.1f%% %8.1f%% %15.1f%% %15.1f%%\n",
+        suite[w].name.c_str(),
         static_cast<unsigned long long>(gcc.size.total_bytes),
         overhead_pct(static_cast<double>(gcc.size.total_bytes),
                      static_cast<double>(cash_r.size.total_bytes)),
         overhead_pct(static_cast<double>(gcc.size.total_bytes),
                      static_cast<double>(bcc.size.total_bytes)),
-        paper_cash[i], paper_bcc[i]);
-    ++i;
+        paper_cash[w], paper_bcc[w]);
   }
 
   print_note(

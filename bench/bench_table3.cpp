@@ -31,6 +31,25 @@ int main() {
       {"Gaussian", workloads::gauss_source, kPaperGauss},
       {"Matrix", workloads::matmul_source, kPaperMatmul},
   };
+  const std::size_t kNumKernels = std::size(kernels);
+
+  // One parallel cell per (kernel, size, mode) point. The 512-sized cells
+  // dominate, so the grid shards them across cores instead of running the
+  // whole sweep back to back.
+  const std::size_t num_points = kNumKernels * sizes.size();
+  struct Point {
+    double gcc_cycles;
+    double cash_cycles;
+  };
+  const std::vector<Point> points =
+      run_cells(num_points, [&](std::size_t i) -> Point {
+        const Kernel& kernel = kernels[i / sizes.size()];
+        const std::string source = kernel.source(sizes[i % sizes.size()]);
+        const ModeResult gcc = compile_and_run(source, CheckMode::kNoCheck);
+        const ModeResult cash_r = compile_and_run(source, CheckMode::kCash, 4);
+        return {static_cast<double>(gcc.run.cycles),
+                static_cast<double>(cash_r.run.cycles)};
+      });
 
   std::printf("%-10s", "Program");
   for (int n : sizes) {
@@ -38,17 +57,14 @@ int main() {
   }
   std::printf("   (paper row: 64/128/256/512)\n");
 
-  for (const Kernel& kernel : kernels) {
-    std::printf("%-10s", kernel.name);
+  for (std::size_t k = 0; k < kNumKernels; ++k) {
+    std::printf("%-10s", kernels[k].name);
     std::string paper_row;
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      const std::string source = kernel.source(sizes[i]);
-      ModeResult gcc = compile_and_run(source, CheckMode::kNoCheck);
-      ModeResult cash_r = compile_and_run(source, CheckMode::kCash, 4);
+      const Point& point = points[k * sizes.size() + i];
       std::printf(" %7.3f%%",
-                  overhead_pct(static_cast<double>(gcc.run.cycles),
-                               static_cast<double>(cash_r.run.cycles)));
-      paper_row += (i > 0 ? "/" : "") + std::to_string(kernel.paper[i]);
+                  overhead_pct(point.gcc_cycles, point.cash_cycles));
+      paper_row += (i > 0 ? "/" : "") + std::to_string(kernels[k].paper[i]);
     }
     std::printf("   (%s)\n", paper_row.c_str());
   }

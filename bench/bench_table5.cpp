@@ -1,6 +1,8 @@
 // Table 5: GCC / Cash / BCC on the macro-benchmark suite, plus the
 // Section 4.5 segment-allocation statistics (Toast's allocation churn and
 // the 3-entry cache hit ratio).
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -12,6 +14,16 @@ int main() {
   std::printf("%-10s %14s %9s %9s %16s %16s\n", "Program", "GCC (Kcycles)",
               "Cash", "BCC", "paper Cash", "paper BCC");
 
+  const std::vector<workloads::Workload>& suite = workloads::macro_suite();
+  const CheckMode kModes[] = {CheckMode::kNoCheck, CheckMode::kCash,
+                              CheckMode::kBcc};
+  const std::size_t kNumModes = std::size(kModes);
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kNumModes, [&](std::size_t i) {
+        return compile_and_run(suite[i / kNumModes].source,
+                               kModes[i % kNumModes]);
+      });
+
   struct SegStatsRow {
     std::string name;
     runtime::SegmentManager::Stats stats;
@@ -19,20 +31,21 @@ int main() {
   };
   std::vector<SegStatsRow> seg_rows;
 
-  for (const workloads::Workload& w : workloads::macro_suite()) {
-    ModeResult gcc = compile_and_run(w.source, CheckMode::kNoCheck);
-    ModeResult cash_r = compile_and_run(w.source, CheckMode::kCash);
-    ModeResult bcc = compile_and_run(w.source, CheckMode::kBcc);
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult& gcc = cells[w * kNumModes + 0];
+    const ModeResult& cash_r = cells[w * kNumModes + 1];
+    const ModeResult& bcc = cells[w * kNumModes + 2];
 
     std::printf("%-10s %14.0f %8.2f%% %8.1f%% %15.1f%% %15.1f%%\n",
-                w.name.c_str(),
+                suite[w].name.c_str(),
                 static_cast<double>(gcc.run.cycles) / 1000.0,
                 overhead_pct(static_cast<double>(gcc.run.cycles),
                              static_cast<double>(cash_r.run.cycles)),
                 overhead_pct(static_cast<double>(gcc.run.cycles),
                              static_cast<double>(bcc.run.cycles)),
-                w.paper_cash_overhead_pct, w.paper_bcc_overhead_pct);
-    seg_rows.push_back({w.name, cash_r.run.segment_stats,
+                suite[w].paper_cash_overhead_pct,
+                suite[w].paper_bcc_overhead_pct);
+    seg_rows.push_back({suite[w].name, cash_r.run.segment_stats,
                         cash_r.run.kernel_account.call_gate_calls});
   }
 

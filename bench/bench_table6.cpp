@@ -1,4 +1,6 @@
 // Table 6: binary code size of the macro applications under GCC/Cash/BCC.
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -13,23 +15,29 @@ int main() {
   const double paper_cash[] = {61.8, 52.5, 58.9, 35.8, 30.6, 35.8};
   const double paper_bcc[] = {123.5, 130.9, 151.2, 130.8, 136.9, 136.6};
 
-  int i = 0;
-  for (const workloads::Workload& w : workloads::macro_suite()) {
-    ModeResult gcc =
-        compile_and_run(w.source, CheckMode::kNoCheck, 3, /*execute=*/false);
-    ModeResult cash_r =
-        compile_and_run(w.source, CheckMode::kCash, 3, /*execute=*/false);
-    ModeResult bcc =
-        compile_and_run(w.source, CheckMode::kBcc, 3, /*execute=*/false);
+  const std::vector<workloads::Workload>& suite = workloads::macro_suite();
+  const CheckMode kModes[] = {CheckMode::kNoCheck, CheckMode::kCash,
+                              CheckMode::kBcc};
+  const std::size_t kNumModes = std::size(kModes);
+  const std::vector<ModeResult> cells =
+      run_cells(suite.size() * kNumModes, [&](std::size_t i) {
+        return compile_and_run(suite[i / kNumModes].source,
+                               kModes[i % kNumModes], 3, /*execute=*/false);
+      });
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    const ModeResult& gcc = cells[w * kNumModes + 0];
+    const ModeResult& cash_r = cells[w * kNumModes + 1];
+    const ModeResult& bcc = cells[w * kNumModes + 2];
     std::printf(
-        "%-10s %12llu %8.1f%% %8.1f%% %15.1f%% %15.1f%%\n", w.name.c_str(),
+        "%-10s %12llu %8.1f%% %8.1f%% %15.1f%% %15.1f%%\n",
+        suite[w].name.c_str(),
         static_cast<unsigned long long>(gcc.size.total_bytes),
         overhead_pct(static_cast<double>(gcc.size.total_bytes),
                      static_cast<double>(cash_r.size.total_bytes)),
         overhead_pct(static_cast<double>(gcc.size.total_bytes),
                      static_cast<double>(bcc.size.total_bytes)),
-        paper_cash[i], paper_bcc[i]);
-    ++i;
+        paper_cash[w], paper_bcc[w]);
   }
 
   print_note(

@@ -1,16 +1,24 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "core/cash.hpp"
+#include "exec/executor.hpp"
 #include "workloads/workloads.hpp"
 
 // Shared helpers for the table-reproduction benches. Each bench binary
 // regenerates one table or figure of the paper and prints the measured
 // values next to the paper's, so shape deviations are visible at a glance.
+//
+// Grid cells ((workload x mode) pairs, sweep points, ...) are independent
+// simulations, so the benches evaluate them through run_cells(), which
+// shards them across host threads ($CASH_JOBS, default all cores) and
+// returns results in cell order — the printed tables and every simulated
+// number are bit-identical for any thread count (see DESIGN.md §7).
 namespace cash::bench {
 
 struct ModeResult {
@@ -43,17 +51,71 @@ inline ModeResult compile_and_run(const std::string& source,
   return out;
 }
 
+// Worker threads for this bench process: $CASH_JOBS, default all cores.
+inline int bench_jobs() { return exec::resolve_jobs(); }
+
+// Evaluates `n` independent grid cells with fn(index) across bench_jobs()
+// threads and returns the results in index order.
+template <typename Fn>
+inline auto run_cells(std::size_t n, Fn&& fn) {
+  return exec::parallel_map(n, bench_jobs(), fn);
+}
+
+// Same, with an explicit thread count (bench_parallel's jobs sweep).
+template <typename Fn>
+inline auto run_cells_jobs(std::size_t n, int jobs, Fn&& fn) {
+  return exec::parallel_map(n, jobs, fn);
+}
+
 inline double overhead_pct(double base, double measured) {
   return base == 0 ? 0 : (measured - base) / base * 100.0;
 }
 
+// Host wall clock for the whole bench run, started at the first
+// print_title() call (every bench prints its title before computing).
+inline std::chrono::steady_clock::time_point& bench_start() {
+  static std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+inline double bench_elapsed_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       bench_start())
+      .count();
+}
+
 inline void print_title(const char* title) {
+  (void)bench_start();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
 }
 
 inline void print_note(const char* note) { std::printf("%s\n", note); }
+
+// Opens BENCH_<name>.json and stamps it with the host wall time so far and
+// the jobs count used, so every result file records how it was produced.
+// The caller appends its own fields (no leading comma needed after this)
+// and closes with close_bench_json().
+inline std::FILE* open_bench_json(const char* filename, int jobs = 0) {
+  std::FILE* json = std::fopen(filename, "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"host_wall_s\": %.3f,\n  \"jobs\": %d,\n",
+                 bench_elapsed_s(), jobs > 0 ? jobs : bench_jobs());
+  }
+  return json;
+}
+
+inline void close_bench_json(std::FILE* json, const char* filename) {
+  if (json == nullptr) {
+    return;
+  }
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s (host wall %.2fs, %d jobs)\n", filename,
+              bench_elapsed_s(), bench_jobs());
+}
 
 // Honour CASH_BENCH_REQUESTS / CASH_BENCH_QUICK for time-constrained runs.
 inline int env_int(const char* name, int fallback) {

@@ -35,6 +35,15 @@ struct CompileOptions {
 
 // A compiled MiniC program: lowered IR plus everything needed to run it and
 // to compute the paper's static metrics.
+//
+// Thread-safety contract: a CompiledProgram is immutable after compile()
+// returns, and every accessor below is const. Concurrent make_machine()
+// calls from many host threads are safe — each Machine owns its entire
+// simulated state (kernel, physical memory, page tables, segmentation
+// unit, heap) and shares only the const ir::Module. This is what lets the
+// parallel executor (exec/executor.hpp) fan simulated processes out across
+// host cores: one shared program, one fresh Machine per slot. Do not add
+// non-const state here without revisiting that contract.
 class CompiledProgram {
  public:
   CompiledProgram(std::unique_ptr<ir::Module> module, CompileOptions options,

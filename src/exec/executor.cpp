@@ -1,0 +1,79 @@
+#include "exec/executor.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace cash::exec {
+
+int resolve_jobs(const ExecutorConfig& config) {
+  if (config.jobs > 0) {
+    return config.jobs;
+  }
+  if (const char* env = std::getenv("CASH_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) {
+      return jobs;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  std::size_t workers =
+      static_cast<std::size_t>(jobs > 0 ? jobs : resolve_jobs({jobs}));
+  if (workers > n) {
+    workers = n;
+  }
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  // First-failure bookkeeping: every worker runs its whole chunk (stopping
+  // only its own chunk on a throw), then the exception with the lowest
+  // index wins. The lowest throwing index overall sits in some worker's
+  // chunk behind only lower, non-throwing indices, so that worker always
+  // reaches and records it — the rethrow is deterministic.
+  std::mutex mutex;
+  std::size_t first_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_exception;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    const std::size_t begin = n * t / workers;
+    const std::size_t end = n * (t + 1) / workers;
+    threads.emplace_back([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (i < first_index) {
+            first_index = i;
+            first_exception = std::current_exception();
+          }
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (first_exception) {
+    std::rethrow_exception(first_exception);
+  }
+}
+
+} // namespace cash::exec

@@ -1,20 +1,41 @@
 #include "netsim/netsim.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace cash::netsim {
 
+namespace {
+
+// Everything one simulated forked child contributes to the aggregate
+// metrics, in integer cycles/counts. Slots are pre-sized and written only
+// by the worker owning the request index.
+struct RequestSlot {
+  std::uint64_t cycles{0};
+  std::uint64_t sw_checks{0};
+  std::uint64_t hw_checks{0};
+  std::uint64_t segment_allocs{0};
+  std::uint64_t cache_hits{0};
+};
+
+} // namespace
+
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
-                             std::uint32_t seed_base) {
+                             std::uint32_t seed_base,
+                             const exec::ExecutorConfig& executor) {
   ServerMetrics metrics;
   metrics.requests = requests;
+  if (requests <= 0) {
+    return metrics;
+  }
 
-  // The parent server process: program start-up (call gate, global-array
-  // segments) and service initialisation happen once, before the accept
-  // loop — forked children inherit this image, so none of it lands on the
-  // per-request latency.
-  vm::Machine parent(program.module(), program.options().machine);
-  if (program.module().find_function("server_init") != nullptr) {
+  const bool has_init =
+      program.module().find_function("server_init") != nullptr;
+
+  // Validate the parent image once before the accept loop: a broken
+  // server_init aborts the whole server, not request 0.
+  if (has_init) {
+    vm::Machine parent(program.module(), program.options().machine);
     vm::RunResult init = parent.run_function("server_init");
     if (!init.ok) {
       throw std::runtime_error(
@@ -23,36 +44,64 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
     }
   }
 
-  std::uint64_t total_cpu = 0;
-  std::uint64_t base_allocs = 0;
-  std::uint64_t base_hits = 0;
-  for (int i = 0; i < requests; ++i) {
-    // fork(): the child inherits the parent image; its measured CPU time is
-    // the request handling itself.
-    parent.reseed(seed_base + static_cast<std::uint32_t>(i));
-    vm::RunResult run = parent.run_function("handle_request");
-    if (!run.ok) {
-      throw std::runtime_error(
-          "request " + std::to_string(i) + " failed: " +
-          (run.fault ? run.fault->detail : run.error));
-    }
-    total_cpu += run.cycles;
-    metrics.sw_checks += run.counters.sw_checks;
-    metrics.hw_checks += run.counters.hw_checked_accesses;
-    // Segment stats are cumulative per machine; report the deltas.
-    metrics.segment_allocs += run.segment_stats.alloc_requests - base_allocs;
-    metrics.cache_hits += run.segment_stats.cache_hits - base_hits;
-    base_allocs = run.segment_stats.alloc_requests;
-    base_hits = run.segment_stats.cache_hits;
-  }
+  std::vector<RequestSlot> slots(static_cast<std::size_t>(requests));
+  exec::parallel_for(
+      static_cast<std::size_t>(requests), executor.jobs,
+      [&](std::size_t i) {
+        // fork(): the child inherits the parent's post-init image. Machine
+        // construction and server_init are pure functions of the program,
+        // so replaying them reconstructs that image exactly; program
+        // start-up (call gate, global-array segments) and service
+        // initialisation therefore never land on the per-request latency.
+        std::unique_ptr<vm::Machine> child = program.make_machine();
+        std::uint64_t base_allocs = 0;
+        std::uint64_t base_hits = 0;
+        if (has_init) {
+          vm::RunResult init = child->run_function("server_init");
+          if (!init.ok) {
+            throw std::runtime_error(
+                "server_init failed: " +
+                (init.fault ? init.fault->detail : init.error));
+          }
+          // Segment stats are cumulative per machine; the request reports
+          // deltas over the inherited image.
+          base_allocs = init.segment_stats.alloc_requests;
+          base_hits = init.segment_stats.cache_hits;
+        }
+        child->reseed(seed_base + static_cast<std::uint32_t>(i));
+        vm::RunResult run = child->run_function("handle_request");
+        if (!run.ok) {
+          throw std::runtime_error(
+              "request " + std::to_string(i) + " failed: " +
+              (run.fault ? run.fault->detail : run.error));
+        }
+        RequestSlot& slot = slots[i];
+        slot.cycles = run.cycles;
+        slot.sw_checks = run.counters.sw_checks;
+        slot.hw_checks = run.counters.hw_checked_accesses;
+        slot.segment_allocs = run.segment_stats.alloc_requests - base_allocs;
+        slot.cache_hits = run.segment_stats.cache_hits - base_hits;
+      });
 
+  // Reduce in request-index order, entirely in integers; floating point
+  // enters only in the final derived values.
+  for (const RequestSlot& slot : slots) {
+    metrics.total_cpu_cycles += slot.cycles;
+    metrics.sw_checks += slot.sw_checks;
+    metrics.hw_checks += slot.hw_checks;
+    metrics.segment_allocs += slot.segment_allocs;
+    metrics.cache_hits += slot.cache_hits;
+  }
+  metrics.total_busy_cycles =
+      metrics.total_cpu_cycles +
+      kForkCycles * static_cast<std::uint64_t>(requests);
   metrics.mean_latency_cycles =
-      static_cast<double>(total_cpu) / static_cast<double>(requests);
-  metrics.total_busy_cycles = static_cast<double>(total_cpu) +
-                              static_cast<double>(kForkCycles) * requests;
+      static_cast<double>(metrics.total_cpu_cycles) /
+      static_cast<double>(requests);
   metrics.mean_latency_us = metrics.mean_latency_cycles / kClockHz * 1e6;
   metrics.throughput_rps =
-      static_cast<double>(requests) / (metrics.total_busy_cycles / kClockHz);
+      static_cast<double>(requests) /
+      (static_cast<double>(metrics.total_busy_cycles) / kClockHz);
   return metrics;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "core/cash.hpp"
+#include "exec/executor.hpp"
 
 namespace cash::netsim {
 
@@ -13,8 +14,12 @@ namespace cash::netsim {
 // first fork to the last termination.
 struct ServerMetrics {
   int requests{0};
+  // Integer aggregates, summed in request-index order, so the values are
+  // exact and cannot drift with sharding or summation order. The doubles
+  // below are derived from these once, at the end.
+  std::uint64_t total_cpu_cycles{0};  // sum of per-request handler cycles
+  std::uint64_t total_busy_cycles{0}; // total_cpu_cycles + fork costs
   double mean_latency_cycles{0};  // mean per-process CPU cycles
-  double total_busy_cycles{0};    // sum of process + fork cycles
   double mean_latency_us{0};      // at the simulated 1.1 GHz clock
   double throughput_rps{0};       // requests per second
   std::uint64_t sw_checks{0};     // aggregate dynamic counters
@@ -31,11 +36,21 @@ inline constexpr double kClockHz = 1.1e9;
 // on the measured interval.
 inline constexpr std::uint64_t kForkCycles = 2500;
 
-// Runs `requests` simulated forked processes of the compiled server program,
-// one fresh Machine per request, seeding each request's RNG differently
-// (request i gets seed `seed_base + i`).
+// Runs `requests` simulated forked processes of the compiled server program.
+// Each request is one fork of the post-`server_init` parent image: a fresh
+// Machine that replays `server_init` (deterministic, so every child sees
+// the identical inherited image) and then handles exactly one request with
+// its own RNG seed (request i gets seed `seed_base + i`). Only the
+// `handle_request` cycles land on the request's latency.
+//
+// Requests are independent, so they are sharded across host threads per
+// `executor` ($CASH_JOBS / ExecutorConfig::jobs; jobs=1 is the serial
+// path). Per-request results are written to index-ordered slots and
+// reduced in request order, making every ServerMetrics field bit-identical
+// for any thread count (tests/exec/parallel_invariance_test).
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
-                             std::uint32_t seed_base = 1);
+                             std::uint32_t seed_base = 1,
+                             const exec::ExecutorConfig& executor = {});
 
 // Convenience: penalty of `measured` relative to `baseline`, in percent.
 double penalty_pct(double baseline, double measured);

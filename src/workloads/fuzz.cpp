@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "core/cash.hpp"
+
 namespace cash::workloads {
 
 namespace {
@@ -174,6 +176,101 @@ class Generator {
 
 std::string generate_fuzz_program(std::uint32_t seed) {
   return Generator(seed).run();
+}
+
+const std::vector<FuzzConfig>& fuzz_configs() {
+  static const std::vector<FuzzConfig> kConfigs = [] {
+    std::vector<FuzzConfig> configs;
+    for (bool optimize : {false, true}) {
+      for (passes::CheckMode mode :
+           {passes::CheckMode::kNoCheck, passes::CheckMode::kBcc,
+            passes::CheckMode::kCash, passes::CheckMode::kBoundInsn,
+            passes::CheckMode::kEfence}) {
+        configs.push_back({mode, optimize});
+      }
+    }
+    return configs;
+  }();
+  return kConfigs;
+}
+
+namespace {
+
+std::string config_label(const FuzzConfig& config) {
+  return std::string(passes::to_string(config.mode)) +
+         " opt=" + (config.optimize ? "1" : "0");
+}
+
+// Outcome of one (seed, config) cell: compiled+ran cleanly, and the
+// program's print stream for the cross-config comparison.
+struct CellResult {
+  bool ok{false};
+  std::string detail;
+  std::string output;
+};
+
+CellResult run_cell(std::uint32_t seed, const FuzzConfig& config) {
+  CellResult cell;
+  const std::string source = generate_fuzz_program(seed);
+  CompileOptions options;
+  options.lower.mode = config.mode;
+  options.optimize = config.optimize;
+  CompileResult compiled = compile(source, options);
+  if (!compiled.ok()) {
+    cell.detail = "compile failed: " + compiled.error;
+    return cell;
+  }
+  const vm::RunResult run = compiled.program->run();
+  if (!run.ok) {
+    cell.detail =
+        "run failed: " + (run.fault ? run.fault->detail : run.error);
+    return cell;
+  }
+  cell.ok = true;
+  cell.output = run.output;
+  return cell;
+}
+
+} // namespace
+
+std::vector<FuzzDivergence> run_fuzz_matrix(
+    std::uint32_t seed_begin, std::uint32_t seed_end,
+    const exec::ExecutorConfig& executor) {
+  std::vector<FuzzDivergence> divergences;
+  if (seed_end <= seed_begin) {
+    return divergences;
+  }
+  const std::vector<FuzzConfig>& configs = fuzz_configs();
+  const std::size_t num_seeds = seed_end - seed_begin;
+  const std::size_t num_cells = num_seeds * configs.size();
+
+  // Fan the whole (seed x config) matrix out as independent cells; results
+  // land in index-ordered slots so the reduction below never depends on
+  // thread scheduling.
+  const std::vector<CellResult> cells = exec::parallel_map(
+      num_cells, executor.jobs, [&](std::size_t index) {
+        const std::uint32_t seed =
+            seed_begin + static_cast<std::uint32_t>(index / configs.size());
+        return run_cell(seed, configs[index % configs.size()]);
+      });
+
+  // Reduce per seed, in (seed, config) order: config 0 (NoCheck,
+  // unoptimised) is the reference every other cell must match.
+  for (std::size_t s = 0; s < num_seeds; ++s) {
+    const std::uint32_t seed = seed_begin + static_cast<std::uint32_t>(s);
+    const CellResult& reference = cells[s * configs.size()];
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const CellResult& cell = cells[s * configs.size() + c];
+      if (!cell.ok) {
+        divergences.push_back({seed, config_label(configs[c]), cell.detail});
+      } else if (reference.ok && cell.output != reference.output) {
+        divergences.push_back(
+            {seed, config_label(configs[c]),
+             "output diverged from " + config_label(configs[0])});
+      }
+    }
+  }
+  return divergences;
 }
 
 } // namespace cash::workloads

@@ -2,6 +2,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "passes/lower.hpp"
 
 namespace cash::workloads {
 
@@ -12,5 +16,32 @@ namespace cash::workloads {
 // with identical output in every checking mode — the differential-fuzzing
 // property the test suite sweeps.
 std::string generate_fuzz_program(std::uint32_t seed);
+
+// One mode/optimiser configuration of the differential matrix.
+struct FuzzConfig {
+  passes::CheckMode mode;
+  bool optimize;
+};
+
+// The matrix's ten configurations ({optimize off, on} x the five checking
+// modes), in the fixed order divergences are reported in.
+const std::vector<FuzzConfig>& fuzz_configs();
+
+// A (seed, config) cell whose behaviour differed from the seed's reference
+// cell (NoCheck, unoptimised), or failed to compile or run.
+struct FuzzDivergence {
+  std::uint32_t seed{0};
+  std::string config; // e.g. "cash opt=1"
+  std::string detail; // compile error, fault, or output mismatch
+};
+
+// Runs the differential matrix for every seed in [seed_begin, seed_end):
+// each (seed, config) cell compiles and runs independently, fanned out
+// across host threads per `executor` ($CASH_JOBS; jobs=1 is the serial
+// path). Returns divergences ordered by (seed, config index) — the order,
+// like every cell result, is bit-identical for any thread count.
+std::vector<FuzzDivergence> run_fuzz_matrix(
+    std::uint32_t seed_begin, std::uint32_t seed_end,
+    const exec::ExecutorConfig& executor = {});
 
 } // namespace cash::workloads

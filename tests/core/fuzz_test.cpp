@@ -53,6 +53,29 @@ TEST_P(Fuzz, AllModesAndOptLevelsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, testing::Range(1, 41));
 
+// The same differential property, driven through the parallel fan-out:
+// run_fuzz_matrix shards the (seed x config) cells across host threads
+// ($CASH_JOBS) and reports divergences in deterministic (seed, config)
+// order. Fresh seed range, extending coverage past the serial suite above.
+TEST(FuzzMatrix, ParallelSweepSeeds41To61FindsNoDivergence) {
+  const std::vector<workloads::FuzzDivergence> divergences =
+      workloads::run_fuzz_matrix(41, 61);
+  for (const workloads::FuzzDivergence& d : divergences) {
+    ADD_FAILURE() << "seed " << d.seed << " [" << d.config
+                  << "]: " << d.detail << "\n--- source ---\n"
+                  << workloads::generate_fuzz_program(d.seed);
+  }
+}
+
+TEST(FuzzMatrix, ConfigsCoverTheTenCellMatrix) {
+  const std::vector<workloads::FuzzConfig>& configs =
+      workloads::fuzz_configs();
+  ASSERT_EQ(configs.size(), 10u);
+  // Cell 0 is the reference every other cell is compared against.
+  EXPECT_EQ(configs[0].mode, CheckMode::kNoCheck);
+  EXPECT_FALSE(configs[0].optimize);
+}
+
 TEST(FuzzGenerator, IsDeterministic) {
   EXPECT_EQ(workloads::generate_fuzz_program(7),
             workloads::generate_fuzz_program(7));

@@ -1,0 +1,89 @@
+// Unit tests for the deterministic parallel executor: sharding coverage,
+// the serial jobs=1 path, exception propagation, and $CASH_JOBS/config
+// resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace cash::exec {
+namespace {
+
+TEST(Executor, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Executor, EveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, 4, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Executor, MoreJobsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 16, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(Executor, JobsOneRunsInlineOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  parallel_for(16, 1, [&](std::size_t) {
+    all_inline = all_inline && std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(Executor, RethrowsTheLowestIndexException) {
+  // Indices 3 and 7 throw; the serial loop would surface index 3 first,
+  // and the parallel run must surface the same one for any jobs value.
+  for (int jobs : {1, 2, 4, 8}) {
+    try {
+      parallel_for(10, jobs, [](std::size_t i) {
+        if (i == 3 || i == 7) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Executor, ParallelMapMatchesSerialMap) {
+  auto square = [](std::size_t i) { return i * i; };
+  const std::vector<std::size_t> serial = parallel_map(257, 1, square);
+  for (int jobs : {2, 3, 8}) {
+    EXPECT_EQ(parallel_map(257, jobs, square), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Executor, ResolveJobsPrefersExplicitConfig) {
+  EXPECT_EQ(resolve_jobs({5}), 5);
+}
+
+TEST(Executor, ResolveJobsReadsEnvironment) {
+  ASSERT_EQ(setenv("CASH_JOBS", "3", 1), 0);
+  EXPECT_EQ(resolve_jobs({}), 3);
+  EXPECT_EQ(resolve_jobs({2}), 2); // explicit config still wins
+  ASSERT_EQ(setenv("CASH_JOBS", "garbage", 1), 0);
+  EXPECT_GE(resolve_jobs({}), 1); // falls back to hardware_concurrency
+  ASSERT_EQ(unsetenv("CASH_JOBS"), 0);
+  EXPECT_GE(resolve_jobs({}), 1);
+}
+
+} // namespace
+} // namespace cash::exec

@@ -1,0 +1,134 @@
+// Thread-count invariance: the DESIGN.md §7 contract that host-side
+// parallelism never changes simulated results. serve_requests, a
+// bench-style (workload x mode) grid, and the fuzz differential matrix
+// must produce bit-identical results for jobs in {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "netsim/netsim.hpp"
+#include "workloads/fuzz.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+constexpr const char* kServer = R"(
+int table[64];
+int server_init() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    table[i] = i * 3;
+  }
+  return 0;
+}
+int sum_chunk(int reps) {
+  int buf[64];
+  int i; int r; int s;
+  s = 0;
+  for (r = 0; r < reps; r++) {
+    for (i = 0; i < 64; i++) {
+      buf[i] = table[i] + r;
+      s = s + buf[i];
+    }
+  }
+  return s;
+}
+int handle_request() {
+  int n;
+  n = rand() % 12 + 4;
+  return sum_chunk(n) + sum_chunk(n);
+}
+int main() {
+  server_init();
+  return handle_request();
+}
+)";
+
+void expect_identical(const netsim::ServerMetrics& a,
+                      const netsim::ServerMetrics& b, int jobs) {
+  EXPECT_EQ(a.requests, b.requests) << "jobs=" << jobs;
+  EXPECT_EQ(a.total_cpu_cycles, b.total_cpu_cycles) << "jobs=" << jobs;
+  EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles) << "jobs=" << jobs;
+  // Derived doubles come from identical integer inputs through identical
+  // expressions, so they too must be bit-identical (EXPECT_EQ, not NEAR).
+  EXPECT_EQ(a.mean_latency_cycles, b.mean_latency_cycles) << "jobs=" << jobs;
+  EXPECT_EQ(a.mean_latency_us, b.mean_latency_us) << "jobs=" << jobs;
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps) << "jobs=" << jobs;
+  EXPECT_EQ(a.sw_checks, b.sw_checks) << "jobs=" << jobs;
+  EXPECT_EQ(a.hw_checks, b.hw_checks) << "jobs=" << jobs;
+  EXPECT_EQ(a.segment_allocs, b.segment_allocs) << "jobs=" << jobs;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << "jobs=" << jobs;
+}
+
+TEST(ParallelInvariance, ServeRequestsIsThreadCountInvariant) {
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kCash}) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult program = compile(kServer, options);
+    ASSERT_TRUE(program.ok()) << program.error;
+    const netsim::ServerMetrics serial =
+        netsim::serve_requests(*program.program, 40, 7, {1});
+    for (int jobs : {2, 8}) {
+      const netsim::ServerMetrics parallel =
+          netsim::serve_requests(*program.program, 40, 7, {jobs});
+      expect_identical(serial, parallel, jobs);
+    }
+  }
+}
+
+TEST(ParallelInvariance, BenchGridIsThreadCountInvariant) {
+  // A small (workload x mode) grid like the bench tables run: each cell
+  // compiles and executes independently; its simulated cycle count and
+  // counters must not depend on the thread count.
+  const std::vector<std::string> sources = {
+      workloads::matmul_source(24), workloads::gauss_source(24),
+      workloads::fft2d_source(16)};
+  const CheckMode kModes[] = {CheckMode::kNoCheck, CheckMode::kCash,
+                              CheckMode::kBcc};
+  struct CellResult {
+    std::uint64_t cycles;
+    std::uint64_t sw_checks;
+    std::uint64_t hw_checks;
+    bool operator==(const CellResult&) const = default;
+  };
+  auto cell = [&](std::size_t i) -> CellResult {
+    CompileOptions options;
+    options.lower.mode = kModes[i % 3];
+    CompileResult compiled = compile(sources[i / 3], options);
+    if (!compiled.ok()) {
+      throw std::runtime_error(compiled.error);
+    }
+    const vm::RunResult run = compiled.program->run();
+    return {run.cycles, run.counters.sw_checks,
+            run.counters.hw_checked_accesses};
+  };
+  const std::size_t n = sources.size() * 3;
+  const std::vector<CellResult> serial = exec::parallel_map(n, 1, cell);
+  for (int jobs : {2, 8}) {
+    EXPECT_EQ(exec::parallel_map(n, jobs, cell), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelInvariance, FuzzMatrixIsThreadCountInvariant) {
+  const std::vector<workloads::FuzzDivergence> serial =
+      workloads::run_fuzz_matrix(1, 5, {1});
+  EXPECT_TRUE(serial.empty());
+  for (int jobs : {2, 8}) {
+    const std::vector<workloads::FuzzDivergence> parallel =
+        workloads::run_fuzz_matrix(1, 5, {jobs});
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].seed, serial[i].seed);
+      EXPECT_EQ(parallel[i].config, serial[i].config);
+      EXPECT_EQ(parallel[i].detail, serial[i].detail);
+    }
+  }
+}
+
+} // namespace
+} // namespace cash

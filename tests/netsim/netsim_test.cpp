@@ -8,6 +8,11 @@
 namespace cash::netsim {
 namespace {
 
+// Each simulated request is one fork of the post-init parent image, so the
+// 3-entry segment cache starts cold in every child: the handler calls its
+// worker function twice so the second call's local array re-uses the
+// segment the first call freed (a per-request cache hit, as in the paper's
+// request handlers that allocate many buffers per request).
 constexpr const char* kTinyServer = R"(
 int table[64];
 int server_init() {
@@ -17,16 +22,22 @@ int server_init() {
   }
   return 0;
 }
-int handle_request() {
-  int buf[16];
-  int i; int n; int s;
-  n = rand() % 12 + 4;
+int sum_chunk(int reps) {
+  int buf[64];
+  int i; int r; int s;
   s = 0;
-  for (i = 0; i < n; i++) {
-    buf[i] = table[(i * 7) % 64];
-    s = s + buf[i];
+  for (r = 0; r < reps; r++) {
+    for (i = 0; i < 64; i++) {
+      buf[i] = table[i] + r;
+      s = s + buf[i];
+    }
   }
   return s;
+}
+int handle_request() {
+  int n;
+  n = rand() % 12 + 4;
+  return sum_chunk(n) + sum_chunk(n);
 }
 int main() {
   server_init();

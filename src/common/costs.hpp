@@ -46,6 +46,16 @@ inline constexpr std::uint64_t kLdtSwitch = 282;
 // system call.
 inline constexpr std::uint64_t kLdtCreate = 781;
 
+// --- Degraded-path costs (fault-injection layer, DESIGN.md §8) --------------
+
+// When the Cash call gate bounces (injected contention), user space retries
+// with a bounded exponential backoff: attempt k spins
+// kGateBusyBackoffBase << (k-1) cycles before re-entering the gate, and
+// after kGateBusyMaxRetries bounced attempts the allocation degrades to the
+// unchecked global segment instead of blocking forever.
+inline constexpr std::uint64_t kGateBusyBackoffBase = 32;
+inline constexpr int kGateBusyMaxRetries = 4;
+
 // --- Checking-strategy costs ------------------------------------------------
 
 // BCC-style software bound check: 2 loads + 2 compares + 2 branches.

@@ -24,4 +24,16 @@ std::string DiagnosticSink::to_string() const {
   return out.str();
 }
 
+std::string format_fault(const Fault& fault) {
+  std::ostringstream out;
+  out << to_string(fault.kind) << ": " << fault.detail;
+  if (fault.selector != 0) {
+    out << " (selector 0x" << std::hex << fault.selector << ")";
+  }
+  if (fault.linear_address != 0) {
+    out << " (linear 0x" << std::hex << fault.linear_address << ")";
+  }
+  return out.str();
+}
+
 } // namespace cash

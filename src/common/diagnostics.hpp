@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
+
 namespace cash {
 
 // Position in a MiniC source buffer (1-based, like every compiler).
@@ -42,5 +44,15 @@ class DiagnosticSink {
   std::vector<Diagnostic> diags_;
   int error_count_{0};
 };
+
+// Renders a simulated fault as the single-line, user-facing message:
+//
+//   <kind>: <detail> (selector 0x<sel>) (linear 0x<addr>)
+//
+// with the selector/linear suffixes present only when the fault carries
+// them. This is the one rendering every tool and report goes through, and
+// its exact text is locked by tests/common/fault_golden_test.cpp — change
+// it only together with those goldens.
+std::string format_fault(const Fault& fault);
 
 } // namespace cash

@@ -10,6 +10,8 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kPageFault:         return "#PF page fault";
     case FaultKind::kInvalidOpcode:     return "#UD invalid opcode";
     case FaultKind::kBoundRange:        return "#BR bound-range exceeded";
+    case FaultKind::kResourceExhausted: return "resource-exhaustion fault";
+    case FaultKind::kGateBusy:          return "call-gate busy";
   }
   return "unknown fault";
 }

@@ -16,6 +16,11 @@ enum class FaultKind : std::uint8_t {
   kPageFault,         // #PF: unmapped / protected page
   kInvalidOpcode,     // #UD
   kBoundRange,        // #BR: `bound` instruction range exceeded
+  // Simulator-level conditions (not IA-32 exceptions): structured so that
+  // resource exhaustion and injected contention surface as RunResult.fault
+  // with a precise kind instead of an untyped error string.
+  kResourceExhausted, // simulated heap / physical-frame pool empty
+  kGateBusy,          // Cash call gate bounced (injected contention)
 };
 
 const char* to_string(FaultKind kind) noexcept;

@@ -72,6 +72,14 @@ class CompiledProgram {
     return std::make_unique<vm::Machine>(*module_, options_.machine);
   }
 
+  // Same, but with an explicit machine configuration — used to vary the
+  // seed or attach a fault-injection plan without recompiling. The program
+  // must still have been lowered for config.mode.
+  std::unique_ptr<vm::Machine> make_machine(
+      const vm::MachineConfig& config) const {
+    return std::make_unique<vm::Machine>(*module_, config);
+  }
+
   // Convenience: fresh machine, run main() once.
   vm::RunResult run() const { return make_machine()->run(); }
 

@@ -1,0 +1,274 @@
+#include "faultinject/faultinject.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace cash::faultinject {
+
+const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kSegAllocate:       return "seg-allocate";
+    case FaultSite::kSegCacheProbe:     return "seg-cache-probe";
+    case FaultSite::kCallGateBusy:      return "call-gate-busy";
+    case FaultSite::kPhysFrameAlloc:    return "phys-frame-alloc";
+    case FaultSite::kHeapAlloc:         return "heap-alloc";
+    case FaultSite::kNetRequestTimeout: return "net-request-timeout";
+  }
+  return "?";
+}
+
+bool site_from_string(const std::string& name, FaultSite* out) noexcept {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    if (name == to_string(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::targets(FaultSite site) const noexcept {
+  for (const FaultRule& rule : rules) {
+    if (rule.site == site) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream out;
+  out << "{\"seed\": " << seed
+      << ", \"net_retry_budget\": " << net_retry_budget << ", \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& r = rules[i];
+    out << (i == 0 ? "" : ", ") << "{\"site\": \"" << to_string(r.site)
+        << "\", \"start\": " << r.start << ", \"period\": " << r.period
+        << ", \"max_fires\": " << r.max_fires << ", \"one_in\": " << r.one_in
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+// Minimal recursive-descent reader for the exact shape to_json() writes
+// (objects of string/number fields plus one array of rule objects). Kept
+// dependency-free: the container bakes in no JSON library.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool read_string(std::string* out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        return false; // plan strings are bare site names; no escapes
+      }
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_; // closing quote
+    return true;
+  }
+
+  bool read_uint(std::uint64_t* out) {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    *out = value;
+    return true;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+bool read_rule(JsonReader& in, FaultRule* out) {
+  if (!in.consume('{')) {
+    return false;
+  }
+  bool have_site = false;
+  while (!in.peek('}')) {
+    std::string key;
+    std::uint64_t value = 0;
+    if (!in.read_string(&key) || !in.consume(':')) {
+      return false;
+    }
+    if (key == "site") {
+      std::string name;
+      if (!in.read_string(&name) || !site_from_string(name, &out->site)) {
+        return false;
+      }
+      have_site = true;
+    } else if (!in.read_uint(&value)) {
+      return false;
+    } else if (key == "start") {
+      out->start = value;
+    } else if (key == "period") {
+      out->period = value == 0 ? 1 : value;
+    } else if (key == "max_fires") {
+      out->max_fires = value;
+    } else if (key == "one_in") {
+      out->one_in = static_cast<std::uint32_t>(value == 0 ? 1 : value);
+    } else {
+      return false; // unknown field: reject rather than silently drop
+    }
+    if (!in.consume(',') && !in.peek('}')) {
+      return false;
+    }
+  }
+  return in.consume('}') && have_site;
+}
+
+} // namespace
+
+bool FaultPlan::from_json(const std::string& json, FaultPlan* out) {
+  JsonReader in(json);
+  FaultPlan plan;
+  if (!in.consume('{')) {
+    return false;
+  }
+  while (!in.peek('}')) {
+    std::string key;
+    if (!in.read_string(&key) || !in.consume(':')) {
+      return false;
+    }
+    std::uint64_t value = 0;
+    if (key == "seed") {
+      if (!in.read_uint(&value)) {
+        return false;
+      }
+      plan.seed = static_cast<std::uint32_t>(value);
+    } else if (key == "net_retry_budget") {
+      if (!in.read_uint(&value)) {
+        return false;
+      }
+      plan.net_retry_budget = static_cast<int>(value);
+    } else if (key == "rules") {
+      if (!in.consume('[')) {
+        return false;
+      }
+      while (!in.peek(']')) {
+        FaultRule rule;
+        if (!read_rule(in, &rule)) {
+          return false;
+        }
+        plan.rules.push_back(rule);
+        if (!in.consume(',') && !in.peek(']')) {
+          return false;
+        }
+      }
+      if (!in.consume(']')) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    if (!in.consume(',') && !in.peek('}')) {
+      return false;
+    }
+  }
+  if (!in.consume('}') || !in.at_end()) {
+    return false;
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t seed) {
+  rules_.reserve(plan.rules.size());
+  for (const FaultRule& rule : plan.rules) {
+    rules_.push_back({rule, 0});
+  }
+  // SplitMix-style avalanche of (plan.seed, owner seed) so nearby owner
+  // seeds (netsim request indices) produce unrelated streams. Never zero:
+  // xorshift32 has a fixed point at 0.
+  std::uint32_t mixed = plan.seed ^ (seed * 0x9E3779B9U) ^ 0x85EBCA6BU;
+  mixed ^= mixed >> 16;
+  mixed *= 0x7FEB352DU;
+  mixed ^= mixed >> 15;
+  rng_state_ = mixed == 0 ? 1 : mixed;
+}
+
+std::uint32_t FaultInjector::next_random() noexcept {
+  std::uint32_t x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  rng_state_ = x;
+  return x;
+}
+
+bool FaultInjector::should_inject(FaultSite site) noexcept {
+  if (rules_.empty()) {
+    return false; // empty-plan fast path: no counting, no RNG
+  }
+  const int s = static_cast<int>(site);
+  const std::uint64_t hit = stats_.hits[s]++;
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site || hit < rule.start) {
+      continue;
+    }
+    if ((hit - rule.start) % (rule.period == 0 ? 1 : rule.period) != 0) {
+      continue;
+    }
+    if (rule.max_fires != 0 && state.fired >= rule.max_fires) {
+      continue;
+    }
+    if (rule.one_in > 1 && next_random() % rule.one_in != 0) {
+      continue;
+    }
+    ++state.fired;
+    ++stats_.injected[s];
+    return true;
+  }
+  return false;
+}
+
+} // namespace cash::faultinject

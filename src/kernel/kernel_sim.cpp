@@ -127,6 +127,13 @@ Status KernelSim::cash_modify_ldt(Pid pid, std::uint16_t index,
 
 Status KernelSim::cash_modify_ldt(Pid pid, LdtId ldt_id, std::uint16_t index,
                                   const SegmentDescriptor& descriptor) {
+  if (injector_ != nullptr &&
+      injector_->should_inject(faultinject::FaultSite::kCallGateBusy)) {
+    // The lcall bounced at the gate: no kernel cycles are charged and the
+    // descriptor is untouched. The caller owns retry/backoff policy.
+    return Fault{FaultKind::kGateBusy, 0, 0,
+                 "cash_modify_ldt: call gate busy (injected contention)"};
+  }
   Process& proc = process(pid);
   if (!proc.callgate_installed) {
     return Fault{FaultKind::kGeneralProtection, 0, 0,

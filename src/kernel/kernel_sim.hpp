@@ -7,6 +7,7 @@
 
 #include "common/costs.hpp"
 #include "common/result.hpp"
+#include "faultinject/faultinject.hpp"
 #include "x86seg/descriptor_table.hpp"
 
 namespace cash::kernel {
@@ -87,6 +88,15 @@ class KernelSim {
   // Repoints the LDTR (282-cycle slim syscall: LLDT is privileged).
   Status switch_ldt(Pid pid, LdtId ldt_id);
 
+  // Optional deterministic fault injection (owned by the machine). The
+  // kCallGateBusy site is consulted at the top of cash_modify_ldt(): a fire
+  // bounces the lcall (FaultKind::kGateBusy) before any kernel cycles are
+  // charged, modelling gate contention. User space retries with backoff
+  // (see costs::kGateBusyBackoffBase).
+  void set_fault_injector(faultinject::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   struct Process {
     std::vector<std::unique_ptr<x86seg::DescriptorTable>> ldts;
@@ -102,6 +112,7 @@ class KernelSim {
   x86seg::DescriptorTable gdt_{x86seg::DescriptorTable::Kind::kGlobal};
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_{1};
+  faultinject::FaultInjector* injector_{nullptr};
 };
 
 } // namespace cash::kernel

@@ -16,18 +16,26 @@ struct RequestSlot {
   std::uint64_t hw_checks{0};
   std::uint64_t segment_allocs{0};
   std::uint64_t cache_hits{0};
+  std::uint64_t retries{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t faults_injected{0};
+  bool degraded{false};
+  bool failed{false};
+  std::string failure;
 };
 
 } // namespace
 
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
                              std::uint32_t seed_base,
-                             const exec::ExecutorConfig& executor) {
+                             const exec::ExecutorConfig& executor,
+                             const faultinject::FaultPlan& plan) {
   ServerMetrics metrics;
   metrics.requests = requests;
   if (requests <= 0) {
     return metrics;
   }
+  const bool armed = !plan.empty();
 
   const bool has_init =
       program.module().find_function("server_init") != nullptr;
@@ -48,39 +56,114 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
   exec::parallel_for(
       static_cast<std::size_t>(requests), executor.jobs,
       [&](std::size_t i) {
-        // fork(): the child inherits the parent's post-init image. Machine
-        // construction and server_init are pure functions of the program,
-        // so replaying them reconstructs that image exactly; program
-        // start-up (call gate, global-array segments) and service
-        // initialisation therefore never land on the per-request latency.
-        std::unique_ptr<vm::Machine> child = program.make_machine();
-        std::uint64_t base_allocs = 0;
-        std::uint64_t base_hits = 0;
-        if (has_init) {
-          vm::RunResult init = child->run_function("server_init");
-          if (!init.ok) {
-            throw std::runtime_error(
-                "server_init failed: " +
-                (init.fault ? init.fault->detail : init.error));
+        if (!armed) {
+          // fork(): the child inherits the parent's post-init image.
+          // Machine construction and server_init are pure functions of the
+          // program, so replaying them reconstructs that image exactly;
+          // program start-up (call gate, global-array segments) and service
+          // initialisation therefore never land on the per-request latency.
+          std::unique_ptr<vm::Machine> child = program.make_machine();
+          std::uint64_t base_allocs = 0;
+          std::uint64_t base_hits = 0;
+          if (has_init) {
+            vm::RunResult init = child->run_function("server_init");
+            if (!init.ok) {
+              throw std::runtime_error(
+                  "server_init failed: " +
+                  (init.fault ? init.fault->detail : init.error));
+            }
+            // Segment stats are cumulative per machine; the request reports
+            // deltas over the inherited image.
+            base_allocs = init.segment_stats.alloc_requests;
+            base_hits = init.segment_stats.cache_hits;
           }
-          // Segment stats are cumulative per machine; the request reports
-          // deltas over the inherited image.
-          base_allocs = init.segment_stats.alloc_requests;
-          base_hits = init.segment_stats.cache_hits;
+          child->reseed(seed_base + static_cast<std::uint32_t>(i));
+          vm::RunResult run = child->run_function("handle_request");
+          if (!run.ok) {
+            throw std::runtime_error(
+                "request " + std::to_string(i) + " failed: " +
+                (run.fault ? run.fault->detail : run.error));
+          }
+          RequestSlot& slot = slots[i];
+          slot.cycles = run.cycles;
+          slot.sw_checks = run.counters.sw_checks;
+          slot.hw_checks = run.counters.hw_checked_accesses;
+          slot.segment_allocs =
+              run.segment_stats.alloc_requests - base_allocs;
+          slot.cache_hits = run.segment_stats.cache_hits - base_hits;
+          return;
         }
-        child->reseed(seed_base + static_cast<std::uint32_t>(i));
-        vm::RunResult run = child->run_function("handle_request");
-        if (!run.ok) {
-          throw std::runtime_error(
-              "request " + std::to_string(i) + " failed: " +
-              (run.fault ? run.fault->detail : run.error));
-        }
+
+        // Injected path. The child's own injector gets a per-request seed
+        // so the fault pattern varies across requests yet replays exactly;
+        // a separate network-level injector decides whether the response
+        // reaches the client. Every outcome is recorded, never thrown —
+        // the chaos contract is "degraded or precise fault, no crash".
         RequestSlot& slot = slots[i];
-        slot.cycles = run.cycles;
-        slot.sw_checks = run.counters.sw_checks;
-        slot.hw_checks = run.counters.hw_checked_accesses;
-        slot.segment_allocs = run.segment_stats.alloc_requests - base_allocs;
-        slot.cache_hits = run.segment_stats.cache_hits - base_hits;
+        vm::MachineConfig cfg = program.options().machine;
+        cfg.fault_plan = plan;
+        cfg.fault_plan.seed = plan.seed + static_cast<std::uint32_t>(i);
+        faultinject::FaultInjector net(
+            plan, seed_base + static_cast<std::uint32_t>(i));
+        const int budget = plan.net_retry_budget > 0 ? plan.net_retry_budget
+                                                     : 0;
+        for (int attempt = 0;; ++attempt) {
+          std::unique_ptr<vm::Machine> child = program.make_machine(cfg);
+          std::uint64_t base_allocs = 0;
+          std::uint64_t base_hits = 0;
+          if (has_init) {
+            vm::RunResult init = child->run_function("server_init");
+            if (!init.ok) {
+              slot.failed = true;
+              slot.failure =
+                  "server_init failed: " +
+                  (init.fault ? init.fault->detail : init.error);
+              slot.faults_injected += init.fault_stats.total();
+              break;
+            }
+            base_allocs = init.segment_stats.alloc_requests;
+            base_hits = init.segment_stats.cache_hits;
+          }
+          child->reseed(seed_base + static_cast<std::uint32_t>(i));
+          vm::RunResult run = child->run_function("handle_request");
+          // The machine's injector stats are cumulative across the init
+          // replay and the handler, so this covers the whole attempt.
+          slot.faults_injected += run.fault_stats.total();
+          if (!run.ok) {
+            slot.failed = true;
+            slot.failure = "request " + std::to_string(i) + " failed: " +
+                           (run.fault ? run.fault->detail : run.error);
+            slot.cycles += run.cycles;
+            break;
+          }
+          if (net.should_inject(faultinject::FaultSite::kNetRequestTimeout)) {
+            // The child computed the response but the client never saw it.
+            ++slot.timeouts;
+            slot.cycles += run.cycles + kTimeoutPenaltyCycles;
+            if (attempt < budget) {
+              ++slot.retries;
+              slot.degraded = true;
+              continue;
+            }
+            slot.failed = true;
+            slot.failure = "request " + std::to_string(i) +
+                           " timed out after " +
+                           std::to_string(attempt + 1) + " attempts";
+            break;
+          }
+          slot.cycles += run.cycles;
+          slot.sw_checks += run.counters.sw_checks;
+          slot.hw_checks += run.counters.hw_checked_accesses;
+          slot.segment_allocs +=
+              run.segment_stats.alloc_requests - base_allocs;
+          slot.cache_hits += run.segment_stats.cache_hits - base_hits;
+          if (run.segment_stats.global_fallbacks > 0 ||
+              run.segment_stats.gate_busy_retries > 0) {
+            slot.degraded = true;
+          }
+          break;
+        }
+        slot.faults_injected += net.stats().total();
       });
 
   // Reduce in request-index order, entirely in integers; floating point
@@ -91,10 +174,22 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
     metrics.hw_checks += slot.hw_checks;
     metrics.segment_allocs += slot.segment_allocs;
     metrics.cache_hits += slot.cache_hits;
+    metrics.retries += slot.retries;
+    metrics.timeouts += slot.timeouts;
+    metrics.faults_injected += slot.faults_injected;
+    if (slot.failed) {
+      ++metrics.failed_requests;
+      if (metrics.first_failure.empty()) {
+        metrics.first_failure = slot.failure;
+      }
+    } else if (slot.degraded) {
+      ++metrics.degraded_requests;
+    }
   }
+  // Every attempt forks, so retried requests pay the fork cost again.
   metrics.total_busy_cycles =
       metrics.total_cpu_cycles +
-      kForkCycles * static_cast<std::uint64_t>(requests);
+      kForkCycles * (static_cast<std::uint64_t>(requests) + metrics.retries);
   metrics.mean_latency_cycles =
       static_cast<double>(metrics.total_cpu_cycles) /
       static_cast<double>(requests);

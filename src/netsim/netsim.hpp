@@ -2,8 +2,11 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "core/cash.hpp"
 #include "exec/executor.hpp"
+#include "faultinject/faultinject.hpp"
 
 namespace cash::netsim {
 
@@ -26,6 +29,17 @@ struct ServerMetrics {
   std::uint64_t hw_checks{0};
   std::uint64_t segment_allocs{0};
   std::uint64_t cache_hits{0};
+  // Fault-injection aggregates (all zero when serve_requests runs without a
+  // plan — the unarmed path is bit-transparent). A request is `degraded`
+  // when it completed correctly but took a slow path (a retried timeout or
+  // an unchecked global-fallback segment); `failed` when it exhausted the
+  // retry budget or its machine faulted. Both are counted, never thrown.
+  std::uint64_t retries{0};           // re-forks after an injected timeout
+  std::uint64_t timeouts{0};          // injected timeouts (incl. retried)
+  std::uint64_t degraded_requests{0}; // completed, but on a degraded path
+  std::uint64_t failed_requests{0};   // budget exhausted or machine fault
+  std::uint64_t faults_injected{0};   // machine-level + network-level fires
+  std::string first_failure;          // lowest-index failure detail, if any
 };
 
 // Simulated clock frequency (the paper's server is a 1.1 GHz Pentium III).
@@ -35,6 +49,10 @@ inline constexpr double kClockHz = 1.1e9;
 // with client think time and network latency, so only a small slice lands
 // on the measured interval.
 inline constexpr std::uint64_t kForkCycles = 2500;
+
+// Server-side cost of an injected request timeout: the child's work was
+// wasted and the client's retransmission timer expires before the re-fork.
+inline constexpr std::uint64_t kTimeoutPenaltyCycles = 25000;
 
 // Runs `requests` simulated forked processes of the compiled server program.
 // Each request is one fork of the post-`server_init` parent image: a fresh
@@ -48,9 +66,18 @@ inline constexpr std::uint64_t kForkCycles = 2500;
 // path). Per-request results are written to index-ordered slots and
 // reduced in request order, making every ServerMetrics field bit-identical
 // for any thread count (tests/exec/parallel_invariance_test).
+// With a non-empty `plan`, each child machine runs under fault injection
+// (child i gets plan.seed + i, so the fault pattern varies per request but
+// replays identically for a fixed (seed_base, plan) at any thread count),
+// and a network-level injector drives FaultSite::kNetRequestTimeout:
+// a fired timeout wastes the attempt (cycles + kTimeoutPenaltyCycles) and
+// re-forks, up to plan.net_retry_budget retries. Outcomes are recorded in
+// the metrics — a faulted or budget-exhausted request never throws. An
+// empty plan takes the exact pre-existing path (bit-transparent).
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
                              std::uint32_t seed_base = 1,
-                             const exec::ExecutorConfig& executor = {});
+                             const exec::ExecutorConfig& executor = {},
+                             const faultinject::FaultPlan& plan = {});
 
 // Convenience: penalty of `measured` relative to `baseline`, in percent.
 double penalty_pct(double baseline, double measured);

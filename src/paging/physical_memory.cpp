@@ -2,7 +2,9 @@
 
 #include <cstring>
 #include <algorithm>
-#include <stdexcept>
+#include <string>
+
+#include "common/fault.hpp"
 
 namespace cash::paging {
 
@@ -11,7 +13,18 @@ PhysicalMemory::PhysicalMemory(std::uint32_t frame_count)
 
 std::uint32_t PhysicalMemory::allocate_frame() {
   if (next_frame_ >= frame_count_) {
-    throw std::runtime_error("simulated physical memory exhausted");
+    throw FaultException(
+        Fault{FaultKind::kResourceExhausted, 0, 0,
+              "simulated physical memory exhausted: all " +
+                  std::to_string(frame_count_) + " frames in use"});
+  }
+  if (injector_ != nullptr &&
+      injector_->should_inject(faultinject::FaultSite::kPhysFrameAlloc)) {
+    throw FaultException(
+        Fault{FaultKind::kResourceExhausted, 0, 0,
+              "simulated physical memory exhausted: frame " +
+                  std::to_string(next_frame_) +
+                  " allocation denied by fault injection"});
   }
   const std::uint32_t frame = next_frame_++;
   const std::size_t needed =

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "faultinject/faultinject.hpp"
+
 namespace cash::paging {
 
 inline constexpr std::uint32_t kPageSize = 4096;
@@ -17,8 +19,16 @@ class PhysicalMemory {
  public:
   explicit PhysicalMemory(std::uint32_t frame_count);
 
-  // Allocates a zeroed frame; returns its frame number.
+  // Allocates a zeroed frame; returns its frame number. Exhaustion (genuine
+  // or injected via FaultSite::kPhysFrameAlloc) raises a structured
+  // FaultException of kind kResourceExhausted — never a bare host error.
   std::uint32_t allocate_frame();
+
+  // Optional deterministic fault injection (owned by the machine). The
+  // kPhysFrameAlloc site is consulted once per allocate_frame() call.
+  void set_fault_injector(faultinject::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
   std::uint32_t frame_count() const noexcept { return frame_count_; }
   std::uint32_t frames_allocated() const noexcept { return next_frame_; }
@@ -35,6 +45,7 @@ class PhysicalMemory {
   std::uint32_t frame_count_;
   std::uint32_t next_frame_{0};
   std::vector<std::uint8_t> bytes_;
+  faultinject::FaultInjector* injector_{nullptr};
 };
 
 } // namespace cash::paging

@@ -12,6 +12,10 @@ CashHeap::Object CashHeap::allocate(std::uint32_t bytes) {
   ++stats_.malloc_calls;
   Object out;
   out.cycles = kMallocCycles;
+  if (injector_ != nullptr &&
+      injector_->should_inject(faultinject::FaultSite::kHeapAlloc)) {
+    return out; // injected malloc failure: data stays 0
+  }
   if (bytes == 0) {
     bytes = 4;
   }

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "faultinject/faultinject.hpp"
 #include "paging/page_table.hpp"
 #include "runtime/array_runtime.hpp"
 
@@ -28,6 +29,13 @@ class CashHeap {
   Object allocate(std::uint32_t bytes);
   std::uint64_t release(std::uint32_t data_addr);
 
+  // Optional deterministic fault injection (owned by the machine). A
+  // kHeapAlloc fire makes allocate() report out-of-memory (data == 0), which
+  // the interpreter surfaces as a structured kResourceExhausted fault.
+  void set_fault_injector(faultinject::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
   struct Stats {
     std::uint64_t malloc_calls{0};
     std::uint64_t free_calls{0};
@@ -43,6 +51,7 @@ class CashHeap {
   ArrayRuntime* arrays_;
   std::uint32_t next_;
   std::uint32_t limit_;
+  faultinject::FaultInjector* injector_{nullptr};
   Stats stats_;
   // Allocator metadata (malloc's hidden header, kept host-side): object
   // sizes and exact-size free lists so freed blocks are reused — which is

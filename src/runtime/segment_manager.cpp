@@ -9,8 +9,12 @@ using x86seg::SegmentDescriptor;
 using x86seg::Selector;
 
 SegmentManager::SegmentManager(kernel::KernelSim& kernel, kernel::Pid pid,
-                               int max_ldts)
-    : kernel_(&kernel), pid_(pid), max_ldts_(std::max(1, max_ldts)) {}
+                               int max_ldts,
+                               faultinject::FaultInjector* injector)
+    : kernel_(&kernel),
+      pid_(pid),
+      max_ldts_(std::max(1, max_ldts)),
+      injector_(injector) {}
 
 std::uint64_t SegmentManager::initialize() {
   if (initialized_) {
@@ -79,9 +83,25 @@ SegmentManager::Allocation SegmentManager::allocate(std::uint32_t base,
   ++stats_.alloc_requests;
   Allocation out;
 
+  // Injected LDT exhaustion: behave exactly as if every entry in every
+  // permitted LDT were live — the request degrades to the unchecked global
+  // segment and the program still runs to a correct result.
+  if (injector_ != nullptr &&
+      injector_->should_inject(faultinject::FaultSite::kSegAllocate)) {
+    out.ldt_index = kGlobalSegmentIndex;
+    out.selector = kernel::flat_user_data_selector();
+    out.cycles = 2;
+    out.global_fallback = true;
+    ++stats_.global_fallbacks;
+    return out;
+  }
+  const bool skip_cache =
+      injector_ != nullptr &&
+      injector_->should_inject(faultinject::FaultSite::kSegCacheProbe);
+
   // 1. Cache probe: a recently freed segment with identical base and limit
   //    can be reused without touching the LDT (Section 3.6, optimisation 3).
-  for (std::size_t i = 0; i < cache_.size(); ++i) {
+  for (std::size_t i = 0; !skip_cache && i < cache_.size(); ++i) {
     if (cache_[i].base == base && cache_[i].size == size) {
       out.ldt_index = cache_[i].ldt_index;
       out.ldt_id = cache_[i].ldt_id;
@@ -112,8 +132,32 @@ SegmentManager::Allocation SegmentManager::allocate(std::uint32_t base,
     return out;
   }
 
+  // Install through the Cash call gate. Under injected contention the gate
+  // bounces (kGateBusy); retry with exponential backoff, and if the gate is
+  // jammed past the retry budget, give the entry back and degrade to the
+  // global segment rather than block.
+  std::uint64_t backoff_cycles = 0;
   Status installed = kernel_->cash_modify_ldt(
       pid_, ldt_id, index, SegmentDescriptor::for_array(base, size));
+  for (int attempt = 1;
+       !installed.ok() && installed.fault().kind == FaultKind::kGateBusy &&
+       attempt <= costs::kGateBusyMaxRetries;
+       ++attempt) {
+    backoff_cycles += costs::kGateBusyBackoffBase
+                      << static_cast<unsigned>(attempt - 1);
+    ++stats_.gate_busy_retries;
+    installed = kernel_->cash_modify_ldt(
+        pid_, ldt_id, index, SegmentDescriptor::for_array(base, size));
+  }
+  if (!installed.ok() && installed.fault().kind == FaultKind::kGateBusy) {
+    free_lists_[ldt_id].push_back(index);
+    out.ldt_index = kGlobalSegmentIndex;
+    out.selector = kernel::flat_user_data_selector();
+    out.cycles = 2 + extra_cycles + backoff_cycles;
+    out.global_fallback = true;
+    ++stats_.global_fallbacks;
+    return out;
+  }
   assert(installed.ok());
   (void)installed;
   ++stats_.kernel_allocs;
@@ -124,7 +168,7 @@ SegmentManager::Allocation SegmentManager::allocate(std::uint32_t base,
   out.ldt_index = index;
   out.ldt_id = ldt_id;
   out.selector = Selector::make(index, /*local=*/true, /*rpl=*/3);
-  out.cycles = costs::kPerArraySetup + extra_cycles;
+  out.cycles = costs::kPerArraySetup + extra_cycles + backoff_cycles;
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/costs.hpp"
+#include "faultinject/faultinject.hpp"
 #include "kernel/kernel_sim.hpp"
 
 namespace cash::runtime {
@@ -21,7 +22,12 @@ class SegmentManager {
   static constexpr int kCacheEntries = 3;
   static constexpr std::uint16_t kGlobalSegmentIndex = 0xFFFF; // sentinel
 
-  SegmentManager(kernel::KernelSim& kernel, kernel::Pid pid, int max_ldts = 1);
+  // The optional injector drives the kSegAllocate (force LDT-exhaustion →
+  // global fallback) and kSegCacheProbe (force 3-entry cache miss) sites.
+  // Gate-busy faults surfaced by the kernel are absorbed here with a bounded
+  // retry/backoff loop (costs::kGateBusyBackoffBase / kGateBusyMaxRetries).
+  SegmentManager(kernel::KernelSim& kernel, kernel::Pid pid, int max_ldts = 1,
+                 faultinject::FaultInjector* injector = nullptr);
 
   // Program start-up: installs the call gate and builds the free list.
   // Returns the cycles charged (the paper's 543-cycle per-program set-up).
@@ -61,6 +67,7 @@ class SegmentManager {
     std::uint64_t releases{0};
     std::uint64_t global_fallbacks{0};
     std::uint64_t extra_ldts_created{0};
+    std::uint64_t gate_busy_retries{0}; // bounced lcalls that were retried
     std::uint32_t segments_in_use{0};
     std::uint32_t peak_segments{0};
   };
@@ -85,6 +92,7 @@ class SegmentManager {
   kernel::KernelSim* kernel_;
   kernel::Pid pid_;
   int max_ldts_;
+  faultinject::FaultInjector* injector_;
   bool initialized_{false};
   // Per-LDT user-space free lists ([0] = primary).
   std::vector<std::vector<std::uint16_t>> free_lists_;

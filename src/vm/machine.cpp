@@ -113,6 +113,10 @@ struct Frame {
 struct Machine::Impl {
   const ir::Module* module;
   MachineConfig config;
+  // Declared before the components so it outlives none of them; the
+  // components hold raw pointers to it (wired in the ctor body — Impl is
+  // heap-allocated, so the address is stable).
+  faultinject::FaultInjector injector;
 
   kernel::KernelSim kernel;
   kernel::Pid pid;
@@ -139,15 +143,19 @@ struct Machine::Impl {
   explicit Impl(const ir::Module& m, MachineConfig cfg)
       : module(&m),
         config(cfg),
+        injector(cfg.fault_plan, cfg.rng_seed),
         pid(kernel.create_process()),
         phys(cfg.phys_frames),
         pages(phys),
         seg_unit(kernel.gdt(), kernel.ldt(pid)),
         mmu(seg_unit, pages, phys),
-        segments(kernel, pid, cfg.max_ldts),
+        segments(kernel, pid, cfg.max_ldts, &injector),
         arrays(mmu, segments, cfg.mode),
         heap(mmu, arrays, kHeapBase, kHeapLimit),
         rng_state(cfg.rng_seed) {
+    kernel.set_fault_injector(&injector);
+    phys.set_fault_injector(&injector);
+    heap.set_fault_injector(&injector);
     // Flat model as Linux sets it up.
     (void)seg_unit.load(SegReg::kCs, kernel::flat_user_code_selector());
     (void)seg_unit.load(SegReg::kDs, kernel::flat_user_data_selector());
@@ -224,13 +232,25 @@ struct Machine::Impl {
   }
 
   // Converts simulator-resource exhaustion (physical memory, etc.) into a
-  // clean error result.
+  // clean result. Structured faults (FaultException — e.g. frame-pool
+  // exhaustion, injected or genuine) land in RunResult.fault with the
+  // machine's counters attached; anything else is a simulator limit.
   RunResult execute(const ir::Function* entry) {
     try {
       return execute_impl(entry);
+    } catch (const FaultException& e) {
+      RunResult r;
+      r.fault = e.fault();
+      r.tlb_stats = pages.tlb().stats();
+      r.segment_stats = segments.stats();
+      r.heap_stats = heap.stats();
+      r.kernel_account = kernel.account(pid);
+      r.fault_stats = injector.stats();
+      return r;
     } catch (const std::exception& e) {
       RunResult r;
       r.error = std::string("simulator limit: ") + e.what();
+      r.fault_stats = injector.stats();
       return r;
     }
   }
@@ -806,7 +826,11 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
           runtime_cy += obj.cycles;
           ++ctr.malloc_calls;
           if (obj.data == 0) {
-            result.error = "simulated heap exhausted";
+            fail(Fault{FaultKind::kResourceExhausted, 0, 0,
+                       "simulated heap exhausted: malloc(" +
+                           std::to_string(args.empty() ? 0 : args[0].bits) +
+                           ")"},
+                 frame, &instr);
             break;
           }
           reg_of(instr.dst) = Value{obj.data, obj.info};
@@ -923,6 +947,7 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
   result.segment_stats = segments.stats();
   result.heap_stats = heap.stats();
   result.kernel_account = kernel.account(pid);
+  result.fault_stats = injector.stats();
   return result;
 }
 

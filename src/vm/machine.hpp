@@ -10,6 +10,7 @@
 
 #include "common/costs.hpp"
 #include "common/fault.hpp"
+#include "faultinject/faultinject.hpp"
 #include "ir/function.hpp"
 #include "kernel/kernel_sim.hpp"
 #include "mmu/mmu.hpp"
@@ -41,6 +42,11 @@ struct MachineConfig {
   // it on or off). Also forced off when $CASH_NO_TLB is set, for A/B runs
   // without recompiling.
   bool enable_tlb{true};
+  // Deterministic fault injection (DESIGN.md §8). Off by default: an empty
+  // plan is bit-transparent — cycles, breakdowns and counters are identical
+  // to a build without the layer. A non-empty plan replays identically for
+  // a fixed (rng_seed, plan).
+  faultinject::FaultPlan fault_plan{};
 };
 
 // Dynamic counters accumulated during one run.
@@ -92,6 +98,9 @@ struct RunResult {
   runtime::SegmentManager::Stats segment_stats;
   runtime::CashHeap::Stats heap_stats;
   kernel::KernelAccount kernel_account;
+  // Per-site hit/injection counts for the machine's fault injector (all
+  // zero when config.fault_plan is empty).
+  faultinject::FaultStats fault_stats;
   std::map<std::string, FunctionProfile> profile; // per-function self costs
   std::string output;             // print_int / print_float stream
 

@@ -1,0 +1,122 @@
+// Golden fault-message tests: format_fault() is the single-line rendering
+// used by diagnostics consumers (bench violation reports, netsim failure
+// details), so its exact output is pinned here — kind name, detail,
+// function/line context, selector and linear address. A change to any of
+// these strings is an API change and must update the goldens deliberately.
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.hpp"
+#include "core/cash.hpp"
+#include "faultinject/faultinject.hpp"
+#include "vm/machine.hpp"
+#include "x86seg/segmentation_unit.hpp"
+
+namespace cash {
+namespace {
+
+vm::RunResult run_cash(const std::string& source,
+                       const vm::MachineConfig* cfg = nullptr) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  if (cfg != nullptr) {
+    options.machine = *cfg;
+  }
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  return compiled.program->run();
+}
+
+TEST(FaultGolden, CashBoundViolation) {
+  // The paper's headline event: a[16] of int a[16] trips the segment limit
+  // in the address-translation pipeline.
+  const vm::RunResult r = run_cash(R"(
+int a[16];
+int main() {
+  int i;
+  for (i = 0; i <= 16; i++) {
+    a[i] = i;
+  }
+  return 0;
+}
+)");
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_TRUE(r.bound_violation());
+  EXPECT_EQ(format_fault(*r.fault),
+            "#GP general-protection fault: segment-limit violation through "
+            "ES: offset 0x40 size 4 exceeds limit 0x3f [in main at line 6] "
+            "(selector 0xf) (linear 0x810004c)");
+}
+
+TEST(FaultGolden, NullSelectorIntoStackSegment) {
+  CompileResult compiled = compile("int main() { return 0; }", {});
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  std::unique_ptr<vm::Machine> machine = compiled.program->make_machine();
+  const Status status =
+      machine->segmentation().load(x86seg::SegReg::kSs, x86seg::Selector());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(format_fault(status.fault()),
+            "#GP general-protection fault: null selector loaded into CS/SS");
+}
+
+TEST(FaultGolden, GranularitySlackUnderrun) {
+  // 300000 ints = 1.2 MB: page-granular descriptor, so the lower bound has
+  // (span - size) bytes of slack. One word below the slack wraps the
+  // segment offset and trips the (page-granular) limit.
+  const std::uint32_t size = 300000 * 4;
+  const std::uint32_t span = ((size + 4095) / 4096) * 4096;
+  const int below = -static_cast<int>((span - size) / 4) - 1;
+  const std::string source = "\nint a[300000];\nint main() {\n  int i;\n"
+                             "  for (i = " +
+                             std::to_string(below) +
+                             "; i <= 10; i++) {\n    a[i] = i;\n  }\n"
+                             "  return 0;\n}\n";
+  const vm::RunResult r = run_cash(source);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(format_fault(*r.fault),
+            "#GP general-protection fault: segment-limit violation through "
+            "ES: offset 0xfffffffc size 4 exceeds limit 0x124fff "
+            "[in main at line 6] (selector 0xf) (linear 0x80fff88)");
+}
+
+TEST(FaultGolden, HeapExhaustion) {
+  vm::MachineConfig cfg;
+  cfg.fault_plan.rules.push_back(
+      {faultinject::FaultSite::kHeapAlloc, 0, 1, 0, 1});
+  const vm::RunResult r = run_cash(R"(
+int main() {
+  int *p;
+  p = malloc(32);
+  p[0] = 1;
+  return p[0];
+}
+)",
+                                   &cfg);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_FALSE(r.bound_violation()); // resource exhaustion, not a bound trip
+  EXPECT_EQ(format_fault(*r.fault),
+            "resource-exhaustion fault: simulated heap exhausted: "
+            "malloc(32) [in main at line 4]");
+}
+
+TEST(FaultGolden, PhysicalMemoryExhaustion) {
+  // Genuine exhaustion (no injection): a 2-frame machine cannot map four
+  // 8 KB globals.
+  vm::MachineConfig cfg;
+  cfg.phys_frames = 2;
+  const vm::RunResult r = run_cash(R"(
+int g0[2000]; int g1[2000]; int g2[2000]; int g3[2000];
+int main() {
+  g0[0] = 1; g1[0] = 2; g2[0] = 3; g3[0] = 4;
+  return g0[0] + g1[0] + g2[0] + g3[0];
+}
+)",
+                                   &cfg);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_TRUE(r.error.empty()); // structured fault, not a host error string
+  EXPECT_EQ(format_fault(*r.fault),
+            "resource-exhaustion fault: simulated physical memory "
+            "exhausted: all 2 frames in use");
+}
+
+} // namespace
+} // namespace cash

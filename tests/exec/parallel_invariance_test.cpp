@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "exec/executor.hpp"
+#include "faultinject/faultinject.hpp"
 #include "netsim/netsim.hpp"
+#include "workloads/chaos.hpp"
 #include "workloads/fuzz.hpp"
 #include "workloads/workloads.hpp"
 
@@ -63,6 +65,12 @@ void expect_identical(const netsim::ServerMetrics& a,
   EXPECT_EQ(a.hw_checks, b.hw_checks) << "jobs=" << jobs;
   EXPECT_EQ(a.segment_allocs, b.segment_allocs) << "jobs=" << jobs;
   EXPECT_EQ(a.cache_hits, b.cache_hits) << "jobs=" << jobs;
+  EXPECT_EQ(a.retries, b.retries) << "jobs=" << jobs;
+  EXPECT_EQ(a.timeouts, b.timeouts) << "jobs=" << jobs;
+  EXPECT_EQ(a.degraded_requests, b.degraded_requests) << "jobs=" << jobs;
+  EXPECT_EQ(a.failed_requests, b.failed_requests) << "jobs=" << jobs;
+  EXPECT_EQ(a.faults_injected, b.faults_injected) << "jobs=" << jobs;
+  EXPECT_EQ(a.first_failure, b.first_failure) << "jobs=" << jobs;
 }
 
 TEST(ParallelInvariance, ServeRequestsIsThreadCountInvariant) {
@@ -111,6 +119,73 @@ TEST(ParallelInvariance, BenchGridIsThreadCountInvariant) {
   const std::vector<CellResult> serial = exec::parallel_map(n, 1, cell);
   for (int jobs : {2, 8}) {
     EXPECT_EQ(exec::parallel_map(n, jobs, cell), serial) << "jobs=" << jobs;
+  }
+}
+
+void expect_identical(const workloads::ChaosCell& a,
+                      const workloads::ChaosCell& b, int jobs) {
+  EXPECT_EQ(a.seed, b.seed) << "jobs=" << jobs;
+  EXPECT_EQ(a.plan, b.plan) << "jobs=" << jobs;
+  EXPECT_EQ(a.completed, b.completed) << "jobs=" << jobs;
+  EXPECT_EQ(a.output_matches, b.output_matches) << "jobs=" << jobs;
+  EXPECT_EQ(a.degraded, b.degraded) << "jobs=" << jobs;
+  EXPECT_EQ(a.faulted, b.faulted) << "jobs=" << jobs;
+  EXPECT_EQ(a.faults_injected, b.faults_injected) << "jobs=" << jobs;
+  EXPECT_EQ(a.cycles, b.cycles) << "jobs=" << jobs;
+  EXPECT_EQ(a.detail, b.detail) << "jobs=" << jobs;
+}
+
+TEST(ParallelInvariance, ChaosMatrixIsThreadCountInvariant) {
+  // Fault injection composes with the parallel engine: every injected
+  // (seed x plan) cell — degraded runs, structured faults, cycle counts,
+  // fault-site hit totals — is a pure function of its inputs, so the whole
+  // report is bit-identical for jobs in {1, 2, 8}.
+  const workloads::ChaosReport serial = workloads::run_chaos_matrix(1, 4, {1});
+  EXPECT_EQ(serial.violations, 0u);
+  EXPECT_GT(serial.faults_injected, 0u);
+  for (int jobs : {2, 8}) {
+    const workloads::ChaosReport parallel =
+        workloads::run_chaos_matrix(1, 4, {jobs});
+    EXPECT_EQ(parallel.completed, serial.completed) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.degraded, serial.degraded) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.faulted, serial.faulted) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.faults_injected, serial.faults_injected)
+        << "jobs=" << jobs;
+    EXPECT_EQ(parallel.violations, serial.violations) << "jobs=" << jobs;
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      expect_identical(serial.cells[i], parallel.cells[i], jobs);
+    }
+  }
+}
+
+TEST(ParallelInvariance, InjectedServeRequestsIsThreadCountInvariant) {
+  // The armed netsim path forks per-request machines, injects timeouts and
+  // LDT exhaustion, and retries within a budget — all of which must stay a
+  // pure function of (program, seed, plan), independent of worker threads.
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult program = compile(kServer, options);
+  ASSERT_TRUE(program.ok()) << program.error;
+
+  faultinject::FaultPlan plan;
+  plan.seed = 7;
+  plan.net_retry_budget = 2;
+  plan.rules.push_back({faultinject::FaultSite::kNetRequestTimeout, 0, 3, 0, 1});
+  plan.rules.push_back({faultinject::FaultSite::kSegAllocate, 0, 5, 0, 1});
+
+  const netsim::ServerMetrics serial =
+      netsim::serve_requests(*program.program, 30, 11, {1}, plan);
+  // The plan must actually exercise the degraded machinery, otherwise this
+  // test silently decays into the clean-path one above.
+  EXPECT_GT(serial.timeouts, 0u);
+  EXPECT_GT(serial.retries, 0u);
+  EXPECT_GT(serial.degraded_requests, 0u);
+  EXPECT_GT(serial.faults_injected, 0u);
+  for (int jobs : {2, 8}) {
+    const netsim::ServerMetrics parallel =
+        netsim::serve_requests(*program.program, 30, 11, {jobs}, plan);
+    expect_identical(serial, parallel, jobs);
   }
 }
 

@@ -1,0 +1,281 @@
+// FaultInjector unit tests: deterministic rule matching, seeded replay,
+// JSON (de)serialisation, and the bit-transparency contract — an empty (or
+// never-firing) plan must not perturb a machine run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cash.hpp"
+#include "faultinject/faultinject.hpp"
+#include "vm/machine.hpp"
+
+namespace cash::faultinject {
+namespace {
+
+TEST(FaultInjector, EmptyPlanIsUnarmedAndCountsNothing) {
+  FaultInjector injector(FaultPlan{}, 42);
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.should_inject(FaultSite::kSegAllocate));
+  }
+  EXPECT_EQ(injector.stats().total(), 0U);
+  EXPECT_EQ(injector.stats().hits_at(FaultSite::kSegAllocate), 0U);
+}
+
+TEST(FaultInjector, StartPeriodAndMaxFires) {
+  FaultPlan plan;
+  // Fire on hits 2, 5, 8 (start 2, period 3), at most 3 times.
+  plan.rules.push_back({FaultSite::kHeapAlloc, 2, 3, 3, 1});
+  FaultInjector injector(plan, 1);
+  EXPECT_TRUE(injector.armed());
+  std::string pattern;
+  for (int i = 0; i < 12; ++i) {
+    pattern += injector.should_inject(FaultSite::kHeapAlloc) ? '1' : '0';
+  }
+  EXPECT_EQ(pattern, "001001001000");
+  EXPECT_EQ(injector.stats().injected_at(FaultSite::kHeapAlloc), 3U);
+  EXPECT_EQ(injector.stats().hits_at(FaultSite::kHeapAlloc), 12U);
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  FaultPlan plan;
+  plan.rules.push_back({FaultSite::kSegAllocate, 0, 1, 0, 1});
+  FaultInjector injector(plan, 1);
+  // A rule for one site never fires at another, but hits are counted.
+  EXPECT_FALSE(injector.should_inject(FaultSite::kCallGateBusy));
+  EXPECT_TRUE(injector.should_inject(FaultSite::kSegAllocate));
+  EXPECT_EQ(injector.stats().hits_at(FaultSite::kCallGateBusy), 1U);
+  EXPECT_EQ(injector.stats().injected_at(FaultSite::kCallGateBusy), 0U);
+  EXPECT_EQ(injector.stats().injected_at(FaultSite::kSegAllocate), 1U);
+}
+
+TEST(FaultInjector, ProbabilisticRuleReplaysIdentically) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.rules.push_back({FaultSite::kNetRequestTimeout, 0, 1, 0, 3});
+  auto pattern_with = [&](std::uint32_t seed) {
+    FaultInjector injector(plan, seed);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern +=
+          injector.should_inject(FaultSite::kNetRequestTimeout) ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string first = pattern_with(7);
+  EXPECT_EQ(first, pattern_with(7)); // same seed: identical replay
+  EXPECT_NE(first, pattern_with(8)); // different seed: different pattern
+  EXPECT_NE(first.find('1'), std::string::npos); // one_in=3 fires sometimes
+  EXPECT_NE(first.find('0'), std::string::npos); // ... but not always
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.net_retry_budget = 5;
+  plan.rules.push_back({FaultSite::kSegAllocate, 1, 3, 0, 1});
+  plan.rules.push_back({FaultSite::kCallGateBusy, 0, 1, 7, 2});
+  plan.rules.push_back({FaultSite::kNetRequestTimeout, 4, 2, 1, 9});
+
+  const std::string json = plan.to_json();
+  FaultPlan parsed;
+  ASSERT_TRUE(FaultPlan::from_json(json, &parsed)) << json;
+  EXPECT_EQ(parsed, plan);
+}
+
+TEST(FaultPlan, FromJsonRejectsMalformedInput) {
+  FaultPlan out;
+  EXPECT_FALSE(FaultPlan::from_json("", &out));
+  EXPECT_FALSE(FaultPlan::from_json("{", &out));
+  EXPECT_FALSE(FaultPlan::from_json("[]", &out));
+  EXPECT_FALSE(FaultPlan::from_json(R"({"seed": -1, "rules": []})", &out));
+  EXPECT_FALSE(FaultPlan::from_json(
+      R"({"seed": 0, "rules": [{"site": "no-such-site"}]})", &out));
+  EXPECT_FALSE(FaultPlan::from_json(
+      R"({"seed": 0, "bogus_key": 1, "rules": []})", &out));
+  EXPECT_FALSE(
+      FaultPlan::from_json(R"({"seed": 0, "rules": []} trailing)", &out));
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    FaultSite parsed{};
+    ASSERT_TRUE(site_from_string(to_string(site), &parsed)) << s;
+    EXPECT_EQ(parsed, site);
+  }
+  FaultSite parsed{};
+  EXPECT_FALSE(site_from_string("not-a-site", &parsed));
+}
+
+// --- Bit-transparency at the machine level --------------------------------
+
+constexpr const char* kProbeProgram = R"(
+int g[16];
+int main() {
+  int *p;
+  int i;
+  int sum = 0;
+  p = malloc(32);
+  for (i = 0; i < 16; i = i + 1) {
+    g[i] = i * 3;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    p[i] = g[i + 4];
+    sum = sum + p[i];
+  }
+  free(p);
+  print_int(sum);
+  return sum;
+}
+)";
+
+vm::RunResult run_with_plan(const CompiledProgram& program,
+                            const FaultPlan& plan) {
+  vm::MachineConfig cfg = program.options().machine;
+  cfg.fault_plan = plan;
+  return program.make_machine(cfg)->run();
+}
+
+// Everything simulated must match; host-side fault_stats bookkeeping is
+// compared separately where relevant.
+void expect_simulated_identical(const vm::RunResult& a,
+                                const vm::RunResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.breakdown.base, b.breakdown.base);
+  EXPECT_EQ(a.breakdown.checking, b.breakdown.checking);
+  EXPECT_EQ(a.breakdown.runtime, b.breakdown.runtime);
+  EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+  EXPECT_EQ(a.counters.hw_checked_accesses, b.counters.hw_checked_accesses);
+  EXPECT_EQ(a.counters.sw_checks, b.counters.sw_checks);
+  EXPECT_EQ(a.segment_stats.alloc_requests, b.segment_stats.alloc_requests);
+  EXPECT_EQ(a.segment_stats.cache_hits, b.segment_stats.cache_hits);
+  EXPECT_EQ(a.segment_stats.global_fallbacks,
+            b.segment_stats.global_fallbacks);
+  EXPECT_EQ(a.heap_stats.malloc_calls, b.heap_stats.malloc_calls);
+  EXPECT_EQ(a.kernel_account.kernel_cycles, b.kernel_account.kernel_cycles);
+}
+
+TEST(FaultInjectTransparency, EmptyPlanIsBitIdenticalToDefaultConfig) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  const vm::RunResult plain = compiled.program->run();
+  const vm::RunResult empty =
+      run_with_plan(*compiled.program, FaultPlan{});
+  ASSERT_TRUE(plain.ok);
+  expect_simulated_identical(plain, empty);
+  EXPECT_EQ(empty.fault_stats.total(), 0U);
+  // The unarmed fast path must not even count hits.
+  EXPECT_EQ(empty.fault_stats.hits_at(FaultSite::kSegAllocate), 0U);
+}
+
+TEST(FaultInjectTransparency, NeverFiringPlanOnlyAddsHitCounts) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  FaultPlan dormant;
+  dormant.rules.push_back(
+      {FaultSite::kSegAllocate, 1u << 30, 1, 0, 1}); // starts far too late
+  const vm::RunResult plain = compiled.program->run();
+  const vm::RunResult armed = run_with_plan(*compiled.program, dormant);
+  ASSERT_TRUE(plain.ok);
+  expect_simulated_identical(plain, armed);
+  EXPECT_EQ(armed.fault_stats.total(), 0U);
+  // Armed, so sites are probed — hits recorded, nothing injected.
+  EXPECT_GT(armed.fault_stats.hits_at(FaultSite::kSegAllocate), 0U);
+}
+
+TEST(FaultInjectReplay, NonEmptyPlanReplaysIdentically) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.rules.push_back({FaultSite::kSegAllocate, 0, 2, 0, 2});
+  plan.rules.push_back({FaultSite::kCallGateBusy, 1, 2, 0, 1});
+  const vm::RunResult first = run_with_plan(*compiled.program, plan);
+  const vm::RunResult second = run_with_plan(*compiled.program, plan);
+  expect_simulated_identical(first, second);
+  EXPECT_EQ(first.fault_stats.total(), second.fault_stats.total());
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    EXPECT_EQ(first.fault_stats.hits_at(site),
+              second.fault_stats.hits_at(site));
+    EXPECT_EQ(first.fault_stats.injected_at(site),
+              second.fault_stats.injected_at(site));
+  }
+}
+
+TEST(FaultInjectMachine, InjectedHeapExhaustionIsAStructuredFault) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  FaultPlan plan;
+  plan.rules.push_back({FaultSite::kHeapAlloc, 0, 1, 0, 1});
+  const vm::RunResult run = run_with_plan(*compiled.program, plan);
+  EXPECT_FALSE(run.ok);
+  EXPECT_TRUE(run.error.empty()); // structured, not an untyped string
+  ASSERT_TRUE(run.fault.has_value());
+  EXPECT_EQ(run.fault->kind, FaultKind::kResourceExhausted);
+  EXPECT_NE(run.fault->detail.find("simulated heap exhausted"),
+            std::string::npos);
+  EXPECT_EQ(run.fault_stats.injected_at(FaultSite::kHeapAlloc), 1U);
+}
+
+TEST(FaultInjectMachine, InjectedFrameExhaustionIsAStructuredFault) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  FaultPlan plan;
+  plan.rules.push_back({FaultSite::kPhysFrameAlloc, 0, 1, 0, 1});
+  const vm::RunResult run = run_with_plan(*compiled.program, plan);
+  EXPECT_FALSE(run.ok);
+  EXPECT_TRUE(run.error.empty());
+  ASSERT_TRUE(run.fault.has_value());
+  EXPECT_EQ(run.fault->kind, FaultKind::kResourceExhausted);
+  EXPECT_NE(run.fault->detail.find("physical memory exhausted"),
+            std::string::npos);
+}
+
+TEST(FaultInjectMachine, InjectedLdtExhaustionCompletesViaGlobalFallback) {
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  const vm::RunResult reference = compiled.program->run();
+  ASSERT_TRUE(reference.ok);
+
+  FaultPlan plan;
+  plan.rules.push_back({FaultSite::kSegAllocate, 0, 1, 0, 1});
+  const vm::RunResult run = run_with_plan(*compiled.program, plan);
+  // Unchecked but correct: the global segment imposes no bounds, so the
+  // in-bounds program completes with the reference output.
+  EXPECT_TRUE(run.ok);
+  EXPECT_EQ(run.output, reference.output);
+  EXPECT_EQ(run.exit_code, reference.exit_code);
+  EXPECT_GT(run.segment_stats.global_fallbacks, 0U);
+  EXPECT_EQ(run.segment_stats.kernel_allocs, 0U);
+  // The rebased accesses still run through the segmentation hardware — only
+  // now against the global segment's (no-op) limit, so the access count is
+  // unchanged while the protection is gone.
+  EXPECT_EQ(run.counters.hw_checked_accesses,
+            reference.counters.hw_checked_accesses);
+}
+
+} // namespace
+} // namespace cash::faultinject

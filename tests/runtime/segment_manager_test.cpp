@@ -1,9 +1,11 @@
 // SegmentManager tests: the user-space free list, the 3-entry recently-
 // freed-segment cache (Section 3.6's third optimisation), LDT exhaustion
-// and the global-segment fallback.
+// and the global-segment fallback — plus the fault-injection paths
+// (forced exhaustion, forced cache misses, gate-busy retry/backoff).
 #include <gtest/gtest.h>
 
 #include "common/costs.hpp"
+#include "faultinject/faultinject.hpp"
 #include "runtime/segment_manager.hpp"
 
 namespace cash::runtime {
@@ -132,6 +134,152 @@ TEST_F(SegmentManagerTest, FreeingNeverEntersTheKernel) {
   const std::uint64_t gates_before = kernel_.account(pid_).call_gate_calls;
   (void)segments.release(alloc.ldt_index, 0x1000, 64);
   EXPECT_EQ(kernel_.account(pid_).call_gate_calls, gates_before);
+}
+
+TEST_F(SegmentManagerTest, CycleAccountingMatchesCostModel) {
+  // Every allocate/release path charges exactly the constants from
+  // common/costs.hpp — nothing hidden, nothing double-counted.
+  SegmentManager segments(kernel_, pid_);
+  EXPECT_EQ(segments.initialize(), costs::kPerProgramSetup);
+  const auto kernel_alloc = segments.allocate(0x1000, 256);
+  EXPECT_EQ(kernel_alloc.cycles, costs::kPerArraySetup);
+  EXPECT_EQ(segments.release(kernel_alloc.ldt_index, 0x1000, 256),
+            costs::kPerArrayTeardown);
+  const auto cache_hit = segments.allocate(0x1000, 256);
+  EXPECT_TRUE(cache_hit.cache_hit);
+  EXPECT_EQ(cache_hit.cycles, costs::kSegCacheHit);
+  // Global-fallback release charges the 1-cycle no-op path.
+  EXPECT_EQ(segments.release(SegmentManager::kGlobalSegmentIndex, 0, 16),
+            1U);
+}
+
+TEST_F(SegmentManagerTest, ExhaustionConsultsFreeListThenCacheThenFallsBack) {
+  // Past 8191 live segments, new requests drain (1) the free list, then
+  // (2) recycle the oldest recently-freed cached entry, and only then
+  // (3) degrade to the global segment.
+  SegmentManager segments(kernel_, pid_);
+  (void)segments.initialize();
+  std::uint16_t idx[8191];
+  for (int i = 0; i < 8191; ++i) {
+    const auto alloc = segments.allocate(
+        0x100000 + static_cast<std::uint32_t>(i) * 16, 16);
+    ASSERT_FALSE(alloc.global_fallback) << i;
+    idx[i] = alloc.ldt_index;
+  }
+  // Free four: r0 is evicted from the 3-entry cache onto the free list;
+  // the cache holds [r3, r2, r1] (most recent first).
+  for (int i = 0; i < 4; ++i) {
+    (void)segments.release(idx[i],
+                           0x100000 + static_cast<std::uint32_t>(i) * 16,
+                           16);
+  }
+  // Four fresh (base, size) pairs: free-list entry first, then the cache
+  // recycled oldest-first. None of these are cache *hits* (new bases).
+  const auto a = segments.allocate(0xA000000, 32);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(a.global_fallback);
+  EXPECT_EQ(a.ldt_index, idx[0]); // the evicted entry, via the free list
+  const auto b = segments.allocate(0xB000000, 32);
+  EXPECT_EQ(b.ldt_index, idx[1]); // oldest cached entry recycled
+  const auto c = segments.allocate(0xC000000, 32);
+  EXPECT_EQ(c.ldt_index, idx[2]);
+  const auto d = segments.allocate(0xD000000, 32);
+  EXPECT_EQ(d.ldt_index, idx[3]);
+  // Both sources dry: the next request degrades.
+  const std::uint64_t fallbacks_before = segments.stats().global_fallbacks;
+  const auto overflow = segments.allocate(0xE000000, 32);
+  EXPECT_TRUE(overflow.global_fallback);
+  EXPECT_EQ(segments.stats().global_fallbacks, fallbacks_before + 1);
+}
+
+// --- Fault-injection paths -------------------------------------------------
+
+TEST_F(SegmentManagerTest, InjectedExhaustionForcesGlobalFallback) {
+  faultinject::FaultPlan plan;
+  plan.rules.push_back({faultinject::FaultSite::kSegAllocate, 0, 1, 0, 1});
+  faultinject::FaultInjector injector(plan, 1);
+  SegmentManager segments(kernel_, pid_, 1, &injector);
+  (void)segments.initialize();
+  const auto alloc = segments.allocate(0x1000, 256);
+  EXPECT_TRUE(alloc.global_fallback);
+  EXPECT_EQ(alloc.ldt_index, SegmentManager::kGlobalSegmentIndex);
+  EXPECT_EQ(alloc.selector.raw(), kernel::flat_user_data_selector().raw());
+  EXPECT_EQ(alloc.cycles, 2U); // same cost as genuine exhaustion
+  EXPECT_EQ(segments.stats().global_fallbacks, 1U);
+  EXPECT_EQ(segments.stats().kernel_allocs, 0U);
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 0U);
+}
+
+TEST_F(SegmentManagerTest, InjectedCacheBypassForcesKernelPath) {
+  faultinject::FaultPlan plan;
+  plan.rules.push_back({faultinject::FaultSite::kSegCacheProbe, 0, 1, 0, 1});
+  faultinject::FaultInjector injector(plan, 1);
+  SegmentManager segments(kernel_, pid_, 1, &injector);
+  (void)segments.initialize();
+  const auto first = segments.allocate(0x1000, 256);
+  (void)segments.release(first.ldt_index, 0x1000, 256);
+  // Identical (base, size): would hit the cache, but the probe is forced
+  // to miss, so the allocation takes the call gate again.
+  const auto second = segments.allocate(0x1000, 256);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(second.cycles, costs::kPerArraySetup);
+  EXPECT_EQ(segments.stats().cache_hits, 0U);
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 2U);
+}
+
+TEST_F(SegmentManagerTest, GateBusyBounceRetriesWithBackoff) {
+  // Every other gate entry bounces: attempt 1 bounces, attempt 2 lands.
+  faultinject::FaultPlan plan;
+  plan.rules.push_back({faultinject::FaultSite::kCallGateBusy, 0, 2, 0, 1});
+  faultinject::FaultInjector injector(plan, 1);
+  kernel_.set_fault_injector(&injector);
+  SegmentManager segments(kernel_, pid_, 1, &injector);
+  (void)segments.initialize();
+  const auto alloc = segments.allocate(0x1000, 256);
+  EXPECT_FALSE(alloc.global_fallback);
+  EXPECT_EQ(alloc.cycles,
+            costs::kPerArraySetup + costs::kGateBusyBackoffBase);
+  EXPECT_EQ(segments.stats().gate_busy_retries, 1U);
+  // The bounced lcall charged no kernel cycles; the landed one did.
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 1U);
+  // The descriptor really landed.
+  auto installed = kernel_.ldt(pid_).lookup(alloc.selector);
+  ASSERT_TRUE(installed.ok());
+  EXPECT_EQ(installed.value().base(), 0x1000U);
+}
+
+TEST_F(SegmentManagerTest, JammedGateDegradesToGlobalFallback) {
+  // The gate never opens: after kGateBusyMaxRetries bounced retries the
+  // allocation gives the LDT entry back and degrades, charging the full
+  // exponential backoff.
+  // Jam for exactly the first allocation's attempts (1 + max retries),
+  // then clear.
+  faultinject::FaultPlan plan;
+  plan.rules.push_back(
+      {faultinject::FaultSite::kCallGateBusy, 0, 1,
+       static_cast<std::uint64_t>(1 + costs::kGateBusyMaxRetries), 1});
+  faultinject::FaultInjector injector(plan, 1);
+  kernel_.set_fault_injector(&injector);
+  SegmentManager segments(kernel_, pid_, 1, &injector);
+  (void)segments.initialize();
+  const auto alloc = segments.allocate(0x1000, 256);
+  EXPECT_TRUE(alloc.global_fallback);
+  std::uint64_t backoff = 0;
+  for (int attempt = 1; attempt <= costs::kGateBusyMaxRetries; ++attempt) {
+    backoff += costs::kGateBusyBackoffBase << (attempt - 1);
+  }
+  EXPECT_EQ(alloc.cycles, 2 + backoff);
+  EXPECT_EQ(segments.stats().gate_busy_retries,
+            static_cast<std::uint64_t>(costs::kGateBusyMaxRetries));
+  EXPECT_EQ(segments.stats().global_fallbacks, 1U);
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 0U);
+  // The LDT entry was handed back: with the jam cleared, the next request
+  // takes the very same entry off the free list and installs normally.
+  const auto retry = segments.allocate(0x2000, 64);
+  EXPECT_FALSE(retry.global_fallback);
+  EXPECT_EQ(retry.ldt_index, 1); // first free-list entry, reissued
+  EXPECT_EQ(segments.stats().kernel_allocs, 1U);
+  EXPECT_EQ(kernel_.account(pid_).call_gate_calls, 1U);
 }
 
 } // namespace

@@ -1,0 +1,388 @@
+// Pre-decoded engine + snapshot-serving benchmark: host wall time of the
+// fast paths vs the reference paths, with bit-transparency enforced.
+//
+// Section 1 (interpreter): six micro kernels, each compiled once and run
+// with the micro-op engine on vs off (MachineConfig::enable_predecode).
+// Every simulated field of the two RunResults must match exactly — the
+// bench exits non-zero on any divergence, so the ctest smoke run doubles
+// as a transparency check.
+//
+// Section 2 (netsim): serve_requests with the default fork-from-snapshot +
+// predecode configuration vs the rebuild-and-replay interpreter reference,
+// at jobs 1/2/8. All ServerMetrics fields must be bit-identical.
+//
+// Writes BENCH_decode.json with per-cell host-wall seconds and the
+// aggregate interpreter_speedup / netsim_speedup ratios.
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/netsim.hpp"
+#include "vm/decode.hpp"
+
+namespace {
+
+using cash::passes::CheckMode;
+
+// Full simulated-field equality (the bench-side mirror of
+// tests/vm/run_result_compare.hpp). Returns the first differing field name,
+// or an empty string when the results are identical. Host-side TLB stats
+// are the documented exemption.
+std::string first_difference(const cash::vm::RunResult& a,
+                             const cash::vm::RunResult& b) {
+  if (a.ok != b.ok) return "ok";
+  if (a.fault.has_value() != b.fault.has_value()) return "fault.has_value";
+  if (a.fault && b.fault) {
+    if (a.fault->kind != b.fault->kind) return "fault.kind";
+    if (a.fault->linear_address != b.fault->linear_address)
+      return "fault.linear_address";
+    if (a.fault->selector != b.fault->selector) return "fault.selector";
+    if (a.fault->detail != b.fault->detail) return "fault.detail";
+  }
+  if (a.error != b.error) return "error";
+  if (a.exit_code != b.exit_code) return "exit_code";
+  if (a.cycles != b.cycles) return "cycles";
+  if (a.breakdown.base != b.breakdown.base) return "breakdown.base";
+  if (a.breakdown.checking != b.breakdown.checking)
+    return "breakdown.checking";
+  if (a.breakdown.runtime != b.breakdown.runtime) return "breakdown.runtime";
+  if (a.shadow_cycles != b.shadow_cycles) return "shadow_cycles";
+  if (a.counters.instructions != b.counters.instructions)
+    return "counters.instructions";
+  if (a.counters.hw_checked_accesses != b.counters.hw_checked_accesses)
+    return "counters.hw_checked_accesses";
+  if (a.counters.sw_checks != b.counters.sw_checks)
+    return "counters.sw_checks";
+  if (a.counters.seg_reg_loads != b.counters.seg_reg_loads)
+    return "counters.seg_reg_loads";
+  if (a.counters.ptr_word_copies != b.counters.ptr_word_copies)
+    return "counters.ptr_word_copies";
+  if (a.counters.calls != b.counters.calls) return "counters.calls";
+  if (a.counters.malloc_calls != b.counters.malloc_calls)
+    return "counters.malloc_calls";
+  if (a.segment_stats.alloc_requests != b.segment_stats.alloc_requests)
+    return "segment_stats.alloc_requests";
+  if (a.segment_stats.cache_hits != b.segment_stats.cache_hits)
+    return "segment_stats.cache_hits";
+  if (a.segment_stats.kernel_allocs != b.segment_stats.kernel_allocs)
+    return "segment_stats.kernel_allocs";
+  if (a.segment_stats.releases != b.segment_stats.releases)
+    return "segment_stats.releases";
+  if (a.segment_stats.global_fallbacks != b.segment_stats.global_fallbacks)
+    return "segment_stats.global_fallbacks";
+  if (a.segment_stats.extra_ldts_created != b.segment_stats.extra_ldts_created)
+    return "segment_stats.extra_ldts_created";
+  if (a.segment_stats.gate_busy_retries != b.segment_stats.gate_busy_retries)
+    return "segment_stats.gate_busy_retries";
+  if (a.segment_stats.segments_in_use != b.segment_stats.segments_in_use)
+    return "segment_stats.segments_in_use";
+  if (a.segment_stats.peak_segments != b.segment_stats.peak_segments)
+    return "segment_stats.peak_segments";
+  if (a.heap_stats.malloc_calls != b.heap_stats.malloc_calls)
+    return "heap_stats.malloc_calls";
+  if (a.heap_stats.free_calls != b.heap_stats.free_calls)
+    return "heap_stats.free_calls";
+  if (a.heap_stats.bytes_allocated != b.heap_stats.bytes_allocated)
+    return "heap_stats.bytes_allocated";
+  if (a.heap_stats.guard_pages != b.heap_stats.guard_pages)
+    return "heap_stats.guard_pages";
+  if (a.kernel_account.kernel_cycles != b.kernel_account.kernel_cycles)
+    return "kernel_account.kernel_cycles";
+  if (a.kernel_account.modify_ldt_calls != b.kernel_account.modify_ldt_calls)
+    return "kernel_account.modify_ldt_calls";
+  if (a.kernel_account.call_gate_calls != b.kernel_account.call_gate_calls)
+    return "kernel_account.call_gate_calls";
+  if (a.kernel_account.ldt_switches != b.kernel_account.ldt_switches)
+    return "kernel_account.ldt_switches";
+  if (a.kernel_account.ldts_created != b.kernel_account.ldts_created)
+    return "kernel_account.ldts_created";
+  if (a.fault_stats.hits != b.fault_stats.hits) return "fault_stats.hits";
+  if (a.fault_stats.injected != b.fault_stats.injected)
+    return "fault_stats.injected";
+  if (a.profile.size() != b.profile.size()) return "profile.size";
+  for (const auto& [name, prof] : a.profile) {
+    const auto it = b.profile.find(name);
+    if (it == b.profile.end()) return "profile." + name;
+    if (prof.calls != it->second.calls) return "profile." + name + ".calls";
+    if (prof.self_cycles != it->second.self_cycles)
+      return "profile." + name + ".self_cycles";
+  }
+  if (a.output != b.output) return "output";
+  return {};
+}
+
+bool metrics_identical(const cash::netsim::ServerMetrics& a,
+                       const cash::netsim::ServerMetrics& b) {
+  return a.requests == b.requests &&
+         a.total_cpu_cycles == b.total_cpu_cycles &&
+         a.total_busy_cycles == b.total_busy_cycles &&
+         a.mean_latency_cycles == b.mean_latency_cycles &&
+         a.mean_latency_us == b.mean_latency_us &&
+         a.throughput_rps == b.throughput_rps && a.sw_checks == b.sw_checks &&
+         a.hw_checks == b.hw_checks && a.segment_allocs == b.segment_allocs &&
+         a.cache_hits == b.cache_hits && a.retries == b.retries &&
+         a.timeouts == b.timeouts &&
+         a.degraded_requests == b.degraded_requests &&
+         a.failed_requests == b.failed_requests &&
+         a.faults_injected == b.faults_injected &&
+         a.first_failure == b.first_failure;
+}
+
+// One timed configuration: `reps` fresh machines, summed host wall time,
+// last result kept for the transparency gate.
+struct Timed {
+  double seconds{0};
+  cash::vm::RunResult last;
+};
+
+Timed run_engine(const cash::CompiledProgram& program, bool predecode,
+                 int reps) {
+  cash::vm::MachineConfig cfg = program.options().machine;
+  cfg.enable_predecode = predecode;
+  Timed t;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::unique_ptr<cash::vm::Machine> machine = program.make_machine(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    cash::vm::RunResult run = machine->run();
+    const auto stop = std::chrono::steady_clock::now();
+    if (!run.ok) {
+      throw std::runtime_error("bench run failed: " +
+                               (run.fault ? run.fault->detail : run.error));
+    }
+    t.seconds += std::chrono::duration<double>(stop - start).count();
+    t.last = std::move(run);
+  }
+  return t;
+}
+
+// Netsim app: an expensive server_init (the part fork-from-snapshot stops
+// re-paying per request) in front of a modest per-request handler.
+constexpr const char* kServerSource = R"(
+int table[2048];
+int *pool;
+int server_init() {
+  int i; int pass;
+  for (pass = 0; pass < 24; pass++) {
+    for (i = 0; i < 2048; i++) {
+      table[i] = table[i] + i % 17 + pass;
+    }
+  }
+  pool = malloc(1024);
+  for (i = 0; i < 256; i++) {
+    pool[i] = table[i * 8] + i;
+  }
+  return 0;
+}
+int handle_request() {
+  int buf[128];
+  int i; int n; int s;
+  n = rand() % 96 + 32;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i % 128] = table[(i * 7) % 2048] + pool[i % 256];
+    s = s + buf[i % 128];
+  }
+  return s;
+}
+int main() { server_init(); return handle_request(); }
+)";
+
+const char* mode_name(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kNoCheck: return "gcc";
+    case CheckMode::kBcc: return "bcc";
+    case CheckMode::kCash: return "cash";
+    case CheckMode::kBoundInsn: return "bound";
+    case CheckMode::kEfence: return "efence";
+    case CheckMode::kShadow: return "shadow";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace cash;
+  using namespace cash::bench;
+
+  bool quick = env_int("CASH_BENCH_QUICK", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  print_title(quick
+                  ? "Pre-decoded engine + snapshot serving, fast vs ref (smoke)"
+                  : "Pre-decoded engine + snapshot serving, fast vs ref");
+  print_note("every cell asserts bit-identical simulated results; any");
+  print_note("divergence between fast and reference paths is a hard failure");
+
+  const int reps = quick ? 1 : 3;
+  bool transparent = true;
+
+  // --- Section 1: micro-op engine vs interpreter -------------------------
+  // Each kernel carries a distinct check mode so, together, the grid
+  // exercises every lowering the decoder has to stay transparent for.
+  struct Kernel {
+    const char* name;
+    CheckMode mode;
+    std::string source;
+    double fast_s{0};
+    double slow_s{0};
+  };
+  std::vector<Kernel> kernels;
+  kernels.push_back({"matmul", CheckMode::kCash,
+                     workloads::matmul_source(quick ? 16 : 56), 0, 0});
+  kernels.push_back({"gauss", CheckMode::kBcc,
+                     workloads::gauss_source(quick ? 16 : 56), 0, 0});
+  kernels.push_back({"fft2d", CheckMode::kNoCheck,
+                     workloads::fft2d_source(quick ? 8 : 32), 0, 0});
+  kernels.push_back({"edge", CheckMode::kShadow,
+                     workloads::edge_source(quick ? 48 : 192,
+                                            quick ? 32 : 128),
+                     0, 0});
+  kernels.push_back({"volren", CheckMode::kBoundInsn,
+                     workloads::volren_source(quick ? 12 : 32,
+                                              quick ? 24 : 64),
+                     0, 0});
+  kernels.push_back({"svd", CheckMode::kEfence,
+                     workloads::svd_source(quick ? 16 : 48, quick ? 12 : 32,
+                                           quick ? 3 : 8),
+                     0, 0});
+
+  std::printf("\n%-8s %-7s %10s %10s %9s %10s\n", "kernel", "mode",
+              "decode s", "interp s", "speedup", "identical");
+  double total_fast = 0;
+  double total_slow = 0;
+  for (Kernel& k : kernels) {
+    CompileOptions options;
+    options.lower.mode = k.mode;
+    CompileResult compiled = compile(k.source, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile failed (%s): %s\n", k.name,
+                   compiled.error.c_str());
+      return 1;
+    }
+    if (compiled.program->decoded() == nullptr ||
+        !compiled.program->decoded()->ok()) {
+      std::fprintf(stderr, "%s: program did not pre-decode\n", k.name);
+      return 1;
+    }
+    const Timed fast = run_engine(*compiled.program, true, reps);
+    const Timed slow = run_engine(*compiled.program, false, reps);
+    const std::string diff = first_difference(slow.last, fast.last);
+    if (!diff.empty()) {
+      std::fprintf(stderr, "%s/%s: engines diverge on %s\n", k.name,
+                   mode_name(k.mode), diff.c_str());
+      transparent = false;
+    }
+    k.fast_s = fast.seconds;
+    k.slow_s = slow.seconds;
+    total_fast += fast.seconds;
+    total_slow += slow.seconds;
+    std::printf("%-8s %-7s %10.4f %10.4f %8.2fx %10s\n", k.name,
+                mode_name(k.mode), k.fast_s, k.slow_s,
+                k.fast_s > 0 ? k.slow_s / k.fast_s : 0,
+                diff.empty() ? "yes" : "NO");
+  }
+  const double interp_speedup = total_fast > 0 ? total_slow / total_fast : 0;
+  std::printf("%-8s %-7s %10.4f %10.4f %8.2fx\n", "total", "-", total_fast,
+              total_slow, interp_speedup);
+
+  // --- Section 2: fork-from-snapshot netsim vs rebuild-and-replay --------
+  const int requests = env_int("CASH_BENCH_REQUESTS", quick ? 24 : 160);
+  CompileOptions server_options;
+  server_options.lower.mode = CheckMode::kCash;
+  CompileResult server = compile(kServerSource, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server compile failed: %s\n", server.error.c_str());
+    return 1;
+  }
+
+  struct NetCell {
+    int jobs;
+    double fast_s{0};
+    double slow_s{0};
+    bool identical{false};
+  };
+  std::vector<NetCell> net_cells = {{1}, {2}, {8}};
+  netsim::ServeOptions fast_serve; // snapshot + predecode (the default)
+  netsim::ServeOptions ref_serve;
+  ref_serve.enable_snapshot = false;
+  ref_serve.enable_predecode = false;
+
+  std::printf("\n%-6s %10s %10s %9s %10s   (netsim, cash mode, %d requests)\n",
+              "jobs", "snap s", "replay s", "speedup", "identical", requests);
+  double net_fast = 0;
+  double net_slow = 0;
+  for (NetCell& cell : net_cells) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const netsim::ServerMetrics with_snapshot = netsim::serve_requests(
+        *server.program, requests, 7, {cell.jobs}, {}, fast_serve);
+    const auto t1 = std::chrono::steady_clock::now();
+    const netsim::ServerMetrics with_replay = netsim::serve_requests(
+        *server.program, requests, 7, {cell.jobs}, {}, ref_serve);
+    const auto t2 = std::chrono::steady_clock::now();
+    cell.fast_s = std::chrono::duration<double>(t1 - t0).count();
+    cell.slow_s = std::chrono::duration<double>(t2 - t1).count();
+    cell.identical = metrics_identical(with_snapshot, with_replay);
+    if (!cell.identical) {
+      std::fprintf(stderr, "jobs=%d: snapshot and replay metrics diverge\n",
+                   cell.jobs);
+      transparent = false;
+    }
+    net_fast += cell.fast_s;
+    net_slow += cell.slow_s;
+    std::printf("%-6d %10.4f %10.4f %8.2fx %10s\n", cell.jobs, cell.fast_s,
+                cell.slow_s, cell.fast_s > 0 ? cell.slow_s / cell.fast_s : 0,
+                cell.identical ? "yes" : "NO");
+  }
+  const double netsim_speedup = net_fast > 0 ? net_slow / net_fast : 0;
+  std::printf("%-6s %10.4f %10.4f %8.2fx\n", "total", net_fast, net_slow,
+              netsim_speedup);
+
+  std::FILE* json = open_bench_json("BENCH_decode.json");
+  if (json != nullptr) {
+    std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(json, "  \"transparent\": %s,\n",
+                 transparent ? "true" : "false");
+    std::fprintf(json, "  \"kernels\": [\n");
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const Kernel& k = kernels[i];
+      std::fprintf(json,
+                   "    {\"kernel\": \"%s\", \"mode\": \"%s\", "
+                   "\"decode_s\": %.6f, \"interp_s\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   k.name, mode_name(k.mode), k.fast_s, k.slow_s,
+                   k.fast_s > 0 ? k.slow_s / k.fast_s : 0,
+                   i + 1 < kernels.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"interpreter_speedup\": %.3f,\n",
+                 interp_speedup);
+    std::fprintf(json, "  \"netsim_requests\": %d,\n", requests);
+    std::fprintf(json, "  \"netsim\": [\n");
+    for (std::size_t i = 0; i < net_cells.size(); ++i) {
+      const NetCell& cell = net_cells[i];
+      std::fprintf(json,
+                   "    {\"jobs\": %d, \"snapshot_s\": %.6f, "
+                   "\"replay_s\": %.6f, \"speedup\": %.3f}%s\n",
+                   cell.jobs, cell.fast_s, cell.slow_s,
+                   cell.fast_s > 0 ? cell.slow_s / cell.fast_s : 0,
+                   i + 1 < net_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"netsim_speedup\": %.3f\n", netsim_speedup);
+    close_bench_json(json, "BENCH_decode.json");
+  }
+
+  if (!transparent) {
+    std::fprintf(stderr,
+                 "FAIL: fast and reference paths produced different "
+                 "simulated results\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "frontend/irgen.hpp"
 #include "ir/verifier.hpp"
 #include "passes/optimize.hpp"
+#include "vm/decode.hpp"
 
 namespace cash {
 
@@ -14,7 +15,10 @@ CompiledProgram::CompiledProgram(std::unique_ptr<ir::Module> module,
     : module_(std::move(module)),
       options_(options),
       source_(std::move(source)),
-      lower_stats_(lower_stats) {}
+      lower_stats_(lower_stats),
+      decoded_(std::make_unique<const vm::DecodedProgram>(*module_)) {}
+
+CompiledProgram::~CompiledProgram() = default;
 
 CompileResult compile(std::string_view source, const CompileOptions& options) {
   CompileResult result;

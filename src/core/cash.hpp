@@ -48,6 +48,7 @@ class CompiledProgram {
  public:
   CompiledProgram(std::unique_ptr<ir::Module> module, CompileOptions options,
                   std::string source, passes::LowerStats lower_stats);
+  ~CompiledProgram(); // out of line: DecodedProgram is incomplete here
 
   const ir::Module& module() const noexcept { return *module_; }
   const CompileOptions& options() const noexcept { return options_; }
@@ -67,9 +68,13 @@ class CompiledProgram {
     return passes::compute_program_stats(*module_, source_, seg_reg_budget);
   }
 
-  // Creates a fresh simulated machine (process) for this program.
+  // Creates a fresh simulated machine (process) for this program. The
+  // machine gets the pre-decoded micro-op image (see vm/decode.hpp) built
+  // once at compile time; config.enable_predecode / $CASH_NO_PREDECODE
+  // select between it and the reference interpreter.
   std::unique_ptr<vm::Machine> make_machine() const {
-    return std::make_unique<vm::Machine>(*module_, options_.machine);
+    return std::make_unique<vm::Machine>(*module_, options_.machine,
+                                         decoded_.get());
   }
 
   // Same, but with an explicit machine configuration — used to vary the
@@ -77,8 +82,12 @@ class CompiledProgram {
   // must still have been lowered for config.mode.
   std::unique_ptr<vm::Machine> make_machine(
       const vm::MachineConfig& config) const {
-    return std::make_unique<vm::Machine>(*module_, config);
+    return std::make_unique<vm::Machine>(*module_, config, decoded_.get());
   }
+
+  // The pre-decoded micro-op image (null only if predecoding was skipped;
+  // an image that failed validation is kept, with ok() == false).
+  const vm::DecodedProgram* decoded() const noexcept { return decoded_.get(); }
 
   // Convenience: fresh machine, run main() once.
   vm::RunResult run() const { return make_machine()->run(); }
@@ -88,6 +97,7 @@ class CompiledProgram {
   CompileOptions options_;
   std::string source_;
   passes::LowerStats lower_stats_;
+  std::unique_ptr<const vm::DecodedProgram> decoded_;
 };
 
 struct CompileResult {

@@ -76,4 +76,53 @@ void parallel_for(std::size_t n, int jobs,
   }
 }
 
+void parallel_chunks(std::size_t n, int jobs,
+                     const std::function<void(std::size_t, std::size_t)>&
+                         body) {
+  if (n == 0) {
+    return;
+  }
+  std::size_t workers =
+      static_cast<std::size_t>(jobs > 0 ? jobs : resolve_jobs({jobs}));
+  if (workers > n) {
+    workers = n;
+  }
+  if (workers <= 1) {
+    body(0, n);
+    return;
+  }
+
+  // Lowest-begin-chunk exception wins. A body that walks its chunk in index
+  // order and throws at its first failure makes this the globally lowest
+  // failing index: any lower failing index would sit in a lower-begin chunk,
+  // which would then also have thrown.
+  std::mutex mutex;
+  std::size_t first_begin = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_exception;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    const std::size_t begin = n * t / workers;
+    const std::size_t end = n * (t + 1) / workers;
+    threads.emplace_back([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (begin < first_begin) {
+          first_begin = begin;
+          first_exception = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (first_exception) {
+    std::rethrow_exception(first_exception);
+  }
+}
+
 } // namespace cash::exec

@@ -40,6 +40,21 @@ int resolve_jobs(const ExecutorConfig& config = {});
 void parallel_for(std::size_t n, int jobs,
                   const std::function<void(std::size_t)>& body);
 
+// Runs body(begin, end) once per fixed contiguous chunk, with exactly the
+// chunk boundaries parallel_for would use for (n, jobs) — chunk t of w
+// workers is [n*t/w, n*(t+1)/w). For callers that keep per-worker state
+// alive across the indices of a chunk (netsim's fork-from-snapshot machine
+// reuse): the chunking is a pure function of (n, jobs), and a body whose
+// per-index results do not depend on chunk membership stays bit-identical
+// for every jobs value. jobs resolution and clamping match parallel_for;
+// the serial path is one inline body(0, n) call. If bodies throw, all
+// workers still join and the exception from the lowest-begin chunk is
+// rethrown — a body that processes its chunk in index order and throws at
+// the first failure therefore surfaces the globally lowest failing index,
+// same as parallel_for.
+void parallel_chunks(std::size_t n, int jobs,
+                     const std::function<void(std::size_t, std::size_t)>& body);
+
 // Convenience: maps [0, n) through `fn` into an index-ordered vector of
 // results. fn must be callable concurrently from different threads for
 // distinct indices.

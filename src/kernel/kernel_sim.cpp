@@ -175,4 +175,34 @@ Status KernelSim::switch_ldt(Pid pid, LdtId ldt_id) {
   return {};
 }
 
+KernelSim::ProcessSnapshot KernelSim::capture_process(Pid pid) {
+  Process& proc = process(pid);
+  ProcessSnapshot snap;
+  snap.active = proc.active;
+  snap.callgate_installed = proc.callgate_installed;
+  snap.account = proc.account;
+  snap.ldt_count = proc.ldts.size();
+  gdt_.begin_journal();
+  for (auto& ldt : proc.ldts) {
+    ldt->begin_journal();
+  }
+  return snap;
+}
+
+void KernelSim::restore_process(Pid pid, const ProcessSnapshot& snap) {
+  Process& proc = process(pid);
+  gdt_.revert_journal();
+  // LDTs created after the capture are simply dropped; the ones that
+  // existed rewind entry by entry.
+  if (proc.ldts.size() > snap.ldt_count) {
+    proc.ldts.resize(snap.ldt_count);
+  }
+  for (auto& ldt : proc.ldts) {
+    ldt->revert_journal();
+  }
+  proc.active = snap.active;
+  proc.callgate_installed = snap.callgate_installed;
+  proc.account = snap.account;
+}
+
 } // namespace cash::kernel

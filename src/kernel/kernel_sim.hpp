@@ -97,6 +97,26 @@ class KernelSim {
     injector_ = injector;
   }
 
+  // --- snapshot support (vm/snapshot.hpp) ---
+
+  // Kernel-side state of one process at capture time. The LDT *contents*
+  // are journaled inside the DescriptorTables themselves; this records the
+  // scalars plus how many LDTs existed (extra LDTs created after the
+  // capture are destroyed on restore).
+  struct ProcessSnapshot {
+    LdtId active{0};
+    bool callgate_installed{false};
+    KernelAccount account;
+    std::size_t ldt_count{0};
+  };
+
+  // Snapshots the process and arms journals on the GDT and all its LDTs.
+  ProcessSnapshot capture_process(Pid pid);
+
+  // Rewinds the process to `snap` (its most recent capture): reverts the
+  // GDT/LDT journals, drops LDTs created since, restores the scalars.
+  void restore_process(Pid pid, const ProcessSnapshot& snap);
+
  private:
   struct Process {
     std::vector<std::unique_ptr<x86seg::DescriptorTable>> ldts;

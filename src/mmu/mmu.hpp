@@ -43,6 +43,11 @@ class Mmu {
 
   std::uint64_t access_count() const noexcept { return access_count_; }
 
+  // Snapshot support: rewinds the access counter (vm/snapshot.hpp).
+  void set_access_count(std::uint64_t count) noexcept {
+    access_count_ = count;
+  }
+
  private:
   x86seg::SegmentationUnit* seg_;
   paging::PageTable* pages_;

@@ -1,7 +1,10 @@
 #include "netsim/netsim.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
+
+#include "vm/snapshot.hpp"
 
 namespace cash::netsim {
 
@@ -24,18 +27,64 @@ struct RequestSlot {
   std::string failure;
 };
 
+// Reduces the slots into `metrics` in request-index order, entirely in
+// integers; floating point enters only in the final derived values.
+ServerMetrics reduce_slots(ServerMetrics& metrics,
+                           const std::vector<RequestSlot>& slots,
+                           int requests) {
+  for (const RequestSlot& slot : slots) {
+    metrics.total_cpu_cycles += slot.cycles;
+    metrics.sw_checks += slot.sw_checks;
+    metrics.hw_checks += slot.hw_checks;
+    metrics.segment_allocs += slot.segment_allocs;
+    metrics.cache_hits += slot.cache_hits;
+    metrics.retries += slot.retries;
+    metrics.timeouts += slot.timeouts;
+    metrics.faults_injected += slot.faults_injected;
+    if (slot.failed) {
+      ++metrics.failed_requests;
+      if (metrics.first_failure.empty()) {
+        metrics.first_failure = slot.failure;
+      }
+    } else if (slot.degraded) {
+      ++metrics.degraded_requests;
+    }
+  }
+  // Every attempt forks, so retried requests pay the fork cost again.
+  metrics.total_busy_cycles =
+      metrics.total_cpu_cycles +
+      kForkCycles * (static_cast<std::uint64_t>(requests) + metrics.retries);
+  metrics.mean_latency_cycles =
+      static_cast<double>(metrics.total_cpu_cycles) /
+      static_cast<double>(requests);
+  metrics.mean_latency_us = metrics.mean_latency_cycles / kClockHz * 1e6;
+  metrics.throughput_rps =
+      static_cast<double>(requests) /
+      (static_cast<double>(metrics.total_busy_cycles) / kClockHz);
+  return metrics;
+}
+
 } // namespace
 
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
                              std::uint32_t seed_base,
                              const exec::ExecutorConfig& executor,
-                             const faultinject::FaultPlan& plan) {
+                             const faultinject::FaultPlan& plan,
+                             const ServeOptions& serve) {
   ServerMetrics metrics;
   metrics.requests = requests;
   if (requests <= 0) {
     return metrics;
   }
   const bool armed = !plan.empty();
+  const bool use_snapshot = !armed && serve.enable_snapshot &&
+                            std::getenv("CASH_NO_SNAPSHOT") == nullptr;
+  // One config for every child; ServeOptions::enable_predecode can only
+  // turn the fast engine *off* relative to the compiled program's own
+  // MachineConfig.
+  vm::MachineConfig child_cfg = program.options().machine;
+  child_cfg.enable_predecode =
+      child_cfg.enable_predecode && serve.enable_predecode;
 
   const bool has_init =
       program.module().find_function("server_init") != nullptr;
@@ -53,6 +102,60 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
   }
 
   std::vector<RequestSlot> slots(static_cast<std::size_t>(requests));
+
+  if (use_snapshot) {
+    // fork() from a snapshot: per worker chunk, build one machine, replay
+    // server_init once, capture the post-init image, and rewind to it
+    // before every subsequent request. Each request still sees the exact
+    // inherited parent image — restore() is bit-exact — so every slot is
+    // identical to the replay path below and to any other jobs value;
+    // parallel_chunks uses parallel_for's chunk boundaries, and a failed
+    // request throws in chunk index order, surfacing the same lowest
+    // failing index the replay path would.
+    exec::parallel_chunks(
+        static_cast<std::size_t>(requests), executor.jobs,
+        [&](std::size_t begin, std::size_t end) {
+          std::unique_ptr<vm::Machine> child =
+              program.make_machine(child_cfg);
+          std::uint64_t base_allocs = 0;
+          std::uint64_t base_hits = 0;
+          if (has_init) {
+            vm::RunResult init = child->run_function("server_init");
+            if (!init.ok) {
+              throw std::runtime_error(
+                  "server_init failed: " +
+                  (init.fault ? init.fault->detail : init.error));
+            }
+            base_allocs = init.segment_stats.alloc_requests;
+            base_hits = init.segment_stats.cache_hits;
+          }
+          std::unique_ptr<vm::MachineSnapshot> snap;
+          if (end - begin > 1) {
+            snap = child->capture();
+          }
+          for (std::size_t i = begin; i < end; ++i) {
+            if (i != begin) {
+              child->restore(*snap);
+            }
+            child->reseed(seed_base + static_cast<std::uint32_t>(i));
+            vm::RunResult run = child->run_function("handle_request");
+            if (!run.ok) {
+              throw std::runtime_error(
+                  "request " + std::to_string(i) + " failed: " +
+                  (run.fault ? run.fault->detail : run.error));
+            }
+            RequestSlot& slot = slots[i];
+            slot.cycles = run.cycles;
+            slot.sw_checks = run.counters.sw_checks;
+            slot.hw_checks = run.counters.hw_checked_accesses;
+            slot.segment_allocs =
+                run.segment_stats.alloc_requests - base_allocs;
+            slot.cache_hits = run.segment_stats.cache_hits - base_hits;
+          }
+        });
+    return reduce_slots(metrics, slots, requests);
+  }
+
   exec::parallel_for(
       static_cast<std::size_t>(requests), executor.jobs,
       [&](std::size_t i) {
@@ -62,7 +165,8 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
           // program, so replaying them reconstructs that image exactly;
           // program start-up (call gate, global-array segments) and service
           // initialisation therefore never land on the per-request latency.
-          std::unique_ptr<vm::Machine> child = program.make_machine();
+          std::unique_ptr<vm::Machine> child =
+              program.make_machine(child_cfg);
           std::uint64_t base_allocs = 0;
           std::uint64_t base_hits = 0;
           if (has_init) {
@@ -100,7 +204,7 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
         // reaches the client. Every outcome is recorded, never thrown —
         // the chaos contract is "degraded or precise fault, no crash".
         RequestSlot& slot = slots[i];
-        vm::MachineConfig cfg = program.options().machine;
+        vm::MachineConfig cfg = child_cfg;
         cfg.fault_plan = plan;
         cfg.fault_plan.seed = plan.seed + static_cast<std::uint32_t>(i);
         faultinject::FaultInjector net(
@@ -166,38 +270,7 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
         slot.faults_injected += net.stats().total();
       });
 
-  // Reduce in request-index order, entirely in integers; floating point
-  // enters only in the final derived values.
-  for (const RequestSlot& slot : slots) {
-    metrics.total_cpu_cycles += slot.cycles;
-    metrics.sw_checks += slot.sw_checks;
-    metrics.hw_checks += slot.hw_checks;
-    metrics.segment_allocs += slot.segment_allocs;
-    metrics.cache_hits += slot.cache_hits;
-    metrics.retries += slot.retries;
-    metrics.timeouts += slot.timeouts;
-    metrics.faults_injected += slot.faults_injected;
-    if (slot.failed) {
-      ++metrics.failed_requests;
-      if (metrics.first_failure.empty()) {
-        metrics.first_failure = slot.failure;
-      }
-    } else if (slot.degraded) {
-      ++metrics.degraded_requests;
-    }
-  }
-  // Every attempt forks, so retried requests pay the fork cost again.
-  metrics.total_busy_cycles =
-      metrics.total_cpu_cycles +
-      kForkCycles * (static_cast<std::uint64_t>(requests) + metrics.retries);
-  metrics.mean_latency_cycles =
-      static_cast<double>(metrics.total_cpu_cycles) /
-      static_cast<double>(requests);
-  metrics.mean_latency_us = metrics.mean_latency_cycles / kClockHz * 1e6;
-  metrics.throughput_rps =
-      static_cast<double>(requests) /
-      (static_cast<double>(metrics.total_busy_cycles) / kClockHz);
-  return metrics;
+  return reduce_slots(metrics, slots, requests);
 }
 
 double penalty_pct(double baseline, double measured) {

@@ -54,12 +54,33 @@ inline constexpr std::uint64_t kForkCycles = 2500;
 // wasted and the client's retransmission timer expires before the re-fork.
 inline constexpr std::uint64_t kTimeoutPenaltyCycles = 25000;
 
+// Host-side serving strategy. Both switches are fast-path toggles only:
+// every ServerMetrics field is bit-identical whichever way they are set
+// (tests/exec/parallel_invariance_test, bench/bench_decode).
+struct ServeOptions {
+  // Fork each request from a machine snapshot: per worker, build one
+  // machine, replay server_init once, capture(), then restore() before
+  // every subsequent request instead of rebuilding the machine and
+  // replaying server_init per request. Applies only to unarmed runs — with
+  // a fault plan each child's injector is seeded per request *before*
+  // server_init, so the post-init image is request-dependent and the
+  // replay path is kept. Also forced off when $CASH_NO_SNAPSHOT is set.
+  bool enable_snapshot{true};
+  // Run the children on the pre-decoded micro-op engine (vm/decode.hpp).
+  // false forces the reference interpreter regardless of the compiled
+  // program's MachineConfig (A/B baseline for bench_decode).
+  bool enable_predecode{true};
+};
+
 // Runs `requests` simulated forked processes of the compiled server program.
-// Each request is one fork of the post-`server_init` parent image: a fresh
-// Machine that replays `server_init` (deterministic, so every child sees
-// the identical inherited image) and then handles exactly one request with
-// its own RNG seed (request i gets seed `seed_base + i`). Only the
-// `handle_request` cycles land on the request's latency.
+// Each request is one fork of the post-`server_init` parent image, and then
+// handles exactly one request with its own RNG seed (request i gets seed
+// `seed_base + i`). Only the `handle_request` cycles land on the request's
+// latency. The parent image is materialised one of two ways — bit-identical
+// by construction, selected by `serve` (see ServeOptions): restoring a
+// per-worker machine snapshot of the post-init state (the default), or
+// building a fresh Machine and replaying `server_init` per request
+// (deterministic, so every child sees the identical inherited image).
 //
 // Requests are independent, so they are sharded across host threads per
 // `executor` ($CASH_JOBS / ExecutorConfig::jobs; jobs=1 is the serial
@@ -77,7 +98,8 @@ inline constexpr std::uint64_t kTimeoutPenaltyCycles = 25000;
 ServerMetrics serve_requests(const CompiledProgram& program, int requests,
                              std::uint32_t seed_base = 1,
                              const exec::ExecutorConfig& executor = {},
-                             const faultinject::FaultPlan& plan = {});
+                             const faultinject::FaultPlan& plan = {},
+                             const ServeOptions& serve = {});
 
 // Convenience: penalty of `measured` relative to `baseline`, in percent.
 double penalty_pct(double baseline, double measured);

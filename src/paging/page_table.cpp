@@ -30,6 +30,7 @@ void PageTable::map_page(std::uint32_t linear_page, bool writable, bool user) {
   if (pte->present || pte->guard) {
     return; // guard pages stay unmapped — demand-mapping must not undo them
   }
+  record(linear_page, *pte);
   pte->frame = memory_->allocate_frame();
   pte->present = true;
   pte->writable = writable;
@@ -41,6 +42,7 @@ void PageTable::map_page(std::uint32_t linear_page, bool writable, bool user) {
 
 void PageTable::set_guard(std::uint32_t linear_page, bool guard) {
   Pte* pte = find_or_create(linear_page);
+  record(linear_page, *pte);
   pte->guard = guard;
   // A cached translation would let accesses bypass the new guard (or keep
   // faulting after it is lifted).
@@ -54,11 +56,32 @@ void PageTable::unmap(std::uint32_t linear_page) {
     return;
   }
   Pte& pte = (*directory_[dir])[idx];
+  record(linear_page, pte);
   if (pte.present) {
     --mapped_pages_;
   }
   pte = Pte{};
   tlb_.invalidate_page(linear_page);
+}
+
+void PageTable::begin_journal() {
+  journaling_ = true;
+  journal_.clear();
+  saved_fault_count_ = fault_count_;
+  saved_mapped_pages_ = mapped_pages_;
+}
+
+void PageTable::revert_journal() {
+  // Newest first, so a page mutated twice ends at its oldest (baseline)
+  // pre-image.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    *find_or_create(it->linear_page) = it->old;
+  }
+  journal_.clear();
+  fault_count_ = saved_fault_count_;
+  mapped_pages_ = saved_mapped_pages_;
+  // Every cached translation is suspect after a rewind.
+  tlb_.flush();
 }
 
 void PageTable::map_range(std::uint32_t linear, std::uint32_t size) {

@@ -56,9 +56,31 @@ class PageTable {
   Tlb& tlb() noexcept { return tlb_; }
   const Tlb& tlb() const noexcept { return tlb_; }
 
+  // --- snapshot support (vm/snapshot.hpp) ---
+
+  // Starts recording the pre-image of every PTE mutation (map_page /
+  // set_guard / unmap) plus the counters, so revert_journal() can rewind.
+  void begin_journal();
+
+  // Rewinds every PTE mutated since begin_journal() to its recorded
+  // pre-image, restores the counters, and flushes the TLB (its *stats* keep
+  // accumulating — they are host-side only). The journal stays armed
+  // against the same baseline afterwards.
+  void revert_journal();
+
  private:
   const Pte* find(std::uint32_t linear_page) const noexcept;
   Pte* find_or_create(std::uint32_t linear_page);
+  void record(std::uint32_t linear_page, const Pte& old) {
+    if (journaling_) {
+      journal_.push_back({linear_page, old});
+    }
+  }
+
+  struct JournalEntry {
+    std::uint32_t linear_page;
+    Pte old;
+  };
 
   PhysicalMemory* memory_;
   // Page directory: index by top 10 bits; each second-level table indexed by
@@ -67,6 +89,10 @@ class PageTable {
   mutable std::uint64_t fault_count_{0};
   std::uint32_t mapped_pages_{0};
   mutable Tlb tlb_; // mutable: const translate() refills on a successful walk
+  bool journaling_{false};
+  std::vector<JournalEntry> journal_;
+  std::uint64_t saved_fault_count_{0};
+  std::uint32_t saved_mapped_pages_{0};
 };
 
 } // namespace cash::paging

@@ -46,6 +46,39 @@ std::uint32_t PhysicalMemory::read32(std::uint32_t phys) const {
 
 void PhysicalMemory::write32(std::uint32_t phys, std::uint32_t value) {
   std::memcpy(&bytes_[phys], &value, sizeof(value));
+  if (tracking_) {
+    // A 4-byte store can straddle two frames; mark both ends.
+    mark_dirty(phys >> kPageShift);
+    mark_dirty((phys + 3) >> kPageShift);
+  }
+}
+
+PhysicalMemory::Image PhysicalMemory::capture_image() {
+  Image image;
+  image.next_frame = next_frame_;
+  image.bytes.assign(bytes_.begin(),
+                     bytes_.begin() + static_cast<std::ptrdiff_t>(
+                                          std::size_t{next_frame_} * kPageSize));
+  tracking_ = true;
+  dirty_flags_.assign(frame_count_, 0);
+  dirty_frames_.clear();
+  return image;
+}
+
+void PhysicalMemory::restore_image(const Image& image) {
+  for (const std::uint32_t frame : dirty_frames_) {
+    const std::size_t off = std::size_t{frame} * kPageSize;
+    if (frame < image.next_frame) {
+      std::memcpy(&bytes_[off], &image.bytes[off], kPageSize);
+    } else if (off < bytes_.size()) {
+      // Allocated after the capture: zero it so a later allocate_frame()
+      // hands out the promised demand-zero frame.
+      std::memset(&bytes_[off], 0, kPageSize);
+    }
+    dirty_flags_[frame] = 0;
+  }
+  dirty_frames_.clear();
+  next_frame_ = image.next_frame;
 }
 
 } // namespace cash::paging

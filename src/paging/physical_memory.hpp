@@ -36,16 +36,51 @@ class PhysicalMemory {
   // Raw byte access within physical address space. Callers guarantee the
   // address is inside an allocated frame (the page table enforces this).
   std::uint8_t read8(std::uint32_t phys) const { return bytes_[phys]; }
-  void write8(std::uint32_t phys, std::uint8_t value) { bytes_[phys] = value; }
+  void write8(std::uint32_t phys, std::uint8_t value) {
+    bytes_[phys] = value;
+    if (tracking_) {
+      mark_dirty(phys >> kPageShift);
+    }
+  }
 
   std::uint32_t read32(std::uint32_t phys) const;
   void write32(std::uint32_t phys, std::uint32_t value);
 
+  // --- snapshot support (vm/snapshot.hpp) ---
+
+  // A copy of the allocated frames plus the allocation cursor.
+  struct Image {
+    std::uint32_t next_frame{0};
+    std::vector<std::uint8_t> bytes;
+  };
+
+  // Copies the allocated frames and arms dirty-frame tracking: every write
+  // from now on records the touched frame, so restore_image() copies back
+  // only what changed since the capture.
+  Image capture_image();
+
+  // Rewinds physical memory to `image`, which must be this object's most
+  // recent capture: dirty frames that existed at capture time are copied
+  // back, frames allocated since are zeroed (ready for re-allocation), and
+  // the allocation cursor is reset. Tracking stays armed against the same
+  // image, so capture → restore → restore works.
+  void restore_image(const Image& image);
+
  private:
+  void mark_dirty(std::uint32_t frame) {
+    if (frame < dirty_flags_.size() && dirty_flags_[frame] == 0) {
+      dirty_flags_[frame] = 1;
+      dirty_frames_.push_back(frame);
+    }
+  }
+
   std::uint32_t frame_count_;
   std::uint32_t next_frame_{0};
   std::vector<std::uint8_t> bytes_;
   faultinject::FaultInjector* injector_{nullptr};
+  bool tracking_{false};
+  std::vector<std::uint8_t> dirty_flags_;   // one flag per frame
+  std::vector<std::uint32_t> dirty_frames_; // frames written since capture
 };
 
 } // namespace cash::paging

@@ -1,0 +1,1205 @@
+#include "vm/decode.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "vm/machine_impl.hpp"
+
+namespace cash::vm {
+
+namespace {
+
+using ir::BinOp;
+using ir::Instr;
+using ir::Opcode;
+using ir::UnOp;
+using x86seg::SegReg;
+
+void add_cost(StaticCost& a, const StaticCost& b) noexcept {
+  a.cycles += b.cycles;
+  a.checking += b.checking;
+  a.shadow += b.shadow;
+  a.ptr_events += b.ptr_events;
+  a.hw_checks += b.hw_checks;
+  a.sw_checks += b.sw_checks;
+  a.calls += b.calls;
+}
+
+} // namespace
+
+StaticCost static_cost(const MicroInstr& u) noexcept {
+  StaticCost c;
+  switch (u.op) {
+    case UOp::kConstInt:
+    case UOp::kConstFloat:
+    case UOp::kPtrAdd:
+      c.cycles = costs::kRegisterOp;
+      break;
+    case UOp::kMove:
+    case UOp::kLoadLocal:
+    case UOp::kStoreLocal:
+      c.cycles = costs::kRegisterOp;
+      c.ptr_events = u.is_ptr ? 1 : 0;
+      break;
+    case UOp::kBin:
+      // The division cost is charged even on a #DE fault (x86 pays for the
+      // attempt), so div/rem stay statically costed.
+      if (u.bin_op == BinOp::kMul) {
+        c.cycles = costs::kMulOp;
+      } else if (u.bin_op == BinOp::kDiv ||
+                 (u.bin_op == BinOp::kRem && u.type != ir::Type::kFloat)) {
+        c.cycles = costs::kDivOp;
+      } else {
+        c.cycles = costs::kAluOp;
+      }
+      break;
+    case UOp::kUn:
+      c.cycles = costs::kAluOp;
+      break;
+    case UOp::kLoad:
+    case UOp::kStore:
+      c.cycles = costs::kLoadStore;
+      c.ptr_events = u.is_ptr ? 1 : 0;
+      c.hw_checks = u.rebased ? 1 : 0;
+      break;
+    case UOp::kLoadGlobal:
+    case UOp::kStoreGlobal:
+      c.cycles = costs::kLoadStore;
+      c.ptr_events = u.is_ptr ? 1 : 0;
+      break;
+    case UOp::kAddrLocal:
+    case UOp::kAddrGlobal:
+      c.cycles = u.synthetic ? 0 : costs::kAluOp;
+      break;
+    case UOp::kBoundSw:
+      c.checking = costs::kSoftwareBoundCheck;
+      c.sw_checks = 1;
+      break;
+    case UOp::kBoundBnd:
+      c.checking = costs::kBoundInstruction;
+      c.sw_checks = 1;
+      break;
+    case UOp::kBoundShadow:
+      c.checking = 1;
+      c.shadow = 2 + costs::kSoftwareBoundCheck;
+      c.sw_checks = 1;
+      break;
+    case UOp::kJump:
+    case UOp::kBranch:
+      c.cycles = costs::kBranch;
+      break;
+    case UOp::kBuiltin:
+      c.calls = 1;
+      switch (u.builtin) {
+        case Builtin::kSqrt:
+        case Builtin::kSin:
+        case Builtin::kCos:
+        case Builtin::kExp:
+        case Builtin::kLog:
+        case Builtin::kPow:
+          c.cycles = costs::kMathBuiltin;
+          break;
+        case Builtin::kFabs:
+        case Builtin::kFloor:
+        case Builtin::kAbs:
+          c.cycles = costs::kAluOp;
+          break;
+        case Builtin::kPrintInt:
+        case Builtin::kPrintFloat:
+          c.cycles = 10;
+          break;
+        case Builtin::kRand:
+          c.cycles = 5;
+          break;
+        case Builtin::kSrand:
+          c.cycles = 2;
+          break;
+        default:
+          break;
+      }
+      break;
+    default:
+      // Itemized micro-ops account for themselves in the engine.
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+// Decodes one function. Any precondition the interpreter silently assumes
+// (register/slot/block ranges, builtin arities, resolvable globals) is
+// checked here; a violation marks the function undecodable and the whole
+// module falls back to the reference interpreter, preserving legacy
+// behaviour exactly.
+DecodedFunction decode_function(
+    const ir::Module& module, const ir::Function& fn,
+    const std::unordered_map<const ir::Function*, std::size_t>& fn_index,
+    const std::vector<std::uint8_t>& sym_kind) {
+  constexpr std::uint8_t kSymScalar = 1;
+  constexpr std::uint8_t kSymArray = 2;
+
+  DecodedFunction out;
+  out.fn = &fn;
+
+  const auto valid_reg = [&](ir::Reg r) { return r >= 0 && r < fn.next_reg; };
+  const auto valid_slot = [&](std::int32_t s) {
+    return s >= 0 && static_cast<std::size_t>(s) < fn.locals.size();
+  };
+  const auto valid_block = [&](ir::BlockId b) {
+    return b >= 0 && static_cast<std::size_t>(b) < fn.blocks.size();
+  };
+  const auto valid_seg = [](std::int8_t s) { return s >= 0 && s < 6; };
+  const auto sym_is = [&](ir::SymbolId s, std::uint8_t kind) {
+    return s >= 0 && static_cast<std::size_t>(s) < sym_kind.size() &&
+           sym_kind[static_cast<std::size_t>(s)] == kind;
+  };
+
+  if (!valid_block(fn.entry)) {
+    return out;
+  }
+  for (const ir::Param& p : fn.params) {
+    if (!valid_slot(p.slot)) {
+      return out;
+    }
+  }
+  for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+    if (fn.blocks[i] == nullptr ||
+        fn.blocks[i]->id != static_cast<ir::BlockId>(i)) {
+      return out;
+    }
+  }
+
+  out.block_entry.assign(fn.blocks.size(), 0);
+  std::vector<MicroInstr> pending;
+
+  const auto flush = [&]() {
+    if (pending.empty()) {
+      return;
+    }
+    MicroInstr head;
+    head.op = UOp::kGroup;
+    head.imm = static_cast<std::uint32_t>(pending.size());
+    head.aux = static_cast<std::uint32_t>(out.groups.size());
+    FoldedGroup g;
+    g.count = static_cast<std::uint32_t>(pending.size());
+    for (const MicroInstr& m : pending) {
+      add_cost(g.cost, static_cost(m));
+    }
+    out.groups.push_back(g);
+    out.uops.push_back(head);
+    out.uops.insert(out.uops.end(), pending.begin(), pending.end());
+    pending.clear();
+  };
+
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    const ir::BasicBlock& block = *fn.blocks[bi];
+    out.block_entry[bi] = static_cast<std::uint32_t>(out.uops.size());
+    bool terminated = false;
+    for (const Instr& in : block.instrs) {
+      MicroInstr m;
+      m.type = in.type;
+      m.is_ptr = ir::is_pointer(in.type);
+      m.synthetic = in.synthetic;
+      m.src = &in;
+      bool itemized = false;
+      switch (in.op) {
+        case Opcode::kConstInt:
+          if (!valid_reg(in.dst)) return out;
+          m.op = UOp::kConstInt;
+          m.dst = in.dst;
+          m.imm = static_cast<std::uint32_t>(in.int_imm);
+          break;
+        case Opcode::kConstFloat:
+          if (!valid_reg(in.dst)) return out;
+          m.op = UOp::kConstFloat;
+          m.dst = in.dst;
+          m.imm = std::bit_cast<std::uint32_t>(in.float_imm);
+          break;
+        case Opcode::kMove:
+          if (!valid_reg(in.dst) || !valid_reg(in.src0)) return out;
+          m.op = UOp::kMove;
+          m.dst = in.dst;
+          m.src0 = in.src0;
+          break;
+        case Opcode::kBin:
+          if (!valid_reg(in.dst) || !valid_reg(in.src0) ||
+              !valid_reg(in.src1)) {
+            return out;
+          }
+          m.op = UOp::kBin;
+          m.dst = in.dst;
+          m.src0 = in.src0;
+          m.src1 = in.src1;
+          m.bin_op = in.bin_op;
+          break;
+        case Opcode::kUn:
+          if (!valid_reg(in.dst) || !valid_reg(in.src0)) return out;
+          m.op = UOp::kUn;
+          m.dst = in.dst;
+          m.src0 = in.src0;
+          m.un_op = in.un_op;
+          break;
+        case Opcode::kLoad:
+          if (!valid_reg(in.dst) || !valid_reg(in.src0)) return out;
+          if (in.rebased && !valid_seg(in.seg)) return out;
+          m.op = UOp::kLoad;
+          m.dst = in.dst;
+          m.src0 = in.src0;
+          m.seg = static_cast<std::uint8_t>(in.rebased ? in.seg : 0);
+          m.rebased = in.rebased;
+          break;
+        case Opcode::kStore:
+          if (!valid_reg(in.src0) || !valid_reg(in.src1)) return out;
+          if (in.rebased && !valid_seg(in.seg)) return out;
+          m.op = UOp::kStore;
+          m.src0 = in.src0;
+          m.src1 = in.src1;
+          m.seg = static_cast<std::uint8_t>(in.rebased ? in.seg : 0);
+          m.rebased = in.rebased;
+          break;
+        case Opcode::kLoadLocal:
+          if (!valid_reg(in.dst) || !valid_slot(in.slot)) return out;
+          m.op = UOp::kLoadLocal;
+          m.dst = in.dst;
+          m.slot = in.slot;
+          break;
+        case Opcode::kStoreLocal:
+          if (!valid_reg(in.src0) || !valid_slot(in.slot)) return out;
+          m.op = UOp::kStoreLocal;
+          m.src0 = in.src0;
+          m.slot = in.slot;
+          break;
+        case Opcode::kLoadGlobal:
+          if (!valid_reg(in.dst) || !sym_is(in.symbol, kSymScalar)) return out;
+          m.op = UOp::kLoadGlobal;
+          m.dst = in.dst;
+          m.symbol = in.symbol;
+          break;
+        case Opcode::kStoreGlobal:
+          if (!valid_reg(in.src0) || !sym_is(in.symbol, kSymScalar)) {
+            return out;
+          }
+          m.op = UOp::kStoreGlobal;
+          m.src0 = in.src0;
+          m.symbol = in.symbol;
+          break;
+        case Opcode::kAddrLocal:
+          if (!valid_reg(in.dst) || !valid_slot(in.slot)) return out;
+          m.op = UOp::kAddrLocal;
+          m.dst = in.dst;
+          m.slot = in.slot;
+          break;
+        case Opcode::kAddrGlobal:
+          if (!valid_reg(in.dst) ||
+              (!sym_is(in.symbol, kSymArray) &&
+               !sym_is(in.symbol, kSymScalar))) {
+            return out;
+          }
+          m.op = UOp::kAddrGlobal;
+          m.dst = in.dst;
+          m.symbol = in.symbol;
+          break;
+        case Opcode::kPtrAdd:
+          if (!valid_reg(in.dst) || !valid_reg(in.src0) ||
+              !valid_reg(in.src1)) {
+            return out;
+          }
+          m.op = UOp::kPtrAdd;
+          m.dst = in.dst;
+          m.src0 = in.src0;
+          m.src1 = in.src1;
+          break;
+        case Opcode::kJump:
+          if (!valid_block(in.target0)) return out;
+          m.op = UOp::kJump;
+          m.target0 = static_cast<std::uint32_t>(in.target0);
+          break;
+        case Opcode::kBranch:
+          if (!valid_reg(in.src0) || !valid_block(in.target0) ||
+              !valid_block(in.target1)) {
+            return out;
+          }
+          m.op = UOp::kBranch;
+          m.src0 = in.src0;
+          m.target0 = static_cast<std::uint32_t>(in.target0);
+          m.target1 = static_cast<std::uint32_t>(in.target1);
+          break;
+        case Opcode::kSegLoad:
+          if (!valid_reg(in.src0) || !valid_seg(in.seg)) return out;
+          m.op = UOp::kSegLoad;
+          m.src0 = in.src0;
+          m.seg = static_cast<std::uint8_t>(in.seg);
+          itemized = true;
+          break;
+        case Opcode::kBoundCheckSw:
+        case Opcode::kBoundCheckBnd:
+        case Opcode::kBoundCheckShadow:
+          if (!valid_reg(in.src0)) return out;
+          m.op = in.op == Opcode::kBoundCheckSw    ? UOp::kBoundSw
+                 : in.op == Opcode::kBoundCheckBnd ? UOp::kBoundBnd
+                                                   : UOp::kBoundShadow;
+          m.src0 = in.src0;
+          break;
+        case Opcode::kRet:
+          if (in.src0 != ir::kNoReg && !valid_reg(in.src0)) return out;
+          m.op = UOp::kRet;
+          m.src0 = in.src0;
+          itemized = true;
+          break;
+        case Opcode::kCall: {
+          for (ir::Reg a : in.args) {
+            if (!valid_reg(a)) return out;
+          }
+          const Builtin b = builtin_of(in.callee);
+          const auto arg_or_none = [&](std::size_t i) {
+            return in.args.size() > i ? in.args[i] : ir::kNoReg;
+          };
+          switch (b) {
+            case Builtin::kNone: {
+              const ir::Function* callee = module.find_function(in.callee);
+              m.op = UOp::kCallUser;
+              m.dst = in.dst; // may be kNoReg for void calls
+              if (in.dst != ir::kNoReg && !valid_reg(in.dst)) return out;
+              if (callee != nullptr) {
+                m.callee = static_cast<std::int32_t>(fn_index.at(callee));
+              }
+              itemized = true;
+              break;
+            }
+            case Builtin::kMalloc:
+              if (!valid_reg(in.dst)) return out;
+              m.op = UOp::kMalloc;
+              m.dst = in.dst;
+              m.src0 = arg_or_none(0);
+              itemized = true;
+              break;
+            case Builtin::kFree:
+              m.op = UOp::kFree;
+              m.src0 = arg_or_none(0);
+              itemized = true;
+              break;
+            case Builtin::kPow:
+              if (!valid_reg(in.dst) || in.args.size() < 2) return out;
+              m.op = UOp::kBuiltin;
+              m.builtin = b;
+              m.dst = in.dst;
+              m.src0 = in.args[0];
+              m.src1 = in.args[1];
+              break;
+            case Builtin::kPrintInt:
+            case Builtin::kPrintFloat:
+              if (in.args.empty()) return out;
+              m.op = UOp::kBuiltin;
+              m.builtin = b;
+              m.src0 = in.args[0];
+              break;
+            case Builtin::kRand:
+              if (!valid_reg(in.dst)) return out;
+              m.op = UOp::kBuiltin;
+              m.builtin = b;
+              m.dst = in.dst;
+              break;
+            case Builtin::kSrand:
+              m.op = UOp::kBuiltin;
+              m.builtin = b;
+              m.src0 = arg_or_none(0);
+              break;
+            default:
+              // One-float-argument math builtins (sqrt/fabs/... and abs).
+              if (!valid_reg(in.dst) || in.args.empty()) return out;
+              m.op = UOp::kBuiltin;
+              m.builtin = b;
+              m.dst = in.dst;
+              m.src0 = in.args[0];
+              break;
+          }
+          break;
+        }
+      }
+      if (itemized) {
+        flush();
+        out.uops.push_back(m);
+      } else {
+        pending.push_back(m);
+        if (m.op == UOp::kJump || m.op == UOp::kBranch) {
+          // Terminators end the group so a group's aggregate never charges
+          // for members control flow can skip. Anything after this in the
+          // block is dead code; it decodes into unreachable groups.
+          flush();
+          terminated = true;
+          continue;
+        }
+      }
+      terminated = in.op == Opcode::kRet;
+    }
+    flush();
+    if (!terminated) {
+      // The interpreter reports running off a block's end; reproduce it.
+      MicroInstr m;
+      m.op = UOp::kBlockEndError;
+      m.symbol = static_cast<std::int32_t>(bi);
+      out.uops.push_back(m);
+    }
+  }
+
+  // Branch targets were recorded as block ids; rewrite them as micro-op
+  // indices now that every block's entry offset is known.
+  for (MicroInstr& m : out.uops) {
+    if (m.op == UOp::kJump || m.op == UOp::kBranch) {
+      m.target0 = out.block_entry[m.target0];
+      if (m.op == UOp::kBranch) {
+        m.target1 = out.block_entry[m.target1];
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const ir::Module& module) : module_(&module) {
+  std::unordered_map<const ir::Function*, std::size_t> fn_index;
+  fn_index.reserve(module.functions.size());
+  for (std::size_t i = 0; i < module.functions.size(); ++i) {
+    fn_index.emplace(module.functions[i].get(), i);
+  }
+
+  std::vector<std::uint8_t> sym_kind(
+      module.next_symbol > 0 ? static_cast<std::size_t>(module.next_symbol)
+                             : 0,
+      0);
+  for (const ir::GlobalVar& g : module.globals) {
+    if (g.symbol >= 0 &&
+        static_cast<std::size_t>(g.symbol) < sym_kind.size()) {
+      sym_kind[static_cast<std::size_t>(g.symbol)] = g.is_array ? 2 : 1;
+    }
+  }
+
+  ok_ = true;
+  functions_.reserve(module.functions.size());
+  for (std::size_t i = 0; i < module.functions.size(); ++i) {
+    functions_.push_back(
+        decode_function(module, *module.functions[i], fn_index, sym_kind));
+    ok_ = ok_ && functions_.back().ok;
+  }
+  index_ = std::move(fn_index);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-op engine. Mirrors Machine::Impl::execute_interpreter exactly —
+// the accounting contract (what is charged before vs. after each possible
+// fault) is documented per-site there; here straight-line accounting is
+// instead folded per group and reconstructed itemized on the cold paths
+// (fault inside a group, instruction budget tripping mid-group).
+// ---------------------------------------------------------------------------
+
+RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
+  const DecodedProgram& prog = *impl.decoded;
+  RunResult result;
+  impl.initialize_program();
+  std::uint64_t cycles = impl.init_cycles;
+  std::uint64_t checking_cy = 0;          // bound-check work
+  std::uint64_t shadow_cy = 0;            // the shadow processor's workload
+  std::uint64_t runtime_cy = impl.init_cycles; // set-up/teardown/bookkeeping
+  impl.init_cycles = 0; // charged once, to the first run
+  RunCounters& ctr = result.counters;
+
+  const std::uint64_t ptr_penalty = impl.ptr_copy_penalty();
+  const std::uint64_t max_instructions = impl.config.max_instructions;
+  mmu::Mmu& mmu = impl.mmu;
+  auto& mem_ptr_info = impl.mem_ptr_info;
+  const std::uint32_t* flat_scalar = impl.flat_global_scalar.data();
+  const std::uint32_t* flat_gdata = impl.flat_global_data.data();
+  const std::uint32_t* flat_ginfo = impl.flat_global_info.data();
+
+  struct DFrame {
+    const DecodedFunction* dfn{nullptr};
+    std::vector<Value> regs;
+    std::vector<Value> slots;
+    std::uint32_t pc{0};
+    ir::Reg ret_dst{ir::kNoReg};
+    std::uint32_t saved_sp{0};
+    std::vector<std::uint32_t> array_data;
+    std::vector<std::uint32_t> array_info;
+    std::vector<std::pair<SegReg, x86seg::SegmentRegister>> saved_segs;
+  };
+  std::vector<DFrame> frames;
+  Value return_value;
+
+  // Per-function self-cycle attribution, updated only at call boundaries.
+  std::unordered_map<const ir::Function*, FunctionProfile> profile;
+  const ir::Function* profiled_fn = nullptr;
+  std::uint64_t span_start = cycles;
+  const auto account_span = [&](const ir::Function* next) {
+    if (profiled_fn != nullptr) {
+      profile[profiled_fn].self_cycles += cycles - span_start;
+    }
+    span_start = cycles;
+    profiled_fn = next;
+  };
+
+  const auto fail = [&](Fault fault, const ir::Instr* instr) {
+    std::ostringstream ctx;
+    ctx << fault.detail << " [in " << frames.back().dfn->fn->name;
+    if (instr != nullptr && instr->loc.line > 0) {
+      ctx << " at line " << instr->loc.line;
+    }
+    ctx << "]";
+    fault.detail = ctx.str();
+    result.fault = std::move(fault);
+  };
+
+  // Full statically-known charge of one micro-op / one folded group
+  // (everything except the `instructions` counter).
+  const auto apply_cost = [&](const StaticCost& c) {
+    cycles += c.cycles + c.checking + c.ptr_events * ptr_penalty;
+    checking_cy += c.checking;
+    runtime_cy += c.ptr_events * ptr_penalty;
+    shadow_cy += c.shadow;
+    ctr.ptr_word_copies += c.ptr_events * ptr_penalty;
+    ctr.hw_checked_accesses += c.hw_checks;
+    ctr.sw_checks += c.sw_checks;
+    ctr.calls += c.calls;
+  };
+
+  const auto push_frame = [&](const DecodedFunction* dfn, ir::Reg ret_dst,
+                              const std::vector<Value>& args) -> bool {
+    const ir::Function* fn = dfn->fn;
+    DFrame frame;
+    frame.dfn = dfn;
+    frame.regs.resize(static_cast<std::size_t>(fn->next_reg));
+    frame.slots.resize(fn->locals.size());
+    frame.pc = dfn->block_entry[static_cast<std::size_t>(fn->entry)];
+    frame.ret_dst = ret_dst;
+    frame.saved_sp = impl.sp;
+    frame.array_data.assign(fn->locals.size(), 0);
+    frame.array_info.assign(fn->locals.size(), 0);
+
+    for (std::size_t i = 0; i < fn->params.size() && i < args.size(); ++i) {
+      frame.slots[static_cast<std::size_t>(fn->params[i].slot)] = args[i];
+      if (ir::is_pointer(fn->params[i].type)) {
+        cycles += ptr_penalty;
+        runtime_cy += ptr_penalty;
+        ctr.ptr_word_copies += ptr_penalty;
+      }
+    }
+
+    for (std::size_t i = 0; i < fn->locals.size(); ++i) {
+      const ir::LocalSlot& slot = fn->locals[i];
+      if (!slot.is_array) {
+        continue;
+      }
+      const std::uint32_t size = slot.elem_count * ir::kWordSize;
+      std::uint32_t base =
+          align_down(impl.sp - (runtime::kInfoBytes + size), 8);
+      if (base < kStackLimit) {
+        return false;
+      }
+      impl.sp = base;
+      const std::uint32_t info = base;
+      const std::uint32_t data = base + runtime::kInfoBytes;
+      impl.pages.map_range(info, runtime::kInfoBytes + size);
+      frame.array_data[i] = data;
+      if (impl.config.mode == passes::CheckMode::kCash ||
+          impl.config.mode == passes::CheckMode::kBcc ||
+          impl.config.mode == passes::CheckMode::kBoundInsn ||
+          impl.config.mode == passes::CheckMode::kShadow) {
+        const std::uint64_t setup = impl.arrays.setup(info, data, size);
+        cycles += setup;
+        runtime_cy += setup;
+        frame.array_info[i] = info;
+      }
+    }
+
+    for (std::int8_t reg : fn->used_seg_regs) {
+      const SegReg seg = static_cast<SegReg>(reg);
+      frame.saved_segs.emplace_back(seg, impl.seg_unit.reg(seg));
+      cycles += 1;
+      runtime_cy += 1;
+    }
+    frames.push_back(std::move(frame));
+    account_span(fn);
+    ++profile[fn].calls;
+    return true;
+  };
+
+  const auto pop_frame = [&]() {
+    DFrame& frame = frames.back();
+    for (std::size_t i = 0; i < frame.array_info.size(); ++i) {
+      if (frame.array_info[i] != 0) {
+        const std::uint64_t teardown =
+            impl.arrays.teardown(frame.array_info[i]);
+        cycles += teardown;
+        runtime_cy += teardown;
+      }
+    }
+    for (auto it = frame.saved_segs.rbegin(); it != frame.saved_segs.rend();
+         ++it) {
+      impl.seg_unit.restore(it->first, it->second);
+      cycles += 1;
+      runtime_cy += 1;
+    }
+    impl.sp = frame.saved_sp;
+    frames.pop_back();
+    account_span(frames.empty() ? nullptr : frames.back().dfn->fn);
+  };
+
+  const DecodedFunction* entry_dfn = prog.function(entry);
+  if (entry_dfn == nullptr) {
+    result.error = "no such function: " + (entry ? entry->name : "<null>");
+    return result;
+  }
+  if (!push_frame(entry_dfn, ir::kNoReg, {})) {
+    result.error = "stack overflow at program start";
+    return result;
+  }
+
+  while (!frames.empty()) {
+    DFrame& frame = frames.back();
+    const MicroInstr* code = frame.dfn->uops.data();
+    const MicroInstr& u = code[frame.pc];
+    switch (u.op) {
+      case UOp::kGroup: {
+        const FoldedGroup& g = frame.dfn->groups[u.aux];
+        Value* regs = frame.regs.data();
+        Value* slots = frame.slots.data();
+        const std::uint32_t start = frame.pc + 1;
+        std::uint32_t end = start + u.imm;
+        std::uint32_t next_pc = end;
+        int partial = 0; // fault charge: 0 = none, 1 = mem, 2 = full
+        bool truncated = false;
+        if (ctr.instructions + g.count > max_instructions) {
+          // The budget trips mid-group: run only the members the
+          // interpreter would have executed (the terminator, always last,
+          // is never among them), then charge them itemized below.
+          end = start + static_cast<std::uint32_t>(max_instructions -
+                                                   ctr.instructions);
+          truncated = true;
+        }
+        std::uint32_t pc = start;
+        for (; pc < end; ++pc) {
+          const MicroInstr& v = code[pc];
+          switch (v.op) {
+            case UOp::kConstInt:
+            case UOp::kConstFloat:
+              regs[v.dst] = Value{v.imm, 0};
+              break;
+            case UOp::kMove:
+              regs[v.dst] = regs[v.src0];
+              break;
+            case UOp::kBin: {
+              const Value a = regs[v.src0];
+              const Value b = regs[v.src1];
+              Value out;
+              if (v.type == ir::Type::kFloat) {
+                const float x = as_float(a);
+                const float y = as_float(b);
+                switch (v.bin_op) {
+                  case BinOp::kAdd: out = from_float(x + y); break;
+                  case BinOp::kSub: out = from_float(x - y); break;
+                  case BinOp::kMul: out = from_float(x * y); break;
+                  case BinOp::kDiv: out = from_float(x / y); break;
+                  case BinOp::kCmpEq: out = from_int(x == y); break;
+                  case BinOp::kCmpNe: out = from_int(x != y); break;
+                  case BinOp::kCmpLt: out = from_int(x < y); break;
+                  case BinOp::kCmpLe: out = from_int(x <= y); break;
+                  case BinOp::kCmpGt: out = from_int(x > y); break;
+                  case BinOp::kCmpGe: out = from_int(x >= y); break;
+                  default:
+                    regs[v.dst] = out;
+                    result.error = "float operand to integer-only operator";
+                    partial = 2;
+                    goto group_fault;
+                }
+              } else {
+                const std::int32_t x = as_int(a);
+                const std::int32_t y = as_int(b);
+                const std::uint32_t ux = a.bits;
+                const std::uint32_t uy = b.bits;
+                switch (v.bin_op) {
+                  case BinOp::kAdd: out = Value{ux + uy, 0}; break;
+                  case BinOp::kSub: out = Value{ux - uy, 0}; break;
+                  case BinOp::kMul: out = Value{ux * uy, 0}; break;
+                  case BinOp::kDiv:
+                  case BinOp::kRem:
+                    if (y == 0 ||
+                        (x == std::numeric_limits<std::int32_t>::min() &&
+                         y == -1)) {
+                      regs[v.dst] = out;
+                      fail(Fault{FaultKind::kInvalidOpcode, 0, 0,
+                                 y == 0 ? "integer division by zero"
+                                        : "integer division overflow"},
+                           v.src);
+                      partial = 2;
+                      goto group_fault;
+                    }
+                    out = from_int(v.bin_op == BinOp::kDiv ? x / y : x % y);
+                    break;
+                  case BinOp::kAnd: out = from_int(x & y); break;
+                  case BinOp::kOr:  out = from_int(x | y); break;
+                  case BinOp::kXor: out = from_int(x ^ y); break;
+                  case BinOp::kShl: out = Value{ux << (uy & 31), 0}; break;
+                  case BinOp::kShr:
+                    out = from_int(static_cast<std::int32_t>(x >> (y & 31)));
+                    break;
+                  case BinOp::kCmpEq: out = from_int(x == y); break;
+                  case BinOp::kCmpNe: out = from_int(x != y); break;
+                  case BinOp::kCmpLt: out = from_int(x < y); break;
+                  case BinOp::kCmpLe: out = from_int(x <= y); break;
+                  case BinOp::kCmpGt: out = from_int(x > y); break;
+                  case BinOp::kCmpGe: out = from_int(x >= y); break;
+                }
+              }
+              regs[v.dst] = out;
+              break;
+            }
+            case UOp::kUn: {
+              const Value a = regs[v.src0];
+              Value out;
+              switch (v.un_op) {
+                case UnOp::kNeg:
+                  out = v.type == ir::Type::kFloat ? from_float(-as_float(a))
+                                                   : from_int(-as_int(a));
+                  break;
+                case UnOp::kLogicalNot: out = from_int(as_int(a) == 0); break;
+                case UnOp::kBitNot:     out = from_int(~as_int(a)); break;
+                case UnOp::kIntToFloat:
+                  out = from_float(static_cast<float>(as_int(a)));
+                  break;
+                case UnOp::kFloatToInt:
+                  out = from_int(static_cast<std::int32_t>(as_float(a)));
+                  break;
+              }
+              regs[v.dst] = out;
+              break;
+            }
+            case UOp::kLoad: {
+              const Value addr = regs[v.src0];
+              SegReg seg = SegReg::kDs;
+              std::uint32_t offset = addr.bits;
+              if (v.rebased) {
+                seg = static_cast<SegReg>(v.seg);
+                const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
+                if (!sr.valid) {
+                  fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
+                             "rebased access through unloaded segment "
+                             "register"},
+                       v.src);
+                  partial = 0;
+                  goto group_fault;
+                }
+                offset = addr.bits - sr.cached.base();
+              }
+              Result<std::uint32_t> loaded = mmu.read32(seg, offset);
+              if (!loaded.ok()) {
+                fail(loaded.fault(), v.src);
+                partial = 1;
+                goto group_fault;
+              }
+              std::uint32_t info = 0;
+              if (v.is_ptr) {
+                const std::uint32_t linear =
+                    v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset
+                              : offset;
+                const auto it = mem_ptr_info.find(linear);
+                info = it != mem_ptr_info.end() ? it->second : 0;
+              }
+              regs[v.dst] = Value{loaded.value(), info};
+              break;
+            }
+            case UOp::kStore: {
+              const Value addr = regs[v.src0];
+              SegReg seg = SegReg::kDs;
+              std::uint32_t offset = addr.bits;
+              if (v.rebased) {
+                seg = static_cast<SegReg>(v.seg);
+                const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
+                if (!sr.valid) {
+                  fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
+                             "rebased access through unloaded segment "
+                             "register"},
+                       v.src);
+                  partial = 0;
+                  goto group_fault;
+                }
+                offset = addr.bits - sr.cached.base();
+              }
+              Status status = mmu.write32(seg, offset, regs[v.src1].bits);
+              if (!status.ok()) {
+                fail(status.fault(), v.src);
+                partial = 1;
+                goto group_fault;
+              }
+              if (v.is_ptr) {
+                const std::uint32_t linear =
+                    v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset
+                              : offset;
+                mem_ptr_info[linear] = regs[v.src1].info;
+              }
+              break;
+            }
+            case UOp::kLoadLocal:
+              regs[v.dst] = slots[v.slot];
+              break;
+            case UOp::kStoreLocal:
+              slots[v.slot] = regs[v.src0];
+              break;
+            case UOp::kLoadGlobal: {
+              const std::uint32_t addr = flat_scalar[v.symbol];
+              Result<std::uint32_t> loaded = mmu.read32_linear(addr);
+              if (!loaded.ok()) {
+                fail(loaded.fault(), v.src);
+                partial = 0;
+                goto group_fault;
+              }
+              std::uint32_t info = 0;
+              if (v.is_ptr) {
+                const auto it = mem_ptr_info.find(addr);
+                info = it != mem_ptr_info.end() ? it->second : 0;
+              }
+              regs[v.dst] = Value{loaded.value(), info};
+              break;
+            }
+            case UOp::kStoreGlobal: {
+              const std::uint32_t addr = flat_scalar[v.symbol];
+              Status status = mmu.write32_linear(addr, regs[v.src0].bits);
+              if (!status.ok()) {
+                fail(status.fault(), v.src);
+                partial = 0;
+                goto group_fault;
+              }
+              if (v.is_ptr) {
+                mem_ptr_info[addr] = regs[v.src0].info;
+              }
+              break;
+            }
+            case UOp::kAddrLocal:
+              regs[v.dst] = Value{frame.array_data[v.slot],
+                                  frame.array_info[v.slot]};
+              break;
+            case UOp::kAddrGlobal:
+              regs[v.dst] = Value{flat_gdata[v.symbol], flat_ginfo[v.symbol]};
+              break;
+            case UOp::kPtrAdd: {
+              const Value base = regs[v.src0];
+              regs[v.dst] = Value{base.bits + regs[v.src1].bits, base.info};
+              break;
+            }
+            case UOp::kBoundSw:
+            case UOp::kBoundBnd:
+            case UOp::kBoundShadow: {
+              const Value addr = regs[v.src0];
+              if (addr.info != 0) {
+                Result<std::uint32_t> lower =
+                    mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
+                Result<std::uint32_t> upper =
+                    mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
+                if (lower.ok() && upper.ok() &&
+                    (addr.bits < lower.value() ||
+                     addr.bits + 4 > upper.value())) {
+                  std::ostringstream detail;
+                  detail << (v.op == UOp::kBoundBnd ? "bound instruction"
+                             : v.op == UOp::kBoundSw
+                                 ? "software check"
+                                 : "shadow-processor check")
+                         << ": address 0x" << std::hex << addr.bits
+                         << " outside [0x" << lower.value() << ", 0x"
+                         << upper.value() << ")";
+                  fail(Fault{FaultKind::kBoundRange, addr.bits, 0,
+                             detail.str()},
+                       v.src);
+                  partial = 2;
+                  goto group_fault;
+                }
+              }
+              break;
+            }
+            case UOp::kBuiltin:
+              switch (v.builtin) {
+                case Builtin::kSqrt:
+                  regs[v.dst] =
+                      from_float(std::sqrt(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kFabs:
+                  regs[v.dst] =
+                      from_float(std::fabs(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kSin:
+                  regs[v.dst] = from_float(std::sin(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kCos:
+                  regs[v.dst] = from_float(std::cos(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kExp:
+                  regs[v.dst] = from_float(std::exp(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kLog:
+                  regs[v.dst] = from_float(std::log(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kFloor:
+                  regs[v.dst] =
+                      from_float(std::floor(as_float(regs[v.src0])));
+                  break;
+                case Builtin::kPow:
+                  regs[v.dst] = from_float(std::pow(as_float(regs[v.src0]),
+                                                    as_float(regs[v.src1])));
+                  break;
+                case Builtin::kAbs: {
+                  const Value a = regs[v.src0];
+                  const std::int32_t val = as_int(a);
+                  regs[v.dst] =
+                      val < 0 ? Value{0U - a.bits, 0} : from_int(val);
+                  break;
+                }
+                case Builtin::kPrintInt:
+                  result.output += std::to_string(as_int(regs[v.src0]));
+                  result.output += '\n';
+                  break;
+                case Builtin::kPrintFloat: {
+                  char buffer[32];
+                  std::snprintf(
+                      buffer, sizeof(buffer), "%.6g",
+                      static_cast<double>(as_float(regs[v.src0])));
+                  result.output += buffer;
+                  result.output += '\n';
+                  break;
+                }
+                case Builtin::kRand:
+                  impl.rng_state = impl.rng_state * 1103515245U + 12345U;
+                  regs[v.dst] = from_int(static_cast<std::int32_t>(
+                      (impl.rng_state >> 16) & 0x7FFF));
+                  break;
+                case Builtin::kSrand:
+                  impl.rng_state =
+                      v.src0 == ir::kNoReg ? 1 : regs[v.src0].bits;
+                  break;
+                default:
+                  break;
+              }
+              break;
+            case UOp::kJump:
+              next_pc = v.target0;
+              goto group_done;
+            case UOp::kBranch:
+              next_pc =
+                  as_int(regs[v.src0]) != 0 ? v.target0 : v.target1;
+              goto group_done;
+            default:
+              break; // unreachable: groups hold foldable ops only
+          }
+        }
+      group_done:
+        if (truncated) {
+          for (std::uint32_t i = start; i < end; ++i) {
+            apply_cost(static_cost(code[i]));
+          }
+          ctr.instructions += (end - start) + 1;
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        apply_cost(g.cost);
+        ctr.instructions += g.count;
+        frame.pc = next_pc;
+        break;
+      group_fault:
+        // A member faulted (or raised an error): reconstruct the itemized
+        // accounting the interpreter would have produced — full charges for
+        // the completed prefix, then the faulting op's partial charge (what
+        // it books before the fault site).
+        for (std::uint32_t i = start; i < pc; ++i) {
+          apply_cost(static_cost(code[i]));
+        }
+        {
+          const StaticCost fc = static_cost(code[pc]);
+          if (partial == 2) {
+            apply_cost(fc);
+          } else if (partial == 1) {
+            cycles += fc.cycles;
+            ctr.hw_checked_accesses += fc.hw_checks;
+          }
+        }
+        ctr.instructions += (pc - start) + 1;
+        goto run_end;
+      }
+
+      case UOp::kSegLoad: {
+        if (++ctr.instructions > max_instructions) {
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        const Value ptr = frame.regs[static_cast<std::size_t>(u.src0)];
+        std::uint32_t selector_word = 0;
+        if (ptr.info != 0) {
+          Result<std::uint32_t> sel =
+              mmu.read32_linear(ptr.info + runtime::kInfoSelectorOff);
+          if (sel.ok()) {
+            selector_word = sel.value();
+          }
+        }
+        std::uint32_t selector_raw = selector_word & 0xFFFFU;
+        if (selector_word == 0) {
+          selector_raw = kernel::flat_user_data_selector().raw();
+        } else if (x86seg::Selector(static_cast<std::uint16_t>(selector_raw))
+                       .is_local()) {
+          const kernel::LdtId target_ldt = selector_word >> 16;
+          if (target_ldt != impl.kernel.active_ldt(impl.pid)) {
+            Status switched = impl.kernel.switch_ldt(impl.pid, target_ldt);
+            if (!switched.ok()) {
+              fail(switched.fault(), u.src);
+              goto run_end;
+            }
+            impl.seg_unit.set_ldt(impl.kernel.ldt(impl.pid));
+            cycles += costs::kLdtSwitch;
+            checking_cy += costs::kLdtSwitch;
+          }
+        }
+        Status status = impl.seg_unit.load(
+            static_cast<SegReg>(u.seg),
+            x86seg::Selector(static_cast<std::uint16_t>(selector_raw)));
+        if (!status.ok()) {
+          fail(status.fault(), u.src);
+          goto run_end;
+        }
+        cycles += costs::kSegRegLoad + 2;
+        checking_cy += costs::kSegRegLoad + 2;
+        ++ctr.seg_reg_loads;
+        ++frame.pc;
+        break;
+      }
+
+      case UOp::kCallUser: {
+        if (++ctr.instructions > max_instructions) {
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        const Instr& in = *u.src;
+        std::vector<Value> args;
+        args.reserve(in.args.size());
+        for (ir::Reg arg : in.args) {
+          args.push_back(frame.regs[static_cast<std::size_t>(arg)]);
+        }
+        ++ctr.calls;
+        if (u.callee < 0) {
+          result.error = "call to unknown function " + in.callee;
+          goto run_end;
+        }
+        cycles += costs::kCallRet;
+        frame.pc += 1; // return to the next micro-op
+        const DecodedFunction* target =
+            &prog.functions()[static_cast<std::size_t>(u.callee)];
+        if (!push_frame(target, u.dst, args)) {
+          result.error = "stack overflow calling " + in.callee;
+          goto run_end;
+        }
+        break;
+      }
+
+      case UOp::kMalloc: {
+        if (++ctr.instructions > max_instructions) {
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        ++ctr.calls;
+        const std::uint32_t bytes =
+            u.src0 == ir::kNoReg
+                ? 0
+                : frame.regs[static_cast<std::size_t>(u.src0)].bits;
+        runtime::CashHeap::Object obj = impl.heap.allocate(bytes);
+        cycles += obj.cycles;
+        runtime_cy += obj.cycles;
+        ++ctr.malloc_calls;
+        if (obj.data == 0) {
+          fail(Fault{FaultKind::kResourceExhausted, 0, 0,
+                     "simulated heap exhausted: malloc(" +
+                         std::to_string(bytes) + ")"},
+               u.src);
+          goto run_end;
+        }
+        frame.regs[static_cast<std::size_t>(u.dst)] =
+            Value{obj.data, obj.info};
+        ++frame.pc;
+        break;
+      }
+
+      case UOp::kFree: {
+        if (++ctr.instructions > max_instructions) {
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        ++ctr.calls;
+        const std::uint32_t ptr =
+            u.src0 == ir::kNoReg
+                ? 0
+                : frame.regs[static_cast<std::size_t>(u.src0)].bits;
+        const std::uint64_t released = impl.heap.release(ptr);
+        cycles += released;
+        runtime_cy += released;
+        ++frame.pc;
+        break;
+      }
+
+      case UOp::kRet: {
+        if (++ctr.instructions > max_instructions) {
+          result.error =
+              "instruction budget exceeded (possible infinite loop)";
+          goto run_end;
+        }
+        Value value;
+        if (u.src0 != ir::kNoReg) {
+          value = frame.regs[static_cast<std::size_t>(u.src0)];
+        }
+        cycles += costs::kCallRet;
+        const ir::Reg ret_dst = frame.ret_dst;
+        pop_frame();
+        if (frames.empty()) {
+          return_value = value;
+        } else if (ret_dst != ir::kNoReg) {
+          frames.back().regs[static_cast<std::size_t>(ret_dst)] = value;
+        }
+        break;
+      }
+
+      case UOp::kBlockEndError: {
+        const ir::BasicBlock& block =
+            frame.dfn->fn->block(static_cast<ir::BlockId>(u.symbol));
+        result.error = "fell off the end of block " + block.name + " in " +
+                       frame.dfn->fn->name;
+        goto run_end;
+      }
+
+      default:
+        result.error = "corrupt micro-op stream"; // unreachable by decode
+        goto run_end;
+    }
+  }
+
+run_end:
+  account_span(nullptr); // flush the final span
+  for (const auto& [fn, prof] : profile) {
+    result.profile[fn->name] = prof;
+  }
+  result.cycles = cycles;
+  result.shadow_cycles = shadow_cy;
+  result.breakdown.checking = checking_cy;
+  result.breakdown.runtime = runtime_cy;
+  result.breakdown.base = cycles - checking_cy - runtime_cy;
+  result.exit_code = as_int(return_value);
+  result.ok = !result.fault.has_value() && result.error.empty();
+  result.tlb_stats = impl.pages.tlb().stats();
+  result.segment_stats = impl.segments.stats();
+  result.heap_stats = impl.heap.stats();
+  result.kernel_account = impl.kernel.account(impl.pid);
+  result.fault_stats = impl.injector.stats();
+  return result;
+}
+
+} // namespace cash::vm

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+// Pre-decoded micro-op image (DESIGN.md §7). At CompiledProgram
+// construction every IR function is lowered once into a flat array of
+// decoded micro-ops: a dense opcode enum, pre-resolved operand slots,
+// pre-looked-up callee indices and branch targets expressed as micro-op
+// indices. The engine (decode.cpp) then dispatches through one jump table
+// over this array instead of re-deriving everything per step from the IR.
+//
+// Straight-line runs of micro-ops whose cost is statically known are folded
+// into *groups*: the group header carries precomputed aggregate cycle /
+// check-count deltas, so the engine executes the members' semantics and
+// charges the whole run with one add per stream. Micro-ops whose cost or
+// control flow is data-dependent (segment-register loads, user calls,
+// malloc/free, returns) stay itemized between groups. The result is
+// bit-transparent: cycles, breakdowns, counters, stats and output are
+// identical to the reference interpreter (tests/vm/decode_test.cpp).
+
+namespace cash::vm {
+
+// Builtins the simulator implements directly. The decoder resolves call
+// sites to one of these (or to a user-function index) once per program.
+enum class Builtin : std::uint8_t {
+  kNone, // user function or unknown callee
+  kMalloc, kFree, kSqrt, kFabs, kSin, kCos, kExp, kLog, kFloor, kPow, kAbs,
+  kPrintInt, kPrintFloat, kRand, kSrand,
+};
+
+inline Builtin builtin_of(const std::string& name) noexcept {
+  if (name == "malloc") return Builtin::kMalloc;
+  if (name == "free") return Builtin::kFree;
+  if (name == "sqrt") return Builtin::kSqrt;
+  if (name == "fabs") return Builtin::kFabs;
+  if (name == "sin") return Builtin::kSin;
+  if (name == "cos") return Builtin::kCos;
+  if (name == "exp") return Builtin::kExp;
+  if (name == "log") return Builtin::kLog;
+  if (name == "floor") return Builtin::kFloor;
+  if (name == "pow") return Builtin::kPow;
+  if (name == "abs") return Builtin::kAbs;
+  if (name == "print_int") return Builtin::kPrintInt;
+  if (name == "print_float") return Builtin::kPrintFloat;
+  if (name == "rand") return Builtin::kRand;
+  if (name == "srand") return Builtin::kSrand;
+  return Builtin::kNone;
+}
+
+enum class UOp : std::uint8_t {
+  // Group header: `imm` member micro-ops follow, `aux` is the FoldedGroup
+  // index. Members are foldable ops only; a terminator may appear only as
+  // the last member.
+  kGroup,
+  // --- foldable micro-ops (only ever appear inside a group) ---
+  kConstInt,
+  kConstFloat,
+  kMove,
+  kBin,
+  kUn,
+  kLoad,
+  kStore,
+  kLoadLocal,
+  kStoreLocal,
+  kLoadGlobal,
+  kStoreGlobal,
+  kAddrLocal,
+  kAddrGlobal,
+  kPtrAdd,
+  kBoundSw,
+  kBoundBnd,
+  kBoundShadow,
+  kBuiltin, // statically-costed builtin call (math/print/rand/srand)
+  kJump,
+  kBranch,
+  // --- itemized micro-ops (dynamic cost and/or control flow) ---
+  kSegLoad,
+  kCallUser,
+  kMalloc,
+  kFree,
+  kRet,
+  // Control fell off the end of a block (no terminator): reproduces the
+  // interpreter's "fell off the end of block ..." error. `symbol` holds the
+  // block id.
+  kBlockEndError,
+};
+
+// One decoded micro-op. Wider than strictly necessary per opcode, but flat
+// and trivially indexable — the engine's working set is this array plus the
+// frame's register file.
+struct MicroInstr {
+  UOp op{UOp::kGroup};
+  ir::Type type{ir::Type::kInt};
+  std::uint8_t seg{0};        // kLoad/kStore/kSegLoad segment register
+  bool rebased{false};        // kLoad/kStore through an array segment
+  bool is_ptr{false};         // value carries the fat-pointer shadow word
+  bool synthetic{false};      // lowering-inserted (affects static cost only)
+  Builtin builtin{};          // kBuiltin
+  ir::BinOp bin_op{ir::BinOp::kAdd};
+  ir::UnOp un_op{ir::UnOp::kNeg};
+  std::int32_t dst{ir::kNoReg};
+  std::int32_t src0{ir::kNoReg};
+  std::int32_t src1{ir::kNoReg};
+  std::int32_t slot{-1};      // kLoadLocal/kStoreLocal/kAddrLocal
+  std::int32_t symbol{-1};    // kLoadGlobal/kStoreGlobal/kAddrGlobal; block
+                              // id for kBlockEndError
+  std::uint32_t imm{0};       // kConstInt/kConstFloat payload bits; member
+                              // count for kGroup
+  std::uint32_t aux{0};       // FoldedGroup index for kGroup
+  std::uint32_t target0{0};   // kJump/kBranch: taken micro-op index
+  std::uint32_t target1{0};   // kBranch: fall-through micro-op index
+  std::int32_t callee{-1};    // kCallUser: DecodedProgram function index,
+                              // -1 when the callee does not exist
+  const ir::Instr* src{nullptr}; // source instruction (cold paths: fault
+                                 // context, call argument list)
+};
+
+// Statically-known accounting deltas of one micro-op / one folded group.
+// Fat-pointer word copies are counted as *events*, not cycles: their cycle
+// cost depends on MachineConfig.mode (1, 2 or 0 words), so the engine
+// multiplies by the machine's penalty at run time and one decoded image
+// serves every configuration.
+struct StaticCost {
+  std::uint64_t cycles{0};    // into cycles (ptr-copy events excluded)
+  std::uint64_t checking{0};  // into cycles + breakdown.checking
+  std::uint64_t shadow{0};    // into shadow_cycles
+  std::uint32_t ptr_events{0}; // fat-pointer copies (mode-dependent cycles)
+  std::uint32_t hw_checks{0};
+  std::uint32_t sw_checks{0};
+  std::uint32_t calls{0};     // folded builtin calls
+};
+
+// Note: `checking` cycles are charged into both `cycles` and the checking
+// breakdown by the engine, matching the interpreter's double booking.
+StaticCost static_cost(const MicroInstr& u) noexcept;
+
+struct FoldedGroup {
+  std::uint32_t count{0}; // member micro-ops (== header imm)
+  StaticCost cost;
+};
+
+struct DecodedFunction {
+  const ir::Function* fn{nullptr};
+  std::vector<MicroInstr> uops;
+  std::vector<FoldedGroup> groups;
+  std::vector<std::uint32_t> block_entry; // block id -> micro-op index
+  bool ok{false}; // decoded cleanly (malformed IR falls back to the
+                  // interpreter for the whole module)
+};
+
+class DecodedProgram {
+ public:
+  explicit DecodedProgram(const ir::Module& module);
+
+  // True when every function decoded cleanly. A partially decodable module
+  // is never executed fast: interpreter fallback keeps legacy behaviour —
+  // including legacy failure modes — byte-for-byte.
+  bool ok() const noexcept { return ok_; }
+
+  const ir::Module& module() const noexcept { return *module_; }
+
+  // Decoded image of `fn`, or null if `fn` is not from this module.
+  const DecodedFunction* function(const ir::Function* fn) const noexcept {
+    const auto it = index_.find(fn);
+    return it == index_.end() ? nullptr : &functions_[it->second];
+  }
+
+  // DecodedProgram index of `fn` (kCallUser::callee), or -1.
+  int index_of(const ir::Function* fn) const noexcept {
+    const auto it = index_.find(fn);
+    return it == index_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  const std::vector<DecodedFunction>& functions() const noexcept {
+    return functions_;
+  }
+
+ private:
+  const ir::Module* module_;
+  std::vector<DecodedFunction> functions_; // parallel to module->functions
+  std::unordered_map<const ir::Function*, std::size_t> index_;
+  bool ok_{false};
+};
+
+} // namespace cash::vm

@@ -1,14 +1,13 @@
 #include "vm/machine.hpp"
 
-#include <bit>
 #include <cmath>
 #include <limits>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <sstream>
 
-#include "runtime/array_runtime.hpp"
+#include "vm/decode.hpp"
+#include "vm/machine_impl.hpp"
 
 namespace cash::vm {
 
@@ -18,248 +17,19 @@ using ir::BinOp;
 using ir::Instr;
 using ir::Opcode;
 using ir::UnOp;
-using passes::CheckMode;
 using x86seg::SegReg;
-
-// A runtime value: 32-bit payload plus the pointer-shadow word (the address
-// of the object's 3-word info structure, or 0 for unchecked pointers and
-// non-pointers). This models the paper's 2-word pointer representation.
-struct Value {
-  std::uint32_t bits{0};
-  std::uint32_t info{0};
-};
-
-std::int32_t as_int(Value v) noexcept {
-  return static_cast<std::int32_t>(v.bits);
-}
-float as_float(Value v) noexcept { return std::bit_cast<float>(v.bits); }
-Value from_int(std::int32_t i, std::uint32_t info = 0) noexcept {
-  return {static_cast<std::uint32_t>(i), info};
-}
-Value from_float(float f) noexcept { return {std::bit_cast<std::uint32_t>(f), 0}; }
-
-// Memory map of the simulated process.
-constexpr std::uint32_t kGlobalsBase = 0x08100000;
-constexpr std::uint32_t kHeapBase = 0x10000000;
-constexpr std::uint32_t kHeapLimit = 0xA0000000;
-constexpr std::uint32_t kStackTop = 0xBF000000;
-constexpr std::uint32_t kStackLimit = 0xBB000000; // 64 MB of stack
-
-constexpr std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
-  return (v + a - 1) & ~(a - 1);
-}
-constexpr std::uint32_t align_down(std::uint32_t v, std::uint32_t a) {
-  return v & ~(a - 1);
-}
-
-struct GlobalInstance {
-  std::uint32_t data{0};
-  std::uint32_t info{0}; // 0 for scalars / unchecked modes
-  bool is_array{false};
-  std::uint32_t size_bytes{0};
-};
-
-// Builtins the interpreter implements directly. Call sites are resolved to
-// a CallTarget once per Machine (the IR is immutable after lowering), so
-// the per-call dispatch is a pointer-keyed hash lookup plus an enum switch
-// instead of a chain of string compares and a linear function-list scan.
-enum class Builtin : std::uint8_t {
-  kNone, // user function (CallTarget::fn) or unknown callee
-  kMalloc, kFree, kSqrt, kFabs, kSin, kCos, kExp, kLog, kFloor, kPow, kAbs,
-  kPrintInt, kPrintFloat, kRand, kSrand,
-};
-
-Builtin builtin_of(const std::string& name) noexcept {
-  if (name == "malloc") return Builtin::kMalloc;
-  if (name == "free") return Builtin::kFree;
-  if (name == "sqrt") return Builtin::kSqrt;
-  if (name == "fabs") return Builtin::kFabs;
-  if (name == "sin") return Builtin::kSin;
-  if (name == "cos") return Builtin::kCos;
-  if (name == "exp") return Builtin::kExp;
-  if (name == "log") return Builtin::kLog;
-  if (name == "floor") return Builtin::kFloor;
-  if (name == "pow") return Builtin::kPow;
-  if (name == "abs") return Builtin::kAbs;
-  if (name == "print_int") return Builtin::kPrintInt;
-  if (name == "print_float") return Builtin::kPrintFloat;
-  if (name == "rand") return Builtin::kRand;
-  if (name == "srand") return Builtin::kSrand;
-  return Builtin::kNone;
-}
-
-struct CallTarget {
-  Builtin builtin{Builtin::kNone};
-  const ir::Function* fn{nullptr}; // resolved callee when builtin == kNone
-};
-
-struct Frame {
-  const ir::Function* func{nullptr};
-  std::vector<Value> regs;
-  std::vector<Value> slots;
-  ir::BlockId block{ir::kNoBlock};
-  std::size_t ip{0};
-  ir::Reg ret_dst{ir::kNoReg};
-  std::uint32_t saved_sp{0};
-  // Local array instances, indexed by slot (0 when the slot is no array).
-  std::vector<std::uint32_t> array_data;
-  std::vector<std::uint32_t> array_info;
-  // Segment registers this function clobbers, saved at entry.
-  std::vector<std::pair<SegReg, x86seg::SegmentRegister>> saved_segs;
-};
 
 } // namespace
 
-struct Machine::Impl {
-  const ir::Module* module;
-  MachineConfig config;
-  // Declared before the components so it outlives none of them; the
-  // components hold raw pointers to it (wired in the ctor body — Impl is
-  // heap-allocated, so the address is stable).
-  faultinject::FaultInjector injector;
-
-  kernel::KernelSim kernel;
-  kernel::Pid pid;
-  paging::PhysicalMemory phys;
-  paging::PageTable pages;
-  x86seg::SegmentationUnit seg_unit;
-  mmu::Mmu mmu;
-  runtime::SegmentManager segments;
-  runtime::ArrayRuntime arrays;
-  runtime::CashHeap heap;
-
-  bool program_initialized{false};
-  std::uint64_t init_cycles{0};
-  std::map<ir::SymbolId, GlobalInstance> globals;
-  std::map<ir::SymbolId, std::uint32_t> global_scalar_addr;
-  // Shadow info words for pointers stored in memory (see DESIGN.md: the
-  // adjacent shadow word is modelled as a side table keyed by address).
-  std::unordered_map<std::uint32_t, std::uint32_t> mem_ptr_info;
-  std::uint32_t sp{kStackTop};
-  std::uint32_t rng_state;
-  // Call-resolution cache: one entry per kCall site in the module.
-  std::unordered_map<const Instr*, CallTarget> call_targets;
-
-  explicit Impl(const ir::Module& m, MachineConfig cfg)
-      : module(&m),
-        config(cfg),
-        injector(cfg.fault_plan, cfg.rng_seed),
-        pid(kernel.create_process()),
-        phys(cfg.phys_frames),
-        pages(phys),
-        seg_unit(kernel.gdt(), kernel.ldt(pid)),
-        mmu(seg_unit, pages, phys),
-        segments(kernel, pid, cfg.max_ldts, &injector),
-        arrays(mmu, segments, cfg.mode),
-        heap(mmu, arrays, kHeapBase, kHeapLimit),
-        rng_state(cfg.rng_seed) {
-    kernel.set_fault_injector(&injector);
-    phys.set_fault_injector(&injector);
-    heap.set_fault_injector(&injector);
-    // Flat model as Linux sets it up.
-    (void)seg_unit.load(SegReg::kCs, kernel::flat_user_code_selector());
-    (void)seg_unit.load(SegReg::kDs, kernel::flat_user_data_selector());
-    (void)seg_unit.load(SegReg::kSs, kernel::flat_user_data_selector());
-    (void)seg_unit.load(SegReg::kEs, kernel::flat_user_data_selector());
-
-    if (!cfg.enable_tlb || std::getenv("CASH_NO_TLB") != nullptr) {
-      pages.tlb().set_enabled(false);
-    }
-
-    for (const auto& fn : module->functions) {
-      for (const auto& block : fn->blocks) {
-        for (const Instr& in : block->instrs) {
-          if (in.op != Opcode::kCall) {
-            continue;
-          }
-          CallTarget target;
-          target.builtin = builtin_of(in.callee);
-          if (target.builtin == Builtin::kNone) {
-            target.fn = module->find_function(in.callee);
-          }
-          call_targets.emplace(&in, target);
-        }
-      }
-    }
+Machine::Machine(const ir::Module& module, MachineConfig config,
+                 const DecodedProgram* predecoded)
+    : impl_(std::make_unique<Impl>(module, config)) {
+  if (predecoded != nullptr && predecoded->ok() &&
+      config.enable_predecode &&
+      std::getenv("CASH_NO_PREDECODE") == nullptr) {
+    impl_->decoded = predecoded;
   }
-
-  // One-time program load: place globals, charge per-program + per-global-
-  // array set-up (the code Cash inserts at program start, Section 3.4).
-  void initialize_program() {
-    if (program_initialized) {
-      return;
-    }
-    program_initialized = true;
-    if (config.mode == CheckMode::kCash) {
-      init_cycles += segments.initialize();
-    }
-    std::uint32_t cursor = kGlobalsBase;
-    for (const ir::GlobalVar& g : module->globals) {
-      GlobalInstance inst;
-      if (g.is_array) {
-        const std::uint32_t info = align_up(cursor, 8);
-        const std::uint32_t data = info + runtime::kInfoBytes;
-        const std::uint32_t size = g.elem_count * ir::kWordSize;
-        cursor = data + size;
-        pages.map_range(info, runtime::kInfoBytes + size);
-        inst.is_array = true;
-        inst.size_bytes = size;
-        inst.data = data;
-        if (config.mode == CheckMode::kCash ||
-            config.mode == CheckMode::kBcc ||
-            config.mode == CheckMode::kBoundInsn ||
-            config.mode == CheckMode::kShadow) {
-          init_cycles += arrays.setup(info, data, size);
-          inst.info = info;
-        }
-      } else {
-        inst.data = align_up(cursor, 4);
-        cursor = inst.data + 4;
-        pages.map_range(inst.data, 4);
-        global_scalar_addr[g.symbol] = inst.data;
-      }
-      globals[g.symbol] = inst;
-    }
-  }
-
-  std::uint64_t ptr_copy_penalty() const noexcept {
-    switch (config.mode) {
-      case CheckMode::kCash:      return 1; // 2-word pointers
-      case CheckMode::kBcc:
-      case CheckMode::kBoundInsn: return 2; // 3-word pointers
-      default:                    return 0;
-    }
-  }
-
-  // Converts simulator-resource exhaustion (physical memory, etc.) into a
-  // clean result. Structured faults (FaultException — e.g. frame-pool
-  // exhaustion, injected or genuine) land in RunResult.fault with the
-  // machine's counters attached; anything else is a simulator limit.
-  RunResult execute(const ir::Function* entry) {
-    try {
-      return execute_impl(entry);
-    } catch (const FaultException& e) {
-      RunResult r;
-      r.fault = e.fault();
-      r.tlb_stats = pages.tlb().stats();
-      r.segment_stats = segments.stats();
-      r.heap_stats = heap.stats();
-      r.kernel_account = kernel.account(pid);
-      r.fault_stats = injector.stats();
-      return r;
-    } catch (const std::exception& e) {
-      RunResult r;
-      r.error = std::string("simulator limit: ") + e.what();
-      r.fault_stats = injector.stats();
-      return r;
-    }
-  }
-
-  RunResult execute_impl(const ir::Function* entry);
-};
-
-Machine::Machine(const ir::Module& module, MachineConfig config)
-    : impl_(std::make_unique<Impl>(module, config)) {}
+}
 
 Machine::~Machine() = default;
 
@@ -294,6 +64,13 @@ RunResult Machine::run_function(const std::string& name) {
 }
 
 RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
+  if (decoded != nullptr) {
+    return execute_decoded(*this, entry);
+  }
+  return execute_interpreter(entry);
+}
+
+RunResult Machine::Impl::execute_interpreter(const ir::Function* entry) {
   RunResult result;
   initialize_program();
   std::uint64_t cycles = init_cycles;
@@ -371,9 +148,10 @@ RunResult Machine::Impl::execute_impl(const ir::Function* entry) {
       const std::uint32_t data = base + runtime::kInfoBytes;
       pages.map_range(info, runtime::kInfoBytes + size);
       frame.array_data[i] = data;
-      if (config.mode == CheckMode::kCash || config.mode == CheckMode::kBcc ||
-          config.mode == CheckMode::kBoundInsn ||
-          config.mode == CheckMode::kShadow) {
+      if (config.mode == passes::CheckMode::kCash ||
+          config.mode == passes::CheckMode::kBcc ||
+          config.mode == passes::CheckMode::kBoundInsn ||
+          config.mode == passes::CheckMode::kShadow) {
         const std::uint64_t setup = arrays.setup(info, data, size);
         cycles += setup;
         runtime_cy += setup;

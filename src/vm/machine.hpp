@@ -23,6 +23,9 @@
 
 namespace cash::vm {
 
+class DecodedProgram;  // vm/decode.hpp
+class MachineSnapshot; // vm/snapshot.hpp
+
 struct MachineConfig {
   passes::CheckMode mode{passes::CheckMode::kCash};
   // Physical memory behind the simulated machine.
@@ -42,6 +45,15 @@ struct MachineConfig {
   // it on or off). Also forced off when $CASH_NO_TLB is set, for A/B runs
   // without recompiling.
   bool enable_tlb{true};
+  // Pre-decoded micro-op engine (DESIGN.md §7): execute the flat decoded
+  // image a CompiledProgram builds at construction instead of walking the
+  // IR per step. Host-side fast path only — simulated cycles, breakdowns
+  // and counters are bit-identical with it on or off. Takes effect only for
+  // machines created through CompiledProgram::make_machine (a Machine
+  // constructed directly from a Module has no decoded image and always runs
+  // the reference interpreter). Also forced off when $CASH_NO_PREDECODE is
+  // set, for A/B runs without recompiling.
+  bool enable_predecode{true};
   // Deterministic fault injection (DESIGN.md §8). Off by default: an empty
   // plan is bit-transparent — cycles, breakdowns and counters are identical
   // to a build without the layer. A non-empty plan replays identically for
@@ -127,7 +139,12 @@ struct RunResult {
 // paper's cycle cost model. One Machine executes one program run.
 class Machine {
  public:
-  Machine(const ir::Module& module, MachineConfig config);
+  // `predecoded` optionally attaches the pre-decoded micro-op image built
+  // by CompiledProgram (which owns it and must outlive the Machine). Null —
+  // or config.enable_predecode == false, or $CASH_NO_PREDECODE — selects
+  // the reference interpreter.
+  Machine(const ir::Module& module, MachineConfig config,
+          const DecodedProgram* predecoded = nullptr);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -145,12 +162,27 @@ class Machine {
   // request each simulated fork handles.
   void reseed(std::uint32_t seed);
 
+  // Captures the complete simulated-machine state — registers, globals,
+  // kernel/LDT state, runtime allocators, physical frames — and arms
+  // dirty-frame tracking so a later restore() copies back only what changed
+  // since. netsim uses this to serve each request from the post-server_init
+  // image instead of rebuilding the machine (vm/snapshot.hpp).
+  std::unique_ptr<MachineSnapshot> capture();
+
+  // Rewinds the machine to `snap`, which must be this machine's most recent
+  // capture (each capture() re-arms the dirty baselines, invalidating older
+  // snapshots). All simulated state is rewound bit-exactly; the host-side
+  // TLB statistics keep accumulating (they are explicitly host-only, like
+  // RunResult::tlb_stats).
+  void restore(const MachineSnapshot& snap);
+
   x86seg::SegmentationUnit& segmentation() noexcept;
   runtime::SegmentManager& segment_manager() noexcept;
   mmu::Mmu& mmu() noexcept;
 
+  struct Impl; // internal (vm/machine_impl.hpp)
+
  private:
-  struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+// Machine snapshot/restore (DESIGN.md §7). Machine::capture() records the
+// complete simulated-machine state — physical frames, page tables,
+// descriptor tables, kernel accounting, runtime allocators, interpreter
+// globals — and arms incremental tracking (dirty frames, PTE/descriptor
+// journals) so Machine::restore() rewinds by copying back only what changed
+// since. netsim uses this to serve every request from the post-server_init
+// image instead of rebuilding a Machine and replaying server_init per
+// request.
+//
+// Contract: a snapshot is valid only for the machine that captured it, and
+// only until that machine's next capture() (each capture re-arms the dirty
+// baselines). Restores are repeatable: capture → run → restore → run →
+// restore ... rewinds bit-exactly every time. Host-side TLB statistics are
+// exempt (they keep accumulating, like RunResult::tlb_stats).
+
+namespace cash::vm {
+
+class Machine;
+
+// Opaque machine image returned by Machine::capture().
+class MachineSnapshot {
+ public:
+  ~MachineSnapshot();
+
+  MachineSnapshot(const MachineSnapshot&) = delete;
+  MachineSnapshot& operator=(const MachineSnapshot&) = delete;
+
+ private:
+  friend class Machine;
+  struct Data; // internal (snapshot.cpp)
+  explicit MachineSnapshot(std::unique_ptr<Data> data);
+  std::unique_ptr<Data> data_;
+};
+
+} // namespace cash::vm

@@ -16,6 +16,9 @@ Status DescriptorTable::write(std::uint16_t index,
                  static_cast<std::uint16_t>(index << 3),
                  "descriptor write past table limit"};
   }
+  if (journaling_) {
+    journal_.emplace_back(index, raw_[index]);
+  }
   raw_[index] = descriptor.encode();
   return {};
 }
@@ -26,8 +29,23 @@ Status DescriptorTable::clear(std::uint16_t index) {
                  static_cast<std::uint16_t>(index << 3),
                  "descriptor clear past table limit"};
   }
+  if (journaling_) {
+    journal_.emplace_back(index, raw_[index]);
+  }
   raw_[index] = 0;
   return {};
+}
+
+void DescriptorTable::begin_journal() {
+  journaling_ = true;
+  journal_.clear();
+}
+
+void DescriptorTable::revert_journal() {
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    raw_[it->first] = it->second;
+  }
+  journal_.clear();
 }
 
 Result<std::uint64_t> DescriptorTable::read_raw(std::uint16_t index) const {

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/result.hpp"
 #include "x86seg/descriptor.hpp"
@@ -43,10 +45,22 @@ class DescriptorTable {
   // Number of present entries (diagnostics).
   std::uint32_t present_count() const noexcept;
 
+  // --- snapshot support (vm/snapshot.hpp) ---
+
+  // Starts recording the pre-image of every write()/clear() so
+  // revert_journal() can rewind the table.
+  void begin_journal();
+
+  // Rewinds every entry mutated since begin_journal() to its recorded
+  // pre-image. The journal stays armed against the same baseline.
+  void revert_journal();
+
  private:
   Kind kind_;
   std::uint32_t entry_count_;
   std::array<std::uint64_t, kMaxEntries> raw_{};
+  bool journaling_{false};
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> journal_;
 };
 
 } // namespace cash::x86seg

@@ -89,6 +89,32 @@ TEST(ParallelInvariance, ServeRequestsIsThreadCountInvariant) {
   }
 }
 
+TEST(ParallelInvariance, SnapshotServingMatchesReplayAtEveryThreadCount) {
+  // The fork-from-snapshot path (per-worker machine + capture/restore) and
+  // the rebuild-and-replay path materialise the same parent image; every
+  // ServerMetrics field must be bit-identical across both strategies, both
+  // engines, and jobs in {1, 2, 8}.
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kCash}) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult program = compile(kServer, options);
+    ASSERT_TRUE(program.ok()) << program.error;
+
+    netsim::ServeOptions replay;
+    replay.enable_snapshot = false;
+    replay.enable_predecode = false;
+    const netsim::ServerMetrics reference =
+        netsim::serve_requests(*program.program, 40, 7, {1}, {}, replay);
+
+    netsim::ServeOptions snapshot; // both fast paths on (the default)
+    for (int jobs : {1, 2, 8}) {
+      const netsim::ServerMetrics fast = netsim::serve_requests(
+          *program.program, 40, 7, {jobs}, {}, snapshot);
+      expect_identical(reference, fast, jobs);
+    }
+  }
+}
+
 TEST(ParallelInvariance, BenchGridIsThreadCountInvariant) {
   // A small (workload x mode) grid like the bench tables run: each cell
   // compiles and executes independently; its simulated cycle count and

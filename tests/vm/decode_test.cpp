@@ -1,0 +1,391 @@
+// Bit-transparency of the pre-decoded micro-op engine (vm/decode.hpp):
+// for every program, check mode and failure flavour, the fast engine and
+// the reference interpreter must produce *identical* RunResults — cycles,
+// breakdowns, shadow cycles, every counter, segment/heap/kernel stats,
+// per-function profiles, fault details and printed output. Host-side TLB
+// statistics are the one documented exemption.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cash.hpp"
+#include "vm/decode.hpp"
+
+#include "run_result_compare.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+constexpr CheckMode kAllModes[] = {CheckMode::kNoCheck,   CheckMode::kBcc,
+                                   CheckMode::kCash,      CheckMode::kBoundInsn,
+                                   CheckMode::kEfence,    CheckMode::kShadow};
+
+const char* mode_name(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kNoCheck:   return "nocheck";
+    case CheckMode::kBcc:       return "bcc";
+    case CheckMode::kCash:      return "cash";
+    case CheckMode::kBoundInsn: return "boundinsn";
+    case CheckMode::kEfence:    return "efence";
+    case CheckMode::kShadow:    return "shadow";
+  }
+  return "?";
+}
+
+using vm::expect_identical; // run_result_compare.hpp
+
+// Compiles `source` for `mode` and runs it on both engines, comparing the
+// complete RunResult. `entry` selects run_function (nullptr = run main).
+void run_both(const std::string& source, CheckMode mode,
+              std::uint64_t max_instructions = 0,
+              const char* entry = nullptr) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  if (max_instructions != 0) {
+    options.machine.max_instructions = max_instructions;
+  }
+  CompileResult compiled = compile(source, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  ASSERT_NE(compiled.program->decoded(), nullptr);
+  EXPECT_TRUE(compiled.program->decoded()->ok());
+
+  vm::MachineConfig slow_cfg = compiled.program->options().machine;
+  slow_cfg.enable_predecode = false;
+  std::unique_ptr<vm::Machine> fast = compiled.program->make_machine();
+  std::unique_ptr<vm::Machine> slow =
+      compiled.program->make_machine(slow_cfg);
+  const vm::RunResult rf =
+      entry != nullptr ? fast->run_function(entry) : fast->run();
+  const vm::RunResult rs =
+      entry != nullptr ? slow->run_function(entry) : slow->run();
+  std::string ctx = std::string("mode=") + mode_name(mode);
+  if (entry != nullptr) {
+    ctx += std::string(" entry=") + entry;
+  }
+  if (max_instructions != 0) {
+    ctx += " max=" + std::to_string(max_instructions);
+  }
+  expect_identical(rs, rf, ctx);
+}
+
+void run_all_modes(const std::string& source,
+                   std::uint64_t max_instructions = 0,
+                   const char* entry = nullptr) {
+  for (CheckMode mode : kAllModes) {
+    run_both(source, mode, max_instructions, entry);
+  }
+}
+
+// Exercises every IR opcode the decoder lowers: integer and float
+// constants, every binary and unary operator, global scalars and arrays,
+// local scalars and arrays, heap pointers parked in memory, nested and
+// recursive calls, branches, loops, and all the statically-costed builtins.
+constexpr const char* kEveryOpcode = R"(
+int gtable[32];
+int gscalar;
+int *stash;
+float accum;
+int fill(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    gtable[i] = i * 3 - (i % 5) + (i / 2);
+  }
+  return n;
+}
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int bits(int x) {
+  return ((x & 5) | (x ^ 3)) + (x << 2) + (x >> 1) + ~x + !x;
+}
+float mathy(float x) {
+  return sqrt(x) + fabs(0.0 - x) + sin(x) + cos(x) + exp(x / 8.0) +
+         log(x + 1.0) + floor(x * 1.5) + pow(x, 2.0);
+}
+int locals(int n) {
+  int buf[16];
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 16; i++) {
+    buf[i] = gtable[(i + n) % 32] + bits(i);
+    s = s + buf[i];
+  }
+  return s;
+}
+int heapwork(int n) {
+  int *p;
+  int i; int s;
+  p = malloc(64);
+  stash = p;
+  p = stash;
+  for (i = 0; i < 16; i++) {
+    p[i] = i * n;
+  }
+  s = 0;
+  for (i = 0; i < 16; i++) {
+    s = s + p[i];
+  }
+  free(p);
+  return s;
+}
+int main() {
+  int i; int s;
+  srand(99);
+  fill(32);
+  gscalar = bits(rand() % 100);
+  accum = mathy(2.5);
+  s = 0;
+  for (i = 0; i < 4; i++) {
+    s = s + locals(i) + heapwork(i) + fib(9);
+  }
+  print_int(s);
+  print_int(gscalar);
+  print_float(accum);
+  print_int(abs(0 - s));
+  if (s > 0 && gscalar < 100000) { print_int(1); } else { print_int(0); }
+  if (s < 0 || gscalar > 0 - 100000) { print_int(2); }
+  return s % 251;
+}
+)";
+
+TEST(DecodeTransparency, EveryOpcodeEveryMode) {
+  run_all_modes(kEveryOpcode);
+}
+
+TEST(DecodeTransparency, GlobalArrayOverflowEveryMode) {
+  // In checked modes the fault fires (same kind, detail, partial charges);
+  // in kNoCheck the write lands and both engines see the same final state.
+  run_all_modes(R"(
+int buf[8];
+int smash(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    buf[i] = i;
+  }
+  return buf[0];
+}
+int main() { return smash(20); }
+)");
+}
+
+TEST(DecodeTransparency, LocalArrayOverflowEveryMode) {
+  run_all_modes(R"(
+int smash(int n) {
+  int buf[4];
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i] = i;
+    s = s + buf[i];
+  }
+  return s;
+}
+int main() { return smash(9); }
+)");
+}
+
+TEST(DecodeTransparency, HeapOverflowThroughStoredPointerEveryMode) {
+  run_all_modes(R"(
+int *stash;
+int main() {
+  int *p;
+  int i;
+  p = malloc(32);
+  stash = p;
+  p = stash;
+  for (i = 0; i < 20; i++) {
+    p[i] = i;
+  }
+  return 0;
+}
+)");
+}
+
+TEST(DecodeTransparency, DivideByZeroFault) {
+  // #DE is raised mid-group: the engine must charge the group prefix plus
+  // the faulting op in full, exactly like the interpreter's per-op path.
+  run_all_modes(R"(
+int main() {
+  int d; int i; int s;
+  d = 0;
+  s = 0;
+  for (i = 0; i < 3; i++) { s = s + i; }
+  return s / d;
+}
+)");
+  run_all_modes(R"(
+int main() {
+  int d;
+  d = 0;
+  return 7 % d;
+}
+)");
+}
+
+TEST(DecodeTransparency, InstructionBudgetSweep) {
+  // The budget must abort at the *same* instruction with the same partial
+  // cycle charges whether the stream is folded or itemized. Sweep the cap
+  // across group boundaries, call sites and the entry prologue.
+  constexpr const char* kProgram = R"(
+int work(int n) {
+  int buf[8];
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i % 8] = i;
+    s = s + buf[i % 8];
+  }
+  return s;
+}
+int main() {
+  int t;
+  t = work(6) + work(3);
+  print_int(t);
+  return t;
+}
+)";
+  for (std::uint64_t max = 1; max <= 40; ++max) {
+    run_both(kProgram, CheckMode::kCash, max);
+    run_both(kProgram, CheckMode::kNoCheck, max);
+  }
+  run_both(kProgram, CheckMode::kBcc, 13);
+  run_both(kProgram, CheckMode::kShadow, 17);
+}
+
+TEST(DecodeTransparency, BudgetInsideInfiniteLoop) {
+  run_all_modes("int main() { while (1) {} return 0; }", 10000);
+}
+
+TEST(DecodeTransparency, StackOverflowFromDeepRecursion) {
+  // Each frame carries a 16 KB local array; the 64 MB simulated stack
+  // overflows a few thousand frames down, in the prologue — both engines
+  // must report the identical error at the identical depth.
+  run_both(R"(
+int deep(int n) {
+  int pad[4096];
+  pad[0] = n;
+  if (n == 0) { return 0; }
+  return deep(n - 1) + pad[0];
+}
+int main() { return deep(1000000); }
+)",
+           CheckMode::kNoCheck);
+}
+
+TEST(DecodeTransparency, RunFunctionEntryPoints) {
+  constexpr const char* kServer = R"(
+int table[16];
+int server_init() {
+  int i;
+  for (i = 0; i < 16; i++) { table[i] = i * 7; }
+  return 0;
+}
+int handle_request() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 16; i++) { s = s + table[i] + rand() % 5; }
+  return s;
+}
+int main() { server_init(); return handle_request(); }
+)";
+  run_all_modes(kServer, 0, "server_init");
+  run_all_modes(kServer, 0, "handle_request");
+}
+
+TEST(DecodeTransparency, UnknownEntryFunction) {
+  run_both("int main() { return 0; }", CheckMode::kCash, 0, "no_such_fn");
+}
+
+TEST(DecodeTransparency, RepeatedRunsAccumulateIdentically) {
+  // Globals and the heap persist across runs of one machine; the engines
+  // must agree run after run, not just on a fresh machine.
+  constexpr const char* kCounter = R"(
+int counter;
+int main() {
+  counter = counter + 1;
+  print_int(counter);
+  return counter;
+}
+)";
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  CompileResult compiled = compile(kCounter, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  vm::MachineConfig slow_cfg = compiled.program->options().machine;
+  slow_cfg.enable_predecode = false;
+  std::unique_ptr<vm::Machine> fast = compiled.program->make_machine();
+  std::unique_ptr<vm::Machine> slow =
+      compiled.program->make_machine(slow_cfg);
+  for (int i = 0; i < 3; ++i) {
+    expect_identical(slow->run(), fast->run(),
+                     "run " + std::to_string(i));
+  }
+}
+
+TEST(DecodeTransparency, EnvVarForcesInterpreter) {
+  // $CASH_NO_PREDECODE must win over config.enable_predecode — and, being
+  // a host-side toggle, must not change results either.
+  constexpr const char* kSmall = "int main() { return 41 + 1; }";
+  CompileOptions options;
+  CompileResult compiled = compile(kSmall, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  const vm::RunResult fast = compiled.program->make_machine()->run();
+  ::setenv("CASH_NO_PREDECODE", "1", 1);
+  const vm::RunResult forced = compiled.program->make_machine()->run();
+  ::unsetenv("CASH_NO_PREDECODE");
+  expect_identical(forced, fast, "env toggle");
+  EXPECT_EQ(fast.exit_code, 42);
+}
+
+TEST(DecodeTransparency, DirectMachineHasNoDecodedImage) {
+  // A Machine constructed straight from the Module never runs fast — that
+  // keeps differential coverage of the reference interpreter alive even
+  // where callers forget to thread the decoded image through.
+  constexpr const char* kSmall = "int main() { return 7; }";
+  CompileResult compiled = compile(kSmall, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  vm::Machine direct(compiled.program->module(),
+                     compiled.program->options().machine);
+  const vm::RunResult r = direct.run();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.exit_code, 7);
+}
+
+TEST(DecodeTransparency, DecodedImageIsWellFormed) {
+  CompileResult compiled = compile(kEveryOpcode, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  const vm::DecodedProgram* decoded = compiled.program->decoded();
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_TRUE(decoded->ok());
+  for (const vm::DecodedFunction& fn : decoded->functions()) {
+    ASSERT_TRUE(fn.ok);
+    ASSERT_NE(fn.fn, nullptr);
+    // Every group header's member count covers in-bounds micro-ops, and a
+    // terminator appears only as the last member of its group.
+    for (std::size_t i = 0; i < fn.uops.size(); ++i) {
+      const vm::MicroInstr& u = fn.uops[i];
+      if (u.op != vm::UOp::kGroup) {
+        continue;
+      }
+      ASSERT_LE(i + 1 + u.imm, fn.uops.size());
+      ASSERT_LT(u.aux, fn.groups.size());
+      EXPECT_EQ(fn.groups[u.aux].count, u.imm);
+      for (std::uint32_t m = 0; m < u.imm; ++m) {
+        const vm::MicroInstr& member = fn.uops[i + 1 + m];
+        const bool terminator = member.op == vm::UOp::kJump ||
+                                member.op == vm::UOp::kBranch;
+        if (terminator) {
+          EXPECT_EQ(m, u.imm - 1)
+              << "terminator mid-group in " << fn.fn->name;
+        }
+      }
+      i += u.imm;
+    }
+  }
+}
+
+} // namespace
+} // namespace cash

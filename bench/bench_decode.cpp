@@ -1,18 +1,25 @@
 // Pre-decoded engine + snapshot-serving benchmark: host wall time of the
 // fast paths vs the reference paths, with bit-transparency enforced.
 //
-// Section 1 (interpreter): six micro kernels, each compiled once and run
-// with the micro-op engine on vs off (MachineConfig::enable_predecode).
-// Every simulated field of the two RunResults must match exactly — the
-// bench exits non-zero on any divergence, so the ctest smoke run doubles
-// as a transparency check.
+// Section 1 (interpreter grid): six micro kernels, each compiled once and
+// run three ways — fused superinstruction stream (the default), unfused
+// plain micro-op stream (enable_fusion = false), and the reference
+// interpreter (enable_predecode = false). Every simulated field of the
+// three RunResults must match exactly, and every kernel must show a
+// non-zero fusion hit rate — the bench exits non-zero on any divergence or
+// on a kernel the fusion pass missed entirely, so the ctest smoke run
+// doubles as a transparency check. Cells run through
+// bench::SnapshotRunner: the machine is built and the program loaded once
+// per (kernel, engine) and each repetition rewinds to the post-load image.
 //
 // Section 2 (netsim): serve_requests with the default fork-from-snapshot +
 // predecode configuration vs the rebuild-and-replay interpreter reference,
 // at jobs 1/2/8. All ServerMetrics fields must be bit-identical.
 //
-// Writes BENCH_decode.json with per-cell host-wall seconds and the
-// aggregate interpreter_speedup / netsim_speedup ratios.
+// Writes BENCH_decode.json with per-cell host-wall seconds, per-kernel
+// fusion hit rates, the aggregate interpreter_speedup (interpreter vs
+// fused) / interpreter_speedup_unfused / netsim_speedup ratios, and
+// whether the engine was built with computed-goto threaded dispatch.
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -131,22 +138,26 @@ bool metrics_identical(const cash::netsim::ServerMetrics& a,
          a.first_failure == b.first_failure;
 }
 
-// One timed configuration: `reps` fresh machines, summed host wall time,
-// last result kept for the transparency gate.
+// One timed configuration: machine built + program loaded once, then
+// `reps` restore-and-run repetitions (bench::SnapshotRunner), summed host
+// wall time, last result kept for the transparency gate.
 struct Timed {
   double seconds{0};
   cash::vm::RunResult last;
 };
 
-Timed run_engine(const cash::CompiledProgram& program, bool predecode,
+enum class Engine { kFused, kUnfused, kInterp };
+
+Timed run_engine(const cash::CompiledProgram& program, Engine engine,
                  int reps) {
   cash::vm::MachineConfig cfg = program.options().machine;
-  cfg.enable_predecode = predecode;
+  cfg.enable_predecode = engine != Engine::kInterp;
+  cfg.enable_fusion = engine == Engine::kFused;
+  cash::bench::SnapshotRunner runner(program, cfg);
   Timed t;
   for (int rep = 0; rep < reps; ++rep) {
-    std::unique_ptr<cash::vm::Machine> machine = program.make_machine(cfg);
     const auto start = std::chrono::steady_clock::now();
-    cash::vm::RunResult run = machine->run();
+    cash::vm::RunResult run = runner.run();
     const auto stop = std::chrono::steady_clock::now();
     if (!run.ok) {
       throw std::runtime_error("bench run failed: " +
@@ -223,16 +234,19 @@ int main(int argc, char** argv) {
 
   const int reps = quick ? 1 : 3;
   bool transparent = true;
+  bool fusion_covered = true;
 
-  // --- Section 1: micro-op engine vs interpreter -------------------------
+  // --- Section 1: fused / unfused micro-op engine vs interpreter ---------
   // Each kernel carries a distinct check mode so, together, the grid
   // exercises every lowering the decoder has to stay transparent for.
   struct Kernel {
     const char* name;
     CheckMode mode;
     std::string source;
-    double fast_s{0};
-    double slow_s{0};
+    double fused_s{0};
+    double unfused_s{0};
+    double interp_s{0};
+    double hit_rate{0};
   };
   std::vector<Kernel> kernels;
   kernels.push_back({"matmul", CheckMode::kCash,
@@ -254,10 +268,13 @@ int main(int argc, char** argv) {
                                            quick ? 3 : 8),
                      0, 0});
 
-  std::printf("\n%-8s %-7s %10s %10s %9s %10s\n", "kernel", "mode",
-              "decode s", "interp s", "speedup", "identical");
-  double total_fast = 0;
-  double total_slow = 0;
+  std::printf("\n%-8s %-7s %9s %9s %9s %8s %8s %6s %10s\n", "kernel", "mode",
+              "fused s", "plain s", "interp s", "speedup", "vs-plain", "hit%",
+              "identical");
+  double total_fused = 0;
+  double total_unfused = 0;
+  double total_interp = 0;
+  vm::FusionStats fusion_total;
   for (Kernel& k : kernels) {
     CompileOptions options;
     options.lower.mode = k.mode;
@@ -272,26 +289,56 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: program did not pre-decode\n", k.name);
       return 1;
     }
-    const Timed fast = run_engine(*compiled.program, true, reps);
-    const Timed slow = run_engine(*compiled.program, false, reps);
-    const std::string diff = first_difference(slow.last, fast.last);
+    const Timed fused = run_engine(*compiled.program, Engine::kFused, reps);
+    const Timed unfused =
+        run_engine(*compiled.program, Engine::kUnfused, reps);
+    const Timed interp = run_engine(*compiled.program, Engine::kInterp, reps);
+    // Pairwise transparency gate: both decoded streams against the
+    // reference interpreter (which transitively pins fused == unfused).
+    std::string diff = first_difference(interp.last, fused.last);
     if (!diff.empty()) {
-      std::fprintf(stderr, "%s/%s: engines diverge on %s\n", k.name,
+      std::fprintf(stderr, "%s/%s: fused engine diverges on %s\n", k.name,
                    mode_name(k.mode), diff.c_str());
       transparent = false;
     }
-    k.fast_s = fast.seconds;
-    k.slow_s = slow.seconds;
-    total_fast += fast.seconds;
-    total_slow += slow.seconds;
-    std::printf("%-8s %-7s %10.4f %10.4f %8.2fx %10s\n", k.name,
-                mode_name(k.mode), k.fast_s, k.slow_s,
-                k.fast_s > 0 ? k.slow_s / k.fast_s : 0,
-                diff.empty() ? "yes" : "NO");
+    const std::string diff_unfused =
+        first_difference(interp.last, unfused.last);
+    if (!diff_unfused.empty()) {
+      std::fprintf(stderr, "%s/%s: unfused engine diverges on %s\n", k.name,
+                   mode_name(k.mode), diff_unfused.c_str());
+      transparent = false;
+      if (diff.empty()) diff = diff_unfused;
+    }
+    const vm::FusionStats stats = compiled.program->decoded()->fusion_stats();
+    fusion_total += stats;
+    k.hit_rate = stats.hit_rate();
+    if (k.hit_rate <= 0) {
+      std::fprintf(stderr, "%s/%s: fusion pass matched nothing\n", k.name,
+                   mode_name(k.mode));
+      fusion_covered = false;
+    }
+    k.fused_s = fused.seconds;
+    k.unfused_s = unfused.seconds;
+    k.interp_s = interp.seconds;
+    total_fused += fused.seconds;
+    total_unfused += unfused.seconds;
+    total_interp += interp.seconds;
+    std::printf("%-8s %-7s %9.4f %9.4f %9.4f %7.2fx %7.2fx %5.1f%% %10s\n",
+                k.name, mode_name(k.mode), k.fused_s, k.unfused_s, k.interp_s,
+                k.fused_s > 0 ? k.interp_s / k.fused_s : 0,
+                k.fused_s > 0 ? k.unfused_s / k.fused_s : 0,
+                k.hit_rate * 100.0, diff.empty() ? "yes" : "NO");
   }
-  const double interp_speedup = total_fast > 0 ? total_slow / total_fast : 0;
-  std::printf("%-8s %-7s %10.4f %10.4f %8.2fx\n", "total", "-", total_fast,
-              total_slow, interp_speedup);
+  const double interp_speedup =
+      total_fused > 0 ? total_interp / total_fused : 0;
+  const double interp_speedup_unfused =
+      total_unfused > 0 ? total_interp / total_unfused : 0;
+  std::printf("%-8s %-7s %9.4f %9.4f %9.4f %7.2fx %7.2fx\n", "total", "-",
+              total_fused, total_unfused, total_interp, interp_speedup,
+              total_fused > 0 ? total_unfused / total_fused : 0);
+  std::printf("dispatch: %s\n", vm::threaded_dispatch_enabled()
+                                    ? "computed-goto (threaded)"
+                                    : "portable switch");
 
   // --- Section 2: fork-from-snapshot netsim vs rebuild-and-replay --------
   const int requests = env_int("CASH_BENCH_REQUESTS", quick ? 24 : 160);
@@ -350,19 +397,28 @@ int main(int argc, char** argv) {
     std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(json, "  \"transparent\": %s,\n",
                  transparent ? "true" : "false");
+    std::fprintf(json, "  \"threaded_dispatch\": %s,\n",
+                 vm::threaded_dispatch_enabled() ? "true" : "false");
     std::fprintf(json, "  \"kernels\": [\n");
     for (std::size_t i = 0; i < kernels.size(); ++i) {
       const Kernel& k = kernels[i];
       std::fprintf(json,
                    "    {\"kernel\": \"%s\", \"mode\": \"%s\", "
-                   "\"decode_s\": %.6f, \"interp_s\": %.6f, "
-                   "\"speedup\": %.3f}%s\n",
-                   k.name, mode_name(k.mode), k.fast_s, k.slow_s,
-                   k.fast_s > 0 ? k.slow_s / k.fast_s : 0,
-                   i + 1 < kernels.size() ? "," : "");
+                   "\"fused_s\": %.6f, \"unfused_s\": %.6f, "
+                   "\"interp_s\": %.6f, \"speedup\": %.3f, "
+                   "\"speedup_unfused\": %.3f, "
+                   "\"fusion_hit_rate\": %.4f}%s\n",
+                   k.name, mode_name(k.mode), k.fused_s, k.unfused_s,
+                   k.interp_s, k.fused_s > 0 ? k.interp_s / k.fused_s : 0,
+                   k.unfused_s > 0 ? k.interp_s / k.unfused_s : 0,
+                   k.hit_rate, i + 1 < kernels.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"interpreter_speedup\": %.3f,\n",
                  interp_speedup);
+    std::fprintf(json, "  \"interpreter_speedup_unfused\": %.3f,\n",
+                 interp_speedup_unfused);
+    std::fprintf(json, "  \"fusion_hit_rate\": %.4f,\n",
+                 fusion_total.hit_rate());
     std::fprintf(json, "  \"netsim_requests\": %d,\n", requests);
     std::fprintf(json, "  \"netsim\": [\n");
     for (std::size_t i = 0; i < net_cells.size(); ++i) {
@@ -382,6 +438,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: fast and reference paths produced different "
                  "simulated results\n");
+    return 1;
+  }
+  if (!fusion_covered) {
+    std::fprintf(stderr,
+                 "FAIL: a kernel decoded with zero fusion hit rate\n");
     return 1;
   }
   return 0;

@@ -3,11 +3,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/cash.hpp"
 #include "exec/executor.hpp"
+#include "vm/snapshot.hpp"
 #include "workloads/workloads.hpp"
 
 // Shared helpers for the table-reproduction benches. Each bench binary
@@ -50,6 +53,38 @@ inline ModeResult compile_and_run(const std::string& source,
   }
   return out;
 }
+
+// Snapshot-aware grid-cell runner: builds the machine and performs the
+// one-time program load (globals placement + per-array set-up) once per
+// (program, config), captures the post-load image, and rewinds to it before
+// every run() instead of constructing a fresh Machine per repetition.
+// Bit-identical to fresh machines — prepare() keeps the set-up cycles
+// pending, so restore() + run() charges exactly what a fresh machine's
+// first run would (tests/vm/snapshot_test.cpp pins this). Not thread-safe:
+// give each run_cells() cell its own runner.
+class SnapshotRunner {
+ public:
+  SnapshotRunner(const CompiledProgram& program, vm::MachineConfig config)
+      : machine_(program.make_machine(std::move(config))) {
+    machine_->prepare();
+    snap_ = machine_->capture();
+  }
+
+  explicit SnapshotRunner(const CompiledProgram& program)
+      : SnapshotRunner(program, program.options().machine) {}
+
+  // Rewinds to the post-load image and runs main().
+  vm::RunResult run() {
+    machine_->restore(*snap_);
+    return machine_->run();
+  }
+
+  vm::Machine& machine() noexcept { return *machine_; }
+
+ private:
+  std::unique_ptr<vm::Machine> machine_;
+  std::unique_ptr<vm::MachineSnapshot> snap_;
+};
 
 // Worker threads for this bench process: $CASH_JOBS, default all cores.
 inline int bench_jobs() { return exec::resolve_jobs(); }

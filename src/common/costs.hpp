@@ -86,4 +86,85 @@ inline constexpr std::uint64_t kMathBuiltin = 40; // sqrt/sin/cos/exp (fp unit)
 // Cash uses a 2-word pointer (1 extra word); BCC uses 3 words (2 extra).
 inline constexpr std::uint64_t kExtraPtrWordCopy = 1;
 
+// --- Static-cost accounting ------------------------------------------------
+//
+// Statically-known accounting deltas of one micro-op, one fused
+// superinstruction, or one folded group (vm/decode.hpp). Fat-pointer word
+// copies are counted as *events*, not cycles: their cycle cost depends on
+// the machine's check mode (1, 2 or 0 extra words), so the engine multiplies
+// by the mode's penalty at run time and one decoded image serves every
+// configuration.
+struct StaticCost {
+  std::uint64_t cycles{0};     // into cycles (ptr-copy events excluded)
+  std::uint64_t checking{0};   // into cycles + breakdown.checking
+  std::uint64_t shadow{0};     // into shadow_cycles
+  std::uint32_t ptr_events{0}; // fat-pointer copies (mode-dependent cycles)
+  std::uint32_t hw_checks{0};
+  std::uint32_t sw_checks{0};
+  std::uint32_t calls{0};      // folded builtin calls
+};
+
+constexpr StaticCost& operator+=(StaticCost& a, const StaticCost& b) noexcept {
+  a.cycles += b.cycles;
+  a.checking += b.checking;
+  a.shadow += b.shadow;
+  a.ptr_events += b.ptr_events;
+  a.hw_checks += b.hw_checks;
+  a.sw_checks += b.sw_checks;
+  a.calls += b.calls;
+  return a;
+}
+
+constexpr StaticCost operator+(StaticCost a, const StaticCost& b) noexcept {
+  a += b;
+  return a;
+}
+
+// The three software-visible bound-check strategies (the hardware check is
+// free: it rides the address-translation pipeline).
+enum class BoundKind : std::uint8_t { kSoftware, kBoundInsn, kShadow };
+
+// Cost of one bound check. The shadow-processor flavour charges the main
+// CPU one address-queue store and books the 6-instruction derived check
+// (plus the dequeue) on the shadow CPU.
+constexpr StaticCost bound_check_cost(BoundKind kind) noexcept {
+  StaticCost c;
+  c.sw_checks = 1;
+  switch (kind) {
+    case BoundKind::kSoftware:  c.checking = kSoftwareBoundCheck; break;
+    case BoundKind::kBoundInsn: c.checking = kBoundInstruction; break;
+    case BoundKind::kShadow:
+      c.checking = 1;
+      c.shadow = 2 + kSoftwareBoundCheck;
+      break;
+  }
+  return c;
+}
+
+// Cost of one register-resident op (const/move/local load/store/ptr-add);
+// `copies_ptr` books the mode-scaled fat-pointer word-copy event.
+constexpr StaticCost register_op_cost(bool copies_ptr = false) noexcept {
+  StaticCost c;
+  c.cycles = kRegisterOp;
+  c.ptr_events = copies_ptr ? 1 : 0;
+  return c;
+}
+
+// Cost of one L1-hit memory access; `hw_checked` counts an access through
+// an array segment (the check itself is free, kHardwareBoundCheck).
+constexpr StaticCost load_store_cost(bool copies_ptr,
+                                     bool hw_checked) noexcept {
+  StaticCost c;
+  c.cycles = kLoadStore;
+  c.ptr_events = copies_ptr ? 1 : 0;
+  c.hw_checks = hw_checked ? 1 : 0;
+  return c;
+}
+
+constexpr StaticCost alu_cost(std::uint64_t cycles = kAluOp) noexcept {
+  StaticCost c;
+  c.cycles = cycles;
+  return c;
+}
+
 } // namespace cash::costs

@@ -51,6 +51,12 @@ std::vector<std::pair<std::string, std::string>> headline_fields(
     while (pos < line.size() && line[pos] == ' ') {
       ++pos;
     }
+    // Booleans become 0/1 so flags like "threaded_dispatch" trend like any
+    // other headline number.
+    if (line.compare(pos, 4, "true") == 0 || line.compare(pos, 5, "false") == 0) {
+      fields.emplace_back(key, line[pos] == 't' ? "1" : "0");
+      continue;
+    }
     std::size_t end = pos;
     while (end < line.size() &&
            (std::isdigit(static_cast<unsigned char>(line[end])) != 0 ||
@@ -152,7 +158,37 @@ int main(int argc, char** argv) {
                  output.string().c_str());
     return 1;
   }
+  // North-star metrics promoted to the very top of the trajectory file:
+  // the decode bench's interpreter-grid speedup (fused engine vs reference
+  // interpreter), its static fusion hit rate, and the netsim
+  // fork-from-snapshot speedup. CI trend lines read these without digging
+  // through the per-bench documents.
+  const std::pair<const char*, const char*> kKeyMetrics[] = {
+      {"decode", "interpreter_speedup"},
+      {"decode", "interpreter_speedup_unfused"},
+      {"decode", "fusion_hit_rate"},
+      {"decode", "threaded_dispatch"},
+      {"decode", "netsim_speedup"},
+  };
+
   out << "{\n  \"benches\": " << benches.size() << ",\n";
+  out << "  \"key_metrics\": {";
+  bool first_metric = true;
+  for (const auto& [bench_name, key] : kKeyMetrics) {
+    for (const BenchFile& bench : benches) {
+      if (bench.name != bench_name) {
+        continue;
+      }
+      for (const auto& [field, value] : headline_fields(bench.body)) {
+        if (field == key) {
+          out << (first_metric ? "" : ", ") << "\"" << bench_name << "_"
+              << key << "\": " << value;
+          first_metric = false;
+        }
+      }
+    }
+  }
+  out << "},\n";
   out << "  \"headline\": {\n";
   for (std::size_t i = 0; i < benches.size(); ++i) {
     out << "    \"" << benches[i].name << "\": {";

@@ -7,6 +7,26 @@
 
 #include "vm/machine_impl.hpp"
 
+// Computed-goto threaded dispatch is a GNU extension (labels as values,
+// `&&label` / `goto*`), available on GCC and Clang. Detected here at
+// compile time with a portable switch fallback sharing the same handler
+// bodies; define CASH_NO_COMPUTED_GOTO to force the fallback.
+#if !defined(CASH_NO_COMPUTED_GOTO) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CASH_THREADED_DISPATCH 1
+#else
+#define CASH_THREADED_DISPATCH 0
+#endif
+
+// Force-inline the member-loop helpers (exec_bin and the exec_load /
+// exec_store / bound_fault lambdas): at -O2 GCC leaves them as out-of-line
+// calls, which costs the dispatch loop ~40% on load/store-heavy kernels.
+#if defined(__GNUC__) || defined(__clang__)
+#define CASH_HOT_INLINE __attribute__((always_inline))
+#else
+#define CASH_HOT_INLINE
+#endif
+
 namespace cash::vm {
 
 namespace {
@@ -17,78 +37,111 @@ using ir::Opcode;
 using ir::UnOp;
 using x86seg::SegReg;
 
-void add_cost(StaticCost& a, const StaticCost& b) noexcept {
-  a.cycles += b.cycles;
-  a.checking += b.checking;
-  a.shadow += b.shadow;
-  a.ptr_events += b.ptr_events;
-  a.hw_checks += b.hw_checks;
-  a.sw_checks += b.sw_checks;
-  a.calls += b.calls;
+// Cost of the kBin embedded in `u` (also inside every Fused*Bin* op). The
+// division cost is charged even on a #DE fault (x86 pays for the attempt),
+// so div/rem stay statically costed.
+constexpr StaticCost bin_static_cost(BinOp op, ir::Type type) noexcept {
+  if (op == BinOp::kMul) {
+    return costs::alu_cost(costs::kMulOp);
+  }
+  if (op == BinOp::kDiv || (op == BinOp::kRem && type != ir::Type::kFloat)) {
+    return costs::alu_cost(costs::kDivOp);
+  }
+  return costs::alu_cost();
+}
+
+constexpr costs::BoundKind bound_kind(UOp op) noexcept {
+  return op == UOp::kBoundSw    ? costs::BoundKind::kSoftware
+         : op == UOp::kBoundBnd ? costs::BoundKind::kBoundInsn
+                                : costs::BoundKind::kShadow;
 }
 
 } // namespace
+
+bool threaded_dispatch_enabled() noexcept {
+  return CASH_THREADED_DISPATCH != 0;
+}
 
 StaticCost static_cost(const MicroInstr& u) noexcept {
   StaticCost c;
   switch (u.op) {
     case UOp::kConstInt:
+      c = costs::register_op_cost();
+      break;
     case UOp::kConstFloat:
+      // Float immediates materialise like int immediates: register-
+      // resident, kRegisterOp. Own case (not a fallthrough with kConstInt)
+      // so the pinned-cost test tells the two apart if one ever changes.
+      c = costs::register_op_cost();
+      break;
     case UOp::kPtrAdd:
-      c.cycles = costs::kRegisterOp;
+      c = costs::register_op_cost();
       break;
     case UOp::kMove:
     case UOp::kLoadLocal:
     case UOp::kStoreLocal:
-      c.cycles = costs::kRegisterOp;
-      c.ptr_events = u.is_ptr ? 1 : 0;
+      c = costs::register_op_cost(u.is_ptr);
       break;
     case UOp::kBin:
-      // The division cost is charged even on a #DE fault (x86 pays for the
-      // attempt), so div/rem stay statically costed.
-      if (u.bin_op == BinOp::kMul) {
-        c.cycles = costs::kMulOp;
-      } else if (u.bin_op == BinOp::kDiv ||
-                 (u.bin_op == BinOp::kRem && u.type != ir::Type::kFloat)) {
-        c.cycles = costs::kDivOp;
-      } else {
-        c.cycles = costs::kAluOp;
-      }
+      c = bin_static_cost(u.bin_op, u.type);
       break;
     case UOp::kUn:
-      c.cycles = costs::kAluOp;
+      c = costs::alu_cost();
       break;
     case UOp::kLoad:
     case UOp::kStore:
-      c.cycles = costs::kLoadStore;
-      c.ptr_events = u.is_ptr ? 1 : 0;
-      c.hw_checks = u.rebased ? 1 : 0;
+      c = costs::load_store_cost(u.is_ptr, u.rebased);
       break;
     case UOp::kLoadGlobal:
     case UOp::kStoreGlobal:
-      c.cycles = costs::kLoadStore;
-      c.ptr_events = u.is_ptr ? 1 : 0;
+      c = costs::load_store_cost(u.is_ptr, false);
       break;
     case UOp::kAddrLocal:
     case UOp::kAddrGlobal:
       c.cycles = u.synthetic ? 0 : costs::kAluOp;
       break;
     case UOp::kBoundSw:
-      c.checking = costs::kSoftwareBoundCheck;
-      c.sw_checks = 1;
-      break;
     case UOp::kBoundBnd:
-      c.checking = costs::kBoundInstruction;
-      c.sw_checks = 1;
-      break;
     case UOp::kBoundShadow:
-      c.checking = 1;
-      c.shadow = 2 + costs::kSoftwareBoundCheck;
-      c.sw_checks = 1;
+      c = costs::bound_check_cost(bound_kind(u.op));
       break;
     case UOp::kJump:
     case UOp::kBranch:
       c.cycles = costs::kBranch;
+      break;
+    // Fused superinstructions charge exactly the sum of their constituents
+    // (tests/vm/static_cost_test.cpp pins this). Local-load/store
+    // constituents are scalar by construction (fusion requires !is_ptr),
+    // so their register_op_cost carries no ptr event.
+    case UOp::kFusedConstBin:
+    case UOp::kFusedLoadLocalBin:
+      c = costs::register_op_cost() + bin_static_cost(u.bin_op, u.type);
+      break;
+    case UOp::kFusedBinStoreLocal:
+      c = bin_static_cost(u.bin_op, u.type) + costs::register_op_cost();
+      break;
+    case UOp::kFusedLoadBinStore:
+      c = costs::register_op_cost() + bin_static_cost(u.bin_op, u.type) +
+          costs::register_op_cost();
+      break;
+    case UOp::kFusedCmpBranch:
+      c = bin_static_cost(u.bin_op, u.type); // always a compare: kAluOp
+      c.cycles += costs::kBranch;
+      break;
+    case UOp::kFusedPtrAddBound:
+      c = costs::register_op_cost() +
+          costs::bound_check_cost(bound_kind(u.sub_op));
+      break;
+    case UOp::kFusedPtrAddLoad:
+    case UOp::kFusedPtrAddStore:
+      c = costs::register_op_cost() +
+          costs::load_store_cost(u.is_ptr, u.rebased);
+      break;
+    case UOp::kFusedPtrAddBoundLoad:
+    case UOp::kFusedPtrAddBoundStore:
+      c = costs::register_op_cost() +
+          costs::bound_check_cost(bound_kind(u.sub_op)) +
+          costs::load_store_cost(u.is_ptr, u.rebased);
       break;
     case UOp::kBuiltin:
       c.calls = 1;
@@ -172,7 +225,7 @@ DecodedFunction decode_function(
     }
   }
 
-  out.block_entry.assign(fn.blocks.size(), 0);
+  out.plain.block_entry.assign(fn.blocks.size(), 0);
   std::vector<MicroInstr> pending;
 
   const auto flush = [&]() {
@@ -182,21 +235,24 @@ DecodedFunction decode_function(
     MicroInstr head;
     head.op = UOp::kGroup;
     head.imm = static_cast<std::uint32_t>(pending.size());
-    head.aux = static_cast<std::uint32_t>(out.groups.size());
+    head.aux = static_cast<std::uint32_t>(out.plain.groups.size());
     FoldedGroup g;
     g.count = static_cast<std::uint32_t>(pending.size());
+    g.plain_first = static_cast<std::uint32_t>(out.plain.uops.size()) + 1;
     for (const MicroInstr& m : pending) {
-      add_cost(g.cost, static_cost(m));
+      g.cost += static_cost(m);
     }
-    out.groups.push_back(g);
-    out.uops.push_back(head);
-    out.uops.insert(out.uops.end(), pending.begin(), pending.end());
+    out.plain.groups.push_back(g);
+    out.plain.uops.push_back(head);
+    out.plain.uops.insert(out.plain.uops.end(), pending.begin(),
+                          pending.end());
     pending.clear();
   };
 
   for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
     const ir::BasicBlock& block = *fn.blocks[bi];
-    out.block_entry[bi] = static_cast<std::uint32_t>(out.uops.size());
+    out.plain.block_entry[bi] =
+        static_cast<std::uint32_t>(out.plain.uops.size());
     bool terminated = false;
     for (const Instr& in : block.instrs) {
       MicroInstr m;
@@ -421,7 +477,7 @@ DecodedFunction decode_function(
       }
       if (itemized) {
         flush();
-        out.uops.push_back(m);
+        out.plain.uops.push_back(m);
       } else {
         pending.push_back(m);
         if (m.op == UOp::kJump || m.op == UOp::kBranch) {
@@ -441,22 +497,219 @@ DecodedFunction decode_function(
       MicroInstr m;
       m.op = UOp::kBlockEndError;
       m.symbol = static_cast<std::int32_t>(bi);
-      out.uops.push_back(m);
+      out.plain.uops.push_back(m);
     }
   }
 
   // Branch targets were recorded as block ids; rewrite them as micro-op
   // indices now that every block's entry offset is known.
-  for (MicroInstr& m : out.uops) {
+  for (MicroInstr& m : out.plain.uops) {
     if (m.op == UOp::kJump || m.op == UOp::kBranch) {
-      m.target0 = out.block_entry[m.target0];
+      m.target0 = out.plain.block_entry[m.target0];
       if (m.op == UOp::kBranch) {
-        m.target1 = out.block_entry[m.target1];
+        m.target1 = out.plain.block_entry[m.target1];
       }
     }
   }
   out.ok = true;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion. Runs once per decoded function, after the plain
+// stream is final: dependent pairs/triples inside a group are merged into
+// single fused micro-ops. Fusion is greedy left-to-right, 3-wide patterns
+// before their 2-wide prefixes, and never crosses a group boundary (so a
+// group's aggregate cost — always the plain sum — is unchanged). Every
+// constituent's register/slot write is preserved by the fused handler, so
+// the machine state after a fused op is bit-identical to the plain
+// sequence even when later code reads an intermediate value.
+// ---------------------------------------------------------------------------
+
+// Tries to fuse the `n` remaining group members starting at `m[0]` into
+// one superinstruction. Returns the number of members consumed (2 or 3)
+// with `out` filled per the layout table in decode.hpp, or 0 when no
+// pattern matches. The caller stamps out.aux (plain index of m[0]).
+std::uint32_t try_fuse(const MicroInstr* m, std::uint32_t n,
+                       MicroInstr& out) {
+  const MicroInstr& a = m[0];
+  const MicroInstr* b = n >= 2 ? &m[1] : nullptr;
+  const MicroInstr* c = n >= 3 ? &m[2] : nullptr;
+
+  const auto is_bound = [](UOp op) {
+    return op == UOp::kBoundSw || op == UOp::kBoundBnd ||
+           op == UOp::kBoundShadow;
+  };
+  const auto is_cmp = [](BinOp op) {
+    return op == BinOp::kCmpEq || op == BinOp::kCmpNe ||
+           op == BinOp::kCmpLt || op == BinOp::kCmpLe ||
+           op == BinOp::kCmpGt || op == BinOp::kCmpGe;
+  };
+  const auto bin_reads = [](const MicroInstr& bin, std::int32_t reg) {
+    return bin.src0 == reg || bin.src1 == reg;
+  };
+
+  if (c != nullptr) {
+    // kLoadLocal + kBin reading it + kStoreLocal of the bin's result.
+    // Scalar locals only: a pointer-typed local copy books a mode-scaled
+    // ptr event, which would make the fused cost config-dependent.
+    if (a.op == UOp::kLoadLocal && !a.is_ptr && b->op == UOp::kBin &&
+        bin_reads(*b, a.dst) && c->op == UOp::kStoreLocal && !c->is_ptr &&
+        c->src0 == b->dst) {
+      out = *b;
+      out.op = UOp::kFusedLoadBinStore;
+      out.slot = a.slot;
+      out.imm = static_cast<std::uint32_t>(a.dst);
+      out.symbol = c->slot;
+      out.src = a.src;
+      return 3;
+    }
+    // kPtrAdd + kBound* on its result + kLoad/kStore through it.
+    if (a.op == UOp::kPtrAdd && is_bound(b->op) && b->src0 == a.dst &&
+        (c->op == UOp::kLoad || c->op == UOp::kStore) && c->src0 == a.dst) {
+      out = *c;
+      out.op = c->op == UOp::kLoad ? UOp::kFusedPtrAddBoundLoad
+                                   : UOp::kFusedPtrAddBoundStore;
+      out.sub_op = b->op;
+      out.dst = c->op == UOp::kLoad ? c->dst : c->src1;
+      out.src0 = a.src0;
+      out.src1 = a.src1;
+      out.slot = a.dst;
+      out.src = a.src;
+      return 3;
+    }
+  }
+  if (b == nullptr) {
+    return 0;
+  }
+  // kPtrAdd + kBound* on its result (the access itself didn't follow
+  // immediately, or was itemized away).
+  if (a.op == UOp::kPtrAdd && is_bound(b->op) && b->src0 == a.dst) {
+    out = a;
+    out.op = UOp::kFusedPtrAddBound;
+    out.sub_op = b->op;
+    out.slot = a.dst;
+    out.is_ptr = false;
+    return 2;
+  }
+  // kPtrAdd + kLoad/kStore through it (unchecked and hardware-checked
+  // modes have no bound micro-op between the two).
+  if (a.op == UOp::kPtrAdd && (b->op == UOp::kLoad || b->op == UOp::kStore) &&
+      b->src0 == a.dst) {
+    out = *b;
+    out.op =
+        b->op == UOp::kLoad ? UOp::kFusedPtrAddLoad : UOp::kFusedPtrAddStore;
+    out.dst = b->op == UOp::kLoad ? b->dst : b->src1;
+    out.src0 = a.src0;
+    out.src1 = a.src1;
+    out.slot = a.dst;
+    out.src = a.src;
+    return 2;
+  }
+  // kConstInt + kBin reading the constant.
+  if (a.op == UOp::kConstInt && b->op == UOp::kBin && bin_reads(*b, a.dst)) {
+    out = *b;
+    out.op = UOp::kFusedConstBin;
+    out.imm = a.imm;
+    out.slot = a.dst;
+    out.src = a.src;
+    return 2;
+  }
+  // Scalar kLoadLocal + kBin reading it.
+  if (a.op == UOp::kLoadLocal && !a.is_ptr && b->op == UOp::kBin &&
+      bin_reads(*b, a.dst)) {
+    out = *b;
+    out.op = UOp::kFusedLoadLocalBin;
+    out.slot = a.slot;
+    out.imm = static_cast<std::uint32_t>(a.dst);
+    out.src = a.src;
+    return 2;
+  }
+  // kBin + scalar kStoreLocal of its result.
+  if (a.op == UOp::kBin && b->op == UOp::kStoreLocal && !b->is_ptr &&
+      b->src0 == a.dst) {
+    out = a;
+    out.op = UOp::kFusedBinStoreLocal;
+    out.slot = b->slot;
+    return 2;
+  }
+  // Compare + kBranch on its result. Compares only: they can never fault,
+  // so the fused op is a pure terminator with no cold path.
+  if (a.op == UOp::kBin && is_cmp(a.bin_op) && b->op == UOp::kBranch &&
+      b->src0 == a.dst) {
+    out = a;
+    out.op = UOp::kFusedCmpBranch;
+    out.target0 = b->target0;
+    out.target1 = b->target1;
+    return 2;
+  }
+  return 0;
+}
+
+// Builds fn.fused from fn.plain and fills fn.stats. Targets and block
+// entries are remapped into the fused index space; group headers keep
+// their IR-instruction count (and the plain aggregate cost) while imm
+// becomes the fused member count.
+void fuse_function(DecodedFunction& fn) {
+  const UopStream& plain = fn.plain;
+  UopStream out;
+  out.uops.reserve(plain.uops.size());
+  out.groups.reserve(plain.groups.size());
+  std::vector<std::uint32_t> remap(plain.uops.size(), 0);
+  std::size_t i = 0;
+  while (i < plain.uops.size()) {
+    const MicroInstr& u = plain.uops[i];
+    remap[i] = static_cast<std::uint32_t>(out.uops.size());
+    if (u.op != UOp::kGroup) {
+      out.uops.push_back(u);
+      ++i;
+      continue;
+    }
+    const std::uint32_t first = static_cast<std::uint32_t>(i) + 1;
+    const std::uint32_t n = u.imm;
+    MicroInstr head = u;
+    head.aux = static_cast<std::uint32_t>(out.groups.size());
+    const std::size_t head_at = out.uops.size();
+    out.uops.push_back(head);
+    std::uint32_t j = 0;
+    while (j < n) {
+      const std::uint32_t at = first + j;
+      remap[at] = static_cast<std::uint32_t>(out.uops.size());
+      MicroInstr f;
+      const std::uint32_t w = try_fuse(&plain.uops[at], n - j, f);
+      if (w > 1) {
+        f.aux = at;
+        out.uops.push_back(f);
+        fn.stats.fused_uops += 1;
+        fn.stats.fused_instrs += w;
+        j += w;
+      } else {
+        out.uops.push_back(plain.uops[at]);
+        j += 1;
+      }
+    }
+    fn.stats.foldable_instrs += n;
+    out.uops[head_at].imm =
+        static_cast<std::uint32_t>(out.uops.size() - head_at - 1);
+    out.groups.push_back(plain.groups[u.aux]); // count/cost/plain_first kept
+    i = static_cast<std::size_t>(first) + n;
+  }
+  // Retarget control flow into the fused index space. Targets are always
+  // block entries — group headers, itemized ops or kBlockEndError — all of
+  // which begin a fused-stream micro-op and so have remap entries.
+  for (MicroInstr& m : out.uops) {
+    if (m.op == UOp::kJump) {
+      m.target0 = remap[m.target0];
+    } else if (m.op == UOp::kBranch || m.op == UOp::kFusedCmpBranch) {
+      m.target0 = remap[m.target0];
+      m.target1 = remap[m.target1];
+    }
+  }
+  out.block_entry.resize(plain.block_entry.size());
+  for (std::size_t b = 0; b < plain.block_entry.size(); ++b) {
+    out.block_entry[b] = remap[plain.block_entry[b]];
+  }
+  fn.fused = std::move(out);
 }
 
 } // namespace
@@ -484,6 +737,9 @@ DecodedProgram::DecodedProgram(const ir::Module& module) : module_(&module) {
   for (std::size_t i = 0; i < module.functions.size(); ++i) {
     functions_.push_back(
         decode_function(module, *module.functions[i], fn_index, sym_kind));
+    if (functions_.back().ok) {
+      fuse_function(functions_.back());
+    }
     ok_ = ok_ && functions_.back().ok;
   }
   index_ = std::move(fn_index);
@@ -495,7 +751,96 @@ DecodedProgram::DecodedProgram(const ir::Module& module) : module_(&module) {
 // fault) is documented per-site there; here straight-line accounting is
 // instead folded per group and reconstructed itemized on the cold paths
 // (fault inside a group, instruction budget tripping mid-group).
+//
+// Group members are dispatched through a computed-goto dispatch table on
+// GCC/Clang (one indirect branch per handler, so the host branch predictor
+// learns per-opcode successor patterns) and through an equivalent switch
+// over the same labels elsewhere. The itemized outer loop keeps its
+// switch: its ops are rare and heavyweight, so dispatch cost is noise
+// there. Which member stream runs — plain or fused — is chosen per frame
+// from MachineConfig.enable_fusion / $CASH_NO_FUSION; cold paths always
+// itemize from the plain stream, so fused runs fault, truncate and charge
+// exactly like unfused ones.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// Executes one kBin-shaped operation (also embedded in every Fused*Bin*
+// superinstruction). Returns 0 on success, 1 = integer division by zero,
+// 2 = integer division overflow, 3 = float operand to an integer-only
+// operator; `out` is what the interpreter writes to the destination
+// register for that outcome (value-initialised on error).
+CASH_HOT_INLINE
+inline int exec_bin(const MicroInstr& v, const Value a, const Value b,
+                    Value& out) noexcept {
+  if (v.type == ir::Type::kFloat) {
+    const float x = as_float(a);
+    const float y = as_float(b);
+    switch (v.bin_op) {
+      case BinOp::kAdd: out = from_float(x + y); return 0;
+      case BinOp::kSub: out = from_float(x - y); return 0;
+      case BinOp::kMul: out = from_float(x * y); return 0;
+      case BinOp::kDiv: out = from_float(x / y); return 0;
+      case BinOp::kCmpEq: out = from_int(x == y); return 0;
+      case BinOp::kCmpNe: out = from_int(x != y); return 0;
+      case BinOp::kCmpLt: out = from_int(x < y); return 0;
+      case BinOp::kCmpLe: out = from_int(x <= y); return 0;
+      case BinOp::kCmpGt: out = from_int(x > y); return 0;
+      case BinOp::kCmpGe: out = from_int(x >= y); return 0;
+      default: return 3;
+    }
+  }
+  const std::int32_t x = as_int(a);
+  const std::int32_t y = as_int(b);
+  const std::uint32_t ux = a.bits;
+  const std::uint32_t uy = b.bits;
+  switch (v.bin_op) {
+    case BinOp::kAdd: out = Value{ux + uy, 0}; return 0;
+    case BinOp::kSub: out = Value{ux - uy, 0}; return 0;
+    case BinOp::kMul: out = Value{ux * uy, 0}; return 0;
+    case BinOp::kDiv:
+    case BinOp::kRem:
+      if (y == 0 ||
+          (x == std::numeric_limits<std::int32_t>::min() && y == -1)) {
+        return y == 0 ? 1 : 2;
+      }
+      out = from_int(v.bin_op == BinOp::kDiv ? x / y : x % y);
+      return 0;
+    case BinOp::kAnd: out = from_int(x & y); return 0;
+    case BinOp::kOr:  out = from_int(x | y); return 0;
+    case BinOp::kXor: out = from_int(x ^ y); return 0;
+    case BinOp::kShl: out = Value{ux << (uy & 31), 0}; return 0;
+    case BinOp::kShr:
+      out = from_int(static_cast<std::int32_t>(x >> (y & 31)));
+      return 0;
+    case BinOp::kCmpEq: out = from_int(x == y); return 0;
+    case BinOp::kCmpNe: out = from_int(x != y); return 0;
+    case BinOp::kCmpLt: out = from_int(x < y); return 0;
+    case BinOp::kCmpLe: out = from_int(x <= y); return 0;
+    case BinOp::kCmpGt: out = from_int(x > y); return 0;
+    case BinOp::kCmpGe: out = from_int(x >= y); return 0;
+  }
+  return 0;
+}
+
+} // namespace
+
+// Handler chaining: in threaded mode every handler ends in its own
+// indirect branch off the dispatch table; the portable fallback funnels
+// back through the member_dispatch switch.
+#if CASH_THREADED_DISPATCH
+#define CASH_MEMBER_NEXT()                                       \
+  do {                                                           \
+    if (++pc >= end) goto group_done;                            \
+    goto* kDispatch[static_cast<std::size_t>(mcode[pc].op)];     \
+  } while (0)
+#else
+#define CASH_MEMBER_NEXT() \
+  do {                     \
+    ++pc;                  \
+    goto member_dispatch;  \
+  } while (0)
+#endif
 
 RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
   const DecodedProgram& prog = *impl.decoded;
@@ -516,8 +861,14 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
   const std::uint32_t* flat_gdata = impl.flat_global_data.data();
   const std::uint32_t* flat_ginfo = impl.flat_global_info.data();
 
+  // One stream choice serves the whole run: the image is immutable and
+  // both streams are always present, so this is pure selection.
+  const bool fusion_on =
+      impl.config.enable_fusion && std::getenv("CASH_NO_FUSION") == nullptr;
+
   struct DFrame {
     const DecodedFunction* dfn{nullptr};
+    const UopStream* stream{nullptr}; // plain or fused, fixed per run
     std::vector<Value> regs;
     std::vector<Value> slots;
     std::uint32_t pc{0};
@@ -571,9 +922,10 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     const ir::Function* fn = dfn->fn;
     DFrame frame;
     frame.dfn = dfn;
+    frame.stream = fusion_on ? &dfn->fused : &dfn->plain;
     frame.regs.resize(static_cast<std::size_t>(fn->next_reg));
     frame.slots.resize(fn->locals.size());
-    frame.pc = dfn->block_entry[static_cast<std::size_t>(fn->entry)];
+    frame.pc = frame.stream->block_entry[static_cast<std::size_t>(fn->entry)];
     frame.ret_dst = ret_dst;
     frame.saved_sp = impl.sp;
     frame.array_data.assign(fn->locals.size(), 0);
@@ -648,6 +1000,128 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     account_span(frames.empty() ? nullptr : frames.back().dfn->fn);
   };
 
+  // Member-loop working set. Function scope (not per-group locals) so the
+  // computed gotos between handlers never jump across an initialization.
+  const MicroInstr* mcode = nullptr; // member array the hot loop executes
+  const MicroInstr* pcode = nullptr; // plain constituents (cold paths)
+  const FoldedGroup* grp = nullptr;
+  Value* regs = nullptr;
+  Value* slots = nullptr;
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t next_pc = 0;
+  std::uint32_t pstart = 0;    // plain index of the group's first member
+  std::uint32_t fault_sub = 0; // faulting constituent within a fused op
+  int partial = 0;             // fault charge: 0 = none, 1 = mem, 2 = full
+  bool truncated = false;
+
+  // Loads through `v`'s segment/rebase into regs[v.dst]; `addr` is the
+  // pointer value (for plain kLoad that is regs[v.src0], for fused ops the
+  // just-computed ptr-add result). Returns 0 on success, 1 after an MMU
+  // fault (memory partial charge), 2 after a GP through an unloaded
+  // segment register (no charge); calls fail() itself.
+  const auto exec_load = [&](const MicroInstr& v, const Value addr,
+                             const ir::Instr* src) CASH_HOT_INLINE -> int {
+    SegReg seg = SegReg::kDs;
+    std::uint32_t offset = addr.bits;
+    if (v.rebased) {
+      seg = static_cast<SegReg>(v.seg);
+      const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
+      if (!sr.valid) {
+        fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
+                   "rebased access through unloaded segment register"},
+             src);
+        return 2;
+      }
+      offset = addr.bits - sr.cached.base();
+    }
+    Result<std::uint32_t> loaded = mmu.read32(seg, offset);
+    if (!loaded.ok()) {
+      fail(loaded.fault(), src);
+      return 1;
+    }
+    std::uint32_t info = 0;
+    if (v.is_ptr) {
+      const std::uint32_t linear =
+          v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset : offset;
+      const auto it = mem_ptr_info.find(linear);
+      info = it != mem_ptr_info.end() ? it->second : 0;
+    }
+    regs[v.dst] = Value{loaded.value(), info};
+    return 0;
+  };
+
+  // Store counterpart of exec_load; `val` is the stored register's value.
+  const auto exec_store =
+      [&](const MicroInstr& v, const Value addr, const Value val,
+          const ir::Instr* src) CASH_HOT_INLINE -> int {
+    SegReg seg = SegReg::kDs;
+    std::uint32_t offset = addr.bits;
+    if (v.rebased) {
+      seg = static_cast<SegReg>(v.seg);
+      const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
+      if (!sr.valid) {
+        fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
+                   "rebased access through unloaded segment register"},
+             src);
+        return 2;
+      }
+      offset = addr.bits - sr.cached.base();
+    }
+    Status status = mmu.write32(seg, offset, val.bits);
+    if (!status.ok()) {
+      fail(status.fault(), src);
+      return 1;
+    }
+    if (v.is_ptr) {
+      const std::uint32_t linear =
+          v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset : offset;
+      mem_ptr_info[linear] = val.info;
+    }
+    return 0;
+  };
+
+  // Software-visible bound check (kBoundSw/kBoundBnd/kBoundShadow, plain
+  // or fused via sub_op). True when the check fired; calls fail() itself.
+  const auto bound_fault = [&](UOp kind, const Value addr,
+                               const ir::Instr* src) CASH_HOT_INLINE -> bool {
+    if (addr.info == 0) {
+      return false;
+    }
+    Result<std::uint32_t> lower =
+        mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
+    Result<std::uint32_t> upper =
+        mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
+    if (!lower.ok() || !upper.ok()) {
+      return false;
+    }
+    if (addr.bits >= lower.value() && addr.bits + 4 <= upper.value()) {
+      return false;
+    }
+    std::ostringstream detail;
+    detail << (kind == UOp::kBoundBnd   ? "bound instruction"
+               : kind == UOp::kBoundSw ? "software check"
+                                       : "shadow-processor check")
+           << ": address 0x" << std::hex << addr.bits << " outside [0x"
+           << lower.value() << ", 0x" << upper.value() << ")";
+    fail(Fault{FaultKind::kBoundRange, addr.bits, 0, detail.str()}, src);
+    return true;
+  };
+
+  // Books a nonzero exec_bin status the way the interpreter does: #DE
+  // faults through fail(), the float-operand misuse as a plain error.
+  const auto bin_fail = [&](int st, const ir::Instr* src) {
+    if (st == 3) {
+      result.error = "float operand to integer-only operator";
+    } else {
+      fail(Fault{FaultKind::kInvalidOpcode, 0, 0,
+                 st == 1 ? "integer division by zero"
+                         : "integer division overflow"},
+           src);
+    }
+  };
+
   const DecodedFunction* entry_dfn = prog.function(entry);
   if (entry_dfn == nullptr) {
     result.error = "no such function: " + (entry ? entry->name : "<null>");
@@ -658,268 +1132,268 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     return result;
   }
 
+#if CASH_THREADED_DISPATCH
+  // Label-address dispatch table, indexed by UOp. Group headers and
+  // itemized micro-ops never appear as group members; they map to the
+  // corrupt-stream handler.
+  static const void* const kDispatch[] = {
+      &&m_corrupt,      // kGroup
+      &&m_const,        // kConstInt
+      &&m_const,        // kConstFloat
+      &&m_move,         // kMove
+      &&m_bin,          // kBin
+      &&m_un,           // kUn
+      &&m_load,         // kLoad
+      &&m_store,        // kStore
+      &&m_load_local,   // kLoadLocal
+      &&m_store_local,  // kStoreLocal
+      &&m_load_global,  // kLoadGlobal
+      &&m_store_global, // kStoreGlobal
+      &&m_addr_local,   // kAddrLocal
+      &&m_addr_global,  // kAddrGlobal
+      &&m_ptr_add,      // kPtrAdd
+      &&m_bound,        // kBoundSw
+      &&m_bound,        // kBoundBnd
+      &&m_bound,        // kBoundShadow
+      &&m_builtin,      // kBuiltin
+      &&m_jump,         // kJump
+      &&m_branch,       // kBranch
+      &&m_fused_const_bin,
+      &&m_fused_load_local_bin,
+      &&m_fused_bin_store_local,
+      &&m_fused_load_bin_store,
+      &&m_fused_cmp_branch,
+      &&m_fused_ptr_add_bound,
+      &&m_fused_ptr_add_load,
+      &&m_fused_ptr_add_store,
+      &&m_fused_ptr_add_bound_load,
+      &&m_fused_ptr_add_bound_store,
+      &&m_corrupt, // kSegLoad
+      &&m_corrupt, // kCallUser
+      &&m_corrupt, // kMalloc
+      &&m_corrupt, // kFree
+      &&m_corrupt, // kRet
+      &&m_corrupt, // kBlockEndError
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                    static_cast<std::size_t>(UOp::kCount),
+                "dispatch table must cover every UOp");
+#endif
+
   while (!frames.empty()) {
     DFrame& frame = frames.back();
-    const MicroInstr* code = frame.dfn->uops.data();
+    const MicroInstr* code = frame.stream->uops.data();
     const MicroInstr& u = code[frame.pc];
     switch (u.op) {
       case UOp::kGroup: {
-        const FoldedGroup& g = frame.dfn->groups[u.aux];
-        Value* regs = frame.regs.data();
-        Value* slots = frame.slots.data();
-        const std::uint32_t start = frame.pc + 1;
-        std::uint32_t end = start + u.imm;
-        std::uint32_t next_pc = end;
-        int partial = 0; // fault charge: 0 = none, 1 = mem, 2 = full
-        bool truncated = false;
-        if (ctr.instructions + g.count > max_instructions) {
-          // The budget trips mid-group: run only the members the
+        grp = &frame.stream->groups[u.aux];
+        regs = frame.regs.data();
+        slots = frame.slots.data();
+        pcode = frame.dfn->plain.uops.data();
+        pstart = grp->plain_first;
+        start = frame.pc + 1;
+        end = start + u.imm;
+        next_pc = end;
+        partial = 0;
+        fault_sub = 0;
+        truncated = false;
+        mcode = code;
+        if (ctr.instructions + grp->count > max_instructions) {
+          // The budget trips mid-group: run only the IR instructions the
           // interpreter would have executed (the terminator, always last,
-          // is never among them), then charge them itemized below.
-          end = start + static_cast<std::uint32_t>(max_instructions -
-                                                   ctr.instructions);
+          // is never among them), itemized from the plain stream — fused
+          // members are not 1:1 with instructions, plain members are.
+          mcode = pcode;
+          start = pstart;
+          end = pstart + static_cast<std::uint32_t>(max_instructions -
+                                                    ctr.instructions);
           truncated = true;
         }
-        std::uint32_t pc = start;
-        for (; pc < end; ++pc) {
-          const MicroInstr& v = code[pc];
-          switch (v.op) {
-            case UOp::kConstInt:
-            case UOp::kConstFloat:
-              regs[v.dst] = Value{v.imm, 0};
-              break;
-            case UOp::kMove:
-              regs[v.dst] = regs[v.src0];
-              break;
-            case UOp::kBin: {
-              const Value a = regs[v.src0];
-              const Value b = regs[v.src1];
-              Value out;
-              if (v.type == ir::Type::kFloat) {
-                const float x = as_float(a);
-                const float y = as_float(b);
-                switch (v.bin_op) {
-                  case BinOp::kAdd: out = from_float(x + y); break;
-                  case BinOp::kSub: out = from_float(x - y); break;
-                  case BinOp::kMul: out = from_float(x * y); break;
-                  case BinOp::kDiv: out = from_float(x / y); break;
-                  case BinOp::kCmpEq: out = from_int(x == y); break;
-                  case BinOp::kCmpNe: out = from_int(x != y); break;
-                  case BinOp::kCmpLt: out = from_int(x < y); break;
-                  case BinOp::kCmpLe: out = from_int(x <= y); break;
-                  case BinOp::kCmpGt: out = from_int(x > y); break;
-                  case BinOp::kCmpGe: out = from_int(x >= y); break;
-                  default:
-                    regs[v.dst] = out;
-                    result.error = "float operand to integer-only operator";
-                    partial = 2;
-                    goto group_fault;
-                }
-              } else {
-                const std::int32_t x = as_int(a);
-                const std::int32_t y = as_int(b);
-                const std::uint32_t ux = a.bits;
-                const std::uint32_t uy = b.bits;
-                switch (v.bin_op) {
-                  case BinOp::kAdd: out = Value{ux + uy, 0}; break;
-                  case BinOp::kSub: out = Value{ux - uy, 0}; break;
-                  case BinOp::kMul: out = Value{ux * uy, 0}; break;
-                  case BinOp::kDiv:
-                  case BinOp::kRem:
-                    if (y == 0 ||
-                        (x == std::numeric_limits<std::int32_t>::min() &&
-                         y == -1)) {
-                      regs[v.dst] = out;
-                      fail(Fault{FaultKind::kInvalidOpcode, 0, 0,
-                                 y == 0 ? "integer division by zero"
-                                        : "integer division overflow"},
-                           v.src);
-                      partial = 2;
-                      goto group_fault;
-                    }
-                    out = from_int(v.bin_op == BinOp::kDiv ? x / y : x % y);
-                    break;
-                  case BinOp::kAnd: out = from_int(x & y); break;
-                  case BinOp::kOr:  out = from_int(x | y); break;
-                  case BinOp::kXor: out = from_int(x ^ y); break;
-                  case BinOp::kShl: out = Value{ux << (uy & 31), 0}; break;
-                  case BinOp::kShr:
-                    out = from_int(static_cast<std::int32_t>(x >> (y & 31)));
-                    break;
-                  case BinOp::kCmpEq: out = from_int(x == y); break;
-                  case BinOp::kCmpNe: out = from_int(x != y); break;
-                  case BinOp::kCmpLt: out = from_int(x < y); break;
-                  case BinOp::kCmpLe: out = from_int(x <= y); break;
-                  case BinOp::kCmpGt: out = from_int(x > y); break;
-                  case BinOp::kCmpGe: out = from_int(x >= y); break;
-                }
-              }
-              regs[v.dst] = out;
-              break;
-            }
-            case UOp::kUn: {
-              const Value a = regs[v.src0];
-              Value out;
-              switch (v.un_op) {
-                case UnOp::kNeg:
-                  out = v.type == ir::Type::kFloat ? from_float(-as_float(a))
-                                                   : from_int(-as_int(a));
-                  break;
-                case UnOp::kLogicalNot: out = from_int(as_int(a) == 0); break;
-                case UnOp::kBitNot:     out = from_int(~as_int(a)); break;
-                case UnOp::kIntToFloat:
-                  out = from_float(static_cast<float>(as_int(a)));
-                  break;
-                case UnOp::kFloatToInt:
-                  out = from_int(static_cast<std::int32_t>(as_float(a)));
-                  break;
-              }
-              regs[v.dst] = out;
-              break;
-            }
-            case UOp::kLoad: {
-              const Value addr = regs[v.src0];
-              SegReg seg = SegReg::kDs;
-              std::uint32_t offset = addr.bits;
-              if (v.rebased) {
-                seg = static_cast<SegReg>(v.seg);
-                const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
-                if (!sr.valid) {
-                  fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
-                             "rebased access through unloaded segment "
-                             "register"},
-                       v.src);
-                  partial = 0;
-                  goto group_fault;
-                }
-                offset = addr.bits - sr.cached.base();
-              }
-              Result<std::uint32_t> loaded = mmu.read32(seg, offset);
-              if (!loaded.ok()) {
-                fail(loaded.fault(), v.src);
-                partial = 1;
-                goto group_fault;
-              }
-              std::uint32_t info = 0;
-              if (v.is_ptr) {
-                const std::uint32_t linear =
-                    v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset
-                              : offset;
-                const auto it = mem_ptr_info.find(linear);
-                info = it != mem_ptr_info.end() ? it->second : 0;
-              }
-              regs[v.dst] = Value{loaded.value(), info};
-              break;
-            }
-            case UOp::kStore: {
-              const Value addr = regs[v.src0];
-              SegReg seg = SegReg::kDs;
-              std::uint32_t offset = addr.bits;
-              if (v.rebased) {
-                seg = static_cast<SegReg>(v.seg);
-                const x86seg::SegmentRegister& sr = impl.seg_unit.reg(seg);
-                if (!sr.valid) {
-                  fail(Fault{FaultKind::kGeneralProtection, addr.bits, 0,
-                             "rebased access through unloaded segment "
-                             "register"},
-                       v.src);
-                  partial = 0;
-                  goto group_fault;
-                }
-                offset = addr.bits - sr.cached.base();
-              }
-              Status status = mmu.write32(seg, offset, regs[v.src1].bits);
-              if (!status.ok()) {
-                fail(status.fault(), v.src);
-                partial = 1;
-                goto group_fault;
-              }
-              if (v.is_ptr) {
-                const std::uint32_t linear =
-                    v.rebased ? impl.seg_unit.reg(seg).cached.base() + offset
-                              : offset;
-                mem_ptr_info[linear] = regs[v.src1].info;
-              }
-              break;
-            }
-            case UOp::kLoadLocal:
-              regs[v.dst] = slots[v.slot];
-              break;
-            case UOp::kStoreLocal:
-              slots[v.slot] = regs[v.src0];
-              break;
-            case UOp::kLoadGlobal: {
-              const std::uint32_t addr = flat_scalar[v.symbol];
-              Result<std::uint32_t> loaded = mmu.read32_linear(addr);
-              if (!loaded.ok()) {
-                fail(loaded.fault(), v.src);
-                partial = 0;
-                goto group_fault;
-              }
-              std::uint32_t info = 0;
-              if (v.is_ptr) {
-                const auto it = mem_ptr_info.find(addr);
-                info = it != mem_ptr_info.end() ? it->second : 0;
-              }
-              regs[v.dst] = Value{loaded.value(), info};
-              break;
-            }
-            case UOp::kStoreGlobal: {
-              const std::uint32_t addr = flat_scalar[v.symbol];
-              Status status = mmu.write32_linear(addr, regs[v.src0].bits);
-              if (!status.ok()) {
-                fail(status.fault(), v.src);
-                partial = 0;
-                goto group_fault;
-              }
-              if (v.is_ptr) {
-                mem_ptr_info[addr] = regs[v.src0].info;
-              }
-              break;
-            }
-            case UOp::kAddrLocal:
-              regs[v.dst] = Value{frame.array_data[v.slot],
-                                  frame.array_info[v.slot]};
-              break;
-            case UOp::kAddrGlobal:
-              regs[v.dst] = Value{flat_gdata[v.symbol], flat_ginfo[v.symbol]};
-              break;
-            case UOp::kPtrAdd: {
-              const Value base = regs[v.src0];
-              regs[v.dst] = Value{base.bits + regs[v.src1].bits, base.info};
-              break;
-            }
-            case UOp::kBoundSw:
-            case UOp::kBoundBnd:
-            case UOp::kBoundShadow: {
-              const Value addr = regs[v.src0];
-              if (addr.info != 0) {
-                Result<std::uint32_t> lower =
-                    mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
-                Result<std::uint32_t> upper =
-                    mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
-                if (lower.ok() && upper.ok() &&
-                    (addr.bits < lower.value() ||
-                     addr.bits + 4 > upper.value())) {
-                  std::ostringstream detail;
-                  detail << (v.op == UOp::kBoundBnd ? "bound instruction"
-                             : v.op == UOp::kBoundSw
-                                 ? "software check"
-                                 : "shadow-processor check")
-                         << ": address 0x" << std::hex << addr.bits
-                         << " outside [0x" << lower.value() << ", 0x"
-                         << upper.value() << ")";
-                  fail(Fault{FaultKind::kBoundRange, addr.bits, 0,
-                             detail.str()},
-                       v.src);
-                  partial = 2;
-                  goto group_fault;
-                }
-              }
-              break;
-            }
-            case UOp::kBuiltin:
-              switch (v.builtin) {
+        pc = start;
+        goto member_dispatch;
+
+      member_dispatch:
+        if (pc >= end) goto group_done;
+#if CASH_THREADED_DISPATCH
+        goto* kDispatch[static_cast<std::size_t>(mcode[pc].op)];
+#else
+        switch (mcode[pc].op) {
+          case UOp::kConstInt:
+          case UOp::kConstFloat: goto m_const;
+          case UOp::kMove: goto m_move;
+          case UOp::kBin: goto m_bin;
+          case UOp::kUn: goto m_un;
+          case UOp::kLoad: goto m_load;
+          case UOp::kStore: goto m_store;
+          case UOp::kLoadLocal: goto m_load_local;
+          case UOp::kStoreLocal: goto m_store_local;
+          case UOp::kLoadGlobal: goto m_load_global;
+          case UOp::kStoreGlobal: goto m_store_global;
+          case UOp::kAddrLocal: goto m_addr_local;
+          case UOp::kAddrGlobal: goto m_addr_global;
+          case UOp::kPtrAdd: goto m_ptr_add;
+          case UOp::kBoundSw:
+          case UOp::kBoundBnd:
+          case UOp::kBoundShadow: goto m_bound;
+          case UOp::kBuiltin: goto m_builtin;
+          case UOp::kJump: goto m_jump;
+          case UOp::kBranch: goto m_branch;
+          case UOp::kFusedConstBin: goto m_fused_const_bin;
+          case UOp::kFusedLoadLocalBin: goto m_fused_load_local_bin;
+          case UOp::kFusedBinStoreLocal: goto m_fused_bin_store_local;
+          case UOp::kFusedLoadBinStore: goto m_fused_load_bin_store;
+          case UOp::kFusedCmpBranch: goto m_fused_cmp_branch;
+          case UOp::kFusedPtrAddBound: goto m_fused_ptr_add_bound;
+          case UOp::kFusedPtrAddLoad: goto m_fused_ptr_add_load;
+          case UOp::kFusedPtrAddStore: goto m_fused_ptr_add_store;
+          case UOp::kFusedPtrAddBoundLoad: goto m_fused_ptr_add_bound_load;
+          case UOp::kFusedPtrAddBoundStore: goto m_fused_ptr_add_bound_store;
+          default: goto m_corrupt;
+        }
+#endif
+
+      m_const: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.dst] = Value{v.imm, 0};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_move: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.dst] = regs[v.src0];
+      }
+        CASH_MEMBER_NEXT();
+
+      m_bin: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_un: {
+        const MicroInstr& v = mcode[pc];
+        const Value a = regs[v.src0];
+        Value out;
+        switch (v.un_op) {
+          case UnOp::kNeg:
+            out = v.type == ir::Type::kFloat ? from_float(-as_float(a))
+                                             : from_int(-as_int(a));
+            break;
+          case UnOp::kLogicalNot: out = from_int(as_int(a) == 0); break;
+          case UnOp::kBitNot:     out = from_int(~as_int(a)); break;
+          case UnOp::kIntToFloat:
+            out = from_float(static_cast<float>(as_int(a)));
+            break;
+          case UnOp::kFloatToInt:
+            out = from_int(static_cast<std::int32_t>(as_float(a)));
+            break;
+        }
+        regs[v.dst] = out;
+      }
+        CASH_MEMBER_NEXT();
+      m_load: {
+        const MicroInstr& v = mcode[pc];
+        const int st = exec_load(v, regs[v.src0], v.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_store: {
+        const MicroInstr& v = mcode[pc];
+        const int st = exec_store(v, regs[v.src0], regs[v.src1], v.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_load_local: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.dst] = slots[v.slot];
+      }
+        CASH_MEMBER_NEXT();
+
+      m_store_local: {
+        const MicroInstr& v = mcode[pc];
+        slots[v.slot] = regs[v.src0];
+      }
+        CASH_MEMBER_NEXT();
+
+      m_load_global: {
+        const MicroInstr& v = mcode[pc];
+        const std::uint32_t addr = flat_scalar[v.symbol];
+        Result<std::uint32_t> loaded = mmu.read32_linear(addr);
+        if (!loaded.ok()) {
+          fail(loaded.fault(), v.src);
+          partial = 0;
+          goto group_fault;
+        }
+        std::uint32_t info = 0;
+        if (v.is_ptr) {
+          const auto it = mem_ptr_info.find(addr);
+          info = it != mem_ptr_info.end() ? it->second : 0;
+        }
+        regs[v.dst] = Value{loaded.value(), info};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_store_global: {
+        const MicroInstr& v = mcode[pc];
+        const std::uint32_t addr = flat_scalar[v.symbol];
+        Status status = mmu.write32_linear(addr, regs[v.src0].bits);
+        if (!status.ok()) {
+          fail(status.fault(), v.src);
+          partial = 0;
+          goto group_fault;
+        }
+        if (v.is_ptr) {
+          mem_ptr_info[addr] = regs[v.src0].info;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_addr_local: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.dst] =
+            Value{frame.array_data[v.slot], frame.array_info[v.slot]};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_addr_global: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.dst] = Value{flat_gdata[v.symbol], flat_ginfo[v.symbol]};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_ptr_add: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        regs[v.dst] = Value{base.bits + regs[v.src1].bits, base.info};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_bound: {
+        const MicroInstr& v = mcode[pc];
+        if (bound_fault(v.op, regs[v.src0], v.src)) {
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+      m_builtin: {
+        const MicroInstr& v = mcode[pc];
+        switch (v.builtin) {
                 case Builtin::kSqrt:
                   regs[v.dst] =
                       from_float(std::sqrt(as_float(regs[v.src0])));
@@ -979,52 +1453,225 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
                   break;
                 default:
                   break;
-              }
-              break;
-            case UOp::kJump:
-              next_pc = v.target0;
-              goto group_done;
-            case UOp::kBranch:
-              next_pc =
-                  as_int(regs[v.src0]) != 0 ? v.target0 : v.target1;
-              goto group_done;
-            default:
-              break; // unreachable: groups hold foldable ops only
-          }
         }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_jump:
+        next_pc = mcode[pc].target0;
+        goto group_done;
+
+      m_branch: {
+        const MicroInstr& v = mcode[pc];
+        next_pc = as_int(regs[v.src0]) != 0 ? v.target0 : v.target1;
+        goto group_done;
+      }
+
+      // --- fused superinstructions. Each preserves every constituent's
+      // register/slot write and, on a fault, records which constituent
+      // faulted (fault_sub) so group_fault can reconstruct the itemized
+      // charge from the plain stream. Fault context comes from the
+      // constituent's own source instruction: pcode[v.aux + k].src.
+
+      m_fused_const_bin: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.slot] = Value{v.imm, 0};
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_load_local_bin: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_bin_store_local: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux].src);
+          partial = 2;
+          fault_sub = 0;
+          goto group_fault;
+        }
+        slots[v.slot] = out;
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_load_bin_store: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        slots[v.symbol] = out;
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_cmp_branch: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        (void)exec_bin(v, regs[v.src0], regs[v.src1], out); // compares
+                                                            // never fault
+        regs[v.dst] = out;
+        next_pc = out.bits != 0 ? v.target0 : v.target1;
+        goto group_done;
+      }
+
+      m_fused_ptr_add_bound: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        if (bound_fault(v.sub_op, addr, pcode[v.aux + 1].src)) {
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_ptr_add_load: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        const int st = exec_load(v, addr, pcode[v.aux + 1].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_ptr_add_store: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        const int st =
+            exec_store(v, addr, regs[v.dst], pcode[v.aux + 1].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_ptr_add_bound_load: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        if (bound_fault(v.sub_op, addr, pcode[v.aux + 1].src)) {
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const int st = exec_load(v, addr, pcode[v.aux + 2].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_fused_ptr_add_bound_store: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        if (bound_fault(v.sub_op, addr, pcode[v.aux + 1].src)) {
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const int st =
+            exec_store(v, addr, regs[v.dst], pcode[v.aux + 2].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_corrupt:
+        result.error = "corrupt micro-op stream"; // unreachable by decode
+        goto run_end;
+
       group_done:
         if (truncated) {
+          // mcode is the plain stream here (see group entry), so every
+          // executed member charges exactly one IR instruction.
           for (std::uint32_t i = start; i < end; ++i) {
-            apply_cost(static_cost(code[i]));
+            apply_cost(static_cost(mcode[i]));
           }
           ctr.instructions += (end - start) + 1;
           result.error =
               "instruction budget exceeded (possible infinite loop)";
           goto run_end;
         }
-        apply_cost(g.cost);
-        ctr.instructions += g.count;
+        apply_cost(grp->cost);
+        ctr.instructions += grp->count;
         frame.pc = next_pc;
         break;
-      group_fault:
+
+      group_fault: {
         // A member faulted (or raised an error): reconstruct the itemized
-        // accounting the interpreter would have produced — full charges for
-        // the completed prefix, then the faulting op's partial charge (what
-        // it books before the fault site).
+        // accounting the interpreter would have produced — full charges
+        // for the completed IR-instruction prefix, then the faulting
+        // instruction's partial charge (what it books before the fault
+        // site). Completed members cover uop_width() instructions each and
+        // fault_sub selects the faulting constituent inside a fused
+        // member; the plain stream always holds the per-instruction costs.
+        std::uint32_t done = 0;
         for (std::uint32_t i = start; i < pc; ++i) {
-          apply_cost(static_cost(code[i]));
+          done += uop_width(mcode[i].op);
         }
-        {
-          const StaticCost fc = static_cost(code[pc]);
-          if (partial == 2) {
-            apply_cost(fc);
-          } else if (partial == 1) {
-            cycles += fc.cycles;
-            ctr.hw_checked_accesses += fc.hw_checks;
-          }
+        done += fault_sub;
+        for (std::uint32_t k = 0; k < done; ++k) {
+          apply_cost(static_cost(pcode[pstart + k]));
         }
-        ctr.instructions += (pc - start) + 1;
+        const StaticCost fc = static_cost(pcode[pstart + done]);
+        if (partial == 2) {
+          apply_cost(fc);
+        } else if (partial == 1) {
+          cycles += fc.cycles;
+          ctr.hw_checked_accesses += fc.hw_checks;
+        }
+        ctr.instructions += done + 1;
         goto run_end;
+      }
       }
 
       case UOp::kSegLoad: {
@@ -1201,5 +1848,7 @@ run_end:
   result.fault_stats = impl.injector.stats();
   return result;
 }
+
+#undef CASH_MEMBER_NEXT
 
 } // namespace cash::vm

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/costs.hpp"
 #include "ir/function.hpp"
 
 // Pre-decoded micro-op image (DESIGN.md §7). At CompiledProgram
@@ -19,9 +20,23 @@
 // check-count deltas, so the engine executes the members' semantics and
 // charges the whole run with one add per stream. Micro-ops whose cost or
 // control flow is data-dependent (segment-register loads, user calls,
-// malloc/free, returns) stay itemized between groups. The result is
-// bit-transparent: cycles, breakdowns, counters, stats and output are
-// identical to the reference interpreter (tests/vm/decode_test.cpp).
+// malloc/free, returns) stay itemized between groups.
+//
+// Each function carries two member streams over the same groups:
+//
+//   plain — one micro-op per IR instruction, exactly the PR-5 layout; and
+//   fused — a superinstruction stream where dependent pairs/triples inside
+//           a group (const+bin, local-load+bin+local-store, ptr-add+bound+
+//           load/store, compare+branch) are merged into single fused
+//           micro-ops with pre-summed static costs.
+//
+// The engine picks a stream per run from MachineConfig.enable_fusion (and
+// the $CASH_NO_FUSION kill switch), so one decoded image serves every
+// configuration. Member dispatch is computed-goto threaded on GCC/Clang
+// with a portable switch fallback (see decode.cpp). The result is
+// bit-transparent either way: cycles, breakdowns, counters, stats, faults
+// and output are identical to the reference interpreter
+// (tests/vm/decode_test.cpp).
 
 namespace cash::vm {
 
@@ -78,6 +93,17 @@ enum class UOp : std::uint8_t {
   kBuiltin, // statically-costed builtin call (math/print/rand/srand)
   kJump,
   kBranch,
+  // --- fused superinstructions (fused stream only; decode-time pass) ---
+  kFusedConstBin,         // kConstInt + kBin reading it
+  kFusedLoadLocalBin,     // scalar kLoadLocal + kBin reading it
+  kFusedBinStoreLocal,    // kBin + scalar kStoreLocal of its result
+  kFusedLoadBinStore,     // scalar kLoadLocal + kBin + scalar kStoreLocal
+  kFusedCmpBranch,        // compare kBin + kBranch on its result (terminator)
+  kFusedPtrAddBound,      // kPtrAdd + kBound* on its result
+  kFusedPtrAddLoad,       // kPtrAdd + kLoad through it (unchecked modes)
+  kFusedPtrAddStore,      // kPtrAdd + kStore through it (unchecked modes)
+  kFusedPtrAddBoundLoad,  // kPtrAdd + kBound* + kLoad
+  kFusedPtrAddBoundStore, // kPtrAdd + kBound* + kStore
   // --- itemized micro-ops (dynamic cost and/or control flow) ---
   kSegLoad,
   kCallUser,
@@ -88,11 +114,50 @@ enum class UOp : std::uint8_t {
   // interpreter's "fell off the end of block ..." error. `symbol` holds the
   // block id.
   kBlockEndError,
+  kCount, // sentinel: dispatch-table size
 };
+
+// Number of IR instructions a micro-op covers (fused superinstructions
+// cover two or three; everything else is 1:1).
+constexpr std::uint32_t uop_width(UOp op) noexcept {
+  switch (op) {
+    case UOp::kFusedLoadBinStore:
+    case UOp::kFusedPtrAddBoundLoad:
+    case UOp::kFusedPtrAddBoundStore:
+      return 3;
+    case UOp::kFusedConstBin:
+    case UOp::kFusedLoadLocalBin:
+    case UOp::kFusedBinStoreLocal:
+    case UOp::kFusedCmpBranch:
+    case UOp::kFusedPtrAddBound:
+    case UOp::kFusedPtrAddLoad:
+    case UOp::kFusedPtrAddStore:
+      return 2;
+    default:
+      return 1;
+  }
+}
 
 // One decoded micro-op. Wider than strictly necessary per opcode, but flat
 // and trivially indexable — the engine's working set is this array plus the
 // frame's register file.
+//
+// Fused superinstructions overlay the constituent operands like so (aux
+// always holds the plain-stream index of the first constituent, so cold
+// paths can itemize; src is the first constituent's source instruction):
+//
+//   kFusedConstBin:      imm = const bits, slot = const dst reg;
+//                        dst/src0/src1/bin_op/type = the bin.
+//   kFusedLoadLocalBin:  slot = load slot, imm = load dst reg; bin as above.
+//   kFusedBinStoreLocal: bin as above; slot = store slot.
+//   kFusedLoadBinStore:  slot = load slot, imm = load dst reg; bin as
+//                        above; symbol = store slot.
+//   kFusedCmpBranch:     bin as above; target0/target1 = branch targets.
+//   kFusedPtrAdd*:       src0/src1 = ptr-add operands, slot = ptr-add dst
+//                        reg; sub_op = the bound op (kBoundSw/kBoundBnd/
+//                        kBoundShadow) when a bound check is fused;
+//                        dst = load dst reg or store value reg; type/seg/
+//                        rebased/is_ptr = the memory op's.
 struct MicroInstr {
   UOp op{UOp::kGroup};
   ir::Type type{ir::Type::kInt};
@@ -101,6 +166,7 @@ struct MicroInstr {
   bool is_ptr{false};         // value carries the fat-pointer shadow word
   bool synthetic{false};      // lowering-inserted (affects static cost only)
   Builtin builtin{};          // kBuiltin
+  UOp sub_op{UOp::kGroup};    // kFusedPtrAddBound*: fused bound-check op
   ir::BinOp bin_op{ir::BinOp::kAdd};
   ir::UnOp un_op{ir::UnOp::kNeg};
   std::int32_t dst{ir::kNoReg};
@@ -111,7 +177,8 @@ struct MicroInstr {
                               // id for kBlockEndError
   std::uint32_t imm{0};       // kConstInt/kConstFloat payload bits; member
                               // count for kGroup
-  std::uint32_t aux{0};       // FoldedGroup index for kGroup
+  std::uint32_t aux{0};       // FoldedGroup index for kGroup; plain-stream
+                              // index of the first constituent for fused ops
   std::uint32_t target0{0};   // kJump/kBranch: taken micro-op index
   std::uint32_t target1{0};   // kBranch: fall-through micro-op index
   std::int32_t callee{-1};    // kCallUser: DecodedProgram function index,
@@ -120,38 +187,70 @@ struct MicroInstr {
                                  // context, call argument list)
 };
 
-// Statically-known accounting deltas of one micro-op / one folded group.
-// Fat-pointer word copies are counted as *events*, not cycles: their cycle
-// cost depends on MachineConfig.mode (1, 2 or 0 words), so the engine
-// multiplies by the machine's penalty at run time and one decoded image
-// serves every configuration.
-struct StaticCost {
-  std::uint64_t cycles{0};    // into cycles (ptr-copy events excluded)
-  std::uint64_t checking{0};  // into cycles + breakdown.checking
-  std::uint64_t shadow{0};    // into shadow_cycles
-  std::uint32_t ptr_events{0}; // fat-pointer copies (mode-dependent cycles)
-  std::uint32_t hw_checks{0};
-  std::uint32_t sw_checks{0};
-  std::uint32_t calls{0};     // folded builtin calls
-};
+// Statically-known accounting deltas of one micro-op / one fused
+// superinstruction / one folded group (defined in common/costs.hpp next to
+// the constants it aggregates).
+using StaticCost = costs::StaticCost;
 
 // Note: `checking` cycles are charged into both `cycles` and the checking
-// breakdown by the engine, matching the interpreter's double booking.
+// breakdown by the engine, matching the interpreter's double booking. For a
+// fused micro-op this returns the sum of its constituents' costs
+// (tests/vm/static_cost_test.cpp pins both against costs.hpp).
 StaticCost static_cost(const MicroInstr& u) noexcept;
 
 struct FoldedGroup {
-  std::uint32_t count{0}; // member micro-ops (== header imm)
+  std::uint32_t count{0}; // member IR instructions (plain-stream members)
+  // Plain-stream index of the group's first member: cold paths (faults,
+  // budget truncation) itemize per IR instruction from here regardless of
+  // which stream the hot loop was executing.
+  std::uint32_t plain_first{0};
   StaticCost cost;
 };
 
-struct DecodedFunction {
-  const ir::Function* fn{nullptr};
+// One member stream over a function's groups. `plain` has one micro-op per
+// IR instruction; `fused` merges dependent runs into superinstructions.
+// Group headers, itemized ops, block entries and branch targets are all
+// stream-relative micro-op indices.
+struct UopStream {
   std::vector<MicroInstr> uops;
   std::vector<FoldedGroup> groups;
   std::vector<std::uint32_t> block_entry; // block id -> micro-op index
+};
+
+// Static fusion coverage of a function / program. Deterministic: produced
+// entirely at decode time, independent of inputs or machine config.
+struct FusionStats {
+  std::uint64_t fused_uops{0};      // superinstructions emitted
+  std::uint64_t fused_instrs{0};    // IR instructions covered by them
+  std::uint64_t foldable_instrs{0}; // total group-member IR instructions
+  double hit_rate() const noexcept {
+    return foldable_instrs == 0
+               ? 0.0
+               : static_cast<double>(fused_instrs) /
+                     static_cast<double>(foldable_instrs);
+  }
+};
+
+constexpr FusionStats& operator+=(FusionStats& a,
+                                  const FusionStats& b) noexcept {
+  a.fused_uops += b.fused_uops;
+  a.fused_instrs += b.fused_instrs;
+  a.foldable_instrs += b.foldable_instrs;
+  return a;
+}
+
+struct DecodedFunction {
+  const ir::Function* fn{nullptr};
+  UopStream plain;
+  UopStream fused;
+  FusionStats stats;
   bool ok{false}; // decoded cleanly (malformed IR falls back to the
                   // interpreter for the whole module)
 };
+
+// True when the engine was compiled with computed-goto threaded dispatch
+// (GCC/Clang labels-as-values); false means the portable switch fallback.
+bool threaded_dispatch_enabled() noexcept;
 
 class DecodedProgram {
  public:
@@ -178,6 +277,17 @@ class DecodedProgram {
 
   const std::vector<DecodedFunction>& functions() const noexcept {
     return functions_;
+  }
+
+  // Aggregate fusion coverage across every cleanly decoded function.
+  FusionStats fusion_stats() const noexcept {
+    FusionStats total;
+    for (const DecodedFunction& f : functions_) {
+      if (f.ok) {
+        total += f.stats;
+      }
+    }
+    return total;
   }
 
  private:

@@ -53,6 +53,8 @@ RunResult Machine::run() {
 
 void Machine::reseed(std::uint32_t seed) { impl_->rng_state = seed; }
 
+void Machine::prepare() { impl_->initialize_program(); }
+
 RunResult Machine::run_function(const std::string& name) {
   const ir::Function* fn = impl_->module->find_function(name);
   if (fn == nullptr) {

@@ -54,6 +54,14 @@ struct MachineConfig {
   // the reference interpreter). Also forced off when $CASH_NO_PREDECODE is
   // set, for A/B runs without recompiling.
   bool enable_predecode{true};
+  // Superinstruction fusion inside the micro-op engine (DESIGN.md §7):
+  // execute the decoded image's fused stream, where dependent micro-op
+  // pairs/triples are merged with pre-summed costs, instead of the plain
+  // one-micro-op-per-instruction stream. Host-side fast path only —
+  // simulated results are bit-identical either way. No effect when the
+  // machine runs the reference interpreter. Also forced off when
+  // $CASH_NO_FUSION is set, for A/B runs without recompiling.
+  bool enable_fusion{true};
   // Deterministic fault injection (DESIGN.md §8). Off by default: an empty
   // plan is bit-transparent — cycles, breakdowns and counters are identical
   // to a build without the layer. A non-empty plan replays identically for
@@ -157,6 +165,15 @@ class Machine {
 
   // Runs an arbitrary zero-argument function (netsim request handlers).
   RunResult run_function(const std::string& name);
+
+  // Performs the one-time program load (globals placement + per-array
+  // set-up) without running anything. The set-up cycles stay pending and
+  // are charged to the next run, exactly as on a fresh machine's first
+  // run — so prepare() + capture() + restore() + run() is bit-identical to
+  // a fresh run. Benches use this to snapshot the post-load image once and
+  // restore per cell instead of rebuilding the machine (bench_util.hpp).
+  // Idempotent; implied by the first run if never called.
+  void prepare();
 
   // Reseeds the deterministic rand() builtin — netsim uses this to vary the
   // request each simulated fork handles.

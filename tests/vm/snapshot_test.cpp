@@ -218,6 +218,32 @@ TEST(Snapshot, RecaptureRebaselines) {
   expect_identical(a, b, "recapture");
 }
 
+TEST(Snapshot, PrepareCaptureRestoreEqualsFreshRun) {
+  // The bench-grid contract (bench_util.hpp SnapshotRunner): prepare()
+  // performs the one-time program load but keeps the set-up cycles pending,
+  // so prepare() + capture() + restore() + run() must be bit-identical to a
+  // fresh machine's first full run — including the runtime breakdown that
+  // books the program/array set-up. Repeated restore+run cycles must all
+  // replay that first run exactly.
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kBcc,
+                         CheckMode::kCash, CheckMode::kBoundInsn,
+                         CheckMode::kEfence, CheckMode::kShadow}) {
+    auto program = compile_server(mode);
+    const vm::RunResult fresh = program->make_machine()->run();
+
+    std::unique_ptr<vm::Machine> m = program->make_machine();
+    m->prepare();
+    m->prepare(); // idempotent
+    std::unique_ptr<vm::MachineSnapshot> snap = m->capture();
+    for (int rep = 0; rep < 3; ++rep) {
+      m->restore(*snap);
+      const vm::RunResult warm = m->run();
+      expect_identical(fresh, warm,
+                       "prepare/restore rep=" + std::to_string(rep));
+    }
+  }
+}
+
 TEST(Snapshot, FaultingRunRewindsCleanly) {
   // A run that ends in a bound violation leaves partially-mutated state;
   // restore must rewind that too.

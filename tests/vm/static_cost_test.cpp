@@ -1,0 +1,250 @@
+// Pins the decoder's per-micro-op static costs against the cost-model
+// constants in common/costs.hpp, and pins every fused superinstruction's
+// cost to the exact sum of its constituents. If a latency constant or the
+// fusion pass ever drifts, this test names the op that moved.
+#include <gtest/gtest.h>
+
+#include "common/costs.hpp"
+#include "vm/decode.hpp"
+
+namespace cash {
+namespace {
+
+using costs::StaticCost;
+using vm::MicroInstr;
+using vm::UOp;
+
+MicroInstr make(UOp op) {
+  MicroInstr u;
+  u.op = op;
+  return u;
+}
+
+void expect_cost(const MicroInstr& u, const StaticCost& want,
+                 const char* what) {
+  const StaticCost got = vm::static_cost(u);
+  EXPECT_EQ(got.cycles, want.cycles) << what;
+  EXPECT_EQ(got.checking, want.checking) << what;
+  EXPECT_EQ(got.shadow, want.shadow) << what;
+  EXPECT_EQ(got.ptr_events, want.ptr_events) << what;
+  EXPECT_EQ(got.hw_checks, want.hw_checks) << what;
+  EXPECT_EQ(got.sw_checks, want.sw_checks) << what;
+  EXPECT_EQ(got.calls, want.calls) << what;
+}
+
+StaticCost cost_of(std::uint64_t cycles) {
+  StaticCost c;
+  c.cycles = cycles;
+  return c;
+}
+
+TEST(StaticCost, RegisterResidentOps) {
+  // Constants (int AND float — kConstFloat must not drift from the
+  // register-op model), moves, local slot traffic and pointer arithmetic
+  // are register-resident: kRegisterOp cycles, no checks.
+  for (UOp op : {UOp::kConstInt, UOp::kConstFloat, UOp::kMove,
+                 UOp::kLoadLocal, UOp::kStoreLocal, UOp::kPtrAdd}) {
+    expect_cost(make(op), cost_of(costs::kRegisterOp), "register-resident");
+  }
+  // Fat-pointer moves and local slot traffic book one mode-scaled
+  // ptr-copy event; pointer-add does not (it folds into addressing).
+  for (UOp op : {UOp::kMove, UOp::kLoadLocal, UOp::kStoreLocal}) {
+    MicroInstr u = make(op);
+    u.is_ptr = true;
+    StaticCost want = cost_of(costs::kRegisterOp);
+    want.ptr_events = 1;
+    expect_cost(u, want, "register-resident ptr");
+  }
+  MicroInstr padd = make(UOp::kPtrAdd);
+  padd.is_ptr = true;
+  expect_cost(padd, cost_of(costs::kRegisterOp), "ptr-add never copies");
+}
+
+TEST(StaticCost, BinaryAndUnaryOps) {
+  MicroInstr u = make(UOp::kBin);
+  u.bin_op = ir::BinOp::kAdd;
+  expect_cost(u, cost_of(costs::kAluOp), "int add");
+  u.bin_op = ir::BinOp::kMul;
+  expect_cost(u, cost_of(costs::kMulOp), "mul");
+  u.bin_op = ir::BinOp::kDiv;
+  expect_cost(u, cost_of(costs::kDivOp), "div");
+  u.bin_op = ir::BinOp::kRem;
+  u.type = ir::Type::kInt;
+  expect_cost(u, cost_of(costs::kDivOp), "int rem");
+  u.type = ir::Type::kFloat;
+  expect_cost(u, cost_of(costs::kAluOp), "float rem (fmod lowers to alu)");
+  expect_cost(make(UOp::kUn), cost_of(costs::kAluOp), "unary");
+}
+
+TEST(StaticCost, MemoryOps) {
+  // Plain load/store: one L1-hit cycle. Through an array segment
+  // (rebased): same cycles plus one hardware-check count — the check
+  // itself is free (kHardwareBoundCheck rides the translation pipeline).
+  static_assert(costs::kHardwareBoundCheck == 0,
+                "hardware checks are architecturally free");
+  for (UOp op : {UOp::kLoad, UOp::kStore}) {
+    expect_cost(make(op), cost_of(costs::kLoadStore), "load/store");
+    MicroInstr checked = make(op);
+    checked.rebased = true;
+    StaticCost want = cost_of(costs::kLoadStore);
+    want.hw_checks = 1;
+    expect_cost(checked, want, "hw-checked load/store");
+    MicroInstr ptr = make(op);
+    ptr.is_ptr = true;
+    want = cost_of(costs::kLoadStore);
+    want.ptr_events = 1;
+    expect_cost(ptr, want, "fat-pointer load/store");
+  }
+  // Global scalar traffic is never segment-checked.
+  for (UOp op : {UOp::kLoadGlobal, UOp::kStoreGlobal}) {
+    expect_cost(make(op), cost_of(costs::kLoadStore), "global load/store");
+  }
+  // Address materialisation costs one ALU op unless lowering synthesised
+  // it (folded into the addressing mode).
+  for (UOp op : {UOp::kAddrLocal, UOp::kAddrGlobal}) {
+    expect_cost(make(op), cost_of(costs::kAluOp), "addr");
+    MicroInstr synth = make(op);
+    synth.synthetic = true;
+    expect_cost(synth, cost_of(0), "synthetic addr");
+  }
+}
+
+TEST(StaticCost, BoundChecks) {
+  StaticCost sw;
+  sw.checking = costs::kSoftwareBoundCheck;
+  sw.sw_checks = 1;
+  expect_cost(make(UOp::kBoundSw), sw, "software check");
+
+  StaticCost bnd;
+  bnd.checking = costs::kBoundInstruction;
+  bnd.sw_checks = 1;
+  expect_cost(make(UOp::kBoundBnd), bnd, "bound instruction");
+
+  StaticCost shadow;
+  shadow.checking = 1; // address-queue store on the main CPU
+  shadow.shadow = 2 + costs::kSoftwareBoundCheck;
+  shadow.sw_checks = 1;
+  expect_cost(make(UOp::kBoundShadow), shadow, "shadow check");
+}
+
+TEST(StaticCost, ControlFlowAndBuiltins) {
+  expect_cost(make(UOp::kJump), cost_of(costs::kBranch), "jump");
+  expect_cost(make(UOp::kBranch), cost_of(costs::kBranch), "branch");
+
+  const auto builtin_cost = [](vm::Builtin b, std::uint64_t cycles) {
+    MicroInstr u = make(UOp::kBuiltin);
+    u.builtin = b;
+    StaticCost want = cost_of(cycles);
+    want.calls = 1;
+    expect_cost(u, want, "builtin");
+  };
+  for (vm::Builtin b : {vm::Builtin::kSqrt, vm::Builtin::kSin,
+                        vm::Builtin::kCos, vm::Builtin::kExp,
+                        vm::Builtin::kLog, vm::Builtin::kPow}) {
+    builtin_cost(b, costs::kMathBuiltin);
+  }
+  for (vm::Builtin b :
+       {vm::Builtin::kFabs, vm::Builtin::kFloor, vm::Builtin::kAbs}) {
+    builtin_cost(b, costs::kAluOp);
+  }
+  builtin_cost(vm::Builtin::kPrintInt, 10);
+  builtin_cost(vm::Builtin::kPrintFloat, 10);
+  builtin_cost(vm::Builtin::kRand, 5);
+  builtin_cost(vm::Builtin::kSrand, 2);
+}
+
+TEST(StaticCost, ItemizedOpsChargeNothingStatically) {
+  // Dynamic-cost micro-ops account for themselves in the engine; their
+  // static cost must stay zero or the group aggregation double-charges.
+  for (UOp op : {UOp::kGroup, UOp::kSegLoad, UOp::kCallUser, UOp::kMalloc,
+                 UOp::kFree, UOp::kRet, UOp::kBlockEndError}) {
+    expect_cost(make(op), StaticCost{}, "itemized");
+  }
+}
+
+// Builds the fused op and its constituent sequence side by side and checks
+// cost(fused) == Σ cost(constituents), field by field. Fusion never changes
+// what is charged — only how many adds charge it.
+TEST(StaticCost, FusedOpsEqualConstituentSums) {
+  const auto expect_sum = [](const MicroInstr& fused,
+                             std::initializer_list<MicroInstr> parts,
+                             const char* what) {
+    StaticCost want;
+    for (const MicroInstr& p : parts) {
+      want += vm::static_cost(p);
+    }
+    expect_cost(fused, want, what);
+  };
+
+  for (ir::BinOp bin : {ir::BinOp::kAdd, ir::BinOp::kMul, ir::BinOp::kDiv}) {
+    MicroInstr b = make(UOp::kBin);
+    b.bin_op = bin;
+
+    MicroInstr cb = make(UOp::kFusedConstBin);
+    cb.bin_op = bin;
+    expect_sum(cb, {make(UOp::kConstInt), b}, "const+bin");
+
+    MicroInstr lb = make(UOp::kFusedLoadLocalBin);
+    lb.bin_op = bin;
+    expect_sum(lb, {make(UOp::kLoadLocal), b}, "load-local+bin");
+
+    MicroInstr bs = make(UOp::kFusedBinStoreLocal);
+    bs.bin_op = bin;
+    expect_sum(bs, {b, make(UOp::kStoreLocal)}, "bin+store-local");
+
+    MicroInstr lbs = make(UOp::kFusedLoadBinStore);
+    lbs.bin_op = bin;
+    expect_sum(lbs, {make(UOp::kLoadLocal), b, make(UOp::kStoreLocal)},
+               "load+bin+store");
+  }
+
+  MicroInstr cmp = make(UOp::kBin);
+  cmp.bin_op = ir::BinOp::kCmpLt;
+  MicroInstr cj = make(UOp::kFusedCmpBranch);
+  cj.bin_op = ir::BinOp::kCmpLt;
+  expect_sum(cj, {cmp, make(UOp::kBranch)}, "cmp+branch");
+
+  for (UOp bound : {UOp::kBoundSw, UOp::kBoundBnd, UOp::kBoundShadow}) {
+    for (bool rebased : {false, true}) {
+      for (bool is_ptr : {false, true}) {
+        MicroInstr mem_load = make(UOp::kLoad);
+        mem_load.rebased = rebased;
+        mem_load.is_ptr = is_ptr;
+        MicroInstr mem_store = make(UOp::kStore);
+        mem_store.rebased = rebased;
+        mem_store.is_ptr = is_ptr;
+
+        MicroInstr pb = make(UOp::kFusedPtrAddBound);
+        pb.sub_op = bound;
+        expect_sum(pb, {make(UOp::kPtrAdd), make(bound)}, "ptradd+bound");
+
+        MicroInstr pbl = make(UOp::kFusedPtrAddBoundLoad);
+        pbl.sub_op = bound;
+        pbl.rebased = rebased;
+        pbl.is_ptr = is_ptr;
+        expect_sum(pbl, {make(UOp::kPtrAdd), make(bound), mem_load},
+                   "ptradd+bound+load");
+
+        MicroInstr pbs = make(UOp::kFusedPtrAddBoundStore);
+        pbs.sub_op = bound;
+        pbs.rebased = rebased;
+        pbs.is_ptr = is_ptr;
+        expect_sum(pbs, {make(UOp::kPtrAdd), make(bound), mem_store},
+                   "ptradd+bound+store");
+
+        MicroInstr pl = make(UOp::kFusedPtrAddLoad);
+        pl.rebased = rebased;
+        pl.is_ptr = is_ptr;
+        expect_sum(pl, {make(UOp::kPtrAdd), mem_load}, "ptradd+load");
+
+        MicroInstr ps = make(UOp::kFusedPtrAddStore);
+        ps.rebased = rebased;
+        ps.is_ptr = is_ptr;
+        expect_sum(ps, {make(UOp::kPtrAdd), mem_store}, "ptradd+store");
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace cash

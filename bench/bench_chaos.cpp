@@ -56,20 +56,9 @@ bool identical_reports(const ChaosReport& a, const ChaosReport& b) {
 }
 
 bool identical_metrics(const ServerMetrics& a, const ServerMetrics& b) {
-  return a.requests == b.requests &&
-         a.total_cpu_cycles == b.total_cpu_cycles &&
-         a.total_busy_cycles == b.total_busy_cycles &&
-         a.mean_latency_cycles == b.mean_latency_cycles &&
-         a.mean_latency_us == b.mean_latency_us &&
-         a.throughput_rps == b.throughput_rps &&
-         a.sw_checks == b.sw_checks && a.hw_checks == b.hw_checks &&
-         a.segment_allocs == b.segment_allocs &&
-         a.cache_hits == b.cache_hits && a.retries == b.retries &&
-         a.timeouts == b.timeouts &&
-         a.degraded_requests == b.degraded_requests &&
-         a.failed_requests == b.failed_requests &&
-         a.faults_injected == b.faults_injected &&
-         a.first_failure == b.first_failure;
+  // Every simulated field, percentiles and per-class breakdowns included
+  // (host-side PoolStats is the documented exemption).
+  return first_metrics_difference(a, b).empty();
 }
 
 } // namespace

@@ -22,15 +22,9 @@ namespace {
 
 bool identical_metrics(const cash::netsim::ServerMetrics& a,
                        const cash::netsim::ServerMetrics& b) {
-  return a.requests == b.requests &&
-         a.total_cpu_cycles == b.total_cpu_cycles &&
-         a.total_busy_cycles == b.total_busy_cycles &&
-         a.mean_latency_cycles == b.mean_latency_cycles &&
-         a.mean_latency_us == b.mean_latency_us &&
-         a.throughput_rps == b.throughput_rps &&
-         a.sw_checks == b.sw_checks && a.hw_checks == b.hw_checks &&
-         a.segment_allocs == b.segment_allocs &&
-         a.cache_hits == b.cache_hits;
+  // Every simulated field, percentiles and per-class breakdowns included
+  // (host-side PoolStats is the documented exemption).
+  return cash::netsim::first_metrics_difference(a, b).empty();
 }
 
 double now_s() {

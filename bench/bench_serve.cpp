@@ -1,0 +1,318 @@
+// Production serving-loop benchmark and armed-snapshot divergence gate.
+//
+// Section 1 sweeps the serving grid — check mode x jobs x armed/unarmed x
+// fork-from-snapshot vs rebuild-and-replay — timing both strategies and
+// EXITING NON-ZERO if any ServerMetrics field (fault aggregates, latency
+// percentiles, and per-class breakdowns included) differs between them.
+// The armed rows are the headline: fault-plan serving used to force
+// rebuild-and-replay; it now forks from a parent image captured before
+// arming and re-arms each child at the fork point.
+//
+// Section 2 runs a sustained mixed-class load (arrival process, FCFS
+// queueing over simulated server processes, connection churn, a faulty
+// class) and reports the wrk-style latency distribution per class.
+//
+// Writes BENCH_serve.json. Quick smoke run under ctest (label: bench);
+// full scale with -DCASH_BENCH_FULL=ON or without --quick.
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/netsim.hpp"
+
+namespace {
+
+// Heavier server_init than handler, so amortising the parent image is the
+// dominant host cost — the shape a fork-per-request production server has.
+constexpr const char* kServerSource = R"(
+int table[2048];
+int *pool;
+int server_init() {
+  int i; int pass;
+  for (pass = 0; pass < 24; pass++) {
+    for (i = 0; i < 2048; i++) {
+      table[i] = table[i] + i % 17 + pass;
+    }
+  }
+  pool = malloc(1024);
+  for (i = 0; i < 256; i++) {
+    pool[i] = table[i * 8] + i;
+  }
+  return 0;
+}
+int handle_request() {
+  int buf[128];
+  int i; int n; int s;
+  n = rand() % 96 + 32;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i % 128] = table[(i * 7) % 2048] + pool[i % 256];
+    s = s + buf[i % 128];
+  }
+  return s;
+}
+int handle_large() {
+  int buf[128];
+  int i; int n; int s;
+  n = rand() % 128 + 256;
+  s = 0;
+  for (i = 0; i < n; i++) {
+    buf[i % 128] = table[(i * 13) % 2048] + pool[(i * 3) % 256];
+    s = s + buf[i % 128];
+  }
+  return s;
+}
+int handle_bad() {
+  int small[8];
+  int i;
+  i = rand() % 4 + 9;
+  while (i <= 12) {
+    small[i] = i;
+    i = i + 1;
+  }
+  return small[0];
+}
+int main() { server_init(); return handle_request(); }
+)";
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace cash;
+  using namespace cash::bench;
+  using passes::CheckMode;
+
+  bool quick = env_int("CASH_BENCH_QUICK", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  print_title(quick ? "Serving loop: armed fork-from-snapshot (smoke)"
+                    : "Serving loop: armed fork-from-snapshot");
+  print_note("every cell asserts bit-identical ServerMetrics between");
+  print_note("fork-from-snapshot and rebuild-and-replay; any divergence");
+  print_note("fails the bench (exit 1)");
+
+  const int requests = env_int("CASH_BENCH_REQUESTS", quick ? 30 : 400);
+  const bool snapshot_killed = std::getenv("CASH_NO_SNAPSHOT") != nullptr;
+
+  faultinject::FaultPlan plan;
+  plan.seed = 7;
+  plan.net_retry_budget = 2;
+  plan.rules.push_back(
+      {faultinject::FaultSite::kNetRequestTimeout, 0, 1, 0, 4});
+  plan.rules.push_back({faultinject::FaultSite::kSegAllocate, 0, 5, 0, 1});
+  const faultinject::FaultPlan unarmed;
+
+  struct GridCell {
+    const char* mode;
+    bool armed;
+    int jobs;
+    double snap_s{0};
+    double replay_s{0};
+    bool identical{false};
+  };
+  std::vector<GridCell> grid;
+  bool transparent = true;
+  double armed_fast = 0, armed_slow = 0, clean_fast = 0, clean_slow = 0;
+
+  const std::pair<const char*, CheckMode> kModes[] = {
+      {"gcc", CheckMode::kNoCheck}, {"cash", CheckMode::kCash}};
+  for (const auto& [mode_name, mode] : kModes) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult server = compile(kServerSource, options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s compile failed: %s\n", mode_name,
+                   server.error.c_str());
+      return 1;
+    }
+    std::printf("\n%-5s %-7s %-5s %10s %10s %9s %10s   (%d requests)\n",
+                "mode", "plan", "jobs", "snap s", "replay s", "speedup",
+                "identical", requests);
+    for (bool armed : {false, true}) {
+      for (int jobs : {1, 2, 8}) {
+        GridCell cell{mode_name, armed, jobs};
+        netsim::ServeOptions fast; // snapshot pool (the default)
+        netsim::ServeOptions ref;
+        ref.enable_snapshot = false;
+        const faultinject::FaultPlan& p = armed ? plan : unarmed;
+        double t0 = now_s();
+        const netsim::ServerMetrics with_snapshot = netsim::serve_requests(
+            *server.program, requests, 7, {jobs}, p, fast);
+        double t1 = now_s();
+        const netsim::ServerMetrics with_replay = netsim::serve_requests(
+            *server.program, requests, 7, {jobs}, p, ref);
+        cell.snap_s = t1 - t0;
+        cell.replay_s = now_s() - t1;
+        const std::string diff =
+            netsim::first_metrics_difference(with_snapshot, with_replay);
+        cell.identical = diff.empty();
+        if (!cell.identical) {
+          std::fprintf(stderr,
+                       "%s armed=%d jobs=%d: snapshot and replay diverge "
+                       "on %s\n",
+                       mode_name, armed ? 1 : 0, jobs, diff.c_str());
+          transparent = false;
+        }
+        // Guard against a silent fallback: unless the env kill switch is
+        // set, armed and unarmed serving alike must use the pool.
+        if (!snapshot_killed && with_snapshot.pool.captures == 0) {
+          std::fprintf(stderr,
+                       "%s armed=%d jobs=%d: serving never captured a "
+                       "snapshot\n",
+                       mode_name, armed ? 1 : 0, jobs);
+          transparent = false;
+        }
+        (armed ? armed_fast : clean_fast) += cell.snap_s;
+        (armed ? armed_slow : clean_slow) += cell.replay_s;
+        std::printf("%-5s %-7s %-5d %10.4f %10.4f %8.2fx %10s\n", mode_name,
+                    armed ? "armed" : "clean", jobs, cell.snap_s,
+                    cell.replay_s,
+                    cell.snap_s > 0 ? cell.replay_s / cell.snap_s : 0,
+                    cell.identical ? "yes" : "NO");
+        grid.push_back(cell);
+      }
+    }
+  }
+  const double armed_speedup = armed_fast > 0 ? armed_slow / armed_fast : 0;
+  const double clean_speedup = clean_fast > 0 ? clean_slow / clean_fast : 0;
+  std::printf("\narmed fork-from-snapshot speedup: %.2fx "
+              "(unarmed: %.2fx)\n",
+              armed_speedup, clean_speedup);
+
+  // --- Section 2: sustained mixed-class load with queueing ---------------
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  CompileResult server = compile(kServerSource, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cash compile failed: %s\n", server.error.c_str());
+    return 1;
+  }
+  const int load = env_int("CASH_BENCH_LOAD_REQUESTS", quick ? 120 : 2000);
+  netsim::ServeOptions serve;
+  serve.classes = {{"small", "handle_request", 6},
+                   {"large", "handle_large", 2},
+                   {"faulty", "handle_bad", 1}};
+  serve.sim_servers = 4;
+  serve.mean_interarrival_cycles = 2500;
+  serve.max_queue_depth = 64;
+  serve.churn_period = 32;
+  const netsim::ServerMetrics sustained = netsim::serve_requests(
+      *server.program, load, 11, {}, {}, serve);
+  netsim::ServeOptions serve_ref = serve;
+  serve_ref.enable_snapshot = false;
+  for (int jobs : {1, 2, 8}) {
+    const netsim::ServerMetrics check = netsim::serve_requests(
+        *server.program, load, 11, {jobs}, {}, serve_ref);
+    const std::string diff =
+        netsim::first_metrics_difference(sustained, check);
+    if (!diff.empty()) {
+      std::fprintf(stderr, "sustained load jobs=%d diverges on %s\n", jobs,
+                   diff.c_str());
+      transparent = false;
+    }
+  }
+
+  std::printf("\nsustained load: %d requests, 4 servers, FCFS queue "
+              "(cash mode)\n",
+              load);
+  std::printf("%-8s %8s %12s %12s %12s %12s %8s\n", "class", "reqs", "p50",
+              "p90", "p99", "max", "failed");
+  auto row = [](const char* name, std::uint64_t reqs, std::uint64_t p50,
+                std::uint64_t p90, std::uint64_t p99, std::uint64_t mx,
+                std::uint64_t failed) {
+    std::printf("%-8s %8llu %12llu %12llu %12llu %12llu %8llu\n", name,
+                (unsigned long long)reqs, (unsigned long long)p50,
+                (unsigned long long)p90, (unsigned long long)p99,
+                (unsigned long long)mx, (unsigned long long)failed);
+  };
+  for (const netsim::ClassMetrics& c : sustained.classes) {
+    row(c.name.c_str(), c.requests, c.p50_latency_cycles,
+        c.p90_latency_cycles, c.p99_latency_cycles, c.max_latency_cycles,
+        c.failed_requests);
+  }
+  row("all", sustained.classes.empty() ? 0 : (std::uint64_t)sustained.requests,
+      sustained.p50_latency_cycles, sustained.p90_latency_cycles,
+      sustained.p99_latency_cycles, sustained.max_latency_cycles,
+      sustained.failed_requests);
+  std::printf("queue: wait %llu cycles total, peak depth %llu, "
+              "rejected %llu, connects %llu\n",
+              (unsigned long long)sustained.queue_wait_cycles,
+              (unsigned long long)sustained.peak_queue_depth,
+              (unsigned long long)sustained.rejected_requests,
+              (unsigned long long)sustained.connects);
+
+  std::FILE* json = open_bench_json("BENCH_serve.json");
+  if (json != nullptr) {
+    std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(json, "  \"transparent\": %s,\n",
+                 transparent ? "true" : "false");
+    std::fprintf(json, "  \"requests\": %d,\n", requests);
+    std::fprintf(json, "  \"grid\": [\n");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const GridCell& c = grid[i];
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"armed\": %s, \"jobs\": %d, "
+                   "\"snapshot_s\": %.6f, \"replay_s\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   c.mode, c.armed ? "true" : "false", c.jobs, c.snap_s,
+                   c.replay_s, c.snap_s > 0 ? c.replay_s / c.snap_s : 0,
+                   i + 1 < grid.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"armed_snapshot_speedup\": %.3f,\n",
+                 armed_speedup);
+    std::fprintf(json, "  \"unarmed_snapshot_speedup\": %.3f,\n",
+                 clean_speedup);
+    std::fprintf(json, "  \"load_requests\": %d,\n", load);
+    std::fprintf(json, "  \"p50_latency_cycles\": %llu,\n",
+                 (unsigned long long)sustained.p50_latency_cycles);
+    std::fprintf(json, "  \"p90_latency_cycles\": %llu,\n",
+                 (unsigned long long)sustained.p90_latency_cycles);
+    std::fprintf(json, "  \"p99_latency_cycles\": %llu,\n",
+                 (unsigned long long)sustained.p99_latency_cycles);
+    std::fprintf(json, "  \"max_latency_cycles\": %llu,\n",
+                 (unsigned long long)sustained.max_latency_cycles);
+    std::fprintf(json, "  \"rejected_requests\": %llu,\n",
+                 (unsigned long long)sustained.rejected_requests);
+    std::fprintf(json, "  \"peak_queue_depth\": %llu,\n",
+                 (unsigned long long)sustained.peak_queue_depth);
+    std::fprintf(json, "  \"classes\": [\n");
+    for (std::size_t i = 0; i < sustained.classes.size(); ++i) {
+      const netsim::ClassMetrics& c = sustained.classes[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"requests\": %llu, "
+                   "\"p50\": %llu, \"p99\": %llu, \"max\": %llu, "
+                   "\"failed\": %llu}%s\n",
+                   c.name.c_str(), (unsigned long long)c.requests,
+                   (unsigned long long)c.p50_latency_cycles,
+                   (unsigned long long)c.p99_latency_cycles,
+                   (unsigned long long)c.max_latency_cycles,
+                   (unsigned long long)c.failed_requests,
+                   i + 1 < sustained.classes.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n");
+    close_bench_json(json, "BENCH_serve.json");
+  }
+
+  if (!transparent) {
+    std::fprintf(stderr, "FAIL: fork-from-snapshot and rebuild-and-replay "
+                         "produced different simulated results\n");
+    return 1;
+  }
+  std::printf("\nall serving strategies bit-identical; armed speedup "
+              "%.2fx\n",
+              armed_speedup);
+  return 0;
+}

@@ -160,15 +160,18 @@ int main(int argc, char** argv) {
   }
   // North-star metrics promoted to the very top of the trajectory file:
   // the decode bench's interpreter-grid speedup (fused engine vs reference
-  // interpreter), its static fusion hit rate, and the netsim
-  // fork-from-snapshot speedup. CI trend lines read these without digging
-  // through the per-bench documents.
+  // interpreter), its static fusion hit rate, the netsim
+  // fork-from-snapshot speedup, and the serving loop's armed-snapshot
+  // speedup plus sustained-load p99 latency. CI trend lines read these
+  // without digging through the per-bench documents.
   const std::pair<const char*, const char*> kKeyMetrics[] = {
       {"decode", "interpreter_speedup"},
       {"decode", "interpreter_speedup_unfused"},
       {"decode", "fusion_hit_rate"},
       {"decode", "threaded_dispatch"},
       {"decode", "netsim_speedup"},
+      {"serve", "armed_snapshot_speedup"},
+      {"serve", "p99_latency_cycles"},
   };
 
   out << "{\n  \"benches\": " << benches.size() << ",\n";

@@ -53,6 +53,14 @@ RunResult Machine::run() {
 
 void Machine::reseed(std::uint32_t seed) { impl_->rng_state = seed; }
 
+void Machine::arm_faults(const faultinject::FaultPlan& plan,
+                         std::uint32_t seed) {
+  // In-place assignment: the components hold a stable pointer to the
+  // injector, so swapping its state re-arms every site at once.
+  impl_->injector = faultinject::FaultInjector(plan, seed);
+  impl_->config.fault_plan = plan;
+}
+
 void Machine::prepare() { impl_->initialize_program(); }
 
 RunResult Machine::run_function(const std::string& name) {

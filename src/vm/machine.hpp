@@ -179,6 +179,15 @@ class Machine {
   // request each simulated fork handles.
   void reseed(std::uint32_t seed);
 
+  // Replaces the fault-injection plan with `plan`, rebuilding the injector
+  // from scratch (fresh RNG stream mixed from (plan.seed, seed), zero hit
+  // counters) — exactly the injector a machine constructed with this plan
+  // and rng_seed would start with. netsim uses this to arm forked children
+  // at the fork point: the parent image is captured unarmed, and after each
+  // restore() the child is re-armed with its per-request seed, making
+  // fork-from-snapshot bit-identical to building an armed machine fresh.
+  void arm_faults(const faultinject::FaultPlan& plan, std::uint32_t seed);
+
   // Captures the complete simulated-machine state — registers, globals,
   // kernel/LDT state, runtime allocators, physical frames — and arms
   // dirty-frame tracking so a later restore() copies back only what changed

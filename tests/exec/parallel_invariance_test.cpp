@@ -53,24 +53,12 @@ int main() {
 
 void expect_identical(const netsim::ServerMetrics& a,
                       const netsim::ServerMetrics& b, int jobs) {
-  EXPECT_EQ(a.requests, b.requests) << "jobs=" << jobs;
-  EXPECT_EQ(a.total_cpu_cycles, b.total_cpu_cycles) << "jobs=" << jobs;
-  EXPECT_EQ(a.total_busy_cycles, b.total_busy_cycles) << "jobs=" << jobs;
-  // Derived doubles come from identical integer inputs through identical
-  // expressions, so they too must be bit-identical (EXPECT_EQ, not NEAR).
-  EXPECT_EQ(a.mean_latency_cycles, b.mean_latency_cycles) << "jobs=" << jobs;
-  EXPECT_EQ(a.mean_latency_us, b.mean_latency_us) << "jobs=" << jobs;
-  EXPECT_EQ(a.throughput_rps, b.throughput_rps) << "jobs=" << jobs;
-  EXPECT_EQ(a.sw_checks, b.sw_checks) << "jobs=" << jobs;
-  EXPECT_EQ(a.hw_checks, b.hw_checks) << "jobs=" << jobs;
-  EXPECT_EQ(a.segment_allocs, b.segment_allocs) << "jobs=" << jobs;
-  EXPECT_EQ(a.cache_hits, b.cache_hits) << "jobs=" << jobs;
-  EXPECT_EQ(a.retries, b.retries) << "jobs=" << jobs;
-  EXPECT_EQ(a.timeouts, b.timeouts) << "jobs=" << jobs;
-  EXPECT_EQ(a.degraded_requests, b.degraded_requests) << "jobs=" << jobs;
-  EXPECT_EQ(a.failed_requests, b.failed_requests) << "jobs=" << jobs;
-  EXPECT_EQ(a.faults_injected, b.faults_injected) << "jobs=" << jobs;
-  EXPECT_EQ(a.first_failure, b.first_failure) << "jobs=" << jobs;
+  // first_metrics_difference covers every simulated field — the integer
+  // aggregates, the derived doubles (identical integer inputs through
+  // identical expressions must be bit-identical: equality, not NEAR), the
+  // latency order statistics, the queueing aggregates, and the per-class
+  // breakdowns. Only host-side PoolStats is exempt.
+  EXPECT_EQ(netsim::first_metrics_difference(a, b), "") << "jobs=" << jobs;
 }
 
 TEST(ParallelInvariance, ServeRequestsIsThreadCountInvariant) {
@@ -212,6 +200,52 @@ TEST(ParallelInvariance, InjectedServeRequestsIsThreadCountInvariant) {
     const netsim::ServerMetrics parallel =
         netsim::serve_requests(*program.program, 30, 11, {jobs}, plan);
     expect_identical(serial, parallel, jobs);
+  }
+}
+
+TEST(ParallelInvariance, ArmedSnapshotServingMatchesRebuildAndReplay) {
+  // The headline perf path: armed plans fork from a snapshot captured
+  // *before* arming, then re-arm a fresh per-request injector after each
+  // restore. That must be bit-identical — every fault pattern, retry,
+  // failure string, percentile, and per-class count — to rebuilding the
+  // machine and arming at the same fork point, across modes, plans, and
+  // jobs in {1, 2, 8}.
+  faultinject::FaultPlan timeouts;
+  timeouts.seed = 7;
+  timeouts.net_retry_budget = 2;
+  timeouts.rules.push_back(
+      {faultinject::FaultSite::kNetRequestTimeout, 0, 3, 0, 1});
+  timeouts.rules.push_back({faultinject::FaultSite::kSegAllocate, 0, 5, 0, 1});
+  faultinject::FaultPlan harsh; // exhausted budgets → failed requests
+  harsh.seed = 3;
+  harsh.net_retry_budget = 0;
+  harsh.rules.push_back({faultinject::FaultSite::kSegAllocate, 0, 2, 0, 1});
+  harsh.rules.push_back(
+      {faultinject::FaultSite::kNetRequestTimeout, 0, 1, 0, 2});
+
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kCash}) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult program = compile(kServer, options);
+    ASSERT_TRUE(program.ok()) << program.error;
+    for (const faultinject::FaultPlan& plan : {timeouts, harsh}) {
+      netsim::ServeOptions replay;
+      replay.enable_snapshot = false;
+      const netsim::ServerMetrics reference =
+          netsim::serve_requests(*program.program, 30, 11, {1}, plan, replay);
+      EXPECT_GT(reference.faults_injected, 0u);
+      for (int jobs : {1, 2, 8}) {
+        const netsim::ServerMetrics fast = netsim::serve_requests(
+            *program.program, 30, 11, {jobs}, plan, {});
+        expect_identical(reference, fast, jobs);
+        // Prove the fast path actually ran: armed serving must capture the
+        // pre-armed parent image and restore it per fork.
+        EXPECT_GT(fast.pool.captures, 0u) << "jobs=" << jobs;
+        EXPECT_GT(fast.pool.restores, 0u) << "jobs=" << jobs;
+        EXPECT_EQ(reference.pool.captures, 0u);
+        EXPECT_GE(reference.pool.machines_built, 30u);
+      }
+    }
   }
 }
 

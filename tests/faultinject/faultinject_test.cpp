@@ -8,6 +8,7 @@
 #include "core/cash.hpp"
 #include "faultinject/faultinject.hpp"
 #include "vm/machine.hpp"
+#include "vm/snapshot.hpp"
 
 namespace cash::faultinject {
 namespace {
@@ -275,6 +276,114 @@ TEST(FaultInjectMachine, InjectedLdtExhaustionCompletesViaGlobalFallback) {
   // unchanged while the protection is gone.
   EXPECT_EQ(run.counters.hw_checked_accesses,
             reference.counters.hw_checked_accesses);
+}
+
+// --- Re-arm semantics (armed fork-from-snapshot) --------------------------
+
+TEST(FaultInjectRearm, CopyAssignmentSnapshotsAndRewindsHitCounters) {
+  // Machine snapshots copy the injector wholesale; a later restore assigns
+  // it back. That must rewind the per-site hit counters, the per-rule fire
+  // counts, and the RNG stream — so the rewound injector replays the
+  // decision suffix exactly.
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.rules.push_back({FaultSite::kSegAllocate, 1, 2, 3, 2});
+  FaultInjector live(plan, 9);
+  for (int i = 0; i < 5; ++i) {
+    (void)live.should_inject(FaultSite::kSegAllocate);
+  }
+  const FaultInjector snapshot = live; // capture()
+  std::string after_capture;
+  for (int i = 0; i < 16; ++i) {
+    after_capture +=
+        live.should_inject(FaultSite::kSegAllocate) ? '1' : '0';
+  }
+  live = snapshot; // restore()
+  EXPECT_EQ(live.stats().hits_at(FaultSite::kSegAllocate), 5U);
+  std::string after_restore;
+  for (int i = 0; i < 16; ++i) {
+    after_restore +=
+        live.should_inject(FaultSite::kSegAllocate) ? '1' : '0';
+  }
+  EXPECT_EQ(after_restore, after_capture);
+}
+
+TEST(FaultInjectRearm, RearmedInjectorMatchesFreshlySeededInjector) {
+  // The armed serving loop restores an unarmed parent image and then
+  // re-arms via in-place assignment from a freshly constructed injector.
+  // The result must be indistinguishable from an injector built fresh with
+  // the per-request plan/seed: zero counters, zero fires, same RNG stream.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back({FaultSite::kNetRequestTimeout, 0, 1, 0, 3});
+  plan.rules.push_back({FaultSite::kHeapAlloc, 2, 3, 2, 1});
+  auto decisions = [&](FaultInjector& injector) {
+    std::string pattern;
+    for (int i = 0; i < 48; ++i) {
+      pattern += injector.should_inject(FaultSite::kNetRequestTimeout)
+                     ? 'T' : 't';
+      pattern += injector.should_inject(FaultSite::kHeapAlloc) ? 'H' : 'h';
+    }
+    return pattern;
+  };
+  for (std::uint32_t request = 0; request < 4; ++request) {
+    FaultPlan seeded = plan;
+    seeded.seed = plan.seed + request;
+    FaultInjector fresh(seeded, 1000);
+    // A "used" injector standing in for the restored parent's: different
+    // plan, counters already advanced.
+    FaultPlan stale;
+    stale.rules.push_back({FaultSite::kSegAllocate, 0, 1, 0, 1});
+    FaultInjector rearmed(stale, 5);
+    (void)rearmed.should_inject(FaultSite::kSegAllocate);
+    rearmed = FaultInjector(seeded, 1000); // Machine::arm_faults
+    EXPECT_EQ(rearmed.stats().total(), 0U);
+    EXPECT_EQ(rearmed.stats().hits_at(FaultSite::kSegAllocate), 0U);
+    EXPECT_EQ(decisions(rearmed), decisions(fresh)) << "request " << request;
+  }
+}
+
+TEST(FaultInjectRearm, ArmAtForkPointMatchesRebuildAndArm) {
+  // Machine-level pin for the serving loop's fork ordering. The parent
+  // image (program load included) is materialised unarmed; each child is
+  // armed at the fork point. Restoring that image and re-arming must give
+  // the same run — cycles, stats, fault pattern — as rebuilding a fresh
+  // unarmed machine and arming at the same point, for every request.
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.rules.push_back({FaultSite::kSegAllocate, 0, 2, 0, 2});
+  plan.rules.push_back({FaultSite::kCallGateBusy, 1, 2, 0, 1});
+
+  const vm::MachineConfig cfg = compiled.program->options().machine;
+  auto rebuilt = compiled.program->make_machine(cfg); // unarmed
+  rebuilt->prepare();
+  rebuilt->arm_faults(plan, cfg.rng_seed);
+  const vm::RunResult reference = rebuilt->run_function("main");
+  EXPECT_GT(reference.fault_stats.total(), 0U); // the plan actually bites
+
+  auto forked = compiled.program->make_machine(cfg); // unarmed parent
+  forked->prepare();
+  auto snap = forked->capture();
+  for (int request = 0; request < 3; ++request) {
+    forked->restore(*snap);
+    forked->arm_faults(plan, cfg.rng_seed);
+    const vm::RunResult run = forked->run_function("main");
+    expect_simulated_identical(reference, run);
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      const FaultSite site = static_cast<FaultSite>(s);
+      EXPECT_EQ(run.fault_stats.hits_at(site),
+                reference.fault_stats.hits_at(site))
+          << "request " << request;
+      EXPECT_EQ(run.fault_stats.injected_at(site),
+                reference.fault_stats.injected_at(site))
+          << "request " << request;
+    }
+  }
 }
 
 } // namespace

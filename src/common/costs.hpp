@@ -68,6 +68,12 @@ inline constexpr std::uint64_t kBoundInstruction = 7;
 // pipeline, zero additional cycles.
 inline constexpr std::uint64_t kHardwareBoundCheck = 0;
 
+// Extra cycles for the interval form of a software check (both ends of a
+// [lo, hi] range instead of one address): one more compare + branch pair on
+// the low bound. The elision pass emits these when it widens a run of
+// consecutive same-array checks into one.
+inline constexpr std::uint64_t kIntervalCheckExtra = 2;
+
 // --- Per-IR-operation latencies (P6-class) ----------------------------------
 
 inline constexpr std::uint64_t kAluOp = 1;        // add/sub/logic/compare
@@ -126,16 +132,24 @@ enum class BoundKind : std::uint8_t { kSoftware, kBoundInsn, kShadow };
 
 // Cost of one bound check. The shadow-processor flavour charges the main
 // CPU one address-queue store and books the 6-instruction derived check
-// (plus the dequeue) on the shadow CPU.
-constexpr StaticCost bound_check_cost(BoundKind kind) noexcept {
+// (plus the dequeue) on the shadow CPU. The interval form checks both ends
+// of a [lo, hi] range: kIntervalCheckExtra more main-CPU cycles (shadow
+// mode queues the second address instead and derives the extra compare on
+// the shadow CPU).
+constexpr StaticCost bound_check_cost(BoundKind kind,
+                                      bool interval = false) noexcept {
   StaticCost c;
   c.sw_checks = 1;
   switch (kind) {
-    case BoundKind::kSoftware:  c.checking = kSoftwareBoundCheck; break;
-    case BoundKind::kBoundInsn: c.checking = kBoundInstruction; break;
+    case BoundKind::kSoftware:
+      c.checking = kSoftwareBoundCheck + (interval ? kIntervalCheckExtra : 0);
+      break;
+    case BoundKind::kBoundInsn:
+      c.checking = kBoundInstruction + (interval ? kIntervalCheckExtra : 0);
+      break;
     case BoundKind::kShadow:
-      c.checking = 1;
-      c.shadow = 2 + kSoftwareBoundCheck;
+      c.checking = 1 + (interval ? 1 : 0);
+      c.shadow = 2 + kSoftwareBoundCheck + (interval ? kIntervalCheckExtra : 0);
       break;
   }
   return c;

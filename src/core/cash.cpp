@@ -1,5 +1,6 @@
 #include "core/cash.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "frontend/irgen.hpp"
@@ -11,11 +12,13 @@ namespace cash {
 
 CompiledProgram::CompiledProgram(std::unique_ptr<ir::Module> module,
                                  CompileOptions options, std::string source,
-                                 passes::LowerStats lower_stats)
+                                 passes::LowerStats lower_stats,
+                                 passes::ElideStats elide_stats)
     : module_(std::move(module)),
       options_(options),
       source_(std::move(source)),
       lower_stats_(lower_stats),
+      elide_stats_(elide_stats),
       decoded_(std::make_unique<const vm::DecodedProgram>(*module_)) {}
 
 CompiledProgram::~CompiledProgram() = default;
@@ -67,6 +70,21 @@ CompileResult compile(std::string_view source, const CompileOptions& options) {
   CompileOptions effective = options;
   effective.machine.mode = options.lower.mode;
 
+  // $CASH_NO_ELIDE force-restores the baseline (no elision) for A/B
+  // comparison, mirroring $CASH_NO_PREDECODE / $CASH_NO_FUSION.
+  if (effective.lower.elide_checks &&
+      std::getenv("CASH_NO_ELIDE") != nullptr) {
+    effective.lower.elide_checks = false;
+  }
+
+  passes::ElideStats elide_stats;
+  if (effective.lower.elide_checks) {
+    elide_stats = passes::elide_module(*module, effective.lower);
+    if (!check("check elision")) {
+      return result;
+    }
+  }
+
   const passes::LowerStats stats =
       passes::lower_module(*module, effective.lower);
 
@@ -75,7 +93,7 @@ CompileResult compile(std::string_view source, const CompileOptions& options) {
   }
 
   result.program = std::make_unique<CompiledProgram>(
-      std::move(module), effective, std::string(source), stats);
+      std::move(module), effective, std::string(source), stats, elide_stats);
   return result;
 }
 

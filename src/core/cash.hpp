@@ -6,6 +6,7 @@
 
 #include "ir/function.hpp"
 #include "passes/code_size.hpp"
+#include "passes/elide.hpp"
 #include "passes/lower.hpp"
 #include "passes/program_stats.hpp"
 #include "vm/machine.hpp"
@@ -47,7 +48,8 @@ struct CompileOptions {
 class CompiledProgram {
  public:
   CompiledProgram(std::unique_ptr<ir::Module> module, CompileOptions options,
-                  std::string source, passes::LowerStats lower_stats);
+                  std::string source, passes::LowerStats lower_stats,
+                  passes::ElideStats elide_stats = {});
   ~CompiledProgram(); // out of line: DecodedProgram is incomplete here
 
   const ir::Module& module() const noexcept { return *module_; }
@@ -58,14 +60,26 @@ class CompiledProgram {
     return lower_stats_;
   }
 
+  // What the elision pass removed (all zero unless lower.elide_checks was on
+  // and survived $CASH_NO_ELIDE).
+  const passes::ElideStats& elide_stats() const noexcept {
+    return elide_stats_;
+  }
+
   // Static binary-size model (Tables 2 and 6).
   passes::CodeSize code_size() const {
     return passes::estimate_code_size(*module_, options_.lower);
   }
 
-  // Loop/array characteristics (Tables 4 and 7).
+  // Loop/array characteristics (Tables 4 and 7), plus this compilation's
+  // check-elision results.
   passes::ProgramStats program_stats(int seg_reg_budget = 3) const {
-    return passes::compute_program_stats(*module_, source_, seg_reg_budget);
+    passes::ProgramStats stats =
+        passes::compute_program_stats(*module_, source_, seg_reg_budget);
+    stats.checks_deleted = elide_stats_.checks_deleted;
+    stats.checks_hoisted = elide_stats_.checks_hoisted;
+    stats.checks_widened = elide_stats_.checks_widened;
+    return stats;
   }
 
   // Creates a fresh simulated machine (process) for this program. The
@@ -89,14 +103,20 @@ class CompiledProgram {
   // an image that failed validation is kept, with ok() == false).
   const vm::DecodedProgram* decoded() const noexcept { return decoded_.get(); }
 
-  // Convenience: fresh machine, run main() once.
-  vm::RunResult run() const { return make_machine()->run(); }
+  // Convenience: fresh machine, run main() once. Stamps the compile-time
+  // elision statistics into the result.
+  vm::RunResult run() const {
+    vm::RunResult result = make_machine()->run();
+    result.elide_stats = elide_stats_;
+    return result;
+  }
 
  private:
   std::unique_ptr<ir::Module> module_;
   CompileOptions options_;
   std::string source_;
   passes::LowerStats lower_stats_;
+  passes::ElideStats elide_stats_;
   std::unique_ptr<const vm::DecodedProgram> decoded_;
 };
 

@@ -43,11 +43,17 @@ enum class Opcode : std::uint8_t {
   kSegLoad,     // load segment register `seg` with the segment of array
                 //   `symbol` (shadow info reachable through src0); 4 cycles
   kBoundCheckSw,  // software bound check of address src0 against the bounds
-                  //   of the object src1's shadow points to; 6 cycles
+                  //   of the object src0's shadow points to; 6 cycles.
+                  //   With src1 set, the interval form: checks [src0, src1]
+                  //   and only applies when src0 <= src1 (an empty range
+                  //   passes), so a hoisted check for a zero-trip loop can
+                  //   never fault; costs kIntervalCheckExtra more
   kBoundCheckBnd, // same check via the x86 `bound` instruction; 7 cycles
+                  //   (interval form as above)
   kBoundCheckShadow, // enqueue the address for a shadow processor that runs
                      //   the derived checking program concurrently
                      //   (Patil & Fischer); 1 cycle on the main CPU
+                     //   (interval form enqueues src1 too: 2 cycles)
 };
 
 enum class BinOp : std::uint8_t {
@@ -93,6 +99,9 @@ struct Instr {
   bool synthetic{false};          // inserted by a lowering pass (check
                                   // set-up); costed with the check, not as
                                   // program work
+  bool check_elided{false};       // memory access proven in-bounds by the
+                                  // elision pass: lowering emits no check
+                                  // (and, for Cash, no segment set-up) for it
 
   SourceLoc loc;
 

@@ -1,6 +1,8 @@
 #include "ir/natural_loops.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -50,6 +52,30 @@ std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
     loops.push_back(std::move(loop));
   }
   return loops;
+}
+
+BlockId find_preheader(const Cfg& cfg, const NaturalLoop& loop) {
+  BlockId preheader = kNoBlock;
+  for (BlockId pred : cfg.predecessors(loop.header)) {
+    if (std::binary_search(loop.body.begin(), loop.body.end(), pred)) {
+      continue; // a latch, not an entry edge
+    }
+    if (preheader != kNoBlock) {
+      return kNoBlock; // several entry edges: no single preheader
+    }
+    preheader = pred;
+  }
+  return preheader;
+}
+
+void insert_before_terminator(BasicBlock& block, std::vector<Instr> instrs) {
+  std::size_t at = block.instrs.size();
+  if (at > 0 && block.instrs.back().is_terminator()) {
+    --at;
+  }
+  block.instrs.insert(block.instrs.begin() + static_cast<std::ptrdiff_t>(at),
+                      std::make_move_iterator(instrs.begin()),
+                      std::make_move_iterator(instrs.end()));
 }
 
 } // namespace cash::ir

@@ -21,4 +21,14 @@ struct NaturalLoop {
 std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
                                             const DominatorTree& dom);
 
+// The loop's preheader: the unique predecessor of the header that is not
+// part of the loop body, or kNoBlock when the header has zero or several
+// out-of-loop predecessors. Code that must execute once before the loop
+// (hoisted checks, segment loads) belongs at the end of this block.
+BlockId find_preheader(const Cfg& cfg, const NaturalLoop& loop);
+
+// Splices `instrs` into `block` just before its terminator (or appends when
+// the block has none yet). The standard way to materialise preheader code.
+void insert_before_terminator(BasicBlock& block, std::vector<Instr> instrs);
+
 } // namespace cash::ir

@@ -96,6 +96,9 @@ std::string to_text(const Instr& instr) {
   if (instr.rebased) {
     out << " !rebased";
   }
+  if (instr.check_elided) {
+    out << " !elided";
+  }
   return out.str();
 }
 

@@ -1,0 +1,1527 @@
+#include "passes/elide.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "passes/array_use.hpp"
+
+namespace cash::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::BinOp;
+using ir::BlockId;
+using ir::Function;
+using ir::Instr;
+using ir::kNoBlock;
+using ir::kNoLoop;
+using ir::kNoReg;
+using ir::kNoSymbol;
+using ir::LoopId;
+using ir::Opcode;
+using ir::Reg;
+using ir::SymbolId;
+
+// Coefficients and constants beyond this magnitude abandon the analysis:
+// everything the pass proves assumes the affine arithmetic it reasons about
+// never wraps the 32-bit address computation the program actually performs.
+constexpr std::int64_t kMagnitudeCap = std::int64_t{1} << 28;
+
+// A position inside the function: (block, instruction index). Stable across
+// the whole analysis because transformations only set flags until the final
+// insertion step.
+struct Site {
+  BlockId block{kNoBlock};
+  int index{-1};
+};
+
+// A symbolic value as an affine form over local scalar slots:
+//   constant + sum(coeff[slot] * value-of-slot-at-the-contributing-load).
+// `loads` records which kLoadLocal sites contributed each leaf, so callers
+// can decide whether the slot's value at those sites is the value they need
+// (loop-invariant slot, induction variable read before its step, ...).
+struct Linear {
+  bool ok{false};
+  std::int64_t constant{0};
+  std::map<std::int32_t, std::int64_t> coeffs; // slot -> coefficient
+  std::vector<std::pair<std::int32_t, Site>> loads; // (slot, load site)
+};
+
+// Resolved shape of a memory-access address: a base object plus an affine
+// byte offset.
+struct AddrInfo {
+  bool ok{false};
+  enum class Base : std::uint8_t { kLocalArray, kGlobalArray, kPointerSlot };
+  Base base{Base::kLocalArray};
+  std::int32_t base_slot{-1};     // local array / pointer slot
+  SymbolId base_global{kNoSymbol};
+  Site base_load;                 // kPointerSlot: the contributing load
+  Linear offset;                  // bytes from the base pointer
+};
+
+// Recognised counted-loop induction variable: a scalar slot with exactly one
+// in-loop store `s = s + step`, whose header test compares `s + cond_off`
+// against a loop-invariant bound.
+struct IvInfo {
+  bool ok{false};
+  std::int32_t slot{-1};
+  std::int64_t step{0};           // nonzero; sign gives the direction
+  Site step_store;
+  Linear bound;                   // invariant side of the header compare
+  std::int64_t cond_off{0};       // `s + cond_off OP bound` continues the loop
+  BinOp cmp{BinOp::kCmpLt};       // normalized continue-condition operator
+  bool const_range{false};        // init and bound are compile-time constants
+  std::int64_t lo{0};             // pre-step IV values lie in [lo, hi] when
+  std::int64_t hi{0};             // const_range (lo > hi: loop never entered)
+};
+
+struct Interval {
+  std::int64_t lo{0};
+  std::int64_t hi{0};
+  bool empty{false}; // the context is unreachable (zero-trip loop)
+};
+
+// A pending instruction splice. Applied after all analysis so instruction
+// indices stay stable throughout.
+struct Insertion {
+  BlockId block{kNoBlock};
+  int before_index{0}; // insert before this instruction index
+  std::vector<Instr> instrs;
+};
+
+bool check_reads_applies(const LowerOptions& options, bool is_write) {
+  return options.check_reads || is_write;
+}
+
+// Would the lowering for `options.mode` instrument this access at all?
+// Elision never touches an access the mode leaves unchecked.
+bool mode_would_check(const LowerOptions& options, const Instr& instr) {
+  if (!instr.is_memory_access() || instr.array_ref == kNoSymbol ||
+      instr.check_elided) {
+    return false;
+  }
+  if (!check_reads_applies(options, instr.op == Opcode::kStore)) {
+    return false;
+  }
+  if (options.mode == CheckMode::kCash && instr.loop == kNoLoop) {
+    return false; // Cash only checks in-loop references (Section 1)
+  }
+  return true;
+}
+
+// The software check opcode elision inserts for hoisted/widened intervals.
+// Cash has no hardware interval check, so its hoisted form is the software
+// one (the trade it buys back by dropping segment loads and spills).
+Opcode interval_check_op(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kBoundInsn: return Opcode::kBoundCheckBnd;
+    case CheckMode::kShadow:    return Opcode::kBoundCheckShadow;
+    default:                    return Opcode::kBoundCheckSw;
+  }
+}
+
+class FunctionEliminator {
+ public:
+  FunctionEliminator(ir::Module& module, Function& function,
+                     const LowerOptions& options)
+      : module_(module),
+        function_(function),
+        options_(options),
+        cfg_(function),
+        dom_(cfg_) {
+    index_defs();
+    index_slots_and_calls();
+    recognize_loops();
+  }
+
+  ElideStats run() {
+    delete_proven_in_bounds();
+    delete_dominated_duplicates();
+    predict_cash_segments();
+    hoist_loops();
+    widen_blocks();
+    apply_insertions();
+    return stats_;
+  }
+
+ private:
+  // --- indexing ------------------------------------------------------------
+
+  void index_defs() {
+    def_sites_.assign(static_cast<std::size_t>(function_.next_reg), Site{});
+    for (const auto& block : function_.blocks) {
+      for (int i = 0; i < static_cast<int>(block->instrs.size()); ++i) {
+        const Instr& instr = block->instrs[i];
+        if (instr.dst != kNoReg && instr.dst < function_.next_reg) {
+          def_sites_[static_cast<std::size_t>(instr.dst)] =
+              Site{block->id, i};
+        }
+      }
+    }
+  }
+
+  void index_slots_and_calls() {
+    for (const auto& block : function_.blocks) {
+      bool has_call = false;
+      for (int i = 0; i < static_cast<int>(block->instrs.size()); ++i) {
+        const Instr& instr = block->instrs[i];
+        if (instr.op == Opcode::kStoreLocal) {
+          slot_stores_[instr.slot].push_back(Site{block->id, i});
+        } else if (instr.op == Opcode::kCall) {
+          has_call = true;
+        }
+      }
+      block_has_call_.push_back(has_call);
+    }
+  }
+
+  const Instr& at(Site s) const {
+    return function_.block(s.block).instrs[static_cast<std::size_t>(s.index)];
+  }
+
+  const Instr* def_of(Reg r) const {
+    if (r < 0 || r >= function_.next_reg) {
+      return nullptr;
+    }
+    const Site s = def_sites_[static_cast<std::size_t>(r)];
+    return s.block == kNoBlock ? nullptr : &at(s);
+  }
+
+  Site def_site_of(Reg r) const {
+    if (r < 0 || r >= function_.next_reg) {
+      return {};
+    }
+    return def_sites_[static_cast<std::size_t>(r)];
+  }
+
+  // --- affine evaluation ---------------------------------------------------
+
+  static bool add_scaled(Linear& out, const Linear& in, std::int64_t scale) {
+    out.constant += in.constant * scale;
+    if (std::abs(out.constant) > kMagnitudeCap) {
+      return false;
+    }
+    for (const auto& [slot, coeff] : in.coeffs) {
+      std::int64_t& c = out.coeffs[slot];
+      c += coeff * scale;
+      if (std::abs(c) > kMagnitudeCap) {
+        return false;
+      }
+      if (c == 0) {
+        out.coeffs.erase(slot);
+      }
+    }
+    for (const auto& load : in.loads) {
+      out.loads.push_back(load);
+    }
+    return true;
+  }
+
+  // Affine view of an integer register, or ok=false. Memoized: the IR is
+  // immutable during analysis.
+  const Linear& eval(Reg r, int depth = 0) {
+    static const Linear kBad{};
+    if (r == kNoReg || depth > 64) {
+      return kBad;
+    }
+    auto it = linear_memo_.find(r);
+    if (it != linear_memo_.end()) {
+      return it->second;
+    }
+    Linear result;
+    const Instr* def = def_of(r);
+    if (def != nullptr) {
+      switch (def->op) {
+        case Opcode::kConstInt:
+          result.ok = std::abs(std::int64_t{def->int_imm}) <= kMagnitudeCap;
+          result.constant = def->int_imm;
+          break;
+        case Opcode::kMove:
+          result = eval(def->src0, depth + 1);
+          break;
+        case Opcode::kLoadLocal:
+          if (def->type == ir::Type::kInt) {
+            result.ok = true;
+            result.coeffs[def->slot] = 1;
+            result.loads.emplace_back(def->slot, def_site_of(r));
+          }
+          break;
+        case Opcode::kBin: {
+          if (def->type != ir::Type::kInt) {
+            break;
+          }
+          const Linear& a = eval(def->src0, depth + 1);
+          const Linear& b = eval(def->src1, depth + 1);
+          if (!a.ok || !b.ok) {
+            break;
+          }
+          if (def->bin_op == BinOp::kAdd || def->bin_op == BinOp::kSub) {
+            result.ok = add_scaled(result, a, 1) &&
+                        add_scaled(result, b,
+                                   def->bin_op == BinOp::kAdd ? 1 : -1);
+          } else if (def->bin_op == BinOp::kMul) {
+            const Linear* term = &a;
+            const Linear* factor = &b;
+            if (!factor->coeffs.empty()) {
+              std::swap(term, factor);
+            }
+            result.ok = factor->coeffs.empty() &&
+                        std::abs(factor->constant) <= kMagnitudeCap &&
+                        add_scaled(result, *term, factor->constant);
+          } else if (def->bin_op == BinOp::kShl) {
+            result.ok = b.coeffs.empty() && b.constant >= 0 &&
+                        b.constant <= 26 &&
+                        add_scaled(result, a,
+                                   std::int64_t{1} << b.constant);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (!result.ok) {
+      result = Linear{};
+    }
+    return linear_memo_.emplace(r, std::move(result)).first->second;
+  }
+
+  std::optional<AddrInfo> resolve_addr(Reg addr, int depth = 0) {
+    const Instr* def = def_of(addr);
+    if (def == nullptr || depth > 16) {
+      return std::nullopt;
+    }
+    switch (def->op) {
+      case Opcode::kAddrLocal: {
+        AddrInfo info;
+        info.ok = true;
+        info.base = AddrInfo::Base::kLocalArray;
+        info.base_slot = def->slot;
+        info.offset.ok = true;
+        return info;
+      }
+      case Opcode::kAddrGlobal: {
+        AddrInfo info;
+        info.ok = true;
+        info.base = AddrInfo::Base::kGlobalArray;
+        info.base_global = def->symbol;
+        info.offset.ok = true;
+        return info;
+      }
+      case Opcode::kLoadLocal: {
+        if (!ir::is_pointer(def->type)) {
+          return std::nullopt;
+        }
+        AddrInfo info;
+        info.ok = true;
+        info.base = AddrInfo::Base::kPointerSlot;
+        info.base_slot = def->slot;
+        info.base_load = def_site_of(addr);
+        info.offset.ok = true;
+        return info;
+      }
+      case Opcode::kMove:
+        return resolve_addr(def->src0, depth + 1);
+      case Opcode::kPtrAdd: {
+        std::optional<AddrInfo> base = resolve_addr(def->src0, depth + 1);
+        if (!base.has_value()) {
+          return std::nullopt;
+        }
+        const Linear& off = eval(def->src1);
+        if (!off.ok || !add_scaled(base->offset, off, 1)) {
+          return std::nullopt;
+        }
+        return base;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Element count of the access's base object, when it is a local or global
+  // array of statically-known extent.
+  std::optional<std::int64_t> array_extent(const AddrInfo& addr) const {
+    if (addr.base == AddrInfo::Base::kLocalArray) {
+      const auto& slot =
+          function_.locals[static_cast<std::size_t>(addr.base_slot)];
+      if (slot.is_array && slot.elem_count > 0) {
+        return std::int64_t{slot.elem_count};
+      }
+    } else if (addr.base == AddrInfo::Base::kGlobalArray) {
+      for (const ir::GlobalVar& g : module_.globals) {
+        if (g.symbol == addr.base_global && g.is_array && g.elem_count > 0) {
+          return std::int64_t{g.elem_count};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // --- loop recognition ----------------------------------------------------
+
+  bool in_body(LoopId loop, BlockId block) const {
+    const ir::Loop& l = function_.loops[static_cast<std::size_t>(loop)];
+    return std::find(l.body.begin(), l.body.end(), block) != l.body.end();
+  }
+
+  std::vector<BlockId> latches_of(const ir::Loop& loop) const {
+    std::vector<BlockId> latches;
+    for (BlockId b : loop.body) {
+      const Instr* term = function_.block(b).terminator();
+      if (term != nullptr &&
+          (term->target0 == loop.header || term->target1 == loop.header)) {
+        latches.push_back(b);
+      }
+    }
+    return latches;
+  }
+
+  // Within-iteration reachability: can control reach `to` from just after
+  // `from` without re-entering the loop header? Same-block forward ranges
+  // count as reachable.
+  bool reaches_within_iteration(const ir::Loop& loop, Site from,
+                                Site to) const {
+    if (from.block == to.block) {
+      if (to.index > from.index) {
+        return true;
+      }
+    }
+    std::set<BlockId> body(loop.body.begin(), loop.body.end());
+    std::vector<BlockId> work;
+    std::set<BlockId> seen;
+    auto push = [&](BlockId b) {
+      if (b != loop.header && body.count(b) != 0 && seen.insert(b).second) {
+        work.push_back(b);
+      }
+    };
+    for (BlockId s : cfg_.successors(from.block)) {
+      push(s);
+    }
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (b == to.block) {
+        return true;
+      }
+      for (BlockId s : cfg_.successors(b)) {
+        push(s);
+      }
+    }
+    return false;
+  }
+
+  bool stores_in_body(const ir::Loop& loop, std::int32_t slot) const {
+    const auto it = slot_stores_.find(slot);
+    if (it == slot_stores_.end()) {
+      return false;
+    }
+    for (const Site& s : it->second) {
+      if (in_body(loop.id, s.block)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // A leaf load whose value must be the slot's loop-entry value: the slot
+  // must be unmodified inside the loop and the load must sit in the loop
+  // body, or in the preheader with no later preheader store to the slot
+  // (either could have captured a stale value).
+  bool invariant_leaf(const ir::Loop& loop, std::int32_t slot,
+                      Site load) const {
+    if (stores_in_body(loop, slot)) {
+      return false;
+    }
+    if (in_body(loop.id, load.block)) {
+      return true;
+    }
+    if (load.block != loop.preheader) {
+      return false;
+    }
+    const BasicBlock& pre = function_.block(loop.preheader);
+    for (int i = load.index + 1; i < static_cast<int>(pre.instrs.size());
+         ++i) {
+      const Instr& instr = pre.instrs[static_cast<std::size_t>(i)];
+      if (instr.op == Opcode::kStoreLocal && instr.slot == slot) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void recognize_loops() {
+    ivs_.resize(function_.loops.size());
+    for (const ir::Loop& loop : function_.loops) {
+      ivs_[static_cast<std::size_t>(loop.id)] = recognize_iv(loop);
+    }
+  }
+
+  IvInfo recognize_iv(const ir::Loop& loop) {
+    IvInfo iv;
+    if (loop.header == kNoBlock || loop.preheader == kNoBlock) {
+      return iv;
+    }
+    // Continue-condition from the header: kBranch on an integer compare with
+    // exactly one side inside the loop.
+    const Instr* term = function_.block(loop.header).terminator();
+    if (term == nullptr || term->op != Opcode::kBranch) {
+      return iv;
+    }
+    const bool t0_in = in_body(loop.id, term->target0);
+    const bool t1_in = in_body(loop.id, term->target1);
+    if (t0_in == t1_in) {
+      return iv;
+    }
+    const Instr* cond = def_of(term->src0);
+    if (cond == nullptr || cond->op != Opcode::kBin ||
+        cond->type != ir::Type::kInt) {
+      return iv;
+    }
+    BinOp op = cond->bin_op;
+    if (op != BinOp::kCmpLt && op != BinOp::kCmpLe && op != BinOp::kCmpGt &&
+        op != BinOp::kCmpGe) {
+      return iv;
+    }
+    Linear lhs = eval(cond->src0);
+    Linear rhs = eval(cond->src1);
+    if (!lhs.ok || !rhs.ok) {
+      return iv;
+    }
+    // Normalize to `iv_side OP bound_side` with the IV on the left.
+    auto mirror = [](BinOp o) {
+      switch (o) {
+        case BinOp::kCmpLt: return BinOp::kCmpGt;
+        case BinOp::kCmpLe: return BinOp::kCmpGe;
+        case BinOp::kCmpGt: return BinOp::kCmpLt;
+        case BinOp::kCmpGe: return BinOp::kCmpLe;
+        default: return o;
+      }
+    };
+    auto negate = [](BinOp o) {
+      switch (o) {
+        case BinOp::kCmpLt: return BinOp::kCmpGe;
+        case BinOp::kCmpLe: return BinOp::kCmpGt;
+        case BinOp::kCmpGt: return BinOp::kCmpLe;
+        case BinOp::kCmpGe: return BinOp::kCmpLt;
+        default: return o;
+      }
+    };
+    // Which side carries a single-slot coefficient-1 leaf that is stored in
+    // the loop? That slot is the IV candidate.
+    auto iv_slot_of = [&](const Linear& side) -> std::int32_t {
+      if (side.coeffs.size() != 1) {
+        return -1;
+      }
+      const auto& [slot, coeff] = *side.coeffs.begin();
+      return coeff == 1 && stores_in_body(loop, slot) ? slot : -1;
+    };
+    std::int32_t slot = iv_slot_of(lhs);
+    if (slot < 0) {
+      slot = iv_slot_of(rhs);
+      if (slot < 0) {
+        return iv;
+      }
+      std::swap(lhs, rhs);
+      op = mirror(op);
+    }
+    if (!t0_in) {
+      op = negate(op); // the branch continues the loop on false
+    }
+    if (op == BinOp::kCmpEq || op == BinOp::kCmpNe) {
+      return iv;
+    }
+    // The bound side must be loop-invariant.
+    for (const auto& [bslot, site] : rhs.loads) {
+      if (bslot == slot || !invariant_leaf(loop, bslot, site)) {
+        return iv;
+      }
+    }
+    if (!rhs.coeffs.empty() &&
+        rhs.coeffs.count(slot) != 0) {
+      return iv;
+    }
+
+    // Exactly one in-body store to the slot, of the form s = s + step, in a
+    // block that dominates every latch (so it runs each iteration).
+    const auto stores_it = slot_stores_.find(slot);
+    if (stores_it == slot_stores_.end()) {
+      return iv;
+    }
+    Site step_store{};
+    int in_body_stores = 0;
+    for (const Site& s : stores_it->second) {
+      if (in_body(loop.id, s.block)) {
+        ++in_body_stores;
+        step_store = s;
+      }
+    }
+    if (in_body_stores != 1) {
+      return iv;
+    }
+    const Linear& stepped = eval(at(step_store).src0);
+    if (!stepped.ok || stepped.coeffs.size() != 1 ||
+        stepped.coeffs.count(slot) == 0 ||
+        stepped.coeffs.at(slot) != 1 || stepped.constant == 0) {
+      return iv;
+    }
+    for (const auto& [lslot, site] : stepped.loads) {
+      if (lslot == slot) {
+        // The step's own read of s must happen before the store.
+        if (site.block == step_store.block && site.index > step_store.index) {
+          return iv;
+        }
+      } else if (!invariant_leaf(loop, lslot, site)) {
+        return iv;
+      }
+    }
+    const std::int64_t step = stepped.constant;
+    // Direction must agree with the bound: an increasing IV needs an upper
+    // bound (kCmpLt/kCmpLe), a decreasing one a lower bound.
+    const bool upper = op == BinOp::kCmpLt || op == BinOp::kCmpLe;
+    if ((step > 0) != upper) {
+      return iv;
+    }
+    for (BlockId latch : latches_of(loop)) {
+      if (!dom_.dominates(step_store.block, latch)) {
+        return iv;
+      }
+    }
+
+    iv.ok = true;
+    iv.slot = slot;
+    iv.step = step;
+    iv.step_store = step_store;
+    iv.cond_off = lhs.constant;
+    iv.bound = rhs;
+    iv.cmp = op;
+
+    // Constant range: the preheader re-initializes the slot to a constant
+    // and the bound is a constant. (A preheader init is required — without
+    // it, a nested loop's second entry would start from a stale value.)
+    const BasicBlock& pre = function_.block(loop.preheader);
+    std::optional<std::int64_t> init;
+    for (const Instr& instr : pre.instrs) {
+      if (instr.op == Opcode::kStoreLocal && instr.slot == slot) {
+        const Linear& v = eval(instr.src0);
+        init = v.ok && v.coeffs.empty()
+                   ? std::optional<std::int64_t>(v.constant)
+                   : std::nullopt;
+      }
+    }
+    if (init.has_value() && rhs.coeffs.empty()) {
+      const std::int64_t limit = rhs.constant - iv.cond_off;
+      std::int64_t lo;
+      std::int64_t hi;
+      if (step > 0) {
+        lo = *init;
+        hi = op == BinOp::kCmpLt ? limit - 1 : limit;
+      } else {
+        lo = op == BinOp::kCmpGt ? limit + 1 : limit;
+        hi = *init;
+      }
+      iv.const_range = true;
+      iv.lo = lo;
+      iv.hi = hi;
+    }
+    return iv;
+  }
+
+  // --- phase (a): statically proven in-bounds ------------------------------
+
+  // Constant interval of a leaf slot load at an access inside `access_loop`'s
+  // chain: the slot must be the IV of an enclosing constant-range loop, read
+  // before its step.
+  std::optional<Interval> leaf_interval(LoopId access_loop, std::int32_t slot,
+                                        Site load) {
+    for (LoopId l = access_loop; l != kNoLoop;
+         l = function_.loops[static_cast<std::size_t>(l)].parent) {
+      const IvInfo& iv = ivs_[static_cast<std::size_t>(l)];
+      if (!iv.ok || iv.slot != slot || !iv.const_range) {
+        continue;
+      }
+      const ir::Loop& loop = function_.loops[static_cast<std::size_t>(l)];
+      if (!in_body(l, load.block)) {
+        return std::nullopt;
+      }
+      if (reaches_within_iteration(loop, iv.step_store, load)) {
+        return std::nullopt; // post-step read: value may exceed the range
+      }
+      Interval r;
+      r.lo = iv.lo;
+      r.hi = iv.hi;
+      r.empty = iv.lo > iv.hi;
+      return r;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Interval> const_interval(const Linear& linear,
+                                         LoopId access_loop) {
+    Interval total{linear.constant, linear.constant, false};
+    // Every leaf slot must have a known interval; `loads` may carry several
+    // sites per slot, each of which must individually justify the range.
+    for (const auto& [slot, coeff] : linear.coeffs) {
+      std::optional<Interval> leaf;
+      for (const auto& [lslot, site] : linear.loads) {
+        if (lslot != slot) {
+          continue;
+        }
+        std::optional<Interval> one = leaf_interval(access_loop, slot, site);
+        if (!one.has_value()) {
+          return std::nullopt;
+        }
+        leaf = one;
+      }
+      if (!leaf.has_value()) {
+        return std::nullopt;
+      }
+      if (leaf->empty) {
+        total.empty = true;
+      }
+      const std::int64_t a = coeff * leaf->lo;
+      const std::int64_t b = coeff * leaf->hi;
+      total.lo += std::min(a, b);
+      total.hi += std::max(a, b);
+      if (std::abs(total.lo) > (std::int64_t{1} << 40) ||
+          std::abs(total.hi) > (std::int64_t{1} << 40)) {
+        return std::nullopt;
+      }
+    }
+    return total;
+  }
+
+  void delete_proven_in_bounds() {
+    for (auto& block : function_.blocks) {
+      for (Instr& instr : block->instrs) {
+        if (!mode_would_check(options_, instr)) {
+          continue;
+        }
+        std::optional<AddrInfo> addr = resolve_addr(instr.src0);
+        if (!addr.has_value()) {
+          continue;
+        }
+        std::optional<std::int64_t> extent = array_extent(*addr);
+        if (!extent.has_value()) {
+          continue;
+        }
+        std::optional<Interval> range =
+            const_interval(addr->offset, instr.loop);
+        if (!range.has_value()) {
+          continue;
+        }
+        // `empty` means the surrounding loop provably never runs, so the
+        // access never executes; otherwise the byte range (plus the 4-byte
+        // word) must stay inside the object.
+        if (range->empty ||
+            (range->lo >= 0 &&
+             range->hi + ir::kWordSize <= *extent * ir::kWordSize)) {
+          instr.check_elided = true;
+          ++stats_.checks_deleted;
+        }
+      }
+    }
+  }
+
+  // --- phase (a'): dominated duplicates ------------------------------------
+
+  // No kCall on any path from just after `from` to just before `to`
+  // (`from` strictly dominates `to`, or precedes it in the same block).
+  bool call_free_between(Site from, Site to) const {
+    const auto calls_in = [&](BlockId b, int begin, int end) {
+      const BasicBlock& block = function_.block(b);
+      end = std::min(end, static_cast<int>(block.instrs.size()));
+      for (int i = std::max(begin, 0); i < end; ++i) {
+        if (block.instrs[i].op == Opcode::kCall) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (from.block == to.block) {
+      if (!calls_in(from.block, from.index + 1, to.index)) {
+        // A cycle through the block could still pass its other calls.
+        if (!block_has_call_[static_cast<std::size_t>(from.block)]) {
+          return true;
+        }
+        std::set<BlockId> seen;
+        std::vector<BlockId> work(cfg_.successors(from.block).begin(),
+                                  cfg_.successors(from.block).end());
+        while (!work.empty()) {
+          const BlockId b = work.back();
+          work.pop_back();
+          if (b == from.block) {
+            return false; // looped back through the full block
+          }
+          if (!seen.insert(b).second) {
+            continue;
+          }
+          for (BlockId s : cfg_.successors(b)) {
+            work.push_back(s);
+          }
+        }
+        return true;
+      }
+      return false;
+    }
+    if (calls_in(from.block, from.index + 1,
+                 static_cast<int>(
+                     function_.block(from.block).instrs.size())) ||
+        calls_in(to.block, 0, to.index)) {
+      return false;
+    }
+    // Any intermediate block reachable from `from` that also reaches `to`
+    // lies on some path; none may contain a call. Re-entering an endpoint
+    // block through a cycle passes all of it, so endpoints on such paths
+    // must be call-free outright.
+    std::set<BlockId> from_reach;
+    std::vector<BlockId> work(cfg_.successors(from.block).begin(),
+                              cfg_.successors(from.block).end());
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (!from_reach.insert(b).second) {
+        continue;
+      }
+      for (BlockId s : cfg_.successors(b)) {
+        work.push_back(s);
+      }
+    }
+    std::set<BlockId> to_reach; // blocks that reach `to`
+    work.assign(cfg_.predecessors(to.block).begin(),
+                cfg_.predecessors(to.block).end());
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (!to_reach.insert(b).second) {
+        continue;
+      }
+      for (BlockId p : cfg_.predecessors(b)) {
+        work.push_back(p);
+      }
+    }
+    for (BlockId b : from_reach) {
+      if (to_reach.count(b) == 0 && b != to.block) {
+        continue;
+      }
+      if (b == from.block || b == to.block) {
+        if (block_has_call_[static_cast<std::size_t>(b)]) {
+          return false; // a cycle re-enters an endpoint block
+        }
+        continue;
+      }
+      if (block_has_call_[static_cast<std::size_t>(b)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void delete_dominated_duplicates() {
+    // Key: (array symbol, constant byte offset) — a fixed element of a named
+    // array, whose address value is identical wherever it is recomputed.
+    std::map<std::pair<SymbolId, std::int64_t>, std::vector<Site>> kept;
+    for (BlockId b : cfg_.reverse_post_order()) {
+      BasicBlock& block = function_.block(b);
+      for (int i = 0; i < static_cast<int>(block.instrs.size()); ++i) {
+        Instr& instr = block.instrs[i];
+        if (!mode_would_check(options_, instr)) {
+          continue;
+        }
+        std::optional<AddrInfo> addr = resolve_addr(instr.src0);
+        if (!addr.has_value() || !addr->offset.coeffs.empty() ||
+            addr->base == AddrInfo::Base::kPointerSlot) {
+          continue;
+        }
+        const std::pair<SymbolId, std::int64_t> key{instr.array_ref,
+                                                    addr->offset.constant};
+        auto& sites = kept[key];
+        bool covered = false;
+        for (const Site& y : sites) {
+          const bool dominates =
+              y.block == b ? y.index < i : dom_.dominates(y.block, b);
+          if (dominates && call_free_between(y, Site{b, i})) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) {
+          instr.check_elided = true;
+          ++stats_.checks_deleted;
+        } else {
+          sites.push_back(Site{b, i});
+        }
+      }
+    }
+  }
+
+  // --- Cash segment prediction ---------------------------------------------
+
+  // Mirrors lower_cash's FCFS assignment over the post-deletion candidate
+  // list: arrays predicted to hold a segment register keep their free
+  // hardware checks — hoisting or widening those would add cycles.
+  void predict_cash_segments() {
+    if (options_.mode != CheckMode::kCash) {
+      return;
+    }
+    for (const ir::Loop* loop : function_.outermost_loops()) {
+      const LoopArrays use = analyze_loop(function_, *loop);
+      const std::set<SymbolId> reassigned(use.reassigned.begin(),
+                                          use.reassigned.end());
+      int next_reg = 0;
+      for (SymbolId sym :
+           cash_segment_candidates(function_, *loop, options_)) {
+        if (next_reg >= options_.num_seg_regs) {
+          break;
+        }
+        if (reassigned.count(sym) != 0 ||
+            function_.find_array_sym(sym) == nullptr) {
+          continue;
+        }
+        ++next_reg;
+        seg_assigned_.insert(sym);
+      }
+    }
+  }
+
+  // Accesses Cash would check in hardware for free stay untouched by the
+  // interval transformations.
+  bool interval_profitable(const Instr& instr) const {
+    return options_.mode != CheckMode::kCash ||
+           seg_assigned_.count(instr.array_ref) == 0;
+  }
+
+  // --- phase (b): monotone-loop hoisting -----------------------------------
+
+  bool loop_is_hoist_safe(const ir::Loop& loop) const {
+    // No nested loops: an inner loop could diverge or fault before the
+    // iteration that would have caught the violation.
+    for (const ir::Loop& other : function_.loops) {
+      if (other.parent == loop.id) {
+        return false;
+      }
+    }
+    for (BlockId b : loop.body) {
+      const BasicBlock& block = function_.block(b);
+      for (const Instr& instr : block.instrs) {
+        if (instr.op == Opcode::kCall || instr.op == Opcode::kRet) {
+          return false;
+        }
+        if (instr.op == Opcode::kBin &&
+            (instr.bin_op == BinOp::kDiv || instr.bin_op == BinOp::kRem) &&
+            instr.type == ir::Type::kInt) {
+          // Only a provably non-zero constant divisor cannot fault.
+          const Instr* divisor = def_of(instr.src1);
+          if (divisor == nullptr || divisor->op != Opcode::kConstInt ||
+              divisor->int_imm == 0) {
+            return false;
+          }
+        }
+      }
+      // Early exits: only the header may leave the loop.
+      if (b == loop.header) {
+        continue;
+      }
+      const Instr* term = block.terminator();
+      if (term == nullptr) {
+        return false;
+      }
+      if (term->op == Opcode::kRet) {
+        return false;
+      }
+      if (term->target0 != kNoBlock && !in_body(loop.id, term->target0)) {
+        return false;
+      }
+      if (term->op == Opcode::kBranch && term->target1 != kNoBlock &&
+          !in_body(loop.id, term->target1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // One group per (address shape, constant offset). Keeping the constant in
+  // the group key makes the emptiness test exact: with a single constant,
+  // lo > hi at run time if and only if the loop is zero-trip, so the
+  // interval check passes exactly when no member would have executed.
+  struct HoistGroup {
+    AddrInfo addr;
+    std::int64_t iv_coeff{0};
+    SymbolId array_ref{kNoSymbol};
+    SourceLoc loc;
+    std::vector<Site> members;
+  };
+
+  void hoist_loops() {
+    for (const ir::Loop& loop : function_.loops) {
+      const IvInfo& iv = ivs_[static_cast<std::size_t>(loop.id)];
+      if (!iv.ok || std::abs(iv.step) != 1 || loop.preheader == kNoBlock) {
+        continue; // |step| == 1 keeps the extremal indices exact
+      }
+      if (!loop_is_hoist_safe(loop)) {
+        continue;
+      }
+      const std::vector<BlockId> latches = latches_of(loop);
+      std::vector<HoistGroup> groups;
+      for (BlockId b : loop.body) {
+        BasicBlock& block = function_.block(b);
+        for (int i = 0; i < static_cast<int>(block.instrs.size()); ++i) {
+          Instr& instr = block.instrs[i];
+          if (!mode_would_check(options_, instr) ||
+              instr.loop != loop.id || !interval_profitable(instr)) {
+            continue;
+          }
+          // The access must run on every iteration, before the IV steps.
+          bool dominates_latches = !latches.empty();
+          for (BlockId latch : latches) {
+            dominates_latches =
+                dominates_latches && dom_.dominates(b, latch);
+          }
+          if (!dominates_latches ||
+              reaches_within_iteration(loop, iv.step_store, Site{b, i})) {
+            continue;
+          }
+          std::optional<AddrInfo> addr = resolve_addr(instr.src0);
+          if (!addr.has_value()) {
+            continue;
+          }
+          if (!hoistable_addr(loop, iv, *addr)) {
+            continue;
+          }
+          const std::int64_t coeff = addr->offset.coeffs.at(iv.slot);
+          HoistGroup* group = nullptr;
+          for (HoistGroup& g : groups) {
+            if (same_hoist_shape(g.addr, *addr)) {
+              group = &g;
+              break;
+            }
+          }
+          if (group == nullptr) {
+            groups.push_back(HoistGroup{});
+            group = &groups.back();
+            group->addr = *addr;
+            group->iv_coeff = coeff;
+            group->array_ref = instr.array_ref;
+            group->loc = instr.loc;
+          }
+          group->members.push_back(Site{b, i});
+        }
+      }
+      for (const HoistGroup& group : groups) {
+        emit_hoisted_check(loop, iv, group);
+        for (const Site& s : group.members) {
+          function_.block(s.block)
+              .instrs[static_cast<std::size_t>(s.index)]
+              .check_elided = true;
+          ++stats_.checks_hoisted;
+        }
+        ++stats_.hoist_checks_inserted;
+      }
+    }
+  }
+
+  // The address must be affine in the IV (nonzero coefficient) with every
+  // other ingredient loop-invariant and rematerializable in the preheader.
+  bool hoistable_addr(const ir::Loop& loop, const IvInfo& iv,
+                      const AddrInfo& addr) {
+    const auto coeff_it = addr.offset.coeffs.find(iv.slot);
+    if (coeff_it == addr.offset.coeffs.end() || coeff_it->second == 0) {
+      return false;
+    }
+    if (addr.base == AddrInfo::Base::kPointerSlot &&
+        !invariant_leaf(loop, addr.base_slot, addr.base_load)) {
+      return false; // pointer re-seated, or the load saw a stale value
+    }
+    for (const auto& [slot, site] : addr.offset.loads) {
+      if (slot == iv.slot) {
+        if (!in_body(loop.id, site.block) ||
+            reaches_within_iteration(loop, iv.step_store, site)) {
+          return false; // must read the pre-step IV value
+        }
+      } else if (!invariant_leaf(loop, slot, site)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool same_hoist_shape(const AddrInfo& a, const AddrInfo& b) {
+    return a.base == b.base && a.base_slot == b.base_slot &&
+           a.base_global == b.base_global &&
+           a.offset.coeffs == b.offset.coeffs &&
+           a.offset.constant == b.offset.constant;
+  }
+
+  // Builds the preheader interval check for one hoist group: materialize the
+  // base pointer and both extremal addresses, then a single interval check
+  // `[lo, hi]` that passes vacuously when the loop is zero-trip.
+  void emit_hoisted_check(const ir::Loop& loop, const IvInfo& iv,
+                          const HoistGroup& group) {
+    std::vector<Instr> prefix;
+    const LoopId outer = loop.parent;
+    auto emit = [&](Instr instr) -> Reg {
+      instr.loop = outer;
+      instr.loc = group.loc;
+      prefix.push_back(instr);
+      return instr.dst;
+    };
+    auto const_int = [&](std::int64_t v) {
+      Instr c;
+      c.op = Opcode::kConstInt;
+      c.dst = function_.new_reg();
+      c.int_imm = static_cast<std::int32_t>(v);
+      return emit(c);
+    };
+    auto load_slot = [&](std::int32_t slot, ir::Type type) {
+      Instr l;
+      l.op = Opcode::kLoadLocal;
+      l.type = type;
+      l.dst = function_.new_reg();
+      l.slot = slot;
+      return emit(l);
+    };
+    auto bin = [&](BinOp op, Reg a, Reg b) {
+      Instr instr;
+      instr.op = Opcode::kBin;
+      instr.bin_op = op;
+      instr.dst = function_.new_reg();
+      instr.src0 = a;
+      instr.src1 = b;
+      return emit(instr);
+    };
+    // value-of(linear term) at the preheader's end, with the IV replaced by
+    // `iv_value`; wrapping 32-bit arithmetic matches the loop body's own
+    // address computation exactly.
+    auto materialize = [&](const Linear& linear, Reg iv_value,
+                           std::int64_t extra_const) -> Reg {
+      Reg acc = kNoReg;
+      auto accumulate = [&](Reg value, std::int64_t coeff) {
+        if (coeff == 0 || value == kNoReg) {
+          return;
+        }
+        Reg scaled = value;
+        const std::int64_t mag = std::abs(coeff);
+        if (mag != 1) {
+          // Power-of-two coefficients (the common 4-byte scale) shift.
+          if ((mag & (mag - 1)) == 0) {
+            std::int64_t shift = 0;
+            while ((std::int64_t{1} << shift) != mag) {
+              ++shift;
+            }
+            scaled = bin(BinOp::kShl, value, const_int(shift));
+          } else {
+            scaled = bin(BinOp::kMul, value, const_int(mag));
+          }
+        }
+        if (acc == kNoReg) {
+          acc = coeff < 0 ? bin(BinOp::kSub, const_int(0), scaled) : scaled;
+        } else {
+          acc = bin(coeff < 0 ? BinOp::kSub : BinOp::kAdd, acc, scaled);
+        }
+      };
+      for (const auto& [slot, coeff] : linear.coeffs) {
+        if (slot == iv.slot) {
+          accumulate(iv_value, coeff);
+        } else {
+          accumulate(load_slot(slot, ir::Type::kInt), coeff);
+        }
+      }
+      const std::int64_t c = linear.constant + extra_const;
+      if (acc == kNoReg) {
+        return const_int(c);
+      }
+      return c == 0 ? acc : bin(BinOp::kAdd, acc, const_int(c));
+    };
+
+    // Extremal IV values: the loop-entry value from the slot itself, and the
+    // bound-derived far end (exact because |step| == 1).
+    const Reg iv_entry = load_slot(iv.slot, ir::Type::kInt);
+    const std::int64_t bound_adjust =
+        -iv.cond_off + (iv.step > 0 ? (iv.cmp == BinOp::kCmpLt ? -1 : 0)
+                                    : (iv.cmp == BinOp::kCmpGt ? 1 : 0));
+    const Reg iv_far = materialize(iv.bound, kNoReg, bound_adjust);
+    const Reg iv_min = iv.step > 0 ? iv_entry : iv_far;
+    const Reg iv_max = iv.step > 0 ? iv_far : iv_entry;
+    const bool coeff_pos = group.iv_coeff > 0;
+
+    Instr base;
+    base.dst = function_.new_reg();
+    switch (group.addr.base) {
+      case AddrInfo::Base::kLocalArray:
+        base.op = Opcode::kAddrLocal;
+        base.slot = group.addr.base_slot;
+        base.array_ref = group.array_ref;
+        base.synthetic = true; // check set-up, costed with the check
+        break;
+      case AddrInfo::Base::kGlobalArray:
+        base.op = Opcode::kAddrGlobal;
+        base.symbol = group.addr.base_global;
+        base.array_ref = group.array_ref;
+        base.synthetic = true;
+        break;
+      case AddrInfo::Base::kPointerSlot:
+        base.op = Opcode::kLoadLocal;
+        base.type = ir::Type::kIntPtr;
+        base.slot = group.addr.base_slot;
+        break;
+    }
+    const Reg base_reg = emit(base);
+
+    auto extremal_addr = [&](Reg iv_value) {
+      const Reg off = materialize(group.addr.offset, iv_value, 0);
+      Instr add;
+      add.op = Opcode::kPtrAdd;
+      add.type = ir::Type::kIntPtr;
+      add.dst = function_.new_reg();
+      add.src0 = base_reg;
+      add.src1 = off;
+      return emit(add);
+    };
+    const Reg lo = extremal_addr(coeff_pos ? iv_min : iv_max);
+    const Reg hi = extremal_addr(coeff_pos ? iv_max : iv_min);
+
+    Instr check;
+    check.op = interval_check_op(options_.mode);
+    check.src0 = lo;
+    check.src1 = hi;
+    check.array_ref = group.array_ref;
+    emit(check);
+
+    insertions_.push_back(Insertion{
+        loop.preheader,
+        terminator_index(function_.block(loop.preheader)),
+        std::move(prefix)});
+  }
+
+  static int terminator_index(const BasicBlock& block) {
+    const int size = static_cast<int>(block.instrs.size());
+    if (size > 0 && block.instrs[static_cast<std::size_t>(size - 1)]
+                        .is_terminator()) {
+      return size - 1;
+    }
+    return size;
+  }
+
+  // --- phase (c): in-block interval widening -------------------------------
+
+  // Leaf identity inside one block: a load from another block is a fixed
+  // value (same site, same value); a load in this block stands for "the
+  // slot's current value", valid while no store intervenes.
+  struct WidenLeaf {
+    std::int32_t slot{-1};
+    bool local{false};
+    Site remote_site;   // !local
+    int version{0};     // local: store count at the access
+    bool operator<(const WidenLeaf& o) const {
+      return std::tie(slot, local, remote_site.block, remote_site.index,
+                      version) < std::tie(o.slot, o.local,
+                                          o.remote_site.block,
+                                          o.remote_site.index, o.version);
+    }
+    bool operator==(const WidenLeaf& o) const {
+      return slot == o.slot && local == o.local &&
+             remote_site.block == o.remote_site.block &&
+             remote_site.index == o.remote_site.index &&
+             version == o.version;
+    }
+  };
+
+  struct WidenKey {
+    int base_kind{0};
+    std::int32_t base_slot{-1};
+    SymbolId base_global{kNoSymbol};
+    WidenLeaf base_leaf;           // pointer-slot base identity
+    std::vector<std::pair<WidenLeaf, std::int64_t>> coeffs;
+    bool operator<(const WidenKey& o) const {
+      return std::tie(base_kind, base_slot, base_global, base_leaf, coeffs) <
+             std::tie(o.base_kind, o.base_slot, o.base_global, o.base_leaf,
+                      o.coeffs);
+    }
+  };
+
+  struct WidenGroup {
+    std::vector<Site> members;
+    std::vector<std::int64_t> consts; // per member, byte offsets
+    Reg first_addr{kNoReg};           // first member's address register
+    std::int64_t first_const{0};
+    SymbolId array_ref{kNoSymbol};
+    LoopId loop{kNoLoop};
+    SourceLoc loc;
+  };
+
+  void widen_blocks() {
+    for (auto& block : function_.blocks) {
+      std::map<std::int32_t, int> version; // slot -> stores seen so far
+      std::map<WidenKey, WidenGroup> open;
+      auto flush_one = [&](WidenGroup& g) {
+        finalize_widen_group(*block, g);
+        g = WidenGroup{};
+      };
+      auto flush_all = [&] {
+        for (auto& [key, g] : open) {
+          flush_one(g);
+        }
+        open.clear();
+      };
+      for (int i = 0; i < static_cast<int>(block->instrs.size()); ++i) {
+        const Instr& instr = block->instrs[i];
+        if (instr.op == Opcode::kStoreLocal) {
+          ++version[instr.slot];
+          // Groups keyed on an older version of this slot can no longer
+          // grow (and are keyed distinctly), so finalize them now.
+          for (auto it = open.begin(); it != open.end();) {
+            if (widen_key_uses_slot(it->first, instr.slot)) {
+              flush_one(it->second);
+              it = open.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          continue;
+        }
+        if (instr.op == Opcode::kCall ||
+            (instr.op == Opcode::kBin &&
+             (instr.bin_op == BinOp::kDiv || instr.bin_op == BinOp::kRem) &&
+             instr.type == ir::Type::kInt &&
+             !nonzero_const(instr.src1))) {
+          // A call or potential fault between members would reorder
+          // observable behaviour against the widened check.
+          flush_all();
+          continue;
+        }
+        if (!mode_would_check(options_, instr) ||
+            !interval_profitable(instr)) {
+          continue;
+        }
+        std::optional<AddrInfo> addr = resolve_addr(instr.src0);
+        if (!addr.has_value()) {
+          continue;
+        }
+        std::optional<WidenKey> key =
+            widen_key_for(*block, *addr, version);
+        if (!key.has_value()) {
+          continue;
+        }
+        WidenGroup& group = open[*key];
+        if (group.members.empty()) {
+          group.first_addr = instr.src0;
+          group.first_const = addr->offset.constant;
+          group.array_ref = instr.array_ref;
+          group.loop = instr.loop;
+          group.loc = instr.loc;
+        }
+        group.members.push_back(Site{block->id, i});
+        group.consts.push_back(addr->offset.constant);
+      }
+      flush_all();
+    }
+  }
+
+  bool nonzero_const(Reg r) const {
+    const Instr* def = def_of(r);
+    return def != nullptr && def->op == Opcode::kConstInt &&
+           def->int_imm != 0;
+  }
+
+  static bool widen_key_uses_slot(const WidenKey& key, std::int32_t slot) {
+    if (key.base_kind == 2 && key.base_leaf.local &&
+        key.base_leaf.slot == slot) {
+      return true;
+    }
+    for (const auto& [leaf, coeff] : key.coeffs) {
+      if (leaf.local && leaf.slot == slot) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<WidenKey> widen_key_for(
+      const BasicBlock& block, const AddrInfo& addr,
+      const std::map<std::int32_t, int>& version) {
+    auto leaf_of = [&](std::int32_t slot,
+                       Site load) -> std::optional<WidenLeaf> {
+      WidenLeaf leaf;
+      leaf.slot = slot;
+      if (load.block == block.id) {
+        // The load must see the block's current slot value, otherwise the
+        // widened check could not rematerialize it at the insertion point.
+        int version_at_load = 0;
+        for (int i = 0; i < load.index; ++i) {
+          if (block.instrs[static_cast<std::size_t>(i)].op ==
+                  Opcode::kStoreLocal &&
+              block.instrs[static_cast<std::size_t>(i)].slot == slot) {
+            ++version_at_load;
+          }
+        }
+        const auto it = version.find(slot);
+        const int current = it == version.end() ? 0 : it->second;
+        if (version_at_load != current) {
+          return std::nullopt;
+        }
+        leaf.local = true;
+        leaf.version = current;
+      } else {
+        leaf.remote_site = load;
+      }
+      return leaf;
+    };
+    WidenKey key;
+    switch (addr.base) {
+      case AddrInfo::Base::kLocalArray:
+        key.base_kind = 0;
+        key.base_slot = addr.base_slot;
+        break;
+      case AddrInfo::Base::kGlobalArray:
+        key.base_kind = 1;
+        key.base_global = addr.base_global;
+        break;
+      case AddrInfo::Base::kPointerSlot: {
+        key.base_kind = 2;
+        std::optional<WidenLeaf> leaf =
+            leaf_of(addr.base_slot, addr.base_load);
+        if (!leaf.has_value()) {
+          return std::nullopt;
+        }
+        key.base_leaf = *leaf;
+        break;
+      }
+    }
+    // Each coefficient must map to exactly one leaf identity; several loads
+    // of the same slot must agree on it.
+    for (const auto& [slot, coeff] : addr.offset.coeffs) {
+      std::optional<WidenLeaf> leaf;
+      for (const auto& [lslot, site] : addr.offset.loads) {
+        if (lslot != slot) {
+          continue;
+        }
+        std::optional<WidenLeaf> one = leaf_of(slot, site);
+        if (!one.has_value() || (leaf.has_value() && !(*leaf == *one))) {
+          return std::nullopt;
+        }
+        leaf = one;
+      }
+      if (!leaf.has_value()) {
+        return std::nullopt;
+      }
+      key.coeffs.emplace_back(*leaf, coeff);
+    }
+    return key;
+  }
+
+  // A group of two or more same-shape accesses with at least two distinct
+  // offsets merges into one interval check placed before the first member.
+  // The extremal addresses derive from the first member's own address
+  // register (`first + (c - c_first)`), so no leaf is re-evaluated.
+  void finalize_widen_group(BasicBlock& block, WidenGroup& group) {
+    if (group.members.size() < 2) {
+      return;
+    }
+    std::int64_t lo = group.consts[0];
+    std::int64_t hi = group.consts[0];
+    for (std::int64_t c : group.consts) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    if (lo == hi) {
+      return; // identical addresses: one plain check is already cheaper
+    }
+    std::vector<Instr> prefix;
+    auto adjusted = [&](std::int64_t target) -> Reg {
+      if (target == group.first_const) {
+        return group.first_addr;
+      }
+      Instr delta;
+      delta.op = Opcode::kConstInt;
+      delta.dst = function_.new_reg();
+      delta.int_imm = static_cast<std::int32_t>(target - group.first_const);
+      delta.loop = group.loop;
+      delta.loc = group.loc;
+      prefix.push_back(delta);
+      Instr add;
+      add.op = Opcode::kPtrAdd;
+      add.type = ir::Type::kIntPtr;
+      add.dst = function_.new_reg();
+      add.src0 = group.first_addr;
+      add.src1 = delta.dst;
+      add.loop = group.loop;
+      add.loc = group.loc;
+      prefix.push_back(add);
+      return add.dst;
+    };
+    Instr check;
+    check.op = interval_check_op(options_.mode);
+    check.src0 = adjusted(lo);
+    check.src1 = adjusted(hi);
+    check.array_ref = group.array_ref;
+    check.loop = group.loop;
+    check.loc = group.loc;
+    prefix.push_back(check);
+    insertions_.push_back(
+        Insertion{block.id, group.members.front().index, std::move(prefix)});
+    for (const Site& s : group.members) {
+      block.instrs[static_cast<std::size_t>(s.index)].check_elided = true;
+      ++stats_.checks_widened;
+    }
+    ++stats_.widen_checks_inserted;
+  }
+
+  // --- final splice --------------------------------------------------------
+
+  void apply_insertions() {
+    std::stable_sort(insertions_.begin(), insertions_.end(),
+                     [](const Insertion& a, const Insertion& b) {
+                       return a.block != b.block ? a.block < b.block
+                                                 : a.before_index >
+                                                       b.before_index;
+                     });
+    for (Insertion& ins : insertions_) {
+      auto& instrs = function_.block(ins.block).instrs;
+      instrs.insert(instrs.begin() + ins.before_index,
+                    std::make_move_iterator(ins.instrs.begin()),
+                    std::make_move_iterator(ins.instrs.end()));
+    }
+  }
+
+  ir::Module& module_;
+  Function& function_;
+  const LowerOptions& options_;
+  ir::Cfg cfg_;
+  ir::DominatorTree dom_;
+  std::vector<Site> def_sites_;                      // by register
+  std::map<std::int32_t, std::vector<Site>> slot_stores_;
+  std::vector<bool> block_has_call_;                 // by block id
+  std::map<Reg, Linear> linear_memo_;
+  std::vector<IvInfo> ivs_;                          // by loop id
+  std::set<SymbolId> seg_assigned_;                  // Cash prediction
+  std::vector<Insertion> insertions_;
+  ElideStats stats_;
+};
+
+} // namespace
+
+ElideStats elide_function(ir::Module& module, ir::Function& function,
+                          const LowerOptions& options) {
+  if (options.mode == CheckMode::kNoCheck ||
+      options.mode == CheckMode::kEfence) {
+    return {};
+  }
+  return FunctionEliminator(module, function, options).run();
+}
+
+ElideStats elide_module(ir::Module& module, const LowerOptions& options) {
+  ElideStats stats;
+  for (auto& function : module.functions) {
+    stats += elide_function(module, *function, options);
+  }
+  return stats;
+}
+
+} // namespace cash::passes

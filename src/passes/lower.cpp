@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "ir/natural_loops.hpp"
 #include "passes/array_use.hpp"
 #include "x86seg/segmentation_unit.hpp"
 
@@ -62,7 +63,10 @@ LowerStats lower_software_checks(Function& function, Opcode check_op,
           instr.is_memory_access() && instr.array_ref != kNoSymbol;
       if (is_ref) {
         const bool is_write = instr.op == Opcode::kStore;
-        if (check_reads_applies(options, is_write)) {
+        if (instr.check_elided) {
+          // Proven in-bounds by the elision pass: no check at all.
+          ++stats.elided_refs;
+        } else if (check_reads_applies(options, is_write)) {
           const ir::Reg addr = rep_of(instr.src0);
           if (options.eliminate_redundant_checks &&
               checked.count(addr) != 0) {
@@ -110,26 +114,10 @@ LowerStats lower_cash(Function& function, const LowerOptions& options) {
     LoopArrays use = analyze_loop(function, *loop);
     ++stats.outer_loops;
 
-    // Arrays that need a checked access in this nest. In security-only mode
-    // read-only arrays don't consume a segment register.
-    std::vector<SymbolId> candidates;
-    if (options.check_reads) {
-      candidates = use.arrays;
-    } else {
-      std::set<SymbolId> written;
-      for (ir::BlockId block_id : loop->body) {
-        for (const Instr& instr : function.block(block_id).instrs) {
-          if (instr.op == Opcode::kStore && instr.array_ref != kNoSymbol) {
-            written.insert(instr.array_ref);
-          }
-        }
-      }
-      for (SymbolId sym : use.arrays) {
-        if (written.count(sym) != 0) {
-          candidates.push_back(sym);
-        }
-      }
-    }
+    // Arrays that need a checked access in this nest (shared with the
+    // elision pass, which predicts this assignment).
+    const std::vector<SymbolId> candidates =
+        cash_segment_candidates(function, *loop, options);
     if (static_cast<int>(candidates.size()) > options.num_seg_regs) {
       ++stats.spilled_outer_loops;
     }
@@ -176,6 +164,12 @@ LowerStats lower_cash(Function& function, const LowerOptions& options) {
       const bool is_ref =
           instr.is_memory_access() && instr.array_ref != kNoSymbol;
       if (!is_ref) {
+        out.push_back(std::move(instr));
+        continue;
+      }
+      if (instr.check_elided) {
+        // Proven in-bounds by the elision pass: flat DS access, no segment.
+        ++stats.elided_refs;
         out.push_back(std::move(instr));
         continue;
       }
@@ -255,15 +249,7 @@ LowerStats lower_cash(Function& function, const LowerOptions& options) {
       prefix.push_back(seg_load);
       ++stats.seg_loads;
     }
-    // Keep everything up to (not including) the terminator, then the new
-    // instructions, then the terminator.
-    std::vector<Instr>& instrs = preheader.instrs;
-    const std::size_t term_at =
-        (!instrs.empty() && instrs.back().is_terminator())
-            ? instrs.size() - 1
-            : instrs.size();
-    instrs.insert(instrs.begin() + static_cast<std::ptrdiff_t>(term_at),
-                  prefix.begin(), prefix.end());
+    ir::insert_before_terminator(preheader, std::move(prefix));
   }
 
   function.used_seg_regs.assign(used_regs.begin(), used_regs.end());
@@ -284,6 +270,35 @@ LowerStats count_only(const Function& function) {
 }
 
 } // namespace
+
+std::vector<ir::SymbolId> cash_segment_candidates(const ir::Function& function,
+                                                  const ir::Loop& loop,
+                                                  const LowerOptions& options) {
+  const LoopArrays use = analyze_loop(function, loop);
+  // An array keeps its FCFS claim only while at least one access in the nest
+  // still needs instrumentation (write-only in security-only mode; elided
+  // accesses never count).
+  std::set<SymbolId> qualifying;
+  for (ir::BlockId block_id : loop.body) {
+    for (const Instr& instr : function.block(block_id).instrs) {
+      if (!instr.is_memory_access() || instr.array_ref == kNoSymbol ||
+          instr.check_elided) {
+        continue;
+      }
+      if (!check_reads_applies(options, instr.op == Opcode::kStore)) {
+        continue;
+      }
+      qualifying.insert(instr.array_ref);
+    }
+  }
+  std::vector<SymbolId> candidates;
+  for (SymbolId sym : use.arrays) {
+    if (qualifying.count(sym) != 0) {
+      candidates.push_back(sym);
+    }
+  }
+  return candidates;
+}
 
 const char* to_string(CheckMode mode) noexcept {
   switch (mode) {

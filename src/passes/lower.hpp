@@ -35,6 +35,11 @@ struct LowerOptions {
   // a basic block, an address already checked need not be checked again.
   // Applies to the software-check modes (kBcc/kBoundInsn/kShadow).
   bool eliminate_redundant_checks{false};
+  // Whole-program check elision (passes/elide.hpp): run range analysis
+  // between optimise and lower, and drop or hoist checks proven redundant.
+  // Off by default — it changes simulated cycles by design; $CASH_NO_ELIDE
+  // force-disables it at compile() time for A/B comparison.
+  bool elide_checks{false};
 };
 
 // Static instrumentation statistics, accumulated across functions. These are
@@ -48,6 +53,8 @@ struct LowerStats {
   std::uint64_t redundant_eliminated{0}; // checks removed as redundant
   std::uint64_t outer_loops{0};
   std::uint64_t spilled_outer_loops{0}; // outer nests with > N arrays
+  std::uint64_t elided_refs{0};      // refs the elision pass proved in-bounds
+                                     // (lowered with no instrumentation)
 
   LowerStats& operator+=(const LowerStats& other) {
     hw_checks += other.hw_checks;
@@ -57,6 +64,7 @@ struct LowerStats {
     redundant_eliminated += other.redundant_eliminated;
     outer_loops += other.outer_loops;
     spilled_outer_loops += other.spilled_outer_loops;
+    elided_refs += other.elided_refs;
     return *this;
   }
 };
@@ -66,5 +74,15 @@ LowerStats lower_module(ir::Module& module, const LowerOptions& options);
 
 // Per-function entry point (exposed for targeted tests).
 LowerStats lower_function(ir::Function& function, const LowerOptions& options);
+
+// The arrays that claim a segment register in this outer nest under Cash, in
+// FCFS order: every array with at least one qualifying (mode-relevant,
+// not-elided) access in the nest. Shared between the Cash lowering and the
+// elision pass so elision predicts segment assignment exactly — an array
+// whose accesses were all proven in-bounds stops consuming a register (and
+// its hoisted segment load disappears).
+std::vector<ir::SymbolId> cash_segment_candidates(const ir::Function& function,
+                                                  const ir::Loop& loop,
+                                                  const LowerOptions& options);
 
 } // namespace cash::passes

@@ -18,6 +18,12 @@ struct ProgramStats {
   std::uint64_t max_arrays_in_loop{0};
   std::uint64_t total_functions{0};
   std::uint64_t total_array_refs{0};
+  // Check-elision results (passes/elide.hpp). compute_program_stats() cannot
+  // derive these from the lowered module; CompiledProgram::program_stats()
+  // stamps its compile-time ElideStats in. Zero when elision was off.
+  std::uint64_t checks_deleted{0};
+  std::uint64_t checks_hoisted{0};
+  std::uint64_t checks_widened{0};
 };
 
 ProgramStats compute_program_stats(const ir::Module& module,

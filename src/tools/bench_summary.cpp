@@ -27,11 +27,25 @@ struct BenchFile {
   std::string body; // verbatim JSON document
 };
 
-// Pulls top-level `"key": <number>` fields (the two-space-indent scalar
-// lines every bench emits) without needing a JSON library.
-std::vector<std::pair<std::string, std::string>> headline_fields(
-    const std::string& body) {
-  std::vector<std::pair<std::string, std::string>> fields;
+// One top-level headline scalar. Booleans carry their own representation
+// instead of riding the verbatim-number channel: flags like
+// "threaded_dispatch" land in the trajectory file as the JSON integers
+// 0/1 — never as a number that could pick up a fractional part — while
+// genuine numbers are passed through exactly as the bench printed them.
+struct HeadlineField {
+  std::string key;
+  std::string number; // verbatim numeric text; empty for booleans
+  int boolean{-1};    // 0 or 1 when the source value was false/true
+
+  std::string render() const {
+    return boolean >= 0 ? std::to_string(boolean) : number;
+  }
+};
+
+// Pulls top-level `"key": <number|bool>` fields (the two-space-indent
+// scalar lines every bench emits) without needing a JSON library.
+std::vector<HeadlineField> headline_fields(const std::string& body) {
+  std::vector<HeadlineField> fields;
   std::istringstream lines(body);
   std::string line;
   while (std::getline(lines, line)) {
@@ -51,10 +65,9 @@ std::vector<std::pair<std::string, std::string>> headline_fields(
     while (pos < line.size() && line[pos] == ' ') {
       ++pos;
     }
-    // Booleans become 0/1 so flags like "threaded_dispatch" trend like any
-    // other headline number.
-    if (line.compare(pos, 4, "true") == 0 || line.compare(pos, 5, "false") == 0) {
-      fields.emplace_back(key, line[pos] == 't' ? "1" : "0");
+    if (line.compare(pos, 4, "true") == 0 ||
+        line.compare(pos, 5, "false") == 0) {
+      fields.push_back({key, {}, line[pos] == 't' ? 1 : 0});
       continue;
     }
     std::size_t end = pos;
@@ -71,7 +84,7 @@ std::vector<std::pair<std::string, std::string>> headline_fields(
     if (!rest.empty() && rest != "," && rest != "\r") {
       continue;
     }
-    fields.emplace_back(key, line.substr(pos, end - pos));
+    fields.push_back({key, line.substr(pos, end - pos), -1});
   }
   return fields;
 }
@@ -161,9 +174,10 @@ int main(int argc, char** argv) {
   // North-star metrics promoted to the very top of the trajectory file:
   // the decode bench's interpreter-grid speedup (fused engine vs reference
   // interpreter), its static fusion hit rate, the netsim
-  // fork-from-snapshot speedup, and the serving loop's armed-snapshot
-  // speedup plus sustained-load p99 latency. CI trend lines read these
-  // without digging through the per-bench documents.
+  // fork-from-snapshot speedup, the serving loop's armed-snapshot speedup
+  // plus sustained-load p99 latency, and the elision bench's checking-
+  // cycle reduction and static-check removal ratio. CI trend lines read
+  // these without digging through the per-bench documents.
   const std::pair<const char*, const char*> kKeyMetrics[] = {
       {"decode", "interpreter_speedup"},
       {"decode", "interpreter_speedup_unfused"},
@@ -172,6 +186,8 @@ int main(int argc, char** argv) {
       {"decode", "netsim_speedup"},
       {"serve", "armed_snapshot_speedup"},
       {"serve", "p99_latency_cycles"},
+      {"elide", "check_cycle_reduction"},
+      {"elide", "checks_removed_ratio"},
   };
 
   out << "{\n  \"benches\": " << benches.size() << ",\n";
@@ -182,10 +198,10 @@ int main(int argc, char** argv) {
       if (bench.name != bench_name) {
         continue;
       }
-      for (const auto& [field, value] : headline_fields(bench.body)) {
-        if (field == key) {
+      for (const HeadlineField& field : headline_fields(bench.body)) {
+        if (field.key == key) {
           out << (first_metric ? "" : ", ") << "\"" << bench_name << "_"
-              << key << "\": " << value;
+              << key << "\": " << field.render();
           first_metric = false;
         }
       }
@@ -195,9 +211,10 @@ int main(int argc, char** argv) {
   out << "  \"headline\": {\n";
   for (std::size_t i = 0; i < benches.size(); ++i) {
     out << "    \"" << benches[i].name << "\": {";
-    const auto fields = headline_fields(benches[i].body);
+    const std::vector<HeadlineField> fields =
+        headline_fields(benches[i].body);
     for (std::size_t f = 0; f < fields.size(); ++f) {
-      out << "\"" << fields[f].first << "\": " << fields[f].second
+      out << "\"" << fields[f].key << "\": " << fields[f].render()
           << (f + 1 < fields.size() ? ", " : "");
     }
     out << "}" << (i + 1 < benches.size() ? "," : "") << "\n";

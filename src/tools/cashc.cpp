@@ -9,6 +9,7 @@
 //   --mode=gcc|bcc|cash|bound|efence   checking strategy (default cash)
 //   --seg-regs=N                       segment registers for Cash (2..4)
 //   --no-reads                         security-only mode: skip read checks
+//   --elide                            whole-program check elision pass
 //   --no-opt                           disable the -O9-style optimiser
 //   --dump-ir                          print the lowered IR and exit
 //   --emit-asm                         print an x86 assembly listing (AT&T)
@@ -31,7 +32,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: cashc [--mode=gcc|bcc|cash|bound|efence|shadow] "
-               "[--seg-regs=N] [--no-reads] [--no-opt] [--dump-ir] "
+               "[--seg-regs=N] [--no-reads] [--elide] [--no-opt] "
                "[--dump-ir] [--emit-asm] [--use-ss] [--stats] [--no-run] "
                "[--seed=N] program.mc\n");
 }
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-reads") {
       options.lower.check_reads = false;
+    } else if (arg == "--elide") {
+      options.lower.elide_checks = true;
     } else if (arg == "--no-opt") {
       options.optimize = false;
     } else if (arg == "--dump-ir") {

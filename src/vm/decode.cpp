@@ -103,7 +103,7 @@ StaticCost static_cost(const MicroInstr& u) noexcept {
     case UOp::kBoundSw:
     case UOp::kBoundBnd:
     case UOp::kBoundShadow:
-      c = costs::bound_check_cost(bound_kind(u.op));
+      c = costs::bound_check_cost(bound_kind(u.op), u.src1 != ir::kNoReg);
       break;
     case UOp::kJump:
     case UOp::kBranch:
@@ -394,10 +394,13 @@ DecodedFunction decode_function(
         case Opcode::kBoundCheckBnd:
         case Opcode::kBoundCheckShadow:
           if (!valid_reg(in.src0)) return out;
+          // Interval form: src1 carries the range's upper address.
+          if (in.src1 != ir::kNoReg && !valid_reg(in.src1)) return out;
           m.op = in.op == Opcode::kBoundCheckSw    ? UOp::kBoundSw
                  : in.op == Opcode::kBoundCheckBnd ? UOp::kBoundBnd
                                                    : UOp::kBoundShadow;
           m.src0 = in.src0;
+          m.src1 = in.src1;
           break;
         case Opcode::kRet:
           if (in.src0 != ir::kNoReg && !valid_reg(in.src0)) return out;
@@ -564,8 +567,11 @@ std::uint32_t try_fuse(const MicroInstr* m, std::uint32_t n,
       out.src = a.src;
       return 3;
     }
-    // kPtrAdd + kBound* on its result + kLoad/kStore through it.
+    // kPtrAdd + kBound* on its result + kLoad/kStore through it. Interval
+    // checks (src1 set) never fuse: the fused layout reuses src1 for the
+    // ptr-add operands and the fused cost assumes the plain check.
     if (a.op == UOp::kPtrAdd && is_bound(b->op) && b->src0 == a.dst &&
+        b->src1 == ir::kNoReg &&
         (c->op == UOp::kLoad || c->op == UOp::kStore) && c->src0 == a.dst) {
       out = *c;
       out.op = c->op == UOp::kLoad ? UOp::kFusedPtrAddBoundLoad
@@ -583,8 +589,9 @@ std::uint32_t try_fuse(const MicroInstr* m, std::uint32_t n,
     return 0;
   }
   // kPtrAdd + kBound* on its result (the access itself didn't follow
-  // immediately, or was itemized away).
-  if (a.op == UOp::kPtrAdd && is_bound(b->op) && b->src0 == a.dst) {
+  // immediately, or was itemized away). Plain checks only, as above.
+  if (a.op == UOp::kPtrAdd && is_bound(b->op) && b->src0 == a.dst &&
+      b->src1 == ir::kNoReg) {
     out = a;
     out.op = UOp::kFusedPtrAddBound;
     out.sub_op = b->op;
@@ -1109,6 +1116,37 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     return true;
   };
 
+  // Interval form of the above: checks [lo, hi] against the bounds of the
+  // object lo's shadow points to. An empty range (lo > hi, the hoisted
+  // check of a zero-trip loop) passes unconditionally. The detail string is
+  // byte-identical to the interpreter's.
+  const auto bound_fault_interval =
+      [&](UOp kind, const Value lo, const Value hi,
+          const ir::Instr* src) CASH_HOT_INLINE -> bool {
+    if (lo.info == 0 || lo.bits > hi.bits) {
+      return false;
+    }
+    Result<std::uint32_t> lower =
+        mmu.read32_linear(lo.info + runtime::kInfoLowerOff);
+    Result<std::uint32_t> upper =
+        mmu.read32_linear(lo.info + runtime::kInfoUpperOff);
+    if (!lower.ok() || !upper.ok()) {
+      return false;
+    }
+    if (lo.bits >= lower.value() && hi.bits + 4 <= upper.value()) {
+      return false;
+    }
+    std::ostringstream detail;
+    detail << (kind == UOp::kBoundBnd   ? "bound instruction"
+               : kind == UOp::kBoundSw ? "software check"
+                                       : "shadow-processor check")
+           << ": range [0x" << std::hex << lo.bits << ", 0x" << hi.bits
+           << "] outside [0x" << lower.value() << ", 0x" << upper.value()
+           << ")";
+    fail(Fault{FaultKind::kBoundRange, lo.bits, 0, detail.str()}, src);
+    return true;
+  };
+
   // Books a nonzero exec_bin status the way the interpreter does: #DE
   // faults through fail(), the float-operand misuse as a plain error.
   const auto bin_fail = [&](int st, const ir::Instr* src) {
@@ -1385,7 +1423,12 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
 
       m_bound: {
         const MicroInstr& v = mcode[pc];
-        if (bound_fault(v.op, regs[v.src0], v.src)) {
+        const bool fired =
+            v.src1 != ir::kNoReg
+                ? bound_fault_interval(v.op, regs[v.src0], regs[v.src1],
+                                       v.src)
+                : bound_fault(v.op, regs[v.src0], v.src);
+        if (fired) {
           partial = 2;
           goto group_fault;
         }

@@ -537,24 +537,36 @@ RunResult Machine::Impl::execute_interpreter(const ir::Function* entry) {
         break;
       }
       case Opcode::kBoundCheckShadow: {
-        // Main CPU: one store into the address queue. Shadow CPU: re-derive
-        // the address context and run the 6-instruction check (Patil &
-        // Fischer's derived program).
-        cycles += 1;
-        checking_cy += 1;
-        shadow_cy += 2 + costs::kSoftwareBoundCheck;
+        // Main CPU: one store into the address queue (two for the interval
+        // form). Shadow CPU: re-derive the address context and run the
+        // 6-instruction check (Patil & Fischer's derived program).
+        const bool interval = instr.src1 != ir::kNoReg;
+        cycles += interval ? 2 : 1;
+        checking_cy += interval ? 2 : 1;
+        shadow_cy += 2 + costs::kSoftwareBoundCheck +
+                     (interval ? costs::kIntervalCheckExtra : 0);
         ++ctr.sw_checks;
         const Value addr = reg_of(instr.src0);
-        if (addr.info != 0) {
+        const Value hi = interval ? reg_of(instr.src1) : addr;
+        // Interval form: an empty range (lo > hi, the zero-trip loop's
+        // hoisted check) passes unconditionally.
+        if (addr.info != 0 && addr.bits <= hi.bits) {
           Result<std::uint32_t> lower =
               mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
           Result<std::uint32_t> upper =
               mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
           if (lower.ok() && upper.ok() &&
-              (addr.bits < lower.value() || addr.bits + 4 > upper.value())) {
+              (addr.bits < lower.value() ||
+               hi.bits + 4 > upper.value())) {
             std::ostringstream detail;
-            detail << "shadow-processor check: address 0x" << std::hex
-                   << addr.bits << " outside [0x" << lower.value() << ", 0x"
+            detail << "shadow-processor check: ";
+            if (interval) {
+              detail << "range [0x" << std::hex << addr.bits << ", 0x"
+                     << hi.bits << "]";
+            } else {
+              detail << "address 0x" << std::hex << addr.bits;
+            }
+            detail << " outside [0x" << lower.value() << ", 0x"
                    << upper.value() << ")";
             fail(Fault{FaultKind::kBoundRange, addr.bits, 0, detail.str()},
                  frame, &instr);
@@ -565,25 +577,35 @@ RunResult Machine::Impl::execute_interpreter(const ir::Function* entry) {
       case Opcode::kBoundCheckSw:
       case Opcode::kBoundCheckBnd: {
         const bool is_bound_insn = instr.op == Opcode::kBoundCheckBnd;
-        const std::uint64_t check_cost = is_bound_insn
-                                             ? costs::kBoundInstruction
-                                             : costs::kSoftwareBoundCheck;
+        const bool interval = instr.src1 != ir::kNoReg;
+        const std::uint64_t check_cost =
+            (is_bound_insn ? costs::kBoundInstruction
+                           : costs::kSoftwareBoundCheck) +
+            (interval ? costs::kIntervalCheckExtra : 0);
         cycles += check_cost;
         checking_cy += check_cost;
         ++ctr.sw_checks;
         const Value addr = reg_of(instr.src0);
-        if (addr.info != 0) {
+        const Value hi = interval ? reg_of(instr.src1) : addr;
+        // Interval form: an empty range (lo > hi) passes unconditionally.
+        if (addr.info != 0 && addr.bits <= hi.bits) {
           Result<std::uint32_t> lower =
               mmu.read32_linear(addr.info + runtime::kInfoLowerOff);
           Result<std::uint32_t> upper =
               mmu.read32_linear(addr.info + runtime::kInfoUpperOff);
           if (lower.ok() && upper.ok() &&
               (addr.bits < lower.value() ||
-               addr.bits + 4 > upper.value())) {
+               hi.bits + 4 > upper.value())) {
             std::ostringstream detail;
             detail << (is_bound_insn ? "bound instruction" : "software check")
-                   << ": address 0x" << std::hex << addr.bits
-                   << " outside [0x" << lower.value() << ", 0x"
+                   << ": ";
+            if (interval) {
+              detail << "range [0x" << std::hex << addr.bits << ", 0x"
+                     << hi.bits << "]";
+            } else {
+              detail << "address 0x" << std::hex << addr.bits;
+            }
+            detail << " outside [0x" << lower.value() << ", 0x"
                    << upper.value() << ")";
             fail(Fault{FaultKind::kBoundRange, addr.bits, 0, detail.str()},
                  frame, &instr);

@@ -16,6 +16,7 @@
 #include "mmu/mmu.hpp"
 #include "paging/page_table.hpp"
 #include "paging/physical_memory.hpp"
+#include "passes/elide.hpp"
 #include "passes/lower.hpp"
 #include "runtime/heap.hpp"
 #include "runtime/segment_manager.hpp"
@@ -123,6 +124,11 @@ struct RunResult {
   faultinject::FaultStats fault_stats;
   std::map<std::string, FunctionProfile> profile; // per-function self costs
   std::string output;             // print_int / print_float stream
+  // Static check-elision statistics of the program this run executed. The
+  // Machine itself leaves this zero; CompiledProgram::run() copies its
+  // compile-time stats in so bench/tooling can report dynamic cycles and
+  // static elision side by side from one result.
+  passes::ElideStats elide_stats;
 
   // Wall-clock cycles of the whole system: the main CPU, or — in shadow
   // mode — whichever of the two processors is the bottleneck.

@@ -24,6 +24,33 @@ class Generator {
       out_ << "int " << array.name << "[" << array.size << "];\n";
     }
 
+    // A monotone runtime-bound walk (always called with n == the array's
+    // size, so every access is in bounds): the canonical target for the
+    // elision pass's loop hoisting — affine index, invariant bound, single
+    // preheader interval check.
+    out_ << "int walk(int *p, int n) {\n"
+         << "  int acc = 0;\n"
+         << "  int i;\n"
+         << "  for (i = 0; i < n; i++) {\n"
+         << "    acc = acc + p[i];\n"
+         << "  }\n"
+         << "  return acc;\n"
+         << "}\n\n";
+
+    // A strlen-style sentinel scan: data-dependent trip count and an index
+    // stepped inside a while body. A correct elision pass must leave these
+    // checks alone (the bound is not loop-invariant); the matrix proves the
+    // scan still runs identically with elision on.
+    out_ << "int scan(int *p, int n) {\n"
+         << "  int j = 0;\n"
+         << "  int len = 0;\n"
+         << "  while (p[j] != 0) {\n"
+         << "    len = len + 1;\n"
+         << "    j = j + 1;\n"
+         << "  }\n"
+         << "  return len + n;\n"
+         << "}\n\n";
+
     // A helper function with its own local array, exercising per-call
     // segment set-up and the pointer-parameter path.
     helper_array_size_ = pick(4, 16);
@@ -71,6 +98,17 @@ class Generator {
 
     out_ << "  sum = sum + helper(" << arrays_[0].name << ", "
          << arrays_[0].size << ", " << pick(0, 15) << ");\n";
+
+    // Monotone walk over every array at its exact size (hoist fodder), and
+    // a sentinel scan with a guaranteed terminator in the last slot.
+    for (const Array& a : arrays_) {
+      out_ << "  sum = sum + walk(" << a.name << ", " << a.size << ");\n";
+    }
+    const Array& scanned = arrays_[pick_index(arrays_.size())];
+    out_ << "  " << scanned.name << "[" << (scanned.size - 1) << "] = 0;\n"
+         << "  sum = sum + scan(" << scanned.name << ", " << scanned.size
+         << ");\n";
+
     out_ << "  print_int(sum);\n  return sum;\n}\n";
     return out_.str();
   }
@@ -115,7 +153,7 @@ class Generator {
   }
 
   void emit_statement(int depth) {
-    switch (pick(0, 5)) {
+    switch (pick(0, 7)) {
       case 0: { // scalar update
         out_ << "  " << scalars_[pick_index(scalars_.size())] << " = "
              << expr(2) << ";\n";
@@ -154,6 +192,24 @@ class Generator {
              << "  }\n";
         break;
       }
+      case 5: { // unmasked monotone loop: provably in-bounds, the elision
+                // pass's constant-range deletion target
+        const Array& a = arrays_[pick_index(arrays_.size())];
+        const int bound = pick(1, a.size);
+        out_ << "  for (i1 = 0; i1 < " << bound << "; i1++) {\n"
+             << "    " << a.name << "[i1] = " << a.name << "[i1] + "
+             << pick(1, 9) << ";\n"
+             << "    sum = sum + " << a.name << "[i1];\n"
+             << "  }\n";
+        break;
+      }
+      case 6: { // decreasing monotone loop over a whole array
+        const Array& a = arrays_[pick_index(arrays_.size())];
+        out_ << "  for (i1 = " << (a.size - 1) << "; i1 >= 0; i1--) {\n"
+             << "    sum = sum + " << a.name << "[i1];\n"
+             << "  }\n";
+        break;
+      }
       default: { // while loop with a decreasing counter
         out_ << "  i1 = " << pick(1, 12) << ";\n"
              << "  while (i1 > 0) {\n"
@@ -181,12 +237,14 @@ std::string generate_fuzz_program(std::uint32_t seed) {
 const std::vector<FuzzConfig>& fuzz_configs() {
   static const std::vector<FuzzConfig> kConfigs = [] {
     std::vector<FuzzConfig> configs;
-    for (bool optimize : {false, true}) {
-      for (passes::CheckMode mode :
-           {passes::CheckMode::kNoCheck, passes::CheckMode::kBcc,
-            passes::CheckMode::kCash, passes::CheckMode::kBoundInsn,
-            passes::CheckMode::kEfence}) {
-        configs.push_back({mode, optimize});
+    for (bool elide : {false, true}) {
+      for (bool optimize : {false, true}) {
+        for (passes::CheckMode mode :
+             {passes::CheckMode::kNoCheck, passes::CheckMode::kBcc,
+              passes::CheckMode::kCash, passes::CheckMode::kBoundInsn,
+              passes::CheckMode::kEfence}) {
+          configs.push_back({mode, optimize, elide});
+        }
       }
     }
     return configs;
@@ -197,8 +255,12 @@ const std::vector<FuzzConfig>& fuzz_configs() {
 namespace {
 
 std::string config_label(const FuzzConfig& config) {
-  return std::string(passes::to_string(config.mode)) +
-         " opt=" + (config.optimize ? "1" : "0");
+  std::string label = std::string(passes::to_string(config.mode)) +
+                      " opt=" + (config.optimize ? "1" : "0");
+  if (config.elide) {
+    label += " elide=1";
+  }
+  return label;
 }
 
 // Outcome of one (seed, config) cell: compiled+ran cleanly, and the
@@ -215,6 +277,7 @@ CellResult run_cell(std::uint32_t seed, const FuzzConfig& config) {
   CompileOptions options;
   options.lower.mode = config.mode;
   options.optimize = config.optimize;
+  options.lower.elide_checks = config.elide;
   CompileResult compiled = compile(source, options);
   if (!compiled.ok()) {
     cell.detail = "compile failed: " + compiled.error;

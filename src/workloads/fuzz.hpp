@@ -17,14 +17,17 @@ namespace cash::workloads {
 // property the test suite sweeps.
 std::string generate_fuzz_program(std::uint32_t seed);
 
-// One mode/optimiser configuration of the differential matrix.
+// One mode/optimiser/elision configuration of the differential matrix.
 struct FuzzConfig {
   passes::CheckMode mode;
   bool optimize;
+  bool elide{false}; // whole-program check elision (passes/elide.hpp)
 };
 
-// The matrix's ten configurations ({optimize off, on} x the five checking
-// modes), in the fixed order divergences are reported in.
+// The matrix's twenty configurations: ({optimize off, on} x the five
+// checking modes), then the same ten again with check elision on, in the
+// fixed order divergences are reported in. Config 0 (NoCheck, unoptimised)
+// stays the reference cell.
 const std::vector<FuzzConfig>& fuzz_configs();
 
 // A (seed, config) cell whose behaviour differed from the seed's reference

@@ -67,13 +67,21 @@ TEST(FuzzMatrix, ParallelSweepSeeds41To61FindsNoDivergence) {
   }
 }
 
-TEST(FuzzMatrix, ConfigsCoverTheTenCellMatrix) {
+TEST(FuzzMatrix, ConfigsCoverTheTwentyCellMatrix) {
   const std::vector<workloads::FuzzConfig>& configs =
       workloads::fuzz_configs();
-  ASSERT_EQ(configs.size(), 10u);
+  // {optimize off, on} x five modes, then the same ten with elision on.
+  ASSERT_EQ(configs.size(), 20u);
   // Cell 0 is the reference every other cell is compared against.
   EXPECT_EQ(configs[0].mode, CheckMode::kNoCheck);
   EXPECT_FALSE(configs[0].optimize);
+  EXPECT_FALSE(configs[0].elide);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(configs[i].elide) << i;
+    EXPECT_TRUE(configs[i + 10].elide) << i;
+    EXPECT_EQ(configs[i].mode, configs[i + 10].mode) << i;
+    EXPECT_EQ(configs[i].optimize, configs[i + 10].optimize) << i;
+  }
 }
 
 TEST(FuzzGenerator, IsDeterministic) {

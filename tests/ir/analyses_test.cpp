@@ -95,6 +95,52 @@ TEST(NaturalLoops, FindsTheBackEdgeLoop) {
   EXPECT_EQ(loops[0].body, (std::vector<BlockId>{1, 2}));
 }
 
+TEST(NaturalLoops, PreheaderOfTheHandBuiltLoop) {
+  const Function f = make_loop_function();
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const auto loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(find_preheader(cfg, loops[0]), 0); // entry
+}
+
+TEST(NaturalLoops, NoPreheaderWhenSeveralEdgesEnterTheHeader) {
+  // Give the header a second out-of-loop predecessor: entry now branches
+  // to header | side, and side jumps to header too.
+  Function f = make_loop_function();
+  BasicBlock& side = f.new_block("side");
+  Instr j;
+  j.op = Opcode::kJump;
+  j.target0 = 1;
+  side.instrs.push_back(j);
+  BasicBlock& entry = f.block(0);
+  Instr& tail = entry.instrs.back();
+  tail.op = Opcode::kBranch;
+  tail.src0 = entry.instrs.front().dst;
+  tail.target0 = 1;
+  tail.target1 = side.id;
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const auto loops = find_natural_loops(cfg, dom);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(find_preheader(cfg, loops[0]), kNoBlock);
+}
+
+TEST(NaturalLoops, InsertBeforeTerminatorSplicesAheadOfTheJump) {
+  Function f = make_loop_function();
+  BasicBlock& entry = f.block(0);
+  const std::size_t before = entry.instrs.size();
+  Instr c;
+  c.op = Opcode::kConstInt;
+  c.dst = f.new_reg();
+  c.int_imm = 7;
+  insert_before_terminator(entry, {c});
+  ASSERT_EQ(entry.instrs.size(), before + 1);
+  EXPECT_EQ(entry.instrs[before - 1].op, Opcode::kConstInt);
+  EXPECT_EQ(entry.instrs[before - 1].int_imm, 7);
+  EXPECT_TRUE(entry.instrs.back().is_terminator());
+}
+
 TEST(NaturalLoops, UnreachableBlocksAreIgnored) {
   Function f = make_loop_function();
   BasicBlock& island = f.new_block("island");

@@ -1,0 +1,405 @@
+// Whole-program check elision (passes/elide.cpp): per-pattern tests
+// asserting via the IR printer that exactly the expected checks remain
+// after lowering, negative cases proving the pass leaves unsafe patterns
+// alone, a seeded-violation sweep proving elided compilations catch every
+// bound violation the baseline catches, and the $CASH_NO_ELIDE bit-identity
+// gate through the full-RunResult comparator.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/cash.hpp"
+#include "ir/printer.hpp"
+#include "../vm/run_result_compare.hpp"
+
+namespace cash {
+namespace {
+
+using passes::CheckMode;
+
+int count_occurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// One function's section of the printed module, so per-pattern assertions
+// are not polluted by checks elsewhere (e.g. main's set-up loops).
+std::string function_text(const std::string& module_text,
+                          const std::string& name) {
+  const std::string tag = "func " + name + "(";
+  const std::size_t begin = module_text.find(tag);
+  if (begin == std::string::npos) {
+    return {};
+  }
+  const std::size_t end = module_text.find("\nfunc ", begin);
+  return end == std::string::npos ? module_text.substr(begin)
+                                  : module_text.substr(begin, end - begin);
+}
+
+struct Compiled {
+  std::string text; // lowered module, printer form
+  passes::ElideStats stats;
+  std::unique_ptr<CompiledProgram> program;
+};
+
+Compiled compile_elided(const std::string& source,
+                        CheckMode mode = CheckMode::kBcc,
+                        bool optimize = true) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  options.lower.elide_checks = true;
+  options.optimize = optimize;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  Compiled out;
+  if (compiled.ok()) {
+    out.text = ir::to_text(compiled.program->module());
+    out.stats = compiled.program->elide_stats();
+    out.program = std::move(compiled.program);
+  }
+  return out;
+}
+
+// --- phase (a): accesses proven in-bounds ----------------------------------
+
+TEST(ElideDelete, ConstantRangeLoopAccessesAreDeleted) {
+  // Constant trip count over a constant-size array: every access is provably
+  // inside [0, 4n), so lowering emits no instrumentation at all.
+  const Compiled c = compile_elided(R"(
+    int a[16];
+    int main() {
+      int i;
+      int s;
+      s = 0;
+      for (i = 0; i < 16; i = i + 1) {
+        s = s + a[i];
+      }
+      print_int(s);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(count_occurrences(c.text, "boundcheck."), 0) << c.text;
+  EXPECT_GE(c.stats.checks_deleted, 1u);
+  EXPECT_EQ(c.stats.checks_hoisted, 0u);
+}
+
+// --- phase (a'): dominated duplicates --------------------------------------
+
+TEST(ElideDelete, DominatedDuplicateCheckIsDeleted) {
+  // The same fixed element checked twice with no call in between: the
+  // second check is covered by the first. (The offset is out of range so
+  // phase (a)'s in-bounds proof cannot fire first; at run time the first
+  // check faults before the second access executes, which is exactly why
+  // deleting the dominated duplicate is sound.)
+  const Compiled c = compile_elided(R"(
+    int a[8];
+    int main() {
+      int x;
+      x = a[9];
+      a[9] = x + 1;
+      return 0;
+    }
+  )");
+  EXPECT_EQ(count_occurrences(c.text, "boundcheck.sw"), 1) << c.text;
+  EXPECT_EQ(count_occurrences(c.text, "!elided"), 1) << c.text;
+  EXPECT_EQ(c.stats.checks_deleted, 1u);
+}
+
+TEST(ElideDelete, CallBetweenChecksBlocksTheDuplicate) {
+  // Negative: a call between the two accesses may mutate bounds state, so
+  // the dominated-duplicate rule must not fire across it.
+  const Compiled c = compile_elided(R"(
+    int a[8];
+    int poke() {
+      return 1;
+    }
+    int main() {
+      int x;
+      x = a[9];
+      x = x + poke();
+      a[9] = x;
+      return 0;
+    }
+  )",
+                                    CheckMode::kBcc, false);
+  EXPECT_EQ(count_occurrences(c.text, "boundcheck.sw"), 2) << c.text;
+  EXPECT_EQ(c.stats.checks_deleted, 0u);
+}
+
+// --- phase (b): monotone-loop hoisting -------------------------------------
+
+TEST(ElideHoist, UpwardCountedLoopHoistsToOneIntervalCheck) {
+  // Runtime bound, so the in-bounds proof cannot fire; the per-iteration
+  // check collapses to one preheader interval check (a boundcheck with two
+  // operands) and the body access is marked !elided.
+  const Compiled c = compile_elided(R"(
+    int a[16];
+    int sum(int n) {
+      int i;
+      int s;
+      s = 0;
+      for (i = 0; i < n; i = i + 1) {
+        s = s + a[i];
+      }
+      return s;
+    }
+    int main() {
+      int i;
+      for (i = 0; i < 16; i = i + 1) {
+        a[i] = i;
+      }
+      print_int(sum(16));
+      return 0;
+    }
+  )");
+  const std::string sum = function_text(c.text, "sum");
+  EXPECT_EQ(c.stats.checks_hoisted, 1u) << c.text;
+  EXPECT_EQ(c.stats.hoist_checks_inserted, 1u);
+  EXPECT_EQ(count_occurrences(sum, "boundcheck.sw"), 1) << sum;
+  EXPECT_EQ(count_occurrences(sum, "!elided"), 1) << sum;
+  // main's constant-range set-up loop is phase (a) fodder.
+  EXPECT_EQ(count_occurrences(function_text(c.text, "main"), "boundcheck."),
+            0);
+  ASSERT_TRUE(c.program != nullptr);
+  const vm::RunResult run = c.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  EXPECT_EQ(run.output, "120\n");
+}
+
+TEST(ElideHoist, DownwardCountedLoopHoistsToOneIntervalCheck) {
+  const Compiled c = compile_elided(R"(
+    int a[16];
+    int sumdown(int n) {
+      int i;
+      int s;
+      s = 0;
+      for (i = n - 1; i >= 0; i = i - 1) {
+        s = s + a[i];
+      }
+      return s;
+    }
+    int main() {
+      int i;
+      for (i = 0; i < 16; i = i + 1) {
+        a[i] = i;
+      }
+      print_int(sumdown(16));
+      return 0;
+    }
+  )");
+  const std::string sumdown = function_text(c.text, "sumdown");
+  EXPECT_EQ(c.stats.checks_hoisted, 1u) << c.text;
+  EXPECT_EQ(c.stats.hoist_checks_inserted, 1u);
+  EXPECT_EQ(count_occurrences(sumdown, "boundcheck.sw"), 1) << sumdown;
+  ASSERT_TRUE(c.program != nullptr);
+  const vm::RunResult run = c.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  EXPECT_EQ(run.output, "120\n");
+}
+
+TEST(ElideHoist, EarlyExitLoopIsNotHoisted) {
+  // Negative: the loop can return before reaching the extremal index, so a
+  // preheader check of the far end could fault on a run the baseline
+  // completes. The per-iteration check must stay.
+  const Compiled c = compile_elided(R"(
+    int find(int *p, int n) {
+      int i;
+      for (i = 0; i < n; i = i + 1) {
+        if (p[i] == 7) {
+          return i;
+        }
+      }
+      return 0 - 1;
+    }
+    int b[16];
+    int main() {
+      b[5] = 7;
+      print_int(find(b, 16));
+      return 0;
+    }
+  )");
+  EXPECT_EQ(c.stats.checks_hoisted, 0u) << c.text;
+  EXPECT_GE(count_occurrences(c.text, "boundcheck.sw"), 1) << c.text;
+}
+
+TEST(ElideHoist, NonAffineIndexIsNotTouched) {
+  // Negative: i*i is not an affine function of the induction variable, so
+  // neither the in-bounds proof nor hoisting may fire.
+  const Compiled c = compile_elided(R"(
+    int a[128];
+    int squares(int n) {
+      int i;
+      int s;
+      s = 0;
+      for (i = 0; i < n; i = i + 1) {
+        s = s + a[i * i];
+      }
+      return s;
+    }
+    int main() {
+      print_int(squares(11));
+      return 0;
+    }
+  )");
+  EXPECT_EQ(c.stats.checks_removed(), 0u) << c.text;
+  EXPECT_GE(count_occurrences(c.text, "boundcheck.sw"), 1) << c.text;
+}
+
+// --- phase (c): block widening ---------------------------------------------
+
+TEST(ElideWiden, ConsecutiveAccessesMergeIntoOneIntervalCheck) {
+  // p[j], p[j+1], p[j+2] in one block against a pointer parameter: no
+  // static extent, but the three checks widen into a single interval
+  // check spanning [p+4j, p+4j+8].
+  const Compiled c = compile_elided(R"(
+    int smooth(int *p, int j) {
+      return p[j] + p[j + 1] + p[j + 2];
+    }
+    int b[16];
+    int main() {
+      int i;
+      for (i = 0; i < 16; i = i + 1) {
+        b[i] = i;
+      }
+      print_int(smooth(b, 4));
+      return 0;
+    }
+  )");
+  const std::string smooth = function_text(c.text, "smooth");
+  EXPECT_EQ(c.stats.checks_widened, 3u) << c.text;
+  EXPECT_EQ(c.stats.widen_checks_inserted, 1u);
+  EXPECT_EQ(count_occurrences(smooth, "boundcheck.sw"), 1) << smooth;
+  EXPECT_EQ(count_occurrences(smooth, "!elided"), 3) << smooth;
+  ASSERT_TRUE(c.program != nullptr);
+  const vm::RunResult run = c.program->run();
+  EXPECT_TRUE(run.ok) << (run.fault ? run.fault->detail : run.error);
+  EXPECT_EQ(run.output, "15\n");
+}
+
+// --- fault identity: elided runs catch every seeded violation --------------
+
+struct Violation {
+  const char* name;
+  const char* source;
+};
+
+const Violation kViolations[] = {
+    {"loop_overrun_up", R"(
+      int a[100];
+      int walk(int *p, int n) {
+        int i;
+        int s;
+        s = 0;
+        for (i = 0; i < n; i = i + 1) {
+          s = s + p[i];
+        }
+        return s;
+      }
+      int main() {
+        print_int(walk(a, 0));
+        print_int(walk(a, 101));
+        return 0;
+      }
+    )"},
+    {"loop_overrun_down", R"(
+      int a[100];
+      int walkdown(int *p, int n) {
+        int i;
+        int s;
+        s = 0;
+        for (i = n; i >= 0; i = i - 1) {
+          s = s + p[i];
+        }
+        return s;
+      }
+      int main() {
+        print_int(walkdown(a, 100));
+        return 0;
+      }
+    )"},
+    {"direct_oob_store", R"(
+      int a[8];
+      int main() {
+        int x;
+        x = a[9];
+        a[9] = x;
+        return 0;
+      }
+    )"},
+    {"widened_group_oob", R"(
+      int smooth(int *p, int j) {
+        return p[j] + p[j + 1] + p[j + 2];
+      }
+      int b[16];
+      int main() {
+        print_int(smooth(b, 14));
+        return 0;
+      }
+    )"},
+};
+
+class ElideFaultIdentity : public testing::TestWithParam<int> {};
+
+TEST_P(ElideFaultIdentity, ElidedRunCatchesEverySeededViolation) {
+  const Violation& v = kViolations[GetParam()];
+  for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash,
+                         CheckMode::kBoundInsn, CheckMode::kShadow}) {
+    vm::RunResult base;
+    vm::RunResult elided;
+    for (bool elide : {false, true}) {
+      CompileOptions options;
+      options.lower.mode = mode;
+      options.lower.elide_checks = elide;
+      CompileResult compiled = compile(v.source, options);
+      ASSERT_TRUE(compiled.ok())
+          << v.name << " mode " << to_string(mode) << ": " << compiled.error;
+      (elide ? elided : base) = compiled.program->run();
+    }
+    // The hoisted/widened interval check may fire earlier (and, under
+    // cash, as #BR instead of #GP on a spilled array), so the gate is
+    // bound_violation() plus output-so-far identity — not fault equality.
+    // Cash by design leaves out-of-loop references unchecked, so its
+    // baseline may miss a straight-line violation; the invariant is that
+    // elision never loses a violation the baseline catches.
+    if (mode != CheckMode::kCash) {
+      EXPECT_TRUE(base.bound_violation())
+          << v.name << " mode " << to_string(mode) << " baseline missed it";
+    }
+    EXPECT_TRUE(!base.bound_violation() || elided.bound_violation())
+        << v.name << " mode " << to_string(mode) << " elision missed it";
+    EXPECT_EQ(base.output, elided.output)
+        << v.name << " mode " << to_string(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, ElideFaultIdentity,
+                         testing::Range(0, 4));
+
+// --- $CASH_NO_ELIDE: bit-identical to elision off --------------------------
+
+TEST(ElideKillSwitch, RestoresBaselineBitForBit) {
+  const char* source = kViolations[0].source;
+  for (CheckMode mode : {CheckMode::kBcc, CheckMode::kCash}) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    options.lower.elide_checks = true;
+    setenv("CASH_NO_ELIDE", "1", 1);
+    CompileResult killed = compile(source, options);
+    unsetenv("CASH_NO_ELIDE");
+    options.lower.elide_checks = false;
+    CompileResult off = compile(source, options);
+    ASSERT_TRUE(killed.ok() && off.ok());
+    EXPECT_EQ(killed.program->elide_stats().checks_removed(), 0u);
+    vm::expect_identical(off.program->run(), killed.program->run(),
+                         std::string("kill switch, mode ") +
+                             to_string(mode));
+  }
+}
+
+} // namespace
+} // namespace cash

@@ -46,6 +46,23 @@ inline constexpr std::uint64_t kLdtSwitch = 282;
 // system call.
 inline constexpr std::uint64_t kLdtCreate = 781;
 
+// --- Multi-process scheduling costs (DESIGN.md §10) -------------------------
+
+// One round-robin context switch on the simulated Linux 2.4 / P-III testbed:
+// timer interrupt + schedule() + register/TSS state swap + the page-table
+// switch (CR3 reload and its TLB refill tail), before any segmentation work.
+inline constexpr std::uint64_t kContextSwitchBase = 1100;
+
+// Re-pointing the LDTR at the incoming process's LDT during the switch
+// (LLDT + descriptor fetch). Charged on every switch: under Cash every
+// process has a live LDT, so the kernel can never skip the reload the way
+// stock Linux does for LDT-less processes.
+inline constexpr std::uint64_t kLdtrReload = 22;
+
+// The full per-switch charge booked to the incoming process.
+inline constexpr std::uint64_t kContextSwitch =
+    kContextSwitchBase + kLdtrReload;
+
 // --- Degraded-path costs (fault-injection layer, DESIGN.md §8) --------------
 
 // When the Cash call gate bounces (injected contention), user space retries

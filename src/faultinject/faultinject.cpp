@@ -13,6 +13,7 @@ const char* to_string(FaultSite site) noexcept {
     case FaultSite::kPhysFrameAlloc:    return "phys-frame-alloc";
     case FaultSite::kHeapAlloc:         return "heap-alloc";
     case FaultSite::kNetRequestTimeout: return "net-request-timeout";
+    case FaultSite::kLdtCrossTenant:    return "ldt-cross-tenant";
   }
   return "?";
 }

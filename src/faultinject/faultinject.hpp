@@ -34,8 +34,11 @@ enum class FaultSite : std::uint8_t {
   kPhysFrameAlloc,    // PhysicalMemory::allocate_frame → frames exhausted
   kHeapAlloc,         // CashHeap::allocate → simulated malloc failure
   kNetRequestTimeout, // netsim request attempt → simulated network timeout
+  kLdtCrossTenant,    // KernelSim::cash_modify_ldt → shared LDT slot budget
+                      // exhausted by co-tenants (install degrades to the
+                      // global segment; neighbors must be unaffected)
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 7;
 
 // Canonical site names used by the JSON form ("seg-allocate", ...).
 const char* to_string(FaultSite site) noexcept;

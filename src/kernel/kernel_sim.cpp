@@ -1,5 +1,6 @@
 #include "kernel/kernel_sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cash::kernel {
@@ -8,6 +9,18 @@ using x86seg::DescriptorKind;
 using x86seg::DescriptorTable;
 using x86seg::SegmentDescriptor;
 using x86seg::Selector;
+
+namespace {
+
+// True when the table entry holds no descriptor yet (raw zero). Installs
+// into such entries consume one unit of the shared LDT slot budget;
+// overwrites are free — the slot was already spent.
+bool entry_is_empty(const DescriptorTable& table, std::uint16_t index) {
+  Result<std::uint64_t> raw = table.read_raw(index);
+  return raw.ok() && raw.value() == 0;
+}
+
+} // namespace
 
 x86seg::Selector flat_user_data_selector() noexcept {
   return Selector::make(kGdtUserData, /*local=*/false, /*rpl=*/3);
@@ -39,9 +52,27 @@ Pid KernelSim::create_process() {
   return pid;
 }
 
-void KernelSim::destroy_process(Pid pid) { processes_.erase(pid); }
+void KernelSim::destroy_process(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return;
+  }
+  sched_detach(pid);
+  // The process's installed entries die with its LDTs; give their share of
+  // the shared slot budget back.
+  ldt_slots_installed_ -= it->second->slots_installed;
+  processes_.erase(it);
+}
 
 KernelSim::Process& KernelSim::process(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::invalid_argument("unknown pid");
+  }
+  return *it->second;
+}
+
+const KernelSim::Process& KernelSim::process(Pid pid) const {
   auto it = processes_.find(pid);
   if (it == processes_.end()) {
     throw std::invalid_argument("unknown pid");
@@ -99,7 +130,14 @@ Status KernelSim::modify_ldt(Pid pid, std::uint16_t index,
   if (!valid.ok()) {
     return valid.fault();
   }
-  return proc.ldts[proc.active]->write(index, descriptor);
+  DescriptorTable& ldt = *proc.ldts[proc.active];
+  const bool fresh = entry_is_empty(ldt, index);
+  Status written = ldt.write(index, descriptor);
+  if (written.ok() && fresh) {
+    ++proc.slots_installed;
+    ++ldt_slots_installed_;
+  }
+  return written;
 }
 
 Status KernelSim::set_ldt_callgate(Pid pid) {
@@ -112,9 +150,14 @@ Status KernelSim::set_ldt_callgate(Pid pid) {
   const SegmentDescriptor gate = SegmentDescriptor::call_gate(
       Selector::make(kGdtKernelCode, false, 0).raw(),
       /*target_offset=*/0xC0100000U, /*dpl=*/3, /*param_count=*/0);
+  const bool fresh = entry_is_empty(*proc.ldts[0], 0);
   Status status = proc.ldts[0]->write(0, gate);
   if (!status.ok()) {
     return status.fault();
+  }
+  if (fresh) {
+    ++proc.slots_installed;
+    ++ldt_slots_installed_;
   }
   proc.callgate_installed = true;
   return {};
@@ -152,7 +195,60 @@ Status KernelSim::cash_modify_ldt(Pid pid, LdtId ldt_id, std::uint16_t index,
   if (!valid.ok()) {
     return valid.fault();
   }
-  return proc.ldts[ldt_id]->write(index, descriptor);
+  DescriptorTable& ldt = *proc.ldts[ldt_id];
+  const bool fresh = entry_is_empty(ldt, index);
+  if (fresh) {
+    // A fresh install consumes one unit of the kernel-wide slot budget. The
+    // kLdtCrossTenant site simulates co-tenants having drained it; either
+    // way the gate has already been charged — exhaustion is only
+    // discoverable from inside the kernel.
+    const bool injected =
+        injector_ != nullptr &&
+        injector_->should_inject(faultinject::FaultSite::kLdtCrossTenant);
+    if (injected ||
+        (ldt_slot_budget_ != 0 && ldt_slots_installed_ >= ldt_slot_budget_)) {
+      return Fault{FaultKind::kResourceExhausted, 0,
+                   Selector::make(index, /*local=*/true, /*rpl=*/3).raw(),
+                   "cash_modify_ldt: shared LDT slot budget exhausted"};
+    }
+  }
+  Status written = ldt.write(index, descriptor);
+  if (written.ok() && fresh) {
+    ++proc.slots_installed;
+    ++ldt_slots_installed_;
+  }
+  return written;
+}
+
+Result<x86seg::SegmentDescriptor> KernelSim::resolve_selector(
+    Pid pid, Selector selector) {
+  if (!selector.is_local()) {
+    return gdt_.lookup(selector);
+  }
+  Process& proc = process(pid);
+  DescriptorTable& ldt = *proc.ldts[proc.active];
+  Result<std::uint64_t> raw = ldt.read_raw(selector.index());
+  if (!raw.ok()) {
+    return raw.fault();
+  }
+  if (raw.value() == 0) {
+    // The defining isolation property: LDTs are per-process, so a selector
+    // minted by another process names nothing here. decode() would hand
+    // back a not-present descriptor for the zero entry; surface the precise
+    // #GP instead.
+    return Fault{FaultKind::kGeneralProtection, 0, selector.raw(),
+                 "selector names no live descriptor in this process "
+                 "(segment handles are process-private)"};
+  }
+  Result<SegmentDescriptor> looked = ldt.lookup(selector);
+  if (!looked.ok()) {
+    return looked.fault();
+  }
+  if (!looked.value().present()) {
+    return Fault{FaultKind::kSegmentNotPresent, 0, selector.raw(),
+                 "selector resolves to a not-present descriptor"};
+  }
+  return looked;
 }
 
 Result<std::uint32_t> KernelSim::create_extra_ldt(Pid pid) {
@@ -175,6 +271,98 @@ Status KernelSim::switch_ldt(Pid pid, LdtId ldt_id) {
   return {};
 }
 
+void KernelSim::sched_configure(const SchedulerConfig& config) {
+  sched_config_ = config;
+  if (sched_config_.quantum_cycles == 0) {
+    sched_config_.quantum_cycles = 1;
+  }
+  quantum_used_ = 0;
+}
+
+void KernelSim::sched_attach(Pid pid) {
+  (void)process(pid); // validate
+  if (sched_attached(pid)) {
+    return;
+  }
+  run_queue_.push_back(pid);
+}
+
+void KernelSim::sched_detach(Pid pid) {
+  auto it = std::find(run_queue_.begin(), run_queue_.end(), pid);
+  if (it == run_queue_.end()) {
+    return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(it - run_queue_.begin());
+  run_queue_.erase(it);
+  if (run_queue_.empty()) {
+    current_ = 0;
+    quantum_used_ = 0;
+    return;
+  }
+  if (idx < current_) {
+    --current_;
+  } else if (idx == current_) {
+    // The current process exited: the next in line inherits the CPU with a
+    // fresh quantum and no charged switch.
+    current_ %= run_queue_.size();
+    quantum_used_ = 0;
+  }
+}
+
+bool KernelSim::sched_attached(Pid pid) const noexcept {
+  return std::find(run_queue_.begin(), run_queue_.end(), pid) !=
+         run_queue_.end();
+}
+
+Pid KernelSim::sched_current() const {
+  if (run_queue_.empty()) {
+    throw std::logic_error("sched_current: run queue is empty");
+  }
+  return run_queue_[current_];
+}
+
+std::uint64_t KernelSim::context_switch_to_next() {
+  current_ = (current_ + 1) % run_queue_.size();
+  ++sched_stats_.context_switches;
+  sched_stats_.context_switch_cycles += costs::kContextSwitch;
+  Process& incoming = process(run_queue_[current_]);
+  incoming.account.kernel_cycles += costs::kContextSwitch;
+  ++incoming.account.context_switches_in;
+  return costs::kContextSwitch;
+}
+
+std::uint64_t KernelSim::sched_charge(std::uint64_t cycles) {
+  if (run_queue_.empty()) {
+    return 0;
+  }
+  std::uint64_t charged = 0;
+  quantum_used_ += cycles;
+  while (quantum_used_ >= sched_config_.quantum_cycles) {
+    // Carry the overshoot into the next quantum so the expiry schedule is a
+    // pure function of the cumulative cycle stream, not of how the driver
+    // slices its sched_charge() calls.
+    quantum_used_ -= sched_config_.quantum_cycles;
+    ++sched_stats_.quanta_expired;
+    if (run_queue_.size() > 1) {
+      charged += context_switch_to_next();
+    }
+  }
+  return charged;
+}
+
+std::uint64_t KernelSim::sched_yield() {
+  if (run_queue_.empty()) {
+    return 0;
+  }
+  ++sched_stats_.yields;
+  quantum_used_ = 0;
+  if (run_queue_.size() > 1) {
+    return context_switch_to_next();
+  }
+  return 0;
+}
+
 KernelSim::ProcessSnapshot KernelSim::capture_process(Pid pid) {
   Process& proc = process(pid);
   ProcessSnapshot snap;
@@ -182,6 +370,10 @@ KernelSim::ProcessSnapshot KernelSim::capture_process(Pid pid) {
   snap.callgate_installed = proc.callgate_installed;
   snap.account = proc.account;
   snap.ldt_count = proc.ldts.size();
+  snap.slots_installed = proc.slots_installed;
+  snap.attached = sched_attached(pid);
+  snap.quantum_used = quantum_used_;
+  snap.sched_stats = sched_stats_;
   gdt_.begin_journal();
   for (auto& ldt : proc.ldts) {
     ldt->begin_journal();
@@ -203,6 +395,17 @@ void KernelSim::restore_process(Pid pid, const ProcessSnapshot& snap) {
   proc.active = snap.active;
   proc.callgate_installed = snap.callgate_installed;
   proc.account = snap.account;
+  // Give back the budget share consumed since the capture, then rewind the
+  // kernel-wide scheduler state (exact for the one-machine-per-kernel case).
+  ldt_slots_installed_ -= proc.slots_installed - snap.slots_installed;
+  proc.slots_installed = snap.slots_installed;
+  if (snap.attached && !sched_attached(pid)) {
+    sched_attach(pid);
+  } else if (!snap.attached && sched_attached(pid)) {
+    sched_detach(pid);
+  }
+  quantum_used_ = snap.quantum_used;
+  sched_stats_ = snap.sched_stats;
 }
 
 } // namespace cash::kernel

@@ -35,6 +35,28 @@ struct KernelAccount {
   std::uint64_t call_gate_calls{0};
   std::uint64_t ldt_switches{0};
   std::uint64_t ldts_created{0};
+  // Round-robin switches that handed the CPU *to* this process (each one
+  // charged costs::kContextSwitch into kernel_cycles).
+  std::uint64_t context_switches_in{0};
+
+  bool operator==(const KernelAccount&) const = default;
+};
+
+// Round-robin scheduler configuration (DESIGN.md §10). The quantum is the
+// cycle budget a process may burn before the timer interrupt forces a
+// switch; sched_charge() consumes it.
+struct SchedulerConfig {
+  std::uint64_t quantum_cycles{50000};
+};
+
+// Kernel-wide scheduling aggregates.
+struct SchedulerStats {
+  std::uint64_t context_switches{0};
+  std::uint64_t context_switch_cycles{0};
+  std::uint64_t quanta_expired{0};
+  std::uint64_t yields{0};
+
+  bool operator==(const SchedulerStats&) const = default;
 };
 
 // Simulated kernel: owns the shared GDT and each process's LDTs (which live
@@ -79,6 +101,72 @@ class KernelSim {
   Status cash_modify_ldt(Pid pid, LdtId ldt_id, std::uint16_t index,
                          const x86seg::SegmentDescriptor& descriptor);
 
+  // Resolves a selector exactly as a segment-register load in `pid` would:
+  // non-local selectors go through the shared GDT; local selectors through
+  // the process's *active* LDT. Faults with #GP when the LDT entry holds no
+  // live descriptor — this is the isolation guarantee that makes segment
+  // handles process-private: a selector allocated in process A names
+  // nothing in process B.
+  Result<x86seg::SegmentDescriptor> resolve_selector(Pid pid,
+                                                     x86seg::Selector selector);
+
+  // --- Round-robin scheduler (multi-tenant serving, DESIGN.md §10) ---
+  //
+  // The driver loop asks sched_current() which process owns the CPU,
+  // performs that process's next operation, then reports its cycle cost via
+  // sched_charge(). Expired quanta rotate the run queue; every switch
+  // charges costs::kContextSwitch to the incoming process. A process that
+  // finishes its work sched_yield()s (or detaches). Processes not attached
+  // to the run queue are unaffected — a KernelSim with an empty run queue
+  // behaves exactly as before this layer existed.
+
+  void sched_configure(const SchedulerConfig& config);
+  const SchedulerConfig& sched_config() const noexcept { return sched_config_; }
+
+  // Appends the process to the run queue (no-op if already attached). The
+  // first attached process becomes current.
+  void sched_attach(Pid pid);
+  // Removes the process (no-op if absent; destroy_process detaches). A
+  // current process that detaches hands the CPU over without a charged
+  // switch — process exit frees the CPU.
+  void sched_detach(Pid pid);
+  bool sched_attached(Pid pid) const noexcept;
+  std::size_t sched_runnable() const noexcept { return run_queue_.size(); }
+
+  // The process owning the CPU. Throws if the run queue is empty.
+  Pid sched_current() const;
+
+  // Charges `cycles` of user work against the current quantum. Returns the
+  // context-switch cycles incurred (0 when the quantum survives or only one
+  // process is runnable — quanta still expire, but rotating to yourself is
+  // free).
+  std::uint64_t sched_charge(std::uint64_t cycles);
+
+  // Voluntary yield: resets the quantum and rotates (charging one switch)
+  // when another process is runnable. Returns the cycles charged.
+  std::uint64_t sched_yield();
+
+  const SchedulerStats& sched_stats() const noexcept { return sched_stats_; }
+  std::uint64_t sched_quantum_used() const noexcept { return quantum_used_; }
+
+  // --- Shared LDT slot budget (multi-tenant pressure) ---
+  //
+  // Kernel-wide cap on *installed* descriptor entries across every
+  // process's LDTs (0 = unlimited). Well-defined because releasing a
+  // segment never enters the kernel: entries only ever become installed.
+  // Once the budget is exhausted, installing into a previously-empty entry
+  // returns a structured kResourceExhausted fault — after the gate has been
+  // charged, as in the real kernel — and user space degrades to the
+  // unchecked global segment (SegmentManager's budget-fallback path). The
+  // kLdtCrossTenant fault site simulates the same condition on demand.
+  void set_ldt_slot_budget(std::uint64_t slots) noexcept {
+    ldt_slot_budget_ = slots;
+  }
+  std::uint64_t ldt_slot_budget() const noexcept { return ldt_slot_budget_; }
+  std::uint64_t ldt_slots_installed() const noexcept {
+    return ldt_slots_installed_;
+  }
+
   // --- Section 3.4 multi-LDT extension ---
 
   // Allocates an additional LDT for the process (781-cycle syscall).
@@ -103,11 +191,19 @@ class KernelSim {
   // are journaled inside the DescriptorTables themselves; this records the
   // scalars plus how many LDTs existed (extra LDTs created after the
   // capture are destroyed on restore).
+  // Scheduler and budget state ride along so a capture taken mid-quantum
+  // restores exactly (correct for the one-machine-per-kernel case netsim
+  // and the snapshot tests exercise; a multi-process capture would need one
+  // snapshot per process).
   struct ProcessSnapshot {
     LdtId active{0};
     bool callgate_installed{false};
     KernelAccount account;
     std::size_t ldt_count{0};
+    std::uint64_t slots_installed{0}; // this process's share of the budget
+    bool attached{false};             // was on the run queue at capture
+    std::uint64_t quantum_used{0};    // kernel-wide quantum progress
+    SchedulerStats sched_stats;       // kernel-wide scheduling aggregates
   };
 
   // Snapshots the process and arms journals on the GDT and all its LDTs.
@@ -123,16 +219,31 @@ class KernelSim {
     LdtId active{0};
     bool callgate_installed{false};
     KernelAccount account;
+    std::uint64_t slots_installed{0};
   };
 
   Process& process(Pid pid);
+  const Process& process(Pid pid) const;
   static Status validate_user_descriptor(
       const x86seg::SegmentDescriptor& descriptor, std::uint16_t index);
+
+  // Rotates the run queue one step, charging costs::kContextSwitch to the
+  // incoming process. Returns the cycles charged.
+  std::uint64_t context_switch_to_next();
 
   x86seg::DescriptorTable gdt_{x86seg::DescriptorTable::Kind::kGlobal};
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_{1};
   faultinject::FaultInjector* injector_{nullptr};
+
+  SchedulerConfig sched_config_;
+  SchedulerStats sched_stats_;
+  std::vector<Pid> run_queue_; // attach order; current_ indexes into it
+  std::size_t current_{0};
+  std::uint64_t quantum_used_{0};
+
+  std::uint64_t ldt_slot_budget_{0}; // 0 = unlimited
+  std::uint64_t ldt_slots_installed_{0};
 };
 
 } // namespace cash::kernel

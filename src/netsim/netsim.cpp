@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/costs.hpp"
 #include "vm/snapshot.hpp"
 
 namespace cash::netsim {
@@ -21,6 +22,7 @@ namespace {
 // by the worker owning the request index.
 struct RequestSlot {
   std::uint64_t cycles{0};
+  std::uint64_t checking_cycles{0};
   std::uint64_t sw_checks{0};
   std::uint64_t hw_checks{0};
   std::uint64_t segment_allocs{0};
@@ -157,6 +159,14 @@ ServerMetrics finalize(ServerMetrics& metrics,
                : 0;
   };
 
+  // Multi-tenant serving: per-request context-switch cost, charged when the
+  // serving process changes tenant (= request class). Filled below — by the
+  // queue loop (per simulated server) or by a sequential single-stream pass
+  // — so it is a pure serial function of the slots and class assignment.
+  const bool tenants_on = serve.tenant_processes && classes.size() > 1 &&
+                          std::getenv("CASH_NO_MULTIPROC") == nullptr;
+  std::vector<std::uint64_t> switch_cost(n, 0);
+
   // Arrival + FCFS queueing over `sim_servers` simulated server processes.
   // Starts are non-decreasing under FCFS (arrivals are sorted and freeing a
   // server never lowers the earliest-free time), so the waiting set is a
@@ -170,6 +180,10 @@ ServerMetrics finalize(ServerMetrics& metrics,
     std::uint32_t state = mix32(seed_base, 0xA11C0DEU);
     std::vector<std::uint64_t> server_free(
         static_cast<std::size_t>(serve.sim_servers), 0);
+    // Tenant mode: which tenant's process each simulated server last ran
+    // (-1 = fresh server, first request switches in for free).
+    std::vector<int> server_tenant(
+        static_cast<std::size_t>(serve.sim_servers), -1);
     std::deque<std::uint64_t> starts; // admitted, in start order
     std::uint64_t arrival = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -192,10 +206,17 @@ ServerMetrics finalize(ServerMetrics& metrics,
           best = s;
         }
       }
+      if (tenants_on) {
+        const int tenant = class_idx[i];
+        if (server_tenant[best] >= 0 && server_tenant[best] != tenant) {
+          switch_cost[i] = costs::kContextSwitch;
+        }
+        server_tenant[best] = tenant;
+      }
       const std::uint64_t start = std::max(arrival, server_free[best]);
       const std::uint64_t busy =
           slots[i].cycles + connect_cost(i) +
-          kForkCycles * (1 + slots[i].retries);
+          kForkCycles * (1 + slots[i].retries) + switch_cost[i];
       server_free[best] = start + busy;
       makespan = std::max(makespan, server_free[best]);
       wait[i] = start - arrival;
@@ -208,6 +229,17 @@ ServerMetrics finalize(ServerMetrics& metrics,
                                                     starts.end(), arrival));
       metrics.peak_queue_depth =
           std::max<std::uint64_t>(metrics.peak_queue_depth, depth);
+    }
+  } else if (tenants_on) {
+    // No arrival model: the run is one sequential request stream on one
+    // serving process; every change of tenant along it is a switch.
+    int last_tenant = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int tenant = class_idx[i];
+      if (last_tenant >= 0 && last_tenant != tenant) {
+        switch_cost[i] = costs::kContextSwitch;
+      }
+      last_tenant = tenant;
     }
   }
 
@@ -222,6 +254,7 @@ ServerMetrics finalize(ServerMetrics& metrics,
     const RequestSlot& slot = slots[i];
     ClassMetrics& cls = metrics.classes[class_idx[i]];
     metrics.total_cpu_cycles += slot.cycles;
+    metrics.checking_cycles += slot.checking_cycles;
     metrics.sw_checks += slot.sw_checks;
     metrics.hw_checks += slot.hw_checks;
     metrics.segment_allocs += slot.segment_allocs;
@@ -234,8 +267,14 @@ ServerMetrics finalize(ServerMetrics& metrics,
       ++metrics.connects;
       connect_cycles_total += connect_cost(i);
     }
+    if (switch_cost[i] > 0) {
+      ++metrics.context_switches;
+      metrics.context_switch_cycles += switch_cost[i];
+      ++cls.context_switches_in;
+    }
     cls.requests += 1;
     cls.total_cpu_cycles += slot.cycles;
+    cls.checking_cycles += slot.checking_cycles;
     if (slot.failed) {
       ++metrics.failed_requests;
       ++cls.failed_requests;
@@ -246,7 +285,8 @@ ServerMetrics finalize(ServerMetrics& metrics,
       ++metrics.degraded_requests;
       ++cls.degraded_requests;
     }
-    const std::uint64_t latency = slot.cycles + connect_cost(i) + wait[i];
+    const std::uint64_t latency =
+        slot.cycles + connect_cost(i) + wait[i] + switch_cost[i];
     latencies.push_back(latency);
     class_lat[class_idx[i]].push_back(latency);
     metrics.total_latency_cycles += latency;
@@ -267,11 +307,13 @@ ServerMetrics finalize(ServerMetrics& metrics,
   }
 
   // Every admitted attempt forks, so retried requests pay the fork cost
-  // again; churn handshakes land on the server's busy interval too.
+  // again; churn handshakes and tenant context switches land on the
+  // server's busy interval too.
   const std::uint64_t admitted = latencies.size();
   metrics.total_busy_cycles = metrics.total_cpu_cycles +
                               kForkCycles * (admitted + metrics.retries) +
-                              connect_cycles_total;
+                              connect_cycles_total +
+                              metrics.context_switch_cycles;
   if (admitted > 0) {
     metrics.mean_latency_cycles =
         static_cast<double>(metrics.total_cpu_cycles) /
@@ -304,8 +346,12 @@ std::string first_metrics_difference(const ServerMetrics& a,
   if (a.throughput_rps != b.throughput_rps) return "throughput_rps";
   if (a.sw_checks != b.sw_checks) return "sw_checks";
   if (a.hw_checks != b.hw_checks) return "hw_checks";
+  if (a.checking_cycles != b.checking_cycles) return "checking_cycles";
   if (a.segment_allocs != b.segment_allocs) return "segment_allocs";
   if (a.cache_hits != b.cache_hits) return "cache_hits";
+  if (a.context_switches != b.context_switches) return "context_switches";
+  if (a.context_switch_cycles != b.context_switch_cycles)
+    return "context_switch_cycles";
   if (a.retries != b.retries) return "retries";
   if (a.timeouts != b.timeouts) return "timeouts";
   if (a.degraded_requests != b.degraded_requests) return "degraded_requests";
@@ -435,6 +481,7 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
       return;
     }
     slot.cycles = run.cycles;
+    slot.checking_cycles = run.breakdown.checking;
     slot.sw_checks = run.counters.sw_checks;
     slot.hw_checks = run.counters.hw_checked_accesses;
     slot.segment_allocs = run.segment_stats.alloc_requests - base.allocs;
@@ -494,6 +541,7 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
         break;
       }
       slot.cycles += run.cycles;
+      slot.checking_cycles += run.breakdown.checking;
       slot.sw_checks += run.counters.sw_checks;
       slot.hw_checks += run.counters.hw_checked_accesses;
       slot.segment_allocs += run.segment_stats.alloc_requests - base.allocs;

@@ -28,6 +28,11 @@ struct ClassMetrics {
   std::string name;
   std::uint64_t requests{0};          // admitted requests of this class
   std::uint64_t total_cpu_cycles{0};  // handler cycles (incl. penalties)
+  std::uint64_t checking_cycles{0};   // bound-check slice of the CPU cycles
+  // Tenant-mode context switches charged *to* this class (the incoming
+  // tenant pays, as in KernelSim). Zero unless ServeOptions::
+  // tenant_processes is on.
+  std::uint64_t context_switches_in{0};
   // Exact nearest-rank order statistics over this class's per-request
   // latency (see ServerMetrics for the latency definition).
   std::uint64_t p50_latency_cycles{0};
@@ -65,8 +70,14 @@ struct ServerMetrics {
   double throughput_rps{0};       // requests per second
   std::uint64_t sw_checks{0};     // aggregate dynamic counters
   std::uint64_t hw_checks{0};
+  std::uint64_t checking_cycles{0}; // bound-check slice of the CPU cycles
   std::uint64_t segment_allocs{0};
   std::uint64_t cache_hits{0};
+  // Multi-tenant scheduling (zero unless ServeOptions::tenant_processes):
+  // a simulated server that hands the CPU from one tenant's process to
+  // another's charges costs::kContextSwitch to the incoming request.
+  std::uint64_t context_switches{0};
+  std::uint64_t context_switch_cycles{0};
   // Fault-injection aggregates (all zero when serve_requests runs without a
   // plan — the unarmed path is bit-transparent). A request is `degraded`
   // when it completed correctly but took a slow path (a retried timeout or
@@ -184,6 +195,15 @@ struct ServeOptions {
   // connections recycled every P requests. 0 = no churn.
   std::uint32_t churn_period{0};
   std::uint64_t connect_cycles{1500};
+  // Multi-tenant serving: each request class is one tenant process on the
+  // simulated kernel, so consecutive requests of different classes on the
+  // same simulated server pay a costs::kContextSwitch address-space + LDTR
+  // switch (charged to the incoming request's latency and the server's
+  // busy interval). With the arrival model off the whole run is one
+  // sequential request stream. A single-class workload never switches, so
+  // this is bit-transparent for homogeneous traffic. Forced off when
+  // $CASH_NO_MULTIPROC is set.
+  bool tenant_processes{false};
 };
 
 // Runs `requests` simulated forked processes of the compiled server program.

@@ -158,6 +158,21 @@ SegmentManager::Allocation SegmentManager::allocate(std::uint32_t base,
     ++stats_.global_fallbacks;
     return out;
   }
+  if (!installed.ok() &&
+      installed.fault().kind == FaultKind::kResourceExhausted) {
+    // Co-tenants drained the kernel-wide LDT slot budget: the entry is
+    // still ours (give it back to the free list), but the install is
+    // refused — degrade to the unchecked global segment like any other
+    // exhaustion. Retrying would re-enter a drained kernel.
+    free_lists_[ldt_id].push_back(index);
+    out.ldt_index = kGlobalSegmentIndex;
+    out.selector = kernel::flat_user_data_selector();
+    out.cycles = 2 + extra_cycles + backoff_cycles;
+    out.global_fallback = true;
+    ++stats_.global_fallbacks;
+    ++stats_.budget_fallbacks;
+    return out;
+  }
   assert(installed.ok());
   (void)installed;
   ++stats_.kernel_allocs;

@@ -68,8 +68,14 @@ class SegmentManager {
     std::uint64_t global_fallbacks{0};
     std::uint64_t extra_ldts_created{0};
     std::uint64_t gate_busy_retries{0}; // bounced lcalls that were retried
+    // Installs refused inside the kernel because the shared (multi-tenant)
+    // LDT slot budget was exhausted; each one also counts as a
+    // global_fallback — the request degrades to the unchecked segment.
+    std::uint64_t budget_fallbacks{0};
     std::uint32_t segments_in_use{0};
     std::uint32_t peak_segments{0};
+
+    bool operator==(const Stats&) const = default;
   };
   const Stats& stats() const noexcept { return stats_; }
 

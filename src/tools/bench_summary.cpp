@@ -177,7 +177,9 @@ int main(int argc, char** argv) {
   // fork-from-snapshot speedup, the serving loop's armed-snapshot speedup
   // plus sustained-load p99 latency, and the elision bench's checking-
   // cycle reduction and static-check removal ratio. CI trend lines read
-  // these without digging through the per-bench documents.
+  // these without digging through the per-bench documents. The tenant
+  // bench contributes its budgeted-cell LDT thrash ratio and the matrix
+  // context-switch overhead.
   const std::pair<const char*, const char*> kKeyMetrics[] = {
       {"decode", "interpreter_speedup"},
       {"decode", "interpreter_speedup_unfused"},
@@ -188,6 +190,8 @@ int main(int argc, char** argv) {
       {"serve", "p99_latency_cycles"},
       {"elide", "check_cycle_reduction"},
       {"elide", "checks_removed_ratio"},
+      {"tenants", "tenant_ldt_thrash_ratio"},
+      {"tenants", "context_switch_overhead"},
   };
 
   out << "{\n  \"benches\": " << benches.size() << ",\n";

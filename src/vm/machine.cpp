@@ -41,6 +41,10 @@ runtime::SegmentManager& Machine::segment_manager() noexcept {
 }
 mmu::Mmu& Machine::mmu() noexcept { return impl_->mmu; }
 
+kernel::Pid Machine::pid() const noexcept { return impl_->pid; }
+
+kernel::KernelSim& Machine::kernel() noexcept { return impl_->kernel; }
+
 RunResult Machine::run() {
   const ir::Function* main_fn = impl_->module->find_function("main");
   if (main_fn == nullptr) {

@@ -212,6 +212,14 @@ class Machine {
   runtime::SegmentManager& segment_manager() noexcept;
   mmu::Mmu& mmu() noexcept;
 
+  // The machine's first-class process handle: its pid inside the owned
+  // kernel. Drivers attach it to the kernel's round-robin scheduler
+  // (kernel().sched_attach(pid())) to run the machine as one tenant of a
+  // multi-process simulation; capture()/restore() round-trips scheduler
+  // state through KernelSim::ProcessSnapshot.
+  kernel::Pid pid() const noexcept;
+  kernel::KernelSim& kernel() noexcept;
+
   struct Impl; // internal (vm/machine_impl.hpp)
 
  private:

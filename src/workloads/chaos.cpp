@@ -150,6 +150,12 @@ const std::vector<ChaosPlanSpec>& chaos_plans() {
     out.push_back({"heap-oom",
                    make_plan({{FaultSite::kHeapAlloc, 3, 1, 0, 1}}),
                    true});
+    // Co-tenants drained the shared LDT slot budget: every other fresh
+    // install is refused inside the kernel and degrades to the unchecked
+    // global segment (the multi-tenant budget-fallback path).
+    out.push_back({"ldt-cross-tenant",
+                   make_plan({{FaultSite::kLdtCrossTenant, 0, 2, 0, 1}}),
+                   false});
     return out;
   }();
   return plans;

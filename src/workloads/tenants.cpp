@@ -1,0 +1,288 @@
+#include "workloads/tenants.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace cash::workloads {
+
+namespace {
+
+using runtime::SegmentManager;
+using x86seg::Selector;
+
+// SplitMix-style avalanche (same shape the fault injector uses) so nearby
+// tenant indices produce unrelated op streams. Never zero: xorshift32 has a
+// fixed point at 0.
+std::uint32_t mix32(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t x = a ^ (b * 0x9E3779B9U) ^ 0x85EBCA6BU;
+  x ^= x >> 16;
+  x *= 0x7FEB352DU;
+  x ^= x >> 15;
+  return x == 0 ? 1 : x;
+}
+
+std::uint32_t xorshift32(std::uint32_t& state) {
+  std::uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  state = x;
+  return x;
+}
+
+std::uint32_t fnv1a(std::uint32_t hash, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFFU;
+    hash *= 16777619U;
+  }
+  return hash;
+}
+
+struct LiveSegment {
+  std::uint16_t ldt_index;
+  kernel::LdtId ldt_id;
+  std::uint32_t base;
+  std::uint32_t size;
+  std::uint32_t selector_word;
+};
+
+// One simulated tenant: its own process, segment manager, fault injector
+// and RNG on the shared kernel. The op stream is a pure function of
+// tenant_seed — nothing a neighbor does can change which ops run.
+struct Tenant {
+  enum class Phase : std::uint8_t { kInit, kChurn, kDrain, kDone };
+
+  kernel::Pid pid{0};
+  std::uint32_t tenant_seed{0};
+  faultinject::FaultInjector injector;
+  std::unique_ptr<SegmentManager> segments;
+  std::uint32_t rng{1};
+  std::vector<LiveSegment> live;
+  std::uint64_t user_cycles{0};
+
+  Phase phase{Phase::kInit};
+  int round{0};
+  int allocs_this_round{0};
+  std::size_t drain_target{0};
+};
+
+std::uint64_t do_alloc(Tenant& t) {
+  // Bases stride so distinct arrays never alias; sizes cycle through a
+  // small pseudorandom set so releases feed the 3-entry cache with
+  // occasionally-matching (base, limit) pairs.
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(t.live.size()) + t.rng % 7U;
+  const std::uint32_t base = 0x10000U + n * 0x400U;
+  const std::uint32_t size = (8U + xorshift32(t.rng) % 120U) * 4U;
+  SegmentManager::Allocation a = t.segments->allocate(base, size);
+  t.live.push_back({a.ldt_index, a.ldt_id, base, size, a.selector_word()});
+  return a.cycles;
+}
+
+std::uint64_t do_release(Tenant& t, std::size_t idx) {
+  const LiveSegment seg = t.live[idx];
+  t.live.erase(t.live.begin() + static_cast<std::ptrdiff_t>(idx));
+  return t.segments->release(seg.ldt_index, seg.base, seg.size, seg.ldt_id);
+}
+
+// Executes the tenant's next op and returns its simulated cycle cost. The
+// caller charges the cost to the shared scheduler afterwards.
+std::uint64_t step(Tenant& t, const TenantOptions& opt) {
+  switch (t.phase) {
+    case Tenant::Phase::kInit:
+      t.phase = Tenant::Phase::kChurn;
+      return t.segments->initialize();
+    case Tenant::Phase::kChurn: {
+      // Mostly allocations, with pseudorandom early releases mixed in so
+      // the free list, cache and LDT walls are all exercised.
+      if (!t.live.empty() && xorshift32(t.rng) % 4U == 0) {
+        return do_release(t, xorshift32(t.rng) % t.live.size());
+      }
+      const std::uint64_t cycles = do_alloc(t);
+      if (++t.allocs_this_round >= opt.arrays_per_process) {
+        t.allocs_this_round = 0;
+        t.drain_target = t.live.size() / 2;
+        t.phase = Tenant::Phase::kDrain;
+      }
+      return cycles;
+    }
+    case Tenant::Phase::kDrain: {
+      // End of round: drain the newest half, oldest-kept-live first.
+      if (t.live.size() > t.drain_target) {
+        const std::uint64_t cycles = do_release(t, t.live.size() - 1);
+        if (t.live.size() <= t.drain_target) {
+          t.phase = ++t.round < opt.rounds ? Tenant::Phase::kChurn
+                                           : Tenant::Phase::kDone;
+        }
+        return cycles;
+      }
+      t.phase = ++t.round < opt.rounds ? Tenant::Phase::kChurn
+                                       : Tenant::Phase::kDone;
+      return 1;
+    }
+    case Tenant::Phase::kDone:
+      return 0;
+  }
+  return 0;
+}
+
+// Closes out a tenant: snapshots its stats and runs the cross-process
+// probe — every live locally-backed selector must resolve in its own
+// process and be refused in the pristine victim process. Runs after all
+// tenants finish, so it is independent of scheduling.
+TenantRecord finish_tenant(kernel::KernelSim& kernel, Tenant& t,
+                           kernel::Pid victim) {
+  TenantRecord rec;
+  rec.tenant_seed = t.tenant_seed;
+  rec.user_cycles = t.user_cycles;
+  rec.seg = t.segments->stats();
+  rec.live_segments = t.live.size();
+  rec.faults_injected = t.injector.stats().total();
+  std::uint32_t hash = 2166136261U;
+  for (const LiveSegment& seg : t.live) {
+    hash = fnv1a(hash, seg.selector_word);
+    if (seg.ldt_index == SegmentManager::kGlobalSegmentIndex) {
+      continue; // global fallback: not a process-private handle
+    }
+    const Selector sel =
+        Selector::make(seg.ldt_index, /*local=*/true, /*rpl=*/3);
+    ++rec.probe_attempts;
+    if (!kernel.resolve_selector(t.pid, sel).ok()) {
+      ++rec.probe_self_failures;
+    }
+    if (!kernel.resolve_selector(victim, sel).ok()) {
+      ++rec.probe_rejections;
+    }
+  }
+  hash = fnv1a(hash, static_cast<std::uint32_t>(rec.seg.alloc_requests));
+  hash = fnv1a(hash, static_cast<std::uint32_t>(rec.seg.cache_hits));
+  hash = fnv1a(hash, static_cast<std::uint32_t>(rec.seg.global_fallbacks));
+  hash = fnv1a(hash, static_cast<std::uint32_t>(rec.user_cycles));
+  rec.state_hash = hash;
+  return rec;
+}
+
+std::unique_ptr<Tenant> make_tenant(kernel::KernelSim& kernel,
+                                    const TenantOptions& opt,
+                                    int tenant_index) {
+  auto t = std::make_unique<Tenant>();
+  t->pid = kernel.create_process();
+  t->tenant_seed = mix32(opt.seed, static_cast<std::uint32_t>(tenant_index));
+  t->rng = t->tenant_seed;
+  if (tenant_index == 0 && !opt.tenant0_plan.empty()) {
+    t->injector = faultinject::FaultInjector(opt.tenant0_plan, t->tenant_seed);
+  }
+  t->segments = std::make_unique<SegmentManager>(kernel, t->pid,
+                                                 /*max_ldts=*/1,
+                                                 &t->injector);
+  return t;
+}
+
+} // namespace
+
+TenantCell run_tenant_cell(const TenantOptions& options) {
+  TenantCell cell;
+  cell.processes = options.processes;
+  cell.arrays_per_process = options.arrays_per_process;
+  cell.quantum_cycles = options.quantum_cycles;
+  cell.ldt_slot_budget = options.ldt_slot_budget;
+
+  kernel::KernelSim kernel;
+  kernel.set_ldt_slot_budget(options.ldt_slot_budget);
+  kernel.sched_configure({options.quantum_cycles});
+
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  std::map<kernel::Pid, Tenant*> by_pid;
+  for (int i = 0; i < options.processes; ++i) {
+    tenants.push_back(make_tenant(kernel, options, i));
+    by_pid[tenants.back()->pid] = tenants.back().get();
+    kernel.sched_attach(tenants.back()->pid);
+  }
+
+  // Driver loop: the scheduler says whose turn it is; that tenant performs
+  // exactly one op and is charged for it. The kernel-side fault sites
+  // consult the running tenant's injector.
+  while (kernel.sched_runnable() > 0) {
+    Tenant& t = *by_pid.at(kernel.sched_current());
+    if (t.phase == Tenant::Phase::kDone) {
+      kernel.sched_detach(t.pid);
+      continue;
+    }
+    kernel.set_fault_injector(&t.injector);
+    const std::uint64_t cycles = step(t, options);
+    t.user_cycles += cycles;
+    kernel.sched_charge(cycles);
+    if (t.phase == Tenant::Phase::kDone) {
+      kernel.sched_detach(t.pid);
+    }
+  }
+  kernel.set_fault_injector(nullptr);
+
+  // Probe isolation against a pristine process that never ran: its LDT
+  // holds no descriptors, so every live tenant selector must be refused.
+  const kernel::Pid victim = kernel.create_process();
+  for (auto& t : tenants) {
+    cell.tenants.push_back(finish_tenant(kernel, *t, victim));
+  }
+
+  cell.sched = kernel.sched_stats();
+  cell.ldt_slots_installed = kernel.ldt_slots_installed();
+  std::uint64_t alloc_requests = 0;
+  std::uint64_t fallbacks = 0;
+  for (const TenantRecord& rec : cell.tenants) {
+    cell.total_user_cycles += rec.user_cycles;
+    alloc_requests += rec.seg.alloc_requests;
+    fallbacks += rec.seg.global_fallbacks;
+  }
+  cell.thrash_ratio =
+      alloc_requests == 0
+          ? 0.0
+          : static_cast<double>(fallbacks) / static_cast<double>(alloc_requests);
+  const std::uint64_t switch_cycles = cell.sched.context_switch_cycles;
+  cell.switch_overhead =
+      cell.total_user_cycles + switch_cycles == 0
+          ? 0.0
+          : static_cast<double>(switch_cycles) /
+                static_cast<double>(cell.total_user_cycles + switch_cycles);
+  return cell;
+}
+
+TenantRecord run_tenant_solo(const TenantOptions& options, int tenant_index) {
+  kernel::KernelSim kernel;
+  kernel.set_ldt_slot_budget(options.ldt_slot_budget);
+  kernel.sched_configure({options.quantum_cycles});
+  std::unique_ptr<Tenant> t = make_tenant(kernel, options, tenant_index);
+  kernel.sched_attach(t->pid);
+  kernel.set_fault_injector(&t->injector);
+  while (t->phase != Tenant::Phase::kDone) {
+    const std::uint64_t cycles = step(*t, options);
+    t->user_cycles += cycles;
+    kernel.sched_charge(cycles);
+  }
+  kernel.sched_detach(t->pid);
+  kernel.set_fault_injector(nullptr);
+  const kernel::Pid victim = kernel.create_process();
+  return finish_tenant(kernel, *t, victim);
+}
+
+std::vector<TenantCell> run_tenant_matrix(
+    const std::vector<int>& processes,
+    const std::vector<int>& arrays_per_process,
+    const std::vector<std::uint64_t>& quanta, const TenantOptions& base,
+    const exec::ExecutorConfig& executor) {
+  const std::size_t cells =
+      processes.size() * arrays_per_process.size() * quanta.size();
+  return exec::parallel_map(cells, executor.jobs, [&](std::size_t index) {
+    TenantOptions opt = base;
+    const std::size_t qi = index % quanta.size();
+    const std::size_t ai = (index / quanta.size()) % arrays_per_process.size();
+    const std::size_t pi = index / (quanta.size() * arrays_per_process.size());
+    opt.processes = processes[pi];
+    opt.arrays_per_process = arrays_per_process[ai];
+    opt.quantum_cycles = quanta[qi];
+    return run_tenant_cell(opt);
+  });
+}
+
+} // namespace cash::workloads

@@ -118,5 +118,38 @@ int main() {
             "exhausted: all 2 frames in use");
 }
 
+TEST(FaultGolden, CrossProcessSelector) {
+  // The multi-process isolation message (DESIGN.md §10): a selector from
+  // one process's LDT resolves to nothing in another process.
+  kernel::KernelSim kern;
+  const kernel::Pid a = kern.create_process();
+  const kernel::Pid b = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  ASSERT_TRUE(kern.cash_modify_ldt(
+                      a, 1, x86seg::SegmentDescriptor::for_array(0x1000, 64))
+                  .ok());
+  const auto cross = kern.resolve_selector(
+      b, x86seg::Selector::make(1, /*local=*/true, /*rpl=*/3));
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(format_fault(cross.fault()),
+            "#GP general-protection fault: selector names no live descriptor "
+            "in this process (segment handles are process-private) "
+            "(selector 0xf)");
+}
+
+TEST(FaultGolden, SharedLdtBudgetExhausted) {
+  // The multi-tenant budget refusal, surfaced after the call-gate charge.
+  kernel::KernelSim kern;
+  kern.set_ldt_slot_budget(1);
+  const kernel::Pid a = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok()); // consumes the only slot
+  const Status refused = kern.cash_modify_ldt(
+      a, 1, x86seg::SegmentDescriptor::for_array(0x1000, 64));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(format_fault(refused.fault()),
+            "resource-exhaustion fault: cash_modify_ldt: shared LDT slot "
+            "budget exhausted (selector 0xf)");
+}
+
 } // namespace
 } // namespace cash

@@ -12,6 +12,7 @@
 #include "netsim/netsim.hpp"
 #include "workloads/chaos.hpp"
 #include "workloads/fuzz.hpp"
+#include "workloads/tenants.hpp"
 #include "workloads/workloads.hpp"
 
 namespace cash {
@@ -245,6 +246,92 @@ TEST(ParallelInvariance, ArmedSnapshotServingMatchesRebuildAndReplay) {
         EXPECT_EQ(reference.pool.captures, 0u);
         EXPECT_GE(reference.pool.machines_built, 30u);
       }
+    }
+  }
+}
+
+void expect_identical(const workloads::TenantCell& a,
+                      const workloads::TenantCell& b, int jobs) {
+  EXPECT_EQ(a.processes, b.processes) << "jobs=" << jobs;
+  EXPECT_EQ(a.arrays_per_process, b.arrays_per_process) << "jobs=" << jobs;
+  EXPECT_EQ(a.quantum_cycles, b.quantum_cycles) << "jobs=" << jobs;
+  EXPECT_EQ(a.tenants, b.tenants) << "jobs=" << jobs;
+  EXPECT_EQ(a.sched, b.sched) << "jobs=" << jobs;
+  EXPECT_EQ(a.total_user_cycles, b.total_user_cycles) << "jobs=" << jobs;
+  EXPECT_EQ(a.ldt_slots_installed, b.ldt_slots_installed) << "jobs=" << jobs;
+  // Derived doubles: identical integer inputs through identical
+  // expressions, so exact equality applies.
+  EXPECT_EQ(a.thrash_ratio, b.thrash_ratio) << "jobs=" << jobs;
+  EXPECT_EQ(a.switch_overhead, b.switch_overhead) << "jobs=" << jobs;
+}
+
+TEST(TenantMatrixBitIdentical, MatrixIsThreadCountInvariant) {
+  // The multi-process tenant sweep shards (processes x arrays x quantum)
+  // cells across host threads; every per-tenant record, scheduler
+  // aggregate, and derived ratio must be a pure function of the cell's
+  // options — including with a binding shared LDT budget.
+  workloads::TenantOptions base;
+  base.rounds = 2;
+  base.seed = 23;
+  base.ldt_slot_budget = 48;
+  const std::vector<int> procs = {1, 3};
+  const std::vector<int> arrays = {16, 40};
+  const std::vector<std::uint64_t> quanta = {700, 9000};
+  const std::vector<workloads::TenantCell> serial =
+      workloads::run_tenant_matrix(procs, arrays, quanta, base, {1});
+  ASSERT_EQ(serial.size(), procs.size() * arrays.size() * quanta.size());
+  for (int jobs : {2, 8}) {
+    const std::vector<workloads::TenantCell> parallel =
+        workloads::run_tenant_matrix(procs, arrays, quanta, base, {jobs});
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], parallel[i], jobs);
+    }
+  }
+}
+
+TEST(TenantMatrixBitIdentical, UnbudgetedRecordsAreQuantumInvariant) {
+  // With no shared budget, a tenant's record may not depend on how finely
+  // the scheduler slices the CPU: the same total work across wildly
+  // different quanta yields bit-identical per-tenant records (only the
+  // scheduler aggregates — switch counts — move).
+  workloads::TenantOptions base;
+  base.processes = 3;
+  base.arrays_per_process = 24;
+  base.rounds = 2;
+  base.seed = 5;
+  const std::vector<workloads::TenantCell> cells =
+      workloads::run_tenant_matrix({3}, {24}, {500, 2000, 50000}, base, {2});
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_GT(cells[0].sched.context_switches, cells[2].sched.context_switches);
+  for (std::size_t q = 1; q < cells.size(); ++q) {
+    EXPECT_EQ(cells[0].tenants, cells[q].tenants)
+        << "quantum " << cells[q].quantum_cycles;
+  }
+}
+
+TEST(TenantMatrixBitIdentical, TenantServingIsThreadCountInvariant) {
+  // Multi-tenant serving (class = tenant process, context switches charged
+  // deterministically in the serial reduction) under the queue model.
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kCash}) {
+    CompileOptions options;
+    options.lower.mode = mode;
+    CompileResult program = compile(kServer, options);
+    ASSERT_TRUE(program.ok()) << program.error;
+    netsim::ServeOptions serve;
+    // Two tenants sharing one handler: tenancy is per class, so switches
+    // still occur whenever the serving interleaves the two.
+    serve.classes = {{"a", "handle_request", 2}, {"b", "handle_request", 1}};
+    serve.sim_servers = 2;
+    serve.mean_interarrival_cycles = 1500;
+    serve.tenant_processes = true;
+    const netsim::ServerMetrics serial =
+        netsim::serve_requests(*program.program, 40, 7, {1}, {}, serve);
+    EXPECT_GT(serial.context_switches, 0u);
+    for (int jobs : {2, 8}) {
+      const netsim::ServerMetrics parallel =
+          netsim::serve_requests(*program.program, 40, 7, {jobs}, {}, serve);
+      expect_identical(serial, parallel, jobs);
     }
   }
 }

@@ -3,12 +3,15 @@
 // never-firing) plan must not perturb a machine run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "core/cash.hpp"
 #include "faultinject/faultinject.hpp"
 #include "vm/machine.hpp"
 #include "vm/snapshot.hpp"
+#include "workloads/chaos.hpp"
+#include "workloads/tenants.hpp"
 
 namespace cash::faultinject {
 namespace {
@@ -77,6 +80,7 @@ TEST(FaultPlan, JsonRoundTrip) {
   plan.rules.push_back({FaultSite::kSegAllocate, 1, 3, 0, 1});
   plan.rules.push_back({FaultSite::kCallGateBusy, 0, 1, 7, 2});
   plan.rules.push_back({FaultSite::kNetRequestTimeout, 4, 2, 1, 9});
+  plan.rules.push_back({FaultSite::kLdtCrossTenant, 0, 2, 3, 1});
 
   const std::string json = plan.to_json();
   FaultPlan parsed;
@@ -276,6 +280,97 @@ TEST(FaultInjectMachine, InjectedLdtExhaustionCompletesViaGlobalFallback) {
   // unchanged while the protection is gone.
   EXPECT_EQ(run.counters.hw_checked_accesses,
             reference.counters.hw_checked_accesses);
+}
+
+TEST(FaultInjectMachine, InjectedCrossTenantBudgetExhaustionDegrades) {
+  // kLdtCrossTenant simulates co-tenants having drained the shared LDT
+  // slot budget: the kernel refuses the fresh install *after* the gate
+  // charge and user space degrades to the unchecked global segment. The
+  // in-bounds program still completes with the reference output, and the
+  // refusals are attributed to budget_fallbacks. Deterministic: a second
+  // run replays bit-identically.
+  CompileOptions options;
+  options.lower.mode = passes::CheckMode::kCash;
+  CompileResult compiled = compile(kProbeProgram, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  const vm::RunResult reference = compiled.program->run();
+  ASSERT_TRUE(reference.ok);
+
+  FaultPlan plan;
+  plan.rules.push_back({FaultSite::kLdtCrossTenant, 0, 2, 0, 1});
+  const vm::RunResult run = run_with_plan(*compiled.program, plan);
+  EXPECT_TRUE(run.ok);
+  EXPECT_EQ(run.output, reference.output);
+  EXPECT_EQ(run.exit_code, reference.exit_code);
+  EXPECT_GT(run.segment_stats.budget_fallbacks, 0U);
+  EXPECT_GE(run.segment_stats.global_fallbacks,
+            run.segment_stats.budget_fallbacks);
+  EXPECT_GT(run.fault_stats.injected_at(FaultSite::kLdtCrossTenant), 0U);
+
+  const vm::RunResult replay = run_with_plan(*compiled.program, plan);
+  expect_simulated_identical(run, replay);
+  EXPECT_EQ(replay.segment_stats.budget_fallbacks,
+            run.segment_stats.budget_fallbacks);
+}
+
+TEST(ChaosMatrix, LdtCrossTenantPlanDegradesButCompletes) {
+  // The chaos matrix carries an ldt-cross-tenant plan; its cells must
+  // complete with matching output, show injected faults, and register as
+  // degraded (global fallbacks above the clean reference).
+  const auto& plans = workloads::chaos_plans();
+  const bool registered =
+      std::any_of(plans.begin(), plans.end(), [](const auto& spec) {
+        return spec.name == "ldt-cross-tenant";
+      });
+  ASSERT_TRUE(registered);
+
+  const workloads::ChaosReport report = workloads::run_chaos_matrix(1, 3, {2});
+  EXPECT_EQ(report.violations, 0u);
+  int seen = 0;
+  for (const workloads::ChaosCell& cell : report.cells) {
+    if (cell.plan != "ldt-cross-tenant") {
+      continue;
+    }
+    ++seen;
+    EXPECT_TRUE(cell.ok()) << cell.detail;
+    EXPECT_TRUE(cell.completed) << "seed " << cell.seed;
+    EXPECT_TRUE(cell.output_matches) << "seed " << cell.seed;
+    EXPECT_TRUE(cell.degraded) << "seed " << cell.seed;
+    EXPECT_GT(cell.faults_injected, 0u) << "seed " << cell.seed;
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(TenantIsolation, NeighborsOfChaoticTenantMatchSoloBaselines) {
+  // The multi-tenant differential: tenant 0 runs under an armed
+  // ldt-cross-tenant plan on the shared kernel; every neighbor's record
+  // must be bit-identical to the record it produces alone on a private
+  // kernel, and every cross-process selector probe must be refused.
+  workloads::TenantOptions opt;
+  opt.processes = 3;
+  opt.arrays_per_process = 20;
+  opt.rounds = 2;
+  opt.quantum_cycles = 900;
+  opt.seed = 31;
+  opt.tenant0_plan.rules.push_back({FaultSite::kLdtCrossTenant, 0, 2, 0, 1});
+
+  const workloads::TenantCell cell = workloads::run_tenant_cell(opt);
+  ASSERT_EQ(cell.tenants.size(), 3u);
+  EXPECT_GT(cell.tenants[0].faults_injected, 0u);
+  EXPECT_GT(cell.tenants[0].seg.budget_fallbacks, 0u);
+  for (int i = 0; i < opt.processes; ++i) {
+    const workloads::TenantRecord& in_cell =
+        cell.tenants[static_cast<std::size_t>(i)];
+    EXPECT_EQ(in_cell.probe_self_failures, 0u) << "tenant " << i;
+    EXPECT_EQ(in_cell.probe_rejections, in_cell.probe_attempts)
+        << "tenant " << i;
+    const workloads::TenantRecord solo = workloads::run_tenant_solo(opt, i);
+    EXPECT_EQ(in_cell, solo) << "tenant " << i;
+  }
+  // Unarmed neighbors saw no chaos at all.
+  EXPECT_EQ(cell.tenants[1].faults_injected, 0u);
+  EXPECT_EQ(cell.tenants[2].faults_injected, 0u);
 }
 
 // --- Re-arm semantics (armed fork-from-snapshot) --------------------------

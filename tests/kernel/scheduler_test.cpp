@@ -1,0 +1,309 @@
+// Multi-process kernel conformance (DESIGN.md §10): cross-process selector
+// rejection, independent per-process LDT walls, the per-process free-list /
+// cache / global-fallback order against costs.hpp, the round-robin
+// scheduler's quantum and charging rules, and the shared LDT slot budget.
+#include <gtest/gtest.h>
+
+#include "common/costs.hpp"
+#include "common/diagnostics.hpp"
+#include "kernel/kernel_sim.hpp"
+#include "runtime/segment_manager.hpp"
+
+namespace cash::kernel {
+namespace {
+
+using runtime::SegmentManager;
+using x86seg::SegmentDescriptor;
+using x86seg::Selector;
+
+// --- Cross-process selector rejection -----------------------------------
+
+TEST(ProcessIsolation, SelectorFromAnotherProcessIsRefused) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 1, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+
+  const Selector sel = Selector::make(1, /*local=*/true, /*rpl=*/3);
+  auto own = kern.resolve_selector(a, sel);
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own.value().base(), 0x1000U);
+
+  // The same selector names nothing in process B: its LDT entry 1 was
+  // never installed, so the segment-register load takes a #GP.
+  auto cross = kern.resolve_selector(b, sel);
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(cross.fault().kind, FaultKind::kGeneralProtection);
+  EXPECT_EQ(cross.fault().selector, sel.raw());
+}
+
+TEST(ProcessIsolation, CrossProcessFaultMessageIsGolden) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 1, SegmentDescriptor::for_array(0x2000, 32))
+          .ok());
+  auto cross =
+      kern.resolve_selector(b, Selector::make(1, /*local=*/true, /*rpl=*/3));
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(format_fault(cross.fault()),
+            "#GP general-protection fault: selector names no live descriptor "
+            "in this process (segment handles are process-private) "
+            "(selector 0xf)");
+}
+
+TEST(ProcessIsolation, GdtSelectorsResolveInEveryProcess) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  // The flat user data segment is shared infrastructure, not a handle.
+  for (Pid pid : {a, b}) {
+    auto flat = kern.resolve_selector(pid, flat_user_data_selector());
+    ASSERT_TRUE(flat.ok());
+    EXPECT_EQ(flat.value().span(), 1ULL << 32);
+  }
+}
+
+// --- Independent per-process LDT walls ----------------------------------
+
+TEST(ProcessIsolation, EachProcessHitsItsOwnLdtWall) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  SegmentManager sa(kern, a);
+  SegmentManager sb(kern, b);
+  sa.initialize();
+  sb.initialize();
+
+  // Fill process A to its 8191-entry wall (entry 0 is the call gate).
+  for (int i = 0; i < 8191; ++i) {
+    SegmentManager::Allocation al =
+        sa.allocate(0x10000U + static_cast<std::uint32_t>(i) * 0x100U, 64);
+    ASSERT_FALSE(al.global_fallback) << "A fell back at " << i;
+  }
+  SegmentManager::Allocation wall = sa.allocate(0x4000000, 64);
+  EXPECT_TRUE(wall.global_fallback);
+  EXPECT_EQ(sa.stats().global_fallbacks, 1U);
+
+  // B's free list is untouched by A's exhaustion: same wall, same place.
+  for (int i = 0; i < 8191; ++i) {
+    SegmentManager::Allocation al =
+        sb.allocate(0x10000U + static_cast<std::uint32_t>(i) * 0x100U, 64);
+    ASSERT_FALSE(al.global_fallback) << "B fell back at " << i;
+  }
+  EXPECT_TRUE(sb.allocate(0x4000000, 64).global_fallback);
+  EXPECT_EQ(kern.ldt(a).present_count(), kern.ldt(b).present_count());
+}
+
+TEST(ProcessIsolation, FreeListCacheFallbackOrderIsPerProcess) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  SegmentManager sa(kern, a);
+  SegmentManager sb(kern, b);
+  EXPECT_EQ(sa.initialize(), costs::kPerProgramSetup);
+  EXPECT_EQ(sb.initialize(), costs::kPerProgramSetup);
+
+  // Fresh allocation: off the free list, through the call gate, at the
+  // paper's per-array set-up cost.
+  SegmentManager::Allocation first = sa.allocate(0x1000, 128);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.cycles, costs::kPerArraySetup);
+
+  // Release feeds the 3-entry cache without entering the kernel...
+  EXPECT_EQ(sa.release(first.ldt_index, 0x1000, 128), costs::kPerArrayTeardown);
+
+  // ...and B's cache is not warmed by A's release: same (base, limit) is a
+  // miss there, but a hit in A.
+  SegmentManager::Allocation miss_in_b = sb.allocate(0x1000, 128);
+  EXPECT_FALSE(miss_in_b.cache_hit);
+  EXPECT_EQ(miss_in_b.cycles, costs::kPerArraySetup);
+  SegmentManager::Allocation hit_in_a = sa.allocate(0x1000, 128);
+  EXPECT_TRUE(hit_in_a.cache_hit);
+  EXPECT_EQ(hit_in_a.cycles, costs::kSegCacheHit);
+  EXPECT_EQ(hit_in_a.ldt_index, first.ldt_index);
+}
+
+// --- Round-robin scheduler ----------------------------------------------
+
+TEST(Scheduler, RotatesOnQuantumExpiryAndChargesIncoming) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  kern.sched_configure({100});
+  kern.sched_attach(a);
+  kern.sched_attach(b);
+  ASSERT_EQ(kern.sched_current(), a);
+
+  EXPECT_EQ(kern.sched_charge(99), 0U);
+  EXPECT_EQ(kern.sched_quantum_used(), 99U);
+  EXPECT_EQ(kern.sched_charge(1), costs::kContextSwitch);
+  EXPECT_EQ(kern.sched_current(), b);
+  EXPECT_EQ(kern.sched_quantum_used(), 0U);
+  // The incoming process pays for the switch (address space + LDTR).
+  EXPECT_EQ(kern.account(b).context_switches_in, 1U);
+  EXPECT_EQ(kern.account(b).kernel_cycles, costs::kContextSwitch);
+  EXPECT_EQ(kern.account(a).context_switches_in, 0U);
+  EXPECT_EQ(kern.sched_stats().context_switches, 1U);
+  EXPECT_EQ(kern.sched_stats().context_switch_cycles, costs::kContextSwitch);
+  EXPECT_EQ(kern.sched_stats().quanta_expired, 1U);
+}
+
+TEST(Scheduler, OvershootCarriesAcrossQuanta) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  kern.sched_configure({100});
+  kern.sched_attach(a);
+  kern.sched_attach(b);
+  // One oversized charge burns two full quanta and leaves 50 cycles of the
+  // third: quantum accounting is a pure function of the cumulative stream,
+  // not of how the driver slices its charges.
+  EXPECT_EQ(kern.sched_charge(250), 2 * costs::kContextSwitch);
+  EXPECT_EQ(kern.sched_stats().quanta_expired, 2U);
+  EXPECT_EQ(kern.sched_quantum_used(), 50U);
+  EXPECT_EQ(kern.sched_current(), a); // two rotations over two runnables
+}
+
+TEST(Scheduler, SoleProcessExpiresQuantaWithoutSwitching) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  kern.sched_configure({100});
+  kern.sched_attach(a);
+  EXPECT_EQ(kern.sched_charge(500), 0U);
+  EXPECT_EQ(kern.sched_stats().quanta_expired, 5U);
+  EXPECT_EQ(kern.sched_stats().context_switches, 0U);
+  EXPECT_EQ(kern.account(a).context_switches_in, 0U);
+}
+
+TEST(Scheduler, YieldResetsQuantumAndRotates) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  kern.sched_configure({100});
+  kern.sched_attach(a);
+  kern.sched_attach(b);
+  kern.sched_charge(40);
+  EXPECT_EQ(kern.sched_yield(), costs::kContextSwitch);
+  EXPECT_EQ(kern.sched_current(), b);
+  EXPECT_EQ(kern.sched_quantum_used(), 0U);
+  EXPECT_EQ(kern.sched_stats().yields, 1U);
+}
+
+TEST(Scheduler, DetachingCurrentHandsOverWithoutACharge) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  const Pid c = kern.create_process();
+  kern.sched_configure({100});
+  kern.sched_attach(a);
+  kern.sched_attach(b);
+  kern.sched_attach(c);
+  kern.sched_charge(30);
+  kern.sched_detach(a); // process exit frees the CPU: no switch is charged
+  EXPECT_EQ(kern.sched_current(), b);
+  EXPECT_EQ(kern.sched_quantum_used(), 0U);
+  EXPECT_EQ(kern.sched_stats().context_switches, 0U);
+  EXPECT_EQ(kern.sched_runnable(), 2U);
+  // Detaching a non-current process must not move the CPU.
+  kern.sched_detach(c);
+  EXPECT_EQ(kern.sched_current(), b);
+  EXPECT_FALSE(kern.sched_attached(a));
+  EXPECT_TRUE(kern.sched_attached(b));
+}
+
+TEST(Scheduler, DestroyProcessDetaches) {
+  KernelSim kern;
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  kern.sched_attach(a);
+  kern.sched_attach(b);
+  kern.destroy_process(a);
+  EXPECT_EQ(kern.sched_runnable(), 1U);
+  EXPECT_EQ(kern.sched_current(), b);
+}
+
+// --- Shared LDT slot budget ---------------------------------------------
+
+TEST(LdtBudget, FreshInstallsFaultPastTheBudget) {
+  KernelSim kern;
+  kern.set_ldt_slot_budget(3);
+  const Pid a = kern.create_process();
+  // The call gate at entry 0 is itself an installed descriptor: slot 1 of 3.
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  EXPECT_EQ(kern.ldt_slots_installed(), 1U);
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 1, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 2, SegmentDescriptor::for_array(0x2000, 64))
+          .ok());
+  EXPECT_EQ(kern.ldt_slots_installed(), 3U);
+
+  auto refused =
+      kern.cash_modify_ldt(a, 3, SegmentDescriptor::for_array(0x3000, 64));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.fault().kind, FaultKind::kResourceExhausted);
+  EXPECT_EQ(kern.ldt_slots_installed(), 3U);
+
+  // Rewriting an already-installed entry is not a fresh install: the slot
+  // is already paid for, so the budget does not apply.
+  EXPECT_TRUE(
+      kern.cash_modify_ldt(a, 1, SegmentDescriptor::for_array(0x9000, 128))
+          .ok());
+}
+
+TEST(LdtBudget, BudgetIsSharedAndReturnedOnProcessExit) {
+  KernelSim kern;
+  kern.set_ldt_slot_budget(4);
+  const Pid a = kern.create_process();
+  const Pid b = kern.create_process();
+  ASSERT_TRUE(kern.set_ldt_callgate(a).ok());
+  ASSERT_TRUE(kern.set_ldt_callgate(b).ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 1, SegmentDescriptor::for_array(0x1000, 64))
+          .ok());
+  ASSERT_TRUE(
+      kern.cash_modify_ldt(a, 2, SegmentDescriptor::for_array(0x2000, 64))
+          .ok());
+  // A drained the shared budget (two gates + two arrays); B's fresh
+  // install is refused.
+  EXPECT_FALSE(
+      kern.cash_modify_ldt(b, 1, SegmentDescriptor::for_array(0x3000, 64))
+          .ok());
+  // A's exit returns its three slots; B fits again.
+  kern.destroy_process(a);
+  EXPECT_EQ(kern.ldt_slots_installed(), 1U);
+  EXPECT_TRUE(
+      kern.cash_modify_ldt(b, 1, SegmentDescriptor::for_array(0x3000, 64))
+          .ok());
+}
+
+TEST(LdtBudget, BudgetFallbackDegradesToGlobalSegment) {
+  KernelSim kern;
+  kern.set_ldt_slot_budget(3);
+  const Pid a = kern.create_process();
+  SegmentManager sa(kern, a);
+  sa.initialize(); // installs the call gate: slot 1 of 3
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(
+        sa.allocate(0x1000U + static_cast<std::uint32_t>(i) * 0x1000U, 64)
+            .global_fallback);
+  }
+  SegmentManager::Allocation over = sa.allocate(0x8000, 64);
+  EXPECT_TRUE(over.global_fallback);
+  EXPECT_EQ(over.selector.raw(), flat_user_data_selector().raw());
+  EXPECT_EQ(sa.stats().budget_fallbacks, 1U);
+  EXPECT_EQ(sa.stats().global_fallbacks, 1U);
+  // The refused entry went back on the free list, and the kernel-side slot
+  // count never crossed the cap.
+  EXPECT_EQ(kern.ldt_slots_installed(), 3U);
+}
+
+} // namespace
+} // namespace cash::kernel

@@ -57,6 +57,9 @@ inline void expect_identical(const RunResult& ref, const RunResult& fast,
   EXPECT_EQ(ref.segment_stats.gate_busy_retries,
             fast.segment_stats.gate_busy_retries)
       << ctx;
+  EXPECT_EQ(ref.segment_stats.budget_fallbacks,
+            fast.segment_stats.budget_fallbacks)
+      << ctx;
   EXPECT_EQ(ref.segment_stats.segments_in_use,
             fast.segment_stats.segments_in_use)
       << ctx;
@@ -79,6 +82,9 @@ inline void expect_identical(const RunResult& ref, const RunResult& fast,
   EXPECT_EQ(ref.kernel_account.ldt_switches, fast.kernel_account.ldt_switches)
       << ctx;
   EXPECT_EQ(ref.kernel_account.ldts_created, fast.kernel_account.ldts_created)
+      << ctx;
+  EXPECT_EQ(ref.kernel_account.context_switches_in,
+            fast.kernel_account.context_switches_in)
       << ctx;
   EXPECT_EQ(ref.fault_stats.hits, fast.fault_stats.hits) << ctx;
   EXPECT_EQ(ref.fault_stats.injected, fast.fault_stats.injected) << ctx;

@@ -244,6 +244,95 @@ TEST(Snapshot, PrepareCaptureRestoreEqualsFreshRun) {
   }
 }
 
+TEST(Snapshot, RestoreUnderActiveSchedulerEqualsFreshReplay) {
+  // netsim's fork-from-snapshot under multi-tenant serving: the parent is
+  // captured while its process sits on the run queue, mid-quantum. The
+  // scheduler scalars ride the snapshot, so a restore rewinds quantum
+  // progress, run-queue membership and the scheduling aggregates along
+  // with the memory image — and the served request stays bit-identical to
+  // a fresh replay on an unscheduled kernel.
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kBcc,
+                         CheckMode::kCash}) {
+    auto program = compile_server(mode);
+    std::unique_ptr<vm::Machine> m = fresh_after_init(*program);
+    kernel::KernelSim& kern = m->kernel();
+    kern.sched_configure({4096});
+    kern.sched_attach(m->pid());
+    kern.sched_charge(1234); // capture lands mid-quantum
+    ASSERT_EQ(kern.sched_quantum_used(), 1234u);
+
+    std::unique_ptr<vm::MachineSnapshot> snap = m->capture();
+    const kernel::SchedulerStats at_capture = kern.sched_stats();
+
+    for (std::uint32_t seed = 0; seed < 3; ++seed) {
+      if (seed != 0) {
+        m->restore(*snap);
+      }
+      m->reseed(200 + seed);
+      const vm::RunResult from_snapshot =
+          m->run_function("handle_request");
+
+      std::unique_ptr<vm::Machine> replayed = fresh_after_init(*program);
+      replayed->reseed(200 + seed);
+      const vm::RunResult from_replay =
+          replayed->run_function("handle_request");
+      expect_identical(from_replay, from_snapshot,
+                       "sched seed=" + std::to_string(200 + seed));
+
+      // Perturb the scheduler between serves: burn quanta, then drop off
+      // the run queue entirely. The next restore must undo all of it.
+      kern.sched_charge(9000);
+      kern.sched_detach(m->pid());
+      EXPECT_FALSE(kern.sched_attached(m->pid()));
+    }
+    m->restore(*snap);
+    EXPECT_TRUE(kern.sched_attached(m->pid()));
+    EXPECT_EQ(kern.sched_quantum_used(), 1234u);
+    EXPECT_EQ(kern.sched_stats(), at_capture);
+  }
+}
+
+TEST(Snapshot, SchedulerComposesWithArmedFaultPlan) {
+  // Mid-quantum capture plus an armed injector: both the scheduler scalars
+  // and the injector RNG/hit counters must rewind together.
+  faultinject::FaultPlan plan;
+  plan.seed = 3;
+  plan.rules.push_back({faultinject::FaultSite::kSegCacheProbe, 0, 2, 0, 1});
+
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  options.machine.fault_plan = plan;
+  CompileResult compiled = compile(kServer, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  const CompiledProgram& program = *compiled.program;
+
+  std::unique_ptr<vm::Machine> m = fresh_after_init(program);
+  kernel::KernelSim& kern = m->kernel();
+  kern.sched_configure({512});
+  kern.sched_attach(m->pid());
+  kern.sched_charge(100);
+  std::unique_ptr<vm::MachineSnapshot> snap = m->capture();
+
+  for (std::uint32_t seed = 0; seed < 3; ++seed) {
+    if (seed != 0) {
+      m->restore(*snap);
+    }
+    m->reseed(70 + seed);
+    const vm::RunResult from_snapshot = m->run_function("handle_request");
+
+    std::unique_ptr<vm::Machine> replayed = fresh_after_init(program);
+    replayed->reseed(70 + seed);
+    const vm::RunResult from_replay =
+        replayed->run_function("handle_request");
+    expect_identical(from_replay, from_snapshot,
+                     "sched armed seed=" + std::to_string(70 + seed));
+    EXPECT_GT(from_snapshot.fault_stats.hits_at(
+                  faultinject::FaultSite::kSegCacheProbe),
+              0u);
+    EXPECT_EQ(kern.sched_quantum_used(), 100u);
+  }
+}
+
 TEST(Snapshot, FaultingRunRewindsCleanly) {
   // A run that ends in a bound violation leaves partially-mutated state;
   // restore must rewind that too.

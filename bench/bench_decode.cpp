@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/run_result_compare.hpp"
 #include "netsim/netsim.hpp"
 #include "vm/decode.hpp"
 
@@ -34,91 +35,12 @@ namespace {
 
 using cash::passes::CheckMode;
 
-// Full simulated-field equality (the bench-side mirror of
-// tests/vm/run_result_compare.hpp). Returns the first differing field name,
-// or an empty string when the results are identical. Host-side TLB stats
-// are the documented exemption.
+// Full simulated-field equality: the shared comparator from
+// src/common/run_result_compare.hpp. Returns the first differing field
+// name, or an empty string when the results are identical.
 std::string first_difference(const cash::vm::RunResult& a,
                              const cash::vm::RunResult& b) {
-  if (a.ok != b.ok) return "ok";
-  if (a.fault.has_value() != b.fault.has_value()) return "fault.has_value";
-  if (a.fault && b.fault) {
-    if (a.fault->kind != b.fault->kind) return "fault.kind";
-    if (a.fault->linear_address != b.fault->linear_address)
-      return "fault.linear_address";
-    if (a.fault->selector != b.fault->selector) return "fault.selector";
-    if (a.fault->detail != b.fault->detail) return "fault.detail";
-  }
-  if (a.error != b.error) return "error";
-  if (a.exit_code != b.exit_code) return "exit_code";
-  if (a.cycles != b.cycles) return "cycles";
-  if (a.breakdown.base != b.breakdown.base) return "breakdown.base";
-  if (a.breakdown.checking != b.breakdown.checking)
-    return "breakdown.checking";
-  if (a.breakdown.runtime != b.breakdown.runtime) return "breakdown.runtime";
-  if (a.shadow_cycles != b.shadow_cycles) return "shadow_cycles";
-  if (a.counters.instructions != b.counters.instructions)
-    return "counters.instructions";
-  if (a.counters.hw_checked_accesses != b.counters.hw_checked_accesses)
-    return "counters.hw_checked_accesses";
-  if (a.counters.sw_checks != b.counters.sw_checks)
-    return "counters.sw_checks";
-  if (a.counters.seg_reg_loads != b.counters.seg_reg_loads)
-    return "counters.seg_reg_loads";
-  if (a.counters.ptr_word_copies != b.counters.ptr_word_copies)
-    return "counters.ptr_word_copies";
-  if (a.counters.calls != b.counters.calls) return "counters.calls";
-  if (a.counters.malloc_calls != b.counters.malloc_calls)
-    return "counters.malloc_calls";
-  if (a.segment_stats.alloc_requests != b.segment_stats.alloc_requests)
-    return "segment_stats.alloc_requests";
-  if (a.segment_stats.cache_hits != b.segment_stats.cache_hits)
-    return "segment_stats.cache_hits";
-  if (a.segment_stats.kernel_allocs != b.segment_stats.kernel_allocs)
-    return "segment_stats.kernel_allocs";
-  if (a.segment_stats.releases != b.segment_stats.releases)
-    return "segment_stats.releases";
-  if (a.segment_stats.global_fallbacks != b.segment_stats.global_fallbacks)
-    return "segment_stats.global_fallbacks";
-  if (a.segment_stats.extra_ldts_created != b.segment_stats.extra_ldts_created)
-    return "segment_stats.extra_ldts_created";
-  if (a.segment_stats.gate_busy_retries != b.segment_stats.gate_busy_retries)
-    return "segment_stats.gate_busy_retries";
-  if (a.segment_stats.segments_in_use != b.segment_stats.segments_in_use)
-    return "segment_stats.segments_in_use";
-  if (a.segment_stats.peak_segments != b.segment_stats.peak_segments)
-    return "segment_stats.peak_segments";
-  if (a.heap_stats.malloc_calls != b.heap_stats.malloc_calls)
-    return "heap_stats.malloc_calls";
-  if (a.heap_stats.free_calls != b.heap_stats.free_calls)
-    return "heap_stats.free_calls";
-  if (a.heap_stats.bytes_allocated != b.heap_stats.bytes_allocated)
-    return "heap_stats.bytes_allocated";
-  if (a.heap_stats.guard_pages != b.heap_stats.guard_pages)
-    return "heap_stats.guard_pages";
-  if (a.kernel_account.kernel_cycles != b.kernel_account.kernel_cycles)
-    return "kernel_account.kernel_cycles";
-  if (a.kernel_account.modify_ldt_calls != b.kernel_account.modify_ldt_calls)
-    return "kernel_account.modify_ldt_calls";
-  if (a.kernel_account.call_gate_calls != b.kernel_account.call_gate_calls)
-    return "kernel_account.call_gate_calls";
-  if (a.kernel_account.ldt_switches != b.kernel_account.ldt_switches)
-    return "kernel_account.ldt_switches";
-  if (a.kernel_account.ldts_created != b.kernel_account.ldts_created)
-    return "kernel_account.ldts_created";
-  if (a.fault_stats.hits != b.fault_stats.hits) return "fault_stats.hits";
-  if (a.fault_stats.injected != b.fault_stats.injected)
-    return "fault_stats.injected";
-  if (a.profile.size() != b.profile.size()) return "profile.size";
-  for (const auto& [name, prof] : a.profile) {
-    const auto it = b.profile.find(name);
-    if (it == b.profile.end()) return "profile." + name;
-    if (prof.calls != it->second.calls) return "profile." + name + ".calls";
-    if (prof.self_cycles != it->second.self_cycles)
-      return "profile." + name + ".self_cycles";
-  }
-  if (a.output != b.output) return "output";
-  return {};
+  return cash::vm::first_run_result_difference(a, b);
 }
 
 bool metrics_identical(const cash::netsim::ServerMetrics& a,
@@ -143,6 +65,9 @@ Timed run_engine(const cash::CompiledProgram& program, Engine engine,
   cash::vm::MachineConfig cfg = program.options().machine;
   cfg.enable_predecode = engine != Engine::kInterp;
   cfg.enable_fusion = engine == Engine::kFused;
+  // This bench isolates fusion vs dispatch: the hot-trace layer is
+  // bench_trace's subject and stays off on every leg here.
+  cfg.enable_trace = false;
   cash::bench::SnapshotRunner runner(program, cfg);
   Timed t;
   for (int rep = 0; rep < reps; ++rep) {
@@ -348,9 +273,11 @@ int main(int argc, char** argv) {
   };
   std::vector<NetCell> net_cells = {{1}, {2}, {8}};
   netsim::ServeOptions fast_serve; // snapshot + predecode (the default)
+  fast_serve.enable_trace = false; // trace serving is bench_trace's subject
   netsim::ServeOptions ref_serve;
   ref_serve.enable_snapshot = false;
   ref_serve.enable_predecode = false;
+  ref_serve.enable_trace = false;
 
   std::printf("\n%-6s %10s %10s %9s %10s   (netsim, cash mode, %d requests)\n",
               "jobs", "snap s", "replay s", "speedup", "identical", requests);

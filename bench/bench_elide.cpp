@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/run_result_compare.hpp"
 
 namespace {
 
@@ -114,32 +115,12 @@ ElideCell run_cell(const std::string& source, CheckMode mode) {
   return cell;
 }
 
-// Field-by-field equality of the simulated results, cycles included — the
-// kill-switch gate. Returns the first differing field, or empty.
+// Full simulated-field equality of the results — the kill-switch gate,
+// built on the shared comparator. Returns the first differing field, or
+// empty.
 std::string first_difference(const cash::vm::RunResult& a,
                              const cash::vm::RunResult& b) {
-  if (a.ok != b.ok) return "ok";
-  if (a.fault.has_value() != b.fault.has_value()) return "fault.has_value";
-  if (a.fault && b.fault && a.fault->detail != b.fault->detail)
-    return "fault.detail";
-  if (a.error != b.error) return "error";
-  if (a.exit_code != b.exit_code) return "exit_code";
-  if (a.cycles != b.cycles) return "cycles";
-  if (a.breakdown.base != b.breakdown.base) return "breakdown.base";
-  if (a.breakdown.checking != b.breakdown.checking)
-    return "breakdown.checking";
-  if (a.breakdown.runtime != b.breakdown.runtime) return "breakdown.runtime";
-  if (a.shadow_cycles != b.shadow_cycles) return "shadow_cycles";
-  if (a.counters.instructions != b.counters.instructions)
-    return "counters.instructions";
-  if (a.counters.hw_checked_accesses != b.counters.hw_checked_accesses)
-    return "counters.hw_checked_accesses";
-  if (a.counters.sw_checks != b.counters.sw_checks)
-    return "counters.sw_checks";
-  if (a.counters.seg_reg_loads != b.counters.seg_reg_loads)
-    return "counters.seg_reg_loads";
-  if (a.output != b.output) return "output";
-  return {};
+  return cash::vm::first_run_result_difference(a, b);
 }
 
 } // namespace

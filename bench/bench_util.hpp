@@ -129,15 +129,42 @@ inline void print_title(const char* title) {
 
 inline void print_note(const char* note) { std::printf("%s\n", note); }
 
-// Opens BENCH_<name>.json and stamps it with the host wall time so far and
-// the jobs count used, so every result file records how it was produced.
-// The caller appends its own fields (no leading comma needed after this)
-// and closes with close_bench_json().
+// Compiler identity of this bench binary ("gcc 13.2.0", "clang 17.0.6"),
+// stamped into every BENCH_*.json so trajectory entries produced in
+// different environments are comparable.
+inline const char* bench_compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Build flags the bench binary was compiled with (injected by
+// bench/CMakeLists.txt from CMAKE_CXX_FLAGS + the active configuration).
+inline const char* bench_build_flags() {
+#if defined(CASH_BUILD_FLAGS)
+  return CASH_BUILD_FLAGS;
+#else
+  return "";
+#endif
+}
+
+// Opens BENCH_<name>.json and stamps it with the host wall time so far,
+// the jobs count used, and the compiler/flags that produced the binary, so
+// every result file records how it was produced. The caller appends its
+// own fields (no leading comma needed after this) and closes with
+// close_bench_json().
 inline std::FILE* open_bench_json(const char* filename, int jobs = 0) {
   std::FILE* json = std::fopen(filename, "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"host_wall_s\": %.3f,\n  \"jobs\": %d,\n",
-                 bench_elapsed_s(), jobs > 0 ? jobs : bench_jobs());
+    std::fprintf(json,
+                 "{\n  \"host_wall_s\": %.3f,\n  \"jobs\": %d,\n"
+                 "  \"compiler\": \"%s\",\n  \"build_flags\": \"%s\",\n",
+                 bench_elapsed_s(), jobs > 0 ? jobs : bench_jobs(),
+                 bench_compiler_id(), bench_build_flags());
   }
   return json;
 }

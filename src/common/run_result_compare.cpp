@@ -1,0 +1,94 @@
+#include "common/run_result_compare.hpp"
+
+namespace cash::vm {
+
+std::string first_run_result_difference(const RunResult& a,
+                                        const RunResult& b) {
+  if (a.ok != b.ok) return "ok";
+  if (a.fault.has_value() != b.fault.has_value()) return "fault.has_value";
+  if (a.fault && b.fault) {
+    if (a.fault->kind != b.fault->kind) return "fault.kind";
+    if (a.fault->linear_address != b.fault->linear_address)
+      return "fault.linear_address";
+    if (a.fault->selector != b.fault->selector) return "fault.selector";
+    if (a.fault->detail != b.fault->detail) return "fault.detail";
+  }
+  if (a.error != b.error) return "error";
+  if (a.exit_code != b.exit_code) return "exit_code";
+  if (a.cycles != b.cycles) return "cycles";
+  if (a.breakdown.base != b.breakdown.base) return "breakdown.base";
+  if (a.breakdown.checking != b.breakdown.checking)
+    return "breakdown.checking";
+  if (a.breakdown.runtime != b.breakdown.runtime) return "breakdown.runtime";
+  if (a.shadow_cycles != b.shadow_cycles) return "shadow_cycles";
+  if (a.counters.instructions != b.counters.instructions)
+    return "counters.instructions";
+  if (a.counters.hw_checked_accesses != b.counters.hw_checked_accesses)
+    return "counters.hw_checked_accesses";
+  if (a.counters.sw_checks != b.counters.sw_checks)
+    return "counters.sw_checks";
+  if (a.counters.seg_reg_loads != b.counters.seg_reg_loads)
+    return "counters.seg_reg_loads";
+  if (a.counters.ptr_word_copies != b.counters.ptr_word_copies)
+    return "counters.ptr_word_copies";
+  if (a.counters.calls != b.counters.calls) return "counters.calls";
+  if (a.counters.malloc_calls != b.counters.malloc_calls)
+    return "counters.malloc_calls";
+  if (a.segment_stats.alloc_requests != b.segment_stats.alloc_requests)
+    return "segment_stats.alloc_requests";
+  if (a.segment_stats.cache_hits != b.segment_stats.cache_hits)
+    return "segment_stats.cache_hits";
+  if (a.segment_stats.kernel_allocs != b.segment_stats.kernel_allocs)
+    return "segment_stats.kernel_allocs";
+  if (a.segment_stats.releases != b.segment_stats.releases)
+    return "segment_stats.releases";
+  if (a.segment_stats.global_fallbacks != b.segment_stats.global_fallbacks)
+    return "segment_stats.global_fallbacks";
+  if (a.segment_stats.extra_ldts_created != b.segment_stats.extra_ldts_created)
+    return "segment_stats.extra_ldts_created";
+  if (a.segment_stats.gate_busy_retries != b.segment_stats.gate_busy_retries)
+    return "segment_stats.gate_busy_retries";
+  if (a.segment_stats.budget_fallbacks != b.segment_stats.budget_fallbacks)
+    return "segment_stats.budget_fallbacks";
+  if (a.segment_stats.segments_in_use != b.segment_stats.segments_in_use)
+    return "segment_stats.segments_in_use";
+  if (a.segment_stats.peak_segments != b.segment_stats.peak_segments)
+    return "segment_stats.peak_segments";
+  if (a.heap_stats.malloc_calls != b.heap_stats.malloc_calls)
+    return "heap_stats.malloc_calls";
+  if (a.heap_stats.free_calls != b.heap_stats.free_calls)
+    return "heap_stats.free_calls";
+  if (a.heap_stats.bytes_allocated != b.heap_stats.bytes_allocated)
+    return "heap_stats.bytes_allocated";
+  if (a.heap_stats.guard_pages != b.heap_stats.guard_pages)
+    return "heap_stats.guard_pages";
+  if (a.kernel_account.kernel_cycles != b.kernel_account.kernel_cycles)
+    return "kernel_account.kernel_cycles";
+  if (a.kernel_account.modify_ldt_calls != b.kernel_account.modify_ldt_calls)
+    return "kernel_account.modify_ldt_calls";
+  if (a.kernel_account.call_gate_calls != b.kernel_account.call_gate_calls)
+    return "kernel_account.call_gate_calls";
+  if (a.kernel_account.ldt_switches != b.kernel_account.ldt_switches)
+    return "kernel_account.ldt_switches";
+  if (a.kernel_account.ldts_created != b.kernel_account.ldts_created)
+    return "kernel_account.ldts_created";
+  if (a.kernel_account.context_switches_in !=
+      b.kernel_account.context_switches_in)
+    return "kernel_account.context_switches_in";
+  if (a.fault_stats.hits != b.fault_stats.hits) return "fault_stats.hits";
+  if (a.fault_stats.injected != b.fault_stats.injected)
+    return "fault_stats.injected";
+  if (a.profile.size() != b.profile.size()) return "profile.size";
+  for (const auto& [name, prof] : a.profile) {
+    const auto it = b.profile.find(name);
+    if (it == b.profile.end()) return "profile[" + name + "]";
+    if (prof.calls != it->second.calls)
+      return "profile[" + name + "].calls";
+    if (prof.self_cycles != it->second.self_cycles)
+      return "profile[" + name + "].self_cycles";
+  }
+  if (a.output != b.output) return "output";
+  return {};
+}
+
+} // namespace cash::vm

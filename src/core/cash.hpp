@@ -44,7 +44,13 @@ struct CompileOptions {
 // unit, heap) and shares only the const ir::Module. This is what lets the
 // parallel executor (exec/executor.hpp) fan simulated processes out across
 // host cores: one shared program, one fresh Machine per slot. Do not add
-// non-const state here without revisiting that contract.
+// non-const state here without revisiting that contract. In particular the
+// hot-trace superblock cache (DESIGN.md §11) lives per-Machine, NOT here:
+// the shared DecodedProgram stays immutable, each machine forms and caches
+// its own traces from its own deterministic counters, and because
+// promotion is a pure function of the simulated stream, every machine
+// running the same workload forms the same traces — no cross-thread
+// sharing is needed for the results to agree.
 class CompiledProgram {
  public:
   CompiledProgram(std::unique_ptr<ir::Module> module, CompileOptions options,

@@ -413,6 +413,7 @@ ServerMetrics serve_requests(const CompiledProgram& program, int requests,
   vm::MachineConfig child_cfg = program.options().machine;
   child_cfg.enable_predecode =
       child_cfg.enable_predecode && serve.enable_predecode;
+  child_cfg.enable_trace = child_cfg.enable_trace && serve.enable_trace;
   child_cfg.fault_plan = {};
 
   const bool has_init =

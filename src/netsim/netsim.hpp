@@ -172,6 +172,11 @@ struct ServeOptions {
   // false forces the reference interpreter regardless of the compiled
   // program's MachineConfig (A/B baseline for bench_decode).
   bool enable_predecode{true};
+  // Run the children with the hot-trace superblock engine (DESIGN.md §11).
+  // Like enable_predecode, this can only turn the layer *off* relative to
+  // the compiled program's MachineConfig — an A/B lever for the
+  // bench_trace serving leg. ServerMetrics are bit-identical either way.
+  bool enable_trace{true};
   // Mixed request classes. Empty = one implicit class
   // {"default", "handle_request", 1} (the legacy single-handler behaviour,
   // where a failing request throws). With explicit classes the loop is a

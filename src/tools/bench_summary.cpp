@@ -192,6 +192,8 @@ int main(int argc, char** argv) {
       {"elide", "checks_removed_ratio"},
       {"tenants", "tenant_ldt_thrash_ratio"},
       {"tenants", "context_switch_overhead"},
+      {"trace", "trace_speedup"},
+      {"trace", "trace_coverage"},
   };
 
   out << "{\n  \"benches\": " << benches.size() << ",\n";

@@ -830,6 +830,251 @@ inline int exec_bin(const MicroInstr& v, const Value a, const Value b,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Hot-trace superblock formation (DESIGN.md §11). When a block's execution
+// counter crosses MachineConfig::trace_threshold, the engine follows the
+// recorded biased successor edges and splices up to kTraceMaxBlocks blocks'
+// member micro-ops into one straight-line stream: interior kJumps vanish,
+// interior branches become guard micro-ops whose biased arm falls through.
+// A chain whose biased tail returns to the entry closes into a loop — the
+// tail becomes a kTraceLoop that retires the pass and restarts at micro-op
+// 0 without leaving the superblock (a hot inner loop never touches the
+// outer dispatch loop between iterations); a chain that does not close
+// keeps the final block's original terminator. The chain walk does not cut
+// at revisits short of the entry, so a short loop body is naturally
+// unrolled up to the block budget. Promotion reads only the decoded image
+// and the edge counters, both pure functions of the simulated instruction
+// stream, so it replays identically across host job counts and
+// snapshot/restore.
+// ---------------------------------------------------------------------------
+
+constexpr std::int32_t kTraceNone = -1;
+constexpr std::int32_t kTraceDead = -2;
+constexpr std::uint32_t kTraceMaxBlocks = 16;
+
+constexpr bool is_terminator(UOp op) noexcept {
+  return op == UOp::kJump || op == UOp::kBranch ||
+         op == UOp::kFusedCmpBranch;
+}
+
+// A block joins a trace only when it is a non-empty group ending in a
+// terminator. Blocks that fall through into an itemized micro-op (calls,
+// returns, malloc/free, seg loads) or into kBlockEndError stay on the
+// normal dispatch path.
+bool traceable_block(const UopStream& s, std::uint32_t entry) noexcept {
+  if (entry >= s.uops.size()) {
+    return false;
+  }
+  const MicroInstr& h = s.uops[entry];
+  if (h.op != UOp::kGroup || h.imm == 0) {
+    return false;
+  }
+  return is_terminator(s.uops[entry + h.imm].op);
+}
+
+// Follows the biased successor of the block headed at `bpc`: the one
+// successor of a kJump, the more-travelled arm of a branch (ties —
+// including the cold never-executed case — deterministically pick the
+// taken arm).
+std::uint32_t biased_successor(const FnTraceState& ts, const UopStream& s,
+                               std::uint32_t bpc) {
+  const std::uint32_t term_at = bpc + s.uops[bpc].imm;
+  const MicroInstr& term = s.uops[term_at];
+  if (term.op == UOp::kJump) {
+    return term.target0;
+  }
+  const TraceEdge& e = ts.edges[term_at];
+  return e.not_taken > e.taken ? term.target1 : term.target0;
+}
+
+// Forms a superblock starting at `entry` (a traceable group header whose
+// counter just crossed the threshold). Returns the new trace's index in
+// ts.traces, or kTraceDead when the chain is a single block that does not
+// loop on itself — such a trace is just the group the engine already
+// executes, so the entry is marked refused and never re-examined.
+std::int32_t try_form_trace(FnTraceState& ts, const UopStream& s,
+                            std::uint32_t entry, TraceStats& stats) {
+  // Walk the biased chain until it closes back on the entry (a loop), runs
+  // into a non-traceable block, or exhausts the block budget.
+  std::vector<std::uint32_t> chain;
+  std::uint32_t cur = entry;
+  bool closed = false;
+  while (chain.size() < kTraceMaxBlocks && traceable_block(s, cur)) {
+    if (cur == entry && !chain.empty()) {
+      closed = true;
+      break;
+    }
+    chain.push_back(cur);
+    cur = biased_successor(ts, s, cur);
+  }
+  if (!closed && chain.size() < 2) {
+    ts.trace_at[entry] = kTraceDead;
+    return kTraceDead;
+  }
+
+  // A closed chain is one full loop iteration; unroll whole copies of the
+  // body into the remaining block budget so each kTraceLoop retire covers
+  // several iterations (guards keep partial final passes exact).
+  if (closed) {
+    const std::vector<std::uint32_t> body = chain;
+    while (chain.size() + body.size() <= kTraceMaxBlocks) {
+      chain.insert(chain.end(), body.begin(), body.end());
+    }
+  }
+
+  Trace tr;
+  tr.entry_pc = entry;
+  StaticCost cum;
+  std::uint32_t cum_count = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const std::uint32_t bpc = chain[i];
+    const MicroInstr& head = s.uops[bpc];
+    const FoldedGroup& g = s.groups[head.aux];
+    const std::uint32_t ordinal = static_cast<std::uint32_t>(i);
+    const bool last = i + 1 == chain.size();
+
+    std::uint32_t plain_done = 0;
+    const std::uint32_t term_at = bpc + head.imm;
+    for (std::uint32_t m = bpc + 1; m < term_at; ++m) {
+      tr.uops.push_back(s.uops[m]);
+      tr.block_of.push_back(ordinal);
+      tr.plain_done.push_back(plain_done);
+      plain_done += uop_width(s.uops[m].op);
+    }
+    const MicroInstr& term = s.uops[term_at];
+    if (!last || closed) {
+      // The chain continues past this block (to chain[i+1], or back to the
+      // entry when the loop closes): the biased arm falls through, the
+      // other arm becomes a guard's side exit. A kJump is elided entirely
+      // — its one successor follows directly.
+      if (term.op != UOp::kJump) {
+        MicroInstr guard = term;
+        guard.op = term.op == UOp::kBranch ? UOp::kGuardBranch
+                                           : UOp::kGuardCmpBranch;
+        const std::uint32_t next_blk = last ? entry : chain[i + 1];
+        const bool biased_taken = next_blk == term.target0;
+        guard.imm = biased_taken ? 1 : 0;
+        guard.target0 = biased_taken ? term.target1 : term.target0;
+        tr.uops.push_back(guard);
+        tr.block_of.push_back(ordinal);
+        tr.plain_done.push_back(plain_done);
+      }
+    } else {
+      // Open chain's final block: the original terminator with
+      // original-stream targets.
+      tr.uops.push_back(term);
+      tr.block_of.push_back(ordinal);
+      tr.plain_done.push_back(plain_done);
+    }
+
+    cum += g.cost;
+    cum_count += g.count;
+    TraceBlock tb;
+    tb.entry_pc = bpc;
+    tb.plain_first = g.plain_first;
+    tb.cum_cost = cum;
+    tb.cum_count = cum_count;
+    tr.blocks.push_back(tb);
+  }
+  if (closed) {
+    MicroInstr loop;
+    loop.op = UOp::kTraceLoop;
+    tr.uops.push_back(loop);
+    tr.block_of.push_back(static_cast<std::uint32_t>(chain.size() - 1));
+    tr.plain_done.push_back(0);
+  }
+  tr.total.count = cum_count;
+  tr.total.plain_first = tr.blocks.front().plain_first;
+  tr.total.cost = cum;
+
+  // Trace-time peephole: the straight-line stream exposes adjacent pairs
+  // the block-local fusion pass cannot see (it stops at member lists and
+  // never touches terminators). Rewrite only the first slot's opcode —
+  // the second constituent keeps its own slot, operands and
+  // block_of/plain_done entries, so the combined handlers fault by
+  // advancing pc to the faulting slot and every cold path charges exactly
+  // as before. Greedy left-to-right, pairs never overlap.
+  for (std::size_t i = 0; i + 1 < tr.uops.size(); ++i) {
+    const UOp a = tr.uops[i].op;
+    const UOp b = tr.uops[i + 1].op;
+    if (a == UOp::kBin && b == UOp::kBin) {
+      if (i + 2 < tr.uops.size() && tr.uops[i + 2].op == UOp::kBin) {
+        tr.uops[i].op = UOp::kTraceBinBinBin;
+        i += 2;
+        continue;
+      }
+      tr.uops[i].op = UOp::kTraceBinBin;
+      ++i;
+    } else if (a == UOp::kFusedLoadLocalBin && b == UOp::kGuardBranch) {
+      tr.uops[i].op = UOp::kTraceLoadBinGuard;
+      ++i;
+    } else if (a == UOp::kFusedLoadLocalBin && b == UOp::kGuardCmpBranch) {
+      tr.uops[i].op = UOp::kTraceLoadBinGuardCmp;
+      ++i;
+    } else if (a == UOp::kBin && b == UOp::kFusedPtrAddBoundLoad) {
+      tr.uops[i].op = UOp::kTraceBinPtrAddBoundLoad;
+      ++i;
+    } else if (a == UOp::kFusedPtrAddBoundLoad && b == UOp::kBin) {
+      tr.uops[i].op = UOp::kTracePtrAddBoundLoadBin;
+      ++i;
+    } else if (a == UOp::kBin && b == UOp::kFusedPtrAddLoad) {
+      tr.uops[i].op = UOp::kTraceBinPtrAddLoad;
+      ++i;
+    } else if (a == UOp::kFusedPtrAddLoad && b == UOp::kBin) {
+      tr.uops[i].op = UOp::kTracePtrAddLoadBin;
+      ++i;
+    } else if (a == UOp::kFusedLoadBinStore &&
+               b == UOp::kFusedLoadLocalBin) {
+      if (i + 2 < tr.uops.size() &&
+          tr.uops[i + 2].op == UOp::kGuardBranch) {
+        tr.uops[i].op = UOp::kTraceLoadBinStoreLoadBinGuard;
+        i += 2;
+        continue;
+      }
+      tr.uops[i].op = UOp::kTraceLoadBinStoreLoadBin;
+      ++i;
+    } else if (a == UOp::kBin &&
+               (b == UOp::kBoundSw || b == UOp::kBoundBnd ||
+                b == UOp::kBoundShadow) &&
+               i + 2 < tr.uops.size() &&
+               tr.uops[i + 2].op == UOp::kStore) {
+      tr.uops[i].op = UOp::kTraceBinBoundStore;
+      i += 2;
+    } else if (a == UOp::kUn && b == UOp::kBin) {
+      tr.uops[i].op = UOp::kTraceUnBin;
+      ++i;
+    } else if (a == UOp::kBin && b == UOp::kFusedBinStoreLocal) {
+      tr.uops[i].op = UOp::kTraceBinBinStoreLocal;
+      ++i;
+    } else if (a == UOp::kBin && b == UOp::kStore) {
+      tr.uops[i].op = UOp::kTraceBinStore;
+      ++i;
+    } else if (a == UOp::kStore && b == UOp::kBin) {
+      tr.uops[i].op = UOp::kTraceStoreBin;
+      ++i;
+    } else if (a == UOp::kFusedLoadLocalBin && b == UOp::kBin) {
+      tr.uops[i].op = UOp::kTraceLoadBinBin;
+      ++i;
+    } else if (a == UOp::kBin && b == UOp::kPtrAdd) {
+      tr.uops[i].op = UOp::kTraceBinPtrAdd;
+      ++i;
+    } else if (a == UOp::kFusedLoadLocalBin && b == UOp::kStore) {
+      tr.uops[i].op = UOp::kTraceLoadBinStore;
+      ++i;
+    } else if (a == UOp::kFusedLoadLocalBin &&
+               b == UOp::kFusedBinStoreLocal) {
+      tr.uops[i].op = UOp::kTraceLoadBinBinStoreLocal;
+      ++i;
+    }
+  }
+
+  const std::int32_t idx = static_cast<std::int32_t>(ts.traces.size());
+  ts.traces.push_back(std::move(tr));
+  ts.trace_at[entry] = idx;
+  ++stats.traces_formed;
+  return idx;
+}
+
 } // namespace
 
 // Handler chaining: in threaded mode every handler ends in its own
@@ -873,9 +1118,22 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
   const bool fusion_on =
       impl.config.enable_fusion && std::getenv("CASH_NO_FUSION") == nullptr;
 
+  // Hot-trace superblock engine (DESIGN.md §11): same per-run gating shape
+  // as the other transparent layers. Trace state lives on the machine and
+  // persists across runs (and snapshots); coverage is reported per run.
+  const bool trace_on = impl.config.enable_trace &&
+                        impl.config.trace_threshold != 0 &&
+                        std::getenv("CASH_NO_TRACE") == nullptr;
+  const std::uint32_t trace_threshold = impl.config.trace_threshold;
+  if (trace_on && impl.trace.fns.size() != prog.functions().size()) {
+    impl.trace.fns.resize(prog.functions().size());
+  }
+  const std::uint64_t trace_instr_base = impl.trace.stats.trace_instructions;
+
   struct DFrame {
     const DecodedFunction* dfn{nullptr};
     const UopStream* stream{nullptr}; // plain or fused, fixed per run
+    FnTraceState* tstate{nullptr};    // null when the trace engine is off
     std::vector<Value> regs;
     std::vector<Value> slots;
     std::uint32_t pc{0};
@@ -930,6 +1188,22 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     DFrame frame;
     frame.dfn = dfn;
     frame.stream = fusion_on ? &dfn->fused : &dfn->plain;
+    if (trace_on) {
+      const std::size_t fi =
+          static_cast<std::size_t>(dfn - prog.functions().data());
+      FnTraceState& ts = impl.trace.fns[fi];
+      if (ts.stream != frame.stream) {
+        // First use — or the active stream changed between runs (an
+        // enable_fusion / $CASH_NO_FUSION flip): every recorded index
+        // refers to the old stream, so the state starts over.
+        ts.stream = frame.stream;
+        ts.hot.assign(frame.stream->uops.size(), 0);
+        ts.edges.assign(frame.stream->uops.size(), TraceEdge{});
+        ts.trace_at.assign(frame.stream->uops.size(), kTraceNone);
+        ts.traces.clear();
+      }
+      frame.tstate = &ts;
+    }
     frame.regs.resize(static_cast<std::size_t>(fn->next_reg));
     frame.slots.resize(fn->locals.size());
     frame.pc = frame.stream->block_entry[static_cast<std::size_t>(fn->entry)];
@@ -1022,6 +1296,9 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
   std::uint32_t fault_sub = 0; // faulting constituent within a fused op
   int partial = 0;             // fault charge: 0 = none, 1 = mem, 2 = full
   bool truncated = false;
+  const Trace* cur_trace = nullptr; // active superblock (null otherwise)
+  TraceEdge* brec = nullptr;        // bias recording base; null in traces
+                                    // (trace-local pcs would mis-index it)
 
   // Loads through `v`'s segment/rebase into regs[v.dst]; `addr` is the
   // pointer value (for plain kLoad that is regs[v.src0], for fused ops the
@@ -1206,6 +1483,28 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
       &&m_fused_ptr_add_store,
       &&m_fused_ptr_add_bound_load,
       &&m_fused_ptr_add_bound_store,
+      &&m_guard_branch,     // kGuardBranch
+      &&m_guard_cmp_branch, // kGuardCmpBranch
+      &&m_trace_loop,           // kTraceLoop
+      &&m_trace_bin_bin,        // kTraceBinBin
+      &&m_trace_load_bin_guard, // kTraceLoadBinGuard
+      &&m_trace_bin_pabl,       // kTraceBinPtrAddBoundLoad
+      &&m_trace_pabl_bin,       // kTracePtrAddBoundLoadBin
+      &&m_trace_bin_pal,        // kTraceBinPtrAddLoad
+      &&m_trace_pal_bin,        // kTracePtrAddLoadBin
+      &&m_trace_bin_bin_bin,    // kTraceBinBinBin
+      &&m_trace_lbs_llb,        // kTraceLoadBinStoreLoadBin
+      &&m_trace_bin_bsl,        // kTraceBinBinStoreLocal
+      &&m_trace_bin_store,      // kTraceBinStore
+      &&m_trace_store_bin,      // kTraceStoreBin
+      &&m_trace_llb_bin,        // kTraceLoadBinBin
+      &&m_trace_bin_ptr_add,    // kTraceBinPtrAdd
+      &&m_trace_llb_store,      // kTraceLoadBinStore
+      &&m_trace_llb_bsl,        // kTraceLoadBinBinStoreLocal
+      &&m_trace_lbs_llb_guard,  // kTraceLoadBinStoreLoadBinGuard
+      &&m_trace_bin_bound_store, // kTraceBinBoundStore
+      &&m_trace_un_bin,         // kTraceUnBin
+      &&m_trace_llb_guard_cmp,  // kTraceLoadBinGuardCmp
       &&m_corrupt, // kSegLoad
       &&m_corrupt, // kCallUser
       &&m_corrupt, // kMalloc
@@ -1224,6 +1523,43 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
     const MicroInstr& u = code[frame.pc];
     switch (u.op) {
       case UOp::kGroup: {
+        if (frame.tstate != nullptr) {
+          FnTraceState& ts = *frame.tstate;
+          std::int32_t ti = ts.trace_at[frame.pc];
+          if (ti == kTraceNone &&
+              ++ts.hot[frame.pc] == trace_threshold) {
+            ti = try_form_trace(ts, *frame.stream, frame.pc,
+                                impl.trace.stats);
+          }
+          if (ti >= 0) {
+            const Trace& tr = ts.traces[static_cast<std::size_t>(ti)];
+            // Budget precondition: a trace never straddles the instruction
+            // cap. When it would, this entry falls through to normal
+            // dispatch, whose per-group check truncates exactly like the
+            // interpreter; later entries re-check.
+            if (ctr.instructions + tr.total.count <= max_instructions) {
+              ++impl.trace.stats.trace_execs;
+              cur_trace = &tr;
+              grp = &tr.total;
+              regs = frame.regs.data();
+              slots = frame.slots.data();
+              pcode = frame.dfn->plain.uops.data();
+              mcode = tr.uops.data();
+              end = static_cast<std::uint32_t>(tr.uops.size());
+              next_pc = frame.pc; // the final terminator always overwrites
+              partial = 0;
+              fault_sub = 0;
+              truncated = false;
+              brec = nullptr;
+              pc = 0;
+              goto member_dispatch;
+            }
+          }
+          brec = ts.edges.data();
+        } else {
+          brec = nullptr;
+        }
+        cur_trace = nullptr;
         grp = &frame.stream->groups[u.aux];
         regs = frame.regs.data();
         slots = frame.slots.data();
@@ -1286,6 +1622,29 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
           case UOp::kFusedPtrAddStore: goto m_fused_ptr_add_store;
           case UOp::kFusedPtrAddBoundLoad: goto m_fused_ptr_add_bound_load;
           case UOp::kFusedPtrAddBoundStore: goto m_fused_ptr_add_bound_store;
+          case UOp::kGuardBranch: goto m_guard_branch;
+          case UOp::kGuardCmpBranch: goto m_guard_cmp_branch;
+          case UOp::kTraceLoop: goto m_trace_loop;
+          case UOp::kTraceBinBin: goto m_trace_bin_bin;
+          case UOp::kTraceLoadBinGuard: goto m_trace_load_bin_guard;
+          case UOp::kTraceBinPtrAddBoundLoad: goto m_trace_bin_pabl;
+          case UOp::kTracePtrAddBoundLoadBin: goto m_trace_pabl_bin;
+          case UOp::kTraceBinPtrAddLoad: goto m_trace_bin_pal;
+          case UOp::kTracePtrAddLoadBin: goto m_trace_pal_bin;
+          case UOp::kTraceBinBinBin: goto m_trace_bin_bin_bin;
+          case UOp::kTraceLoadBinStoreLoadBin: goto m_trace_lbs_llb;
+          case UOp::kTraceBinBinStoreLocal: goto m_trace_bin_bsl;
+          case UOp::kTraceBinStore: goto m_trace_bin_store;
+          case UOp::kTraceStoreBin: goto m_trace_store_bin;
+          case UOp::kTraceLoadBinBin: goto m_trace_llb_bin;
+          case UOp::kTraceBinPtrAdd: goto m_trace_bin_ptr_add;
+          case UOp::kTraceLoadBinStore: goto m_trace_llb_store;
+          case UOp::kTraceLoadBinBinStoreLocal: goto m_trace_llb_bsl;
+          case UOp::kTraceLoadBinStoreLoadBinGuard:
+            goto m_trace_lbs_llb_guard;
+          case UOp::kTraceBinBoundStore: goto m_trace_bin_bound_store;
+          case UOp::kTraceUnBin: goto m_trace_un_bin;
+          case UOp::kTraceLoadBinGuardCmp: goto m_trace_llb_guard_cmp;
           default: goto m_corrupt;
         }
 #endif
@@ -1506,7 +1865,12 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
 
       m_branch: {
         const MicroInstr& v = mcode[pc];
-        next_pc = as_int(regs[v.src0]) != 0 ? v.target0 : v.target1;
+        const bool taken = as_int(regs[v.src0]) != 0;
+        if (brec != nullptr) {
+          TraceEdge& e = brec[pc];
+          ++(taken ? e.taken : e.not_taken);
+        }
+        next_pc = taken ? v.target0 : v.target1;
         goto group_done;
       }
 
@@ -1583,7 +1947,12 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
         (void)exec_bin(v, regs[v.src0], regs[v.src1], out); // compares
                                                             // never fault
         regs[v.dst] = out;
-        next_pc = out.bits != 0 ? v.target0 : v.target1;
+        const bool taken = out.bits != 0;
+        if (brec != nullptr) {
+          TraceEdge& e = brec[pc];
+          ++(taken ? e.taken : e.not_taken);
+        }
+        next_pc = taken ? v.target0 : v.target1;
         goto group_done;
       }
 
@@ -1668,6 +2037,550 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
       }
         CASH_MEMBER_NEXT();
 
+      // --- trace-only micro-ops (superblock streams; DESIGN.md §11).
+      // Block boundaries carry no in-stream bookkeeping: the cold paths
+      // below reconstruct exact charges from the trace's per-uop
+      // block_of/plain_done tables instead. ---
+
+      m_guard_branch: {
+        const MicroInstr& v = mcode[pc];
+        if ((as_int(regs[v.src0]) != 0) == (v.imm != 0)) {
+          CASH_MEMBER_NEXT(); // biased arm: stay on the trace
+        }
+        next_pc = v.target0;
+        goto trace_exit;
+      }
+
+      m_guard_cmp_branch: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        (void)exec_bin(v, regs[v.src0], regs[v.src1], out); // compares
+                                                            // never fault
+        regs[v.dst] = out;
+        if ((out.bits != 0) == (v.imm != 0)) {
+          CASH_MEMBER_NEXT();
+        }
+        next_pc = v.target0;
+        goto trace_exit;
+      }
+
+      trace_exit: {
+        // A guard left the superblock. The guard is its block's
+        // terminator, so blocks [0..block_of[pc]] completed in full —
+        // charge their precomputed aggregate and resume normal dispatch at
+        // the off-trace target with exact machine state.
+        const TraceBlock& tb = cur_trace->blocks[cur_trace->block_of[pc]];
+        apply_cost(tb.cum_cost);
+        ctr.instructions += tb.cum_count;
+        impl.trace.stats.trace_instructions += tb.cum_count;
+        ++impl.trace.stats.guard_exits;
+        cur_trace = nullptr;
+        frame.pc = next_pc;
+        break;
+      }
+
+      m_trace_loop: {
+        // A looping trace's tail: the pass ran every block in full. Retire
+        // it exactly like group_done would, then restart the stream in
+        // place — a hot inner loop never touches the outer dispatch loop
+        // (or the group header) between iterations. When the next pass
+        // would cross the instruction budget, fall back to normal dispatch
+        // at the entry, whose per-group check truncates exactly like the
+        // interpreter.
+        apply_cost(grp->cost);
+        ctr.instructions += grp->count;
+        impl.trace.stats.trace_instructions += grp->count;
+        if (ctr.instructions + grp->count <= max_instructions) {
+          ++impl.trace.stats.trace_execs;
+          pc = 0;
+          goto member_dispatch;
+        }
+        frame.pc = cur_trace->entry_pc;
+        cur_trace = nullptr;
+        break;
+      }
+
+      // --- trace-time peephole superinstructions. Each executes the op in
+      // its own slot plus the constituent in the following slot; on a
+      // fault, pc advances to the faulting slot so the per-slot
+      // block_of/plain_done tables itemize it exactly as unfused dispatch
+      // would have. ---
+
+      m_trace_bin_bin: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          ++pc; // the second constituent's slot
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+        ++pc;
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_load_bin_guard: {
+        // kFusedLoadLocalBin semantics, then its block's guard terminator:
+        // the pair shares one dispatch on the biased path.
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& g = mcode[pc + 1];
+        ++pc; // the guard's slot (it terminates the same block)
+        if ((as_int(regs[g.src0]) != 0) == (g.imm != 0)) {
+          CASH_MEMBER_NEXT();
+        }
+        next_pc = g.target0;
+        goto trace_exit;
+      }
+
+      m_trace_bin_pabl: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the fused memory op's slot
+        const Value base = regs[w.src0];
+        const Value addr{base.bits + regs[w.src1].bits, base.info};
+        regs[w.slot] = addr;
+        if (bound_fault(w.sub_op, addr, pcode[w.aux + 1].src)) {
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const int st2 = exec_load(w, addr, pcode[w.aux + 2].src);
+        if (st2 != 0) {
+          partial = st2 == 1 ? 1 : 0;
+          fault_sub = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_pabl_bin: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        if (bound_fault(v.sub_op, addr, pcode[v.aux + 1].src)) {
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        int st = exec_load(v, addr, pcode[v.aux + 2].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the trailing kBin's slot
+        Value out;
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_bin_pal: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the fused memory op's slot
+        const Value base = regs[w.src0];
+        const Value addr{base.bits + regs[w.src1].bits, base.info};
+        regs[w.slot] = addr;
+        const int st2 = exec_load(w, addr, pcode[w.aux + 1].src);
+        if (st2 != 0) {
+          partial = st2 == 1 ? 1 : 0;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_pal_bin: {
+        const MicroInstr& v = mcode[pc];
+        const Value base = regs[v.src0];
+        const Value addr{base.bits + regs[v.src1].bits, base.info};
+        regs[v.slot] = addr;
+        int st = exec_load(v, addr, pcode[v.aux + 1].src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the trailing kBin's slot
+        Value out;
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_bin_bin_bin: {
+        for (int sub = 0; sub < 3; ++sub) {
+          const MicroInstr& v = mcode[pc];
+          Value out;
+          const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+          regs[v.dst] = out;
+          if (st != 0) {
+            bin_fail(st, v.src);
+            partial = 2;
+            goto group_fault;
+          }
+          if (sub < 2) ++pc; // each constituent faults at its own slot
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_lbs_llb: {
+        // kFusedLoadBinStore semantics, then the kFusedLoadLocalBin in the
+        // next slot.
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        slots[v.symbol] = out;
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc;
+        regs[w.imm] = slots[w.slot];
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[w.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_bin_bsl: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kFusedBinStoreLocal's slot
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[w.aux].src);
+          partial = 2;
+          goto group_fault;
+        }
+        slots[w.slot] = out;
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_bin_store: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kStore's slot
+        st = exec_store(w, regs[w.src0], regs[w.src1], w.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_store_bin: {
+        const MicroInstr& v = mcode[pc];
+        int st = exec_store(v, regs[v.src0], regs[v.src1], v.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kBin's slot
+        Value out;
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_llb_bin: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kBin's slot
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_bin_ptr_add: {
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kPtrAdd's slot (never faults)
+        const Value base = regs[w.src0];
+        regs[w.dst] = Value{base.bits + regs[w.src1].bits, base.info};
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_llb_store: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kStore's slot
+        st = exec_store(w, regs[w.src0], regs[w.src1], w.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_llb_bsl: {
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kFusedBinStoreLocal's slot
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[w.aux].src);
+          partial = 2;
+          goto group_fault;
+        }
+        slots[w.slot] = out;
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_lbs_llb_guard: {
+        // The canonical loop tail in one dispatch: kFusedLoadBinStore +
+        // kFusedLoadLocalBin + the block's guard terminator.
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        slots[v.symbol] = out;
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kFusedLoadLocalBin's slot
+        regs[w.imm] = slots[w.slot];
+        st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[w.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& g = mcode[pc + 1];
+        ++pc; // the guard's slot
+        if ((as_int(regs[g.src0]) != 0) == (g.imm != 0)) {
+          CASH_MEMBER_NEXT();
+        }
+        next_pc = g.target0;
+        goto trace_exit;
+      }
+
+      m_trace_bin_bound_store: {
+        // Checked-store idiom: address arithmetic + kBound + the kStore it
+        // protects.
+        const MicroInstr& v = mcode[pc];
+        Value out;
+        int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, v.src);
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kBound*'s slot
+        const bool fired =
+            w.src1 != ir::kNoReg
+                ? bound_fault_interval(w.op, regs[w.src0], regs[w.src1],
+                                       w.src)
+                : bound_fault(w.op, regs[w.src0], w.src);
+        if (fired) {
+          partial = 2;
+          goto group_fault;
+        }
+        const MicroInstr& u = mcode[pc + 1];
+        ++pc; // the kStore's slot
+        st = exec_store(u, regs[u.src0], regs[u.src1], u.src);
+        if (st != 0) {
+          partial = st == 1 ? 1 : 0;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_un_bin: {
+        const MicroInstr& v = mcode[pc];
+        {
+          const Value a = regs[v.src0];
+          Value out;
+          switch (v.un_op) {
+            case UnOp::kNeg:
+              out = v.type == ir::Type::kFloat ? from_float(-as_float(a))
+                                               : from_int(-as_int(a));
+              break;
+            case UnOp::kLogicalNot: out = from_int(as_int(a) == 0); break;
+            case UnOp::kBitNot:     out = from_int(~as_int(a)); break;
+            case UnOp::kIntToFloat:
+              out = from_float(static_cast<float>(as_int(a)));
+              break;
+            case UnOp::kFloatToInt:
+              out = from_int(static_cast<std::int32_t>(as_float(a)));
+              break;
+          }
+          regs[v.dst] = out; // kUn never faults
+        }
+        const MicroInstr& w = mcode[pc + 1];
+        ++pc; // the kBin's slot
+        Value out;
+        const int st = exec_bin(w, regs[w.src0], regs[w.src1], out);
+        regs[w.dst] = out;
+        if (st != 0) {
+          bin_fail(st, w.src);
+          partial = 2;
+          goto group_fault;
+        }
+      }
+        CASH_MEMBER_NEXT();
+
+      m_trace_llb_guard_cmp: {
+        // kFusedLoadLocalBin + its block's kGuardCmpBranch terminator.
+        const MicroInstr& v = mcode[pc];
+        regs[v.imm] = slots[v.slot];
+        Value out;
+        const int st = exec_bin(v, regs[v.src0], regs[v.src1], out);
+        regs[v.dst] = out;
+        if (st != 0) {
+          bin_fail(st, pcode[v.aux + 1].src);
+          partial = 2;
+          fault_sub = 1;
+          goto group_fault;
+        }
+        const MicroInstr& g = mcode[pc + 1];
+        ++pc; // the guard's slot
+        (void)exec_bin(g, regs[g.src0], regs[g.src1], out); // compares
+                                                            // never fault
+        regs[g.dst] = out;
+        if ((out.bits != 0) == (g.imm != 0)) {
+          CASH_MEMBER_NEXT();
+        }
+        next_pc = g.target0;
+        goto trace_exit;
+      }
+
       m_corrupt:
         result.error = "corrupt micro-op stream"; // unreachable by decode
         goto run_end;
@@ -1686,6 +2599,12 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
         }
         apply_cost(grp->cost);
         ctr.instructions += grp->count;
+        if (cur_trace != nullptr) {
+          // grp is the trace's whole-trace aggregate: the superblock ran
+          // to its final terminator, retiring every constituent block.
+          impl.trace.stats.trace_instructions += grp->count;
+          cur_trace = nullptr;
+        }
         frame.pc = next_pc;
         break;
 
@@ -1697,6 +2616,37 @@ RunResult execute_decoded(Machine::Impl& impl, const ir::Function* entry) {
         // site). Completed members cover uop_width() instructions each and
         // fault_sub selects the faulting constituent inside a fused
         // member; the plain stream always holds the per-instruction costs.
+        //
+        // Mid-trace faults use the trace's per-uop tables instead: charge
+        // the completed predecessor blocks' precomputed aggregate, then
+        // itemize the faulting block from plain_done[pc] — the number of
+        // plain instructions that completed inside the block before the
+        // faulting member.
+        if (cur_trace != nullptr) {
+          const Trace& tr = *cur_trace;
+          const std::uint32_t bi = tr.block_of[pc];
+          if (bi > 0) {
+            const TraceBlock& prev = tr.blocks[bi - 1];
+            apply_cost(prev.cum_cost);
+            ctr.instructions += prev.cum_count;
+            impl.trace.stats.trace_instructions += prev.cum_count;
+          }
+          const std::uint32_t fdone = tr.plain_done[pc] + fault_sub;
+          const std::uint32_t fstart = tr.blocks[bi].plain_first;
+          for (std::uint32_t k = 0; k < fdone; ++k) {
+            apply_cost(static_cost(pcode[fstart + k]));
+          }
+          const StaticCost tfc = static_cost(pcode[fstart + fdone]);
+          if (partial == 2) {
+            apply_cost(tfc);
+          } else if (partial == 1) {
+            cycles += tfc.cycles;
+            ctr.hw_checked_accesses += tfc.hw_checks;
+          }
+          ctr.instructions += fdone + 1;
+          cur_trace = nullptr;
+          goto run_end;
+        }
         std::uint32_t done = 0;
         for (std::uint32_t i = start; i < pc; ++i) {
           done += uop_width(mcode[i].op);
@@ -1889,6 +2839,13 @@ run_end:
   result.heap_stats = impl.heap.stats();
   result.kernel_account = impl.kernel.account(impl.pid);
   result.fault_stats = impl.injector.stats();
+  result.trace_stats = impl.trace.stats;
+  result.trace_stats.coverage =
+      ctr.instructions == 0
+          ? 0.0
+          : static_cast<double>(impl.trace.stats.trace_instructions -
+                                trace_instr_base) /
+                static_cast<double>(ctr.instructions);
   return result;
 }
 

@@ -104,6 +104,43 @@ enum class UOp : std::uint8_t {
   kFusedPtrAddStore,      // kPtrAdd + kStore through it (unchecked modes)
   kFusedPtrAddBoundLoad,  // kPtrAdd + kBound* + kLoad
   kFusedPtrAddBoundStore, // kPtrAdd + kBound* + kStore
+  // --- trace-only micro-ops (superblock streams built at run time by the
+  // hot-trace engine, DESIGN.md §11; never appear in the decoded
+  // plain/fused streams) ---
+  kGuardBranch,    // interior kBranch: imm != 0 when the trace follows the
+                   // taken arm; target0 = off-trace exit micro-op index
+  kGuardCmpBranch, // interior kFusedCmpBranch, same guard fields
+  kTraceLoop,      // looping trace's tail: retire the whole pass and
+                   // restart at micro-op 0 without leaving the superblock
+  // Trace-time peephole superinstructions: the straight-line superblock
+  // exposes adjacencies the block-local fusion pass cannot see (across
+  // member/terminator and spliced-block boundaries). Only the FIRST slot's
+  // opcode is rewritten; the second constituent stays in the following
+  // slot with its own operands and block_of/plain_done entries, so a
+  // combined handler faults by advancing pc to the faulting slot and the
+  // cold-path accounting needs no new bookkeeping.
+  kTraceBinBin,       // kBin + the kBin in the next slot
+  kTraceLoadBinGuard, // kFusedLoadLocalBin + its block's kGuardBranch
+  kTraceBinPtrAddBoundLoad, // kBin + kFusedPtrAddBoundLoad
+  kTracePtrAddBoundLoadBin, // kFusedPtrAddBoundLoad + kBin
+  kTraceBinPtrAddLoad,      // kBin + kFusedPtrAddLoad
+  kTracePtrAddLoadBin,      // kFusedPtrAddLoad + kBin
+  kTraceBinBinBin,          // a kTraceBinBin pair + a third kBin
+  kTraceLoadBinStoreLoadBin, // kFusedLoadBinStore + kFusedLoadLocalBin
+  kTraceBinBinStoreLocal,    // kBin + kFusedBinStoreLocal
+  kTraceBinStore,            // kBin + kStore
+  kTraceStoreBin,            // kStore + kBin
+  kTraceLoadBinBin,          // kFusedLoadLocalBin + kBin
+  kTraceBinPtrAdd,           // kBin + kPtrAdd
+  kTraceLoadBinStore,        // kFusedLoadLocalBin + kStore
+  kTraceLoadBinBinStoreLocal, // kFusedLoadLocalBin + kFusedBinStoreLocal
+  kTraceLoadBinStoreLoadBinGuard, // kFusedLoadBinStore + kFusedLoadLocalBin
+                                  // + the block's kGuardBranch — the
+                                  // canonical loop tail (a[i] = ...;
+                                  // i = i + 1; if (i < n) repeat)
+  kTraceBinBoundStore, // kBin + kBound + kStore (checked-store idiom)
+  kTraceUnBin,         // kUn + kBin
+  kTraceLoadBinGuardCmp, // kFusedLoadLocalBin + kGuardCmpBranch
   // --- itemized micro-ops (dynamic cost and/or control flow) ---
   kSegLoad,
   kCallUser,
@@ -132,7 +169,21 @@ constexpr std::uint32_t uop_width(UOp op) noexcept {
     case UOp::kFusedPtrAddBound:
     case UOp::kFusedPtrAddLoad:
     case UOp::kFusedPtrAddStore:
+    case UOp::kGuardCmpBranch: // carries its kFusedCmpBranch constituents
+    case UOp::kTraceLoadBinGuard: // first slot only: the load+bin pair (the
+                                  // guard keeps its own following slot)
+    case UOp::kTraceLoadBinGuardCmp: // same, kGuardCmpBranch flavor
+    case UOp::kTracePtrAddLoadBin: // first slot only: the kFusedPtrAddLoad
+    case UOp::kTraceLoadBinBin:    // first slot: the kFusedLoadLocalBin
+    case UOp::kTraceLoadBinStore:  // first slot: the kFusedLoadLocalBin
+    case UOp::kTraceLoadBinBinStoreLocal: // first slot: kFusedLoadLocalBin
       return 2;
+    case UOp::kTracePtrAddBoundLoadBin: // first slot: the kFusedPtrAddBoundLoad
+    case UOp::kTraceLoadBinStoreLoadBin: // first slot: the kFusedLoadBinStore
+    case UOp::kTraceLoadBinStoreLoadBinGuard: // first slot only, same
+      return 3;
+    case UOp::kTraceLoop: // bookkeeping only, covers no IR instruction
+      return 0;
     default:
       return 1;
   }

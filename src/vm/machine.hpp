@@ -63,6 +63,21 @@ struct MachineConfig {
   // machine runs the reference interpreter. Also forced off when
   // $CASH_NO_FUSION is set, for A/B runs without recompiling.
   bool enable_fusion{true};
+  // Hot-trace superblock engine inside the micro-op engine (DESIGN.md §11):
+  // deterministic per-block execution counters promote hot blocks into
+  // straight-line superblocks spliced from the active stream along the
+  // recorded biased successor edges, with guard micro-ops at the side
+  // exits. Host-side fast path only — simulated cycles, breakdowns,
+  // counters, faults and output are bit-identical with it on or off. No
+  // effect when the machine runs the reference interpreter. Also forced
+  // off when $CASH_NO_TRACE is set, for A/B runs without recompiling.
+  bool enable_trace{true};
+  // Block execution count at which a hot block is promoted into a
+  // superblock. Promotion is a pure function of the simulated instruction
+  // stream (never of host timing or job count), so results — including
+  // TraceStats — replay identically across host jobs and
+  // snapshot/restore. 0 disables promotion entirely.
+  std::uint32_t trace_threshold{16};
   // Deterministic fault injection (DESIGN.md §8). Off by default: an empty
   // plan is bit-transparent — cycles, breakdowns and counters are identical
   // to a build without the layer. A non-empty plan replays identically for
@@ -100,6 +115,20 @@ struct FunctionProfile {
   std::uint64_t calls{0};
   std::uint64_t self_cycles{0};
 };
+
+// Hot-trace superblock statistics (DESIGN.md §11). Host-side only, like
+// TlbStats: the counters are cumulative across runs of one Machine and all
+// zero when the trace engine is off ($CASH_NO_TRACE, enable_trace=false,
+// trace_threshold=0, or the reference interpreter). `coverage` is per-run:
+// the fraction of this run's retired IR instructions that executed inside
+// a superblock.
+struct TraceStats {
+  std::uint64_t traces_formed{0};
+  std::uint64_t trace_execs{0};         // superblock entries
+  std::uint64_t guard_exits{0};         // side exits through a guard uop
+  std::uint64_t trace_instructions{0};  // IR instructions retired in traces
+  double coverage{0.0};
+};
 struct RunResult {
   bool ok{false};                 // ran to completion (no fault, no budget
                                   // blow-up)
@@ -122,6 +151,11 @@ struct RunResult {
   // Per-site hit/injection counts for the machine's fault injector (all
   // zero when config.fault_plan is empty).
   faultinject::FaultStats fault_stats;
+  // Host-side hot-trace statistics (cumulative across runs of the same
+  // Machine, coverage per-run). Like tlb_stats, exempt from the
+  // bit-identity contract: turning the trace engine on or off changes
+  // these and nothing else.
+  TraceStats trace_stats;
   std::map<std::string, FunctionProfile> profile; // per-function self costs
   std::string output;             // print_int / print_float stream
   // Static check-elision statistics of the program this run executed. The

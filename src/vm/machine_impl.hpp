@@ -86,6 +86,68 @@ struct Frame {
   std::vector<std::pair<x86seg::SegReg, x86seg::SegmentRegister>> saved_segs;
 };
 
+// --- hot-trace superblock engine state (decode.cpp; DESIGN.md §11). Lives
+// per Machine, not in the shared-const DecodedProgram: machines on
+// different host threads promote and execute traces independently, and the
+// snapshot layer captures/restores the whole structure so a restored
+// machine replays promotion decisions exactly like a fresh one. ---
+
+// Branch-bias counters, indexed by the terminator's micro-op index in the
+// active stream. Recorded only during non-trace execution (trace-local pcs
+// would mis-index the array); a pure function of the simulated stream.
+struct TraceEdge {
+  std::uint32_t taken{0};
+  std::uint32_t not_taken{0};
+};
+
+// Per-block cumulative accounting inside a formed trace: when block g's
+// guard (its terminator) leaves the trace, blocks [0..g] are complete.
+struct TraceBlock {
+  std::uint32_t entry_pc{0};    // original-stream index of the group header
+  std::uint32_t plain_first{0}; // cold-path itemization anchor
+  StaticCost cum_cost;          // aggregate cost of blocks [0..this]
+  std::uint32_t cum_count{0};   // aggregate IR instructions of [0..this]
+};
+
+// One superblock: the spliced straight-line micro-op stream (members back
+// to back, guards at side exits, then either the final block's original
+// terminator or — when the biased chain closes back on the entry — a
+// kTraceLoop that restarts the stream in place) plus the accounting
+// tables. `total` is shaped like a FoldedGroup so the engine's group_done
+// path retires a completed trace with the exact code that retires a
+// normal group. block_of/plain_done are per-uop-index lookup tables that
+// replace in-stream boundary markers: the hot path carries no per-block
+// bookkeeping at all, and the cold paths (guard exit, mid-trace fault)
+// reconstruct exact charges from the tables.
+struct Trace {
+  std::uint32_t entry_pc{0};
+  std::vector<MicroInstr> uops;
+  std::vector<TraceBlock> blocks;
+  // Per uop index: which block it belongs to, and how many plain IR
+  // instructions of that block complete before it (the itemization offset
+  // a fault at this uop starts from).
+  std::vector<std::uint32_t> block_of;
+  std::vector<std::uint32_t> plain_done;
+  FoldedGroup total;
+};
+
+// Per-function trace state, parallel to the active stream's uop array.
+// Tagged with the stream it indexes: if the stream choice changes between
+// runs (enable_fusion / $CASH_NO_FUSION flip), the state resets.
+struct FnTraceState {
+  const UopStream* stream{nullptr};
+  std::vector<std::uint32_t> hot;     // block-header execution counters
+  std::vector<TraceEdge> edges;       // terminator bias counters
+  std::vector<std::int32_t> trace_at; // pc -> trace index; -1 = none yet,
+                                      // -2 = promotion attempted and refused
+  std::vector<Trace> traces;
+};
+
+struct TraceState {
+  std::vector<FnTraceState> fns; // parallel to DecodedProgram::functions()
+  TraceStats stats;              // cumulative, machine lifetime
+};
+
 struct Machine::Impl {
   const ir::Module* module;
   MachineConfig config;
@@ -107,6 +169,10 @@ struct Machine::Impl {
   // Pre-decoded micro-op image for this module (owned by the
   // CompiledProgram; null when the machine runs the reference interpreter).
   const DecodedProgram* decoded{nullptr};
+
+  // Hot-trace superblock state: counters, bias edges and formed traces
+  // (decode.cpp). Captured/restored wholesale by the snapshot layer.
+  TraceState trace;
 
   bool program_initialized{false};
   std::uint64_t init_cycles{0};
@@ -255,6 +321,7 @@ struct Machine::Impl {
       r.heap_stats = heap.stats();
       r.kernel_account = kernel.account(pid);
       r.fault_stats = injector.stats();
+      r.trace_stats = trace.stats;
       return r;
     } catch (const std::exception& e) {
       RunResult r;

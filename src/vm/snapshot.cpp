@@ -30,7 +30,8 @@ struct MachineSnapshot::Data {
         flat_global_scalar(impl.flat_global_scalar),
         mem_ptr_info(impl.mem_ptr_info),
         sp(impl.sp),
-        rng_state(impl.rng_state) {}
+        rng_state(impl.rng_state),
+        trace(impl.trace) {}
 
   paging::PhysicalMemory::Image phys;
   kernel::KernelSim::ProcessSnapshot proc;
@@ -49,6 +50,12 @@ struct MachineSnapshot::Data {
   std::unordered_map<std::uint32_t, std::uint32_t> mem_ptr_info;
   std::uint32_t sp;
   std::uint32_t rng_state;
+  // Hot-trace engine state: counters, edge biases, and the formed traces
+  // themselves (DESIGN.md §11). Promotion is a pure function of the
+  // simulated stream, so rewinding it keeps restore == fresh-replay even
+  // when a capture lands mid-trace-formation. Value-type throughout; the
+  // cached uop copies splice immutable DecodedProgram streams.
+  TraceState trace;
 };
 
 MachineSnapshot::MachineSnapshot(std::unique_ptr<Data> data)
@@ -91,6 +98,7 @@ void Machine::restore(const MachineSnapshot& snap) {
   impl.mem_ptr_info = d.mem_ptr_info;
   impl.sp = d.sp;
   impl.rng_state = d.rng_state;
+  impl.trace = d.trace;
 }
 
 } // namespace cash::vm

@@ -247,6 +247,17 @@ const std::vector<FuzzConfig>& fuzz_configs() {
         }
       }
     }
+    // Trace-off arm: the superblock engine must be invisible, so any
+    // divergence between these cells and their trace-on twins above is a
+    // trace bug by construction.
+    for (bool optimize : {false, true}) {
+      for (passes::CheckMode mode :
+           {passes::CheckMode::kNoCheck, passes::CheckMode::kBcc,
+            passes::CheckMode::kCash, passes::CheckMode::kBoundInsn,
+            passes::CheckMode::kEfence}) {
+        configs.push_back({mode, optimize, /*elide=*/false, /*trace=*/false});
+      }
+    }
     return configs;
   }();
   return kConfigs;
@@ -259,6 +270,9 @@ std::string config_label(const FuzzConfig& config) {
                       " opt=" + (config.optimize ? "1" : "0");
   if (config.elide) {
     label += " elide=1";
+  }
+  if (!config.trace) {
+    label += " trace=0";
   }
   return label;
 }
@@ -278,6 +292,7 @@ CellResult run_cell(std::uint32_t seed, const FuzzConfig& config) {
   options.lower.mode = config.mode;
   options.optimize = config.optimize;
   options.lower.elide_checks = config.elide;
+  options.machine.enable_trace = config.trace;
   CompileResult compiled = compile(source, options);
   if (!compiled.ok()) {
     cell.detail = "compile failed: " + compiled.error;

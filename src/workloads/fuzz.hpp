@@ -22,11 +22,13 @@ struct FuzzConfig {
   passes::CheckMode mode;
   bool optimize;
   bool elide{false}; // whole-program check elision (passes/elide.hpp)
+  bool trace{true};  // hot-trace superblock engine (vm/decode.cpp)
 };
 
-// The matrix's twenty configurations: ({optimize off, on} x the five
-// checking modes), then the same ten again with check elision on, in the
-// fixed order divergences are reported in. Config 0 (NoCheck, unoptimised)
+// The matrix's thirty configurations: ({optimize off, on} x the five
+// checking modes), the same ten again with check elision on, then the
+// first ten once more with the hot-trace engine disabled, in the fixed
+// order divergences are reported in. Config 0 (NoCheck, unoptimised)
 // stays the reference cell.
 const std::vector<FuzzConfig>& fuzz_configs();
 

@@ -67,20 +67,29 @@ TEST(FuzzMatrix, ParallelSweepSeeds41To61FindsNoDivergence) {
   }
 }
 
-TEST(FuzzMatrix, ConfigsCoverTheTwentyCellMatrix) {
+TEST(FuzzMatrix, ConfigsCoverTheThirtyCellMatrix) {
   const std::vector<workloads::FuzzConfig>& configs =
       workloads::fuzz_configs();
-  // {optimize off, on} x five modes, then the same ten with elision on.
-  ASSERT_EQ(configs.size(), 20u);
+  // {optimize off, on} x five modes, the same ten with elision on, then
+  // the first ten again with the hot-trace engine off.
+  ASSERT_EQ(configs.size(), 30u);
   // Cell 0 is the reference every other cell is compared against.
   EXPECT_EQ(configs[0].mode, CheckMode::kNoCheck);
   EXPECT_FALSE(configs[0].optimize);
   EXPECT_FALSE(configs[0].elide);
+  EXPECT_TRUE(configs[0].trace);
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_FALSE(configs[i].elide) << i;
     EXPECT_TRUE(configs[i + 10].elide) << i;
     EXPECT_EQ(configs[i].mode, configs[i + 10].mode) << i;
     EXPECT_EQ(configs[i].optimize, configs[i + 10].optimize) << i;
+    // The trace-off arm mirrors the base arm cell for cell.
+    EXPECT_TRUE(configs[i].trace) << i;
+    EXPECT_TRUE(configs[i + 10].trace) << i;
+    EXPECT_FALSE(configs[i + 20].trace) << i;
+    EXPECT_FALSE(configs[i + 20].elide) << i;
+    EXPECT_EQ(configs[i].mode, configs[i + 20].mode) << i;
+    EXPECT_EQ(configs[i].optimize, configs[i + 20].optimize) << i;
   }
 }
 

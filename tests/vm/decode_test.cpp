@@ -6,6 +6,7 @@
 // statistics are the one documented exemption.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "core/cash.hpp"
@@ -534,6 +535,130 @@ TEST(DecodeFusion, EnvVarDisablesFusion) {
   const vm::RunResult plain = compiled.program->make_machine()->run();
   ::unsetenv("CASH_NO_FUSION");
   expect_identical(plain, fused, "CASH_NO_FUSION toggle");
+}
+
+TEST(DecodeFusion, HitRateGuardsEmptyDenominator) {
+  // hit_rate() must be a plain 0.0 — never NaN — when fusion has nothing
+  // to work with, both for a default-constructed FusionStats and for a
+  // program whose only loop body is a single instruction (no adjacent
+  // pair for the fusion pass to merge).
+  const vm::FusionStats empty;
+  EXPECT_EQ(empty.hit_rate(), 0.0);
+
+  constexpr const char* kOneInstrLoop = R"(
+int main() {
+  int i;
+  for (i = 9; i; i = i - 1) { }
+  return i;
+}
+)";
+  CompileOptions options;
+  options.lower.mode = CheckMode::kNoCheck;
+  CompileResult compiled = compile(kOneInstrLoop, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+  ASSERT_NE(compiled.program->decoded(), nullptr);
+  const double rate = compiled.program->decoded()->fusion_stats().hit_rate();
+  EXPECT_FALSE(std::isnan(rate));
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  for (CheckMode mode : kAllModes) {
+    run_both(kOneInstrLoop, mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-trace superblock sweeps (DESIGN.md §11). run_both's fast machine
+// runs with the default config — traces on, threshold 16 — so every case
+// here compares the trace engine against the plain stream and the
+// interpreter.
+
+// A 30-iteration loop whose body is ~6 statements; statement `fault_stmt`
+// (if >= 0) faults on iteration 24 — past the formation threshold, so the
+// fault lands *inside* the formed superblock, at a different micro-op
+// offset (including inside trace-time peephole superinstructions) for
+// each position. `bound_flavor` swaps the divide-by-zero for an
+// out-of-bounds store, exercising the checked-store fault paths instead.
+std::string superblock_fault_source(int fault_stmt, bool bound_flavor) {
+  std::string body;
+  for (int j = 0; j < 6; ++j) {
+    if (j == fault_stmt) {
+      body += bound_flavor
+                  ? "    buf[(i / 24) * 99] = s;\n"
+                  : "    d = i - 24;\n    s = s + 100 / d;\n";
+    } else {
+      body += "    buf[(i + " + std::to_string(j) + ") % 16] = s + " +
+              std::to_string(j) + ";\n    s = s + buf[(i * " +
+              std::to_string(j + 2) + ") % 16];\n";
+    }
+  }
+  return "int buf[16];\nint main() {\n  int i; int s; int d;\n  s = 1;\n"
+         "  for (i = 0; i < 30; i = i + 1) {\n" +
+         body + "  }\n  return s;\n}\n";
+}
+
+vm::TraceStats trace_stats_of(const std::string& source, CheckMode mode) {
+  CompileOptions options;
+  options.lower.mode = mode;
+  CompileResult compiled = compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.error;
+  return compiled.program->make_machine()->run().trace_stats;
+}
+
+TEST(DecodeTrace, FaultAtEveryUopOffsetInsideSuperblock) {
+  for (int flavor = 0; flavor < 2; ++flavor) {
+    for (int k = 0; k < 6; ++k) {
+      const std::string src =
+          superblock_fault_source(k, /*bound_flavor=*/flavor == 1);
+      for (CheckMode mode : kAllModes) {
+        run_both(src, mode);
+      }
+      // The fault really lands mid-trace: the superblock formed and ran
+      // before iteration 24 reached the poisoned statement.
+      const vm::TraceStats stats = trace_stats_of(src, CheckMode::kCash);
+      EXPECT_GT(stats.traces_formed, 0u) << "stmt=" << k;
+      EXPECT_GT(stats.trace_execs, 0u) << "stmt=" << k;
+    }
+  }
+}
+
+TEST(DecodeTrace, BudgetExpiresInsideSuperblock) {
+  // Budget cut points swept across the region where the superblock is hot:
+  // truncation must land on the exact same IR instruction, with the same
+  // partial charges, whether the engine was mid-trace or not.
+  const std::string clean = superblock_fault_source(-1, false);
+  const vm::TraceStats stats = trace_stats_of(clean, CheckMode::kCash);
+  ASSERT_GT(stats.trace_execs, 0u);
+  for (std::uint64_t max = 300; max <= 420; ++max) {
+    run_both(clean, CheckMode::kCash, max);
+  }
+  for (std::uint64_t max = 300; max <= 360; ++max) {
+    run_both(clean, CheckMode::kBoundInsn, max);
+    run_both(clean, CheckMode::kShadow, max);
+  }
+}
+
+TEST(DecodeTrace, EnvVarDisablesTraces) {
+  const std::string src = superblock_fault_source(-1, false);
+  CompileOptions options;
+  options.lower.mode = CheckMode::kCash;
+  CompileResult compiled = compile(src, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.error;
+
+  vm::MachineConfig off_cfg = compiled.program->options().machine;
+  off_cfg.enable_trace = false;
+  const vm::RunResult traced = compiled.program->make_machine()->run();
+  const vm::RunResult config_off =
+      compiled.program->make_machine(off_cfg)->run();
+  ::setenv("CASH_NO_TRACE", "1", 1);
+  const vm::RunResult env_off = compiled.program->make_machine()->run();
+  ::unsetenv("CASH_NO_TRACE");
+
+  EXPECT_GT(traced.trace_stats.traces_formed, 0u);
+  EXPECT_EQ(config_off.trace_stats.traces_formed, 0u);
+  EXPECT_EQ(env_off.trace_stats.traces_formed, 0u);
+  EXPECT_EQ(env_off.trace_stats.trace_execs, 0u);
+  expect_identical(config_off, traced, "trace on vs enable_trace=false");
+  expect_identical(config_off, env_off, "enable_trace=false vs CASH_NO_TRACE");
 }
 
 } // namespace

@@ -1,102 +1,22 @@
 #pragma once
 
-// Full-RunResult equality used by the fast-path transparency suites
-// (decode_test, snapshot_test): every simulated field must match
-// bit-for-bit. Host-side TLB statistics are the documented exemption and
-// are deliberately not compared.
+// gtest adapter over the shared comparator in
+// src/common/run_result_compare.hpp: asserts full simulated-field
+// equality and, on failure, names the first diverging field the same way
+// the bench divergence gates do.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
-#include "vm/machine.hpp"
+#include "common/run_result_compare.hpp"
 
 namespace cash::vm {
 
 inline void expect_identical(const RunResult& ref, const RunResult& fast,
                              const std::string& ctx) {
-  EXPECT_EQ(ref.ok, fast.ok) << ctx;
-  ASSERT_EQ(ref.fault.has_value(), fast.fault.has_value()) << ctx;
-  if (ref.fault && fast.fault) {
-    EXPECT_EQ(ref.fault->kind, fast.fault->kind) << ctx;
-    EXPECT_EQ(ref.fault->linear_address, fast.fault->linear_address) << ctx;
-    EXPECT_EQ(ref.fault->selector, fast.fault->selector) << ctx;
-    EXPECT_EQ(ref.fault->detail, fast.fault->detail) << ctx;
-  }
-  EXPECT_EQ(ref.error, fast.error) << ctx;
-  EXPECT_EQ(ref.exit_code, fast.exit_code) << ctx;
-  EXPECT_EQ(ref.cycles, fast.cycles) << ctx;
-  EXPECT_EQ(ref.breakdown.base, fast.breakdown.base) << ctx;
-  EXPECT_EQ(ref.breakdown.checking, fast.breakdown.checking) << ctx;
-  EXPECT_EQ(ref.breakdown.runtime, fast.breakdown.runtime) << ctx;
-  EXPECT_EQ(ref.shadow_cycles, fast.shadow_cycles) << ctx;
-  EXPECT_EQ(ref.counters.instructions, fast.counters.instructions) << ctx;
-  EXPECT_EQ(ref.counters.hw_checked_accesses,
-            fast.counters.hw_checked_accesses)
-      << ctx;
-  EXPECT_EQ(ref.counters.sw_checks, fast.counters.sw_checks) << ctx;
-  EXPECT_EQ(ref.counters.seg_reg_loads, fast.counters.seg_reg_loads) << ctx;
-  EXPECT_EQ(ref.counters.ptr_word_copies, fast.counters.ptr_word_copies)
-      << ctx;
-  EXPECT_EQ(ref.counters.calls, fast.counters.calls) << ctx;
-  EXPECT_EQ(ref.counters.malloc_calls, fast.counters.malloc_calls) << ctx;
-  EXPECT_EQ(ref.segment_stats.alloc_requests,
-            fast.segment_stats.alloc_requests)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.cache_hits, fast.segment_stats.cache_hits)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.kernel_allocs, fast.segment_stats.kernel_allocs)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.releases, fast.segment_stats.releases) << ctx;
-  EXPECT_EQ(ref.segment_stats.global_fallbacks,
-            fast.segment_stats.global_fallbacks)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.extra_ldts_created,
-            fast.segment_stats.extra_ldts_created)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.gate_busy_retries,
-            fast.segment_stats.gate_busy_retries)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.budget_fallbacks,
-            fast.segment_stats.budget_fallbacks)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.segments_in_use,
-            fast.segment_stats.segments_in_use)
-      << ctx;
-  EXPECT_EQ(ref.segment_stats.peak_segments, fast.segment_stats.peak_segments)
-      << ctx;
-  EXPECT_EQ(ref.heap_stats.malloc_calls, fast.heap_stats.malloc_calls) << ctx;
-  EXPECT_EQ(ref.heap_stats.free_calls, fast.heap_stats.free_calls) << ctx;
-  EXPECT_EQ(ref.heap_stats.bytes_allocated, fast.heap_stats.bytes_allocated)
-      << ctx;
-  EXPECT_EQ(ref.heap_stats.guard_pages, fast.heap_stats.guard_pages) << ctx;
-  EXPECT_EQ(ref.kernel_account.kernel_cycles,
-            fast.kernel_account.kernel_cycles)
-      << ctx;
-  EXPECT_EQ(ref.kernel_account.modify_ldt_calls,
-            fast.kernel_account.modify_ldt_calls)
-      << ctx;
-  EXPECT_EQ(ref.kernel_account.call_gate_calls,
-            fast.kernel_account.call_gate_calls)
-      << ctx;
-  EXPECT_EQ(ref.kernel_account.ldt_switches, fast.kernel_account.ldt_switches)
-      << ctx;
-  EXPECT_EQ(ref.kernel_account.ldts_created, fast.kernel_account.ldts_created)
-      << ctx;
-  EXPECT_EQ(ref.kernel_account.context_switches_in,
-            fast.kernel_account.context_switches_in)
-      << ctx;
-  EXPECT_EQ(ref.fault_stats.hits, fast.fault_stats.hits) << ctx;
-  EXPECT_EQ(ref.fault_stats.injected, fast.fault_stats.injected) << ctx;
-  ASSERT_EQ(ref.profile.size(), fast.profile.size()) << ctx;
-  for (const auto& [name, prof] : ref.profile) {
-    const auto it = fast.profile.find(name);
-    ASSERT_NE(it, fast.profile.end()) << ctx << " fn=" << name;
-    EXPECT_EQ(prof.calls, it->second.calls) << ctx << " fn=" << name;
-    EXPECT_EQ(prof.self_cycles, it->second.self_cycles)
-        << ctx << " fn=" << name;
-  }
-  EXPECT_EQ(ref.output, fast.output) << ctx;
+  const std::string diff = first_run_result_difference(ref, fast);
+  EXPECT_TRUE(diff.empty()) << ctx << ": first diverging field: " << diff;
 }
 
 } // namespace cash::vm

@@ -366,5 +366,59 @@ int main() { return 0; }
   expect_identical(crash1, crash2, "faulting run");
 }
 
+TEST(Snapshot, CapturesMidTraceFormation) {
+  // The hot-trace engine's state — per-block heat counters, formed
+  // superblocks, lifetime stats — is part of the snapshot. kServer's init
+  // loop (32 iterations) is past the formation threshold (16) when
+  // capture() runs, while handle_request's loop is still cold: restoring
+  // must put both halves of that mid-formation picture back exactly, so
+  // every restore replays the fresh-replay trajectory bit for bit,
+  // including the trace activity itself.
+  for (CheckMode mode : {CheckMode::kNoCheck, CheckMode::kCash,
+                         CheckMode::kShadow}) {
+    auto program = compile_server(mode);
+    ASSERT_TRUE(program->options().machine.enable_trace);
+    std::unique_ptr<vm::Machine> m = fresh_after_init(*program);
+    std::unique_ptr<vm::MachineSnapshot> snap = m->capture();
+
+    bool any_trace = false;
+    for (std::uint32_t seed = 0; seed < 4; ++seed) {
+      if (seed != 0) {
+        m->restore(*snap);
+      }
+      m->reseed(40 + seed);
+      const vm::RunResult from_snapshot = m->run_function("handle_request");
+
+      std::unique_ptr<vm::Machine> replayed = fresh_after_init(*program);
+      replayed->reseed(40 + seed);
+      const vm::RunResult from_replay =
+          replayed->run_function("handle_request");
+
+      const std::string ctx = "mode=" + std::to_string(static_cast<int>(mode)) +
+                              " seed=" + std::to_string(40 + seed);
+      expect_identical(from_replay, from_snapshot, ctx);
+      // trace_stats is exempt from expect_identical (host-side, like
+      // tlb_stats) — pin it explicitly: restored trace state must replay
+      // the same formation/execution trajectory a fresh machine produces.
+      EXPECT_EQ(from_replay.trace_stats.traces_formed,
+                from_snapshot.trace_stats.traces_formed)
+          << ctx;
+      EXPECT_EQ(from_replay.trace_stats.trace_execs,
+                from_snapshot.trace_stats.trace_execs)
+          << ctx;
+      EXPECT_EQ(from_replay.trace_stats.guard_exits,
+                from_snapshot.trace_stats.guard_exits)
+          << ctx;
+      EXPECT_EQ(from_replay.trace_stats.trace_instructions,
+                from_snapshot.trace_stats.trace_instructions)
+          << ctx;
+      any_trace |= from_snapshot.trace_stats.trace_execs > 0;
+    }
+    // The warm-started machine actually runs inside superblocks — the
+    // comparison above is not vacuous.
+    EXPECT_TRUE(any_trace) << "mode=" << static_cast<int>(mode);
+  }
+}
+
 } // namespace
 } // namespace cash
